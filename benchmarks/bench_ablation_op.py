@@ -1,0 +1,84 @@
+"""ABL-1 — order-preserving sharing vs plain random sharing (Sec. IV).
+
+The paper's motivation for Sec. IV: with only random shares "the entire
+database needs to be retrieved from the service provider for every query"
+— the idealized solution is not practical.  We build the same table twice,
+once with searchable (OP) columns and once with every column randomly
+shared, and measure the same range query on both.
+"""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select
+from repro.bench.reporting import record_experiment
+from repro.sqlengine.expression import Between
+from repro.sqlengine.schema import Column, TableSchema
+from repro.sqlengine.table import Table
+from repro.workloads.employees import employees_table
+
+N_ROWS = 1_000
+RANGES = [(59_000, 61_000), (50_000, 70_000), (0, 1_000_000)]
+
+
+def _unsearchable_clone(table):
+    columns = tuple(
+        Column(
+            c.name, c.ctype, lo=c.lo, hi=c.hi, width=c.width, scale=c.scale,
+            nullable=c.nullable, searchable=False, domain_label=c.domain_label,
+        )
+        for c in table.schema.columns
+    )
+    schema = TableSchema(table.schema.name, columns, table.schema.primary_key)
+    return Table(schema, table.rows())
+
+
+def _build(table):
+    source = DataSource(ProviderCluster(5, 3), seed=2009)
+    source.outsource_table(table)
+    return source
+
+
+def _sweep():
+    employees = employees_table(N_ROWS, seed=2009)
+    op_source = _build(employees)
+    random_source = _build(_unsearchable_clone(employees))
+    rows = []
+    for low, high in RANGES:
+        query = Select("Employees", where=Between("salary", low, high))
+        op_source.reset_accounting()
+        op_rows = op_source.select(query)
+        op_bytes = op_source.cluster.network.total_bytes
+        random_source.reset_accounting()
+        random_rows = random_source.select(query)
+        random_bytes = random_source.cluster.network.total_bytes
+        assert len(op_rows) == len(random_rows)
+        rows.append(
+            {
+                "range": f"[{low}, {high}]",
+                "matched": len(op_rows),
+                "OP sharing KB": round(op_bytes / 1024, 1),
+                "random sharing KB": round(random_bytes / 1024, 1),
+                "waste factor": round(random_bytes / max(1, op_bytes), 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_table(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_experiment(
+        "ABL-1",
+        "Order-preserving vs plain random sharing: range-query transfer "
+        "(the paper's 'idealized solution is not practical', Sec. IV)",
+        rows,
+    )
+    # narrow ranges: OP wins big; full-table range: both ship everything
+    assert rows[0]["waste factor"] > 10
+    assert rows[-1]["waste factor"] < 2
+
+
+def test_random_sharing_full_scan_latency(benchmark):
+    employees = employees_table(N_ROWS, seed=2009)
+    source = _build(_unsearchable_clone(employees))
+    query = Select("Employees", where=Between("salary", 59_000, 61_000))
+    benchmark(lambda: source.select(query))

@@ -1,0 +1,87 @@
+"""EXP-T3 — aggregation queries (Sec. V-A "Aggregation Queries").
+
+The paper's four example aggregates — SUM/AVG and MIN/MAX/MEDIAN over
+exact matches and over ranges — run on every model.  The share model
+computes partial aggregates *at the providers* (k scalars or one tuple
+come back); the encryption models must ship and decrypt every candidate
+tuple and aggregate at the client.
+"""
+
+import pytest
+
+from repro import parse_sql
+from repro.bench.metrics import measure_encrypted_query, measure_share_query
+from repro.bench.reporting import record_experiment
+
+#: The paper's aggregate query classes (Sec. V-A), on realistic payroll.
+AGGREGATE_QUERIES = {
+    "SUM over exact match": "SELECT SUM(salary) FROM Employees WHERE department = 'ENG'",
+    "AVG over exact match": "SELECT AVG(salary) FROM Employees WHERE name = 'JOHN'",
+    "SUM over range": "SELECT SUM(salary) FROM Employees WHERE salary BETWEEN 20000 AND 40000",
+    "MIN over exact match": "SELECT MIN(salary) FROM Employees WHERE department = 'SALES'",
+    "MAX over range": "SELECT MAX(salary) FROM Employees WHERE salary BETWEEN 20000 AND 80000",
+    "MEDIAN over range": "SELECT MEDIAN(salary) FROM Employees WHERE salary BETWEEN 20000 AND 80000",
+    "COUNT over range": "SELECT COUNT(*) FROM Employees WHERE salary BETWEEN 20000 AND 80000",
+}
+
+
+def _sweep(share_system, encrypted_systems):
+    rows = []
+    for label, sql in AGGREGATE_QUERIES.items():
+        query = parse_sql(sql)
+        share = measure_share_query(share_system, query)
+        entry = {
+            "aggregate": label,
+            "share KB": round(share.bytes_transferred / 1024, 2),
+            "share client ops": sum(share.client_ops.values()),
+        }
+        for name, client in encrypted_systems.items():
+            m = measure_encrypted_query(client, query, name)
+            entry[f"{name} KB"] = round(m.bytes_transferred / 1024, 2)
+        rows.append(entry)
+    return rows
+
+
+def test_aggregate_table(benchmark, share_system, encrypted_systems, oracle):
+    # correctness gate before costing anything
+    for sql in AGGREGATE_QUERIES.values():
+        query = parse_sql(sql)
+        truth = oracle.execute(query)
+        mine = share_system.select(query)
+        if isinstance(truth, float):
+            assert mine == pytest.approx(truth), sql
+        else:
+            assert mine == truth, sql
+    rows = benchmark.pedantic(
+        lambda: _sweep(share_system, encrypted_systems), rounds=1, iterations=1
+    )
+    record_experiment(
+        "EXP-T3",
+        "Aggregates: provider-side partials (share) vs decrypt-all (enc)",
+        rows,
+    )
+    # shape: share SUM moves orders of magnitude fewer bytes than any
+    # encryption model, which must ship the candidate tuples
+    sum_row = rows[2]  # SUM over range
+    assert sum_row["share KB"] * 10 < sum_row["row-encryption KB"]
+    assert sum_row["share KB"] * 5 < sum_row["ope KB"]
+
+
+def test_sum_share_latency(benchmark, share_system):
+    query = parse_sql(
+        "SELECT SUM(salary) FROM Employees WHERE salary BETWEEN 20000 AND 40000"
+    )
+    benchmark(lambda: share_system.select(query))
+
+
+def test_sum_ope_latency(benchmark, encrypted_systems):
+    query = parse_sql(
+        "SELECT SUM(salary) FROM Employees WHERE salary BETWEEN 20000 AND 40000"
+    )
+    client = encrypted_systems["ope"]
+    benchmark(lambda: client.select(query))
+
+
+def test_median_share_latency(benchmark, share_system):
+    query = parse_sql("SELECT MEDIAN(salary) FROM Employees")
+    benchmark(lambda: share_system.select(query))

@@ -1,0 +1,108 @@
+"""EXP-X1 — extension features: grouped partials, top-k pushdown,
+incremental updates.
+
+These extend the paper's Sec. V-A/V-C machinery in the directions its
+future-work paragraphs point; the bench quantifies what each provider-side
+capability saves over the client-side fallback that correctness alone
+would allow.
+"""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select
+from repro.bench.reporting import record_experiment
+from repro.sqlengine.expression import Comparison, ComparisonOp
+from repro.workloads.ecommerce import clicklog_table
+
+N_EVENTS = 2_000
+
+
+def _build():
+    source = DataSource(ProviderCluster(5, 3), seed=2009)
+    source.outsource_table(clicklog_table(N_EVENTS, seed=2009))
+    return source
+
+
+def _grouped_rows(source):
+    grouped_sql = "SELECT action, SUM(amount_cents) FROM Events GROUP BY action"
+    source.reset_accounting()
+    source.sql(grouped_sql)
+    pushed_bytes = source.cluster.network.total_bytes
+    # client-side equivalent: fetch matching rows, group locally
+    source.reset_accounting()
+    rows = source.sql("SELECT * FROM Events")
+    from repro.sqlengine.executor import compute_group_aggregate
+    from repro.sqlengine.query import Aggregate, AggregateFunc
+
+    compute_group_aggregate(
+        Aggregate(AggregateFunc.SUM, "amount_cents"), "action", rows
+    )
+    fallback_bytes = source.cluster.network.total_bytes
+    return {
+        "feature": "GROUP BY revenue (4 groups)",
+        "provider-side KB": round(pushed_bytes / 1024, 2),
+        "client-side KB": round(fallback_bytes / 1024, 2),
+        "saving": f"{(1 - pushed_bytes / fallback_bytes) * 100:.0f}%",
+    }
+
+
+def _topk_rows(source):
+    source.reset_accounting()
+    source.sql("SELECT * FROM Events ORDER BY day DESC LIMIT 10")
+    pushed_bytes = source.cluster.network.total_bytes
+    source.reset_accounting()
+    source.sql("SELECT * FROM Events ORDER BY day DESC")
+    fallback_bytes = source.cluster.network.total_bytes
+    return {
+        "feature": "top-10 by day",
+        "provider-side KB": round(pushed_bytes / 1024, 2),
+        "client-side KB": round(fallback_bytes / 1024, 2),
+        "saving": f"{(1 - pushed_bytes / fallback_bytes) * 100:.0f}%",
+    }
+
+
+def _increment_rows(source):
+    predicate = Comparison("action", ComparisonOp.EQ, "RETURN")
+    source.reset_accounting()
+    source.increment("Events", "amount_cents", 100, predicate)
+    increment_bytes = source.cluster.network.total_bytes
+    source.reset_accounting()
+    source.sql(
+        "UPDATE Events SET amount_cents = 100 WHERE action = 'RETURN'"
+    )
+    eager_bytes = source.cluster.network.total_bytes
+    return {
+        "feature": "bulk +delta on randomly-shared column",
+        "provider-side KB": round(increment_bytes / 1024, 2),
+        "client-side KB": round(eager_bytes / 1024, 2),
+        "saving": f"{(1 - increment_bytes / eager_bytes) * 100:.0f}%",
+    }
+
+
+def test_extensions_table(benchmark):
+    source = _build()
+    rows = benchmark.pedantic(
+        lambda: [_grouped_rows(source), _topk_rows(source), _increment_rows(source)],
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(
+        "EXP-X1",
+        "Extension features: provider-side capability vs client-side fallback "
+        f"(N={N_EVENTS} events, n=5, k=3)",
+        rows,
+    )
+    for row in rows:
+        assert row["provider-side KB"] < row["client-side KB"], row["feature"]
+
+
+def test_grouped_aggregate_latency(benchmark):
+    source = _build()
+    query = "SELECT action, SUM(amount_cents) FROM Events GROUP BY action"
+    benchmark(lambda: source.sql(query))
+
+
+def test_topk_latency(benchmark):
+    source = _build()
+    query = "SELECT * FROM Events ORDER BY day DESC LIMIT 10"
+    benchmark(lambda: source.sql(query))

@@ -1,0 +1,42 @@
+"""EXP-F1 — Figure 1 reproduction.
+
+Regenerates the paper's only figure: the share columns each provider
+stores for salaries {10, 20, 40, 60, 80} under the printed polynomials and
+X = {2, 4, 1}, and the reconstruction from any two columns.  The timing
+target is the split+reconstruct cycle at the figure's parameters.
+"""
+
+from repro.bench.reporting import record_experiment
+from repro.core.shamir import figure1_shares, salaries_from_figure1
+
+
+def test_figure1_share_table(benchmark):
+    columns = benchmark(figure1_shares)
+    rows = []
+    for position, salary in enumerate([10, 20, 40, 60, 80]):
+        rows.append(
+            {
+                "salary": salary,
+                "DAS1 (x=2)": columns["DAS1"][position],
+                "DAS2 (x=4)": columns["DAS2"][position],
+                "DAS3 (x=1)": columns["DAS3"][position],
+            }
+        )
+    record_experiment(
+        "EXP-F1",
+        "Figure 1 share columns (paper prints 64 for q60 at DAS2; the "
+        "stated polynomial gives 68 — typo in the figure)",
+        rows,
+    )
+    assert columns["DAS1"] == [210, 30, 42, 64, 88]
+    assert columns["DAS3"] == [110, 25, 41, 62, 84]
+
+
+def test_figure1_reconstruction(benchmark):
+    columns = figure1_shares()
+
+    def roundtrip():
+        return salaries_from_figure1(columns)
+
+    salaries = benchmark(roundtrip)
+    assert salaries == [10, 20, 40, 60, 80]

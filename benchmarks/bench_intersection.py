@@ -1,0 +1,114 @@
+"""EXP-T5 — private intersection: the paper's quoted cost figures.
+
+Sec. II-A quotes Agrawal et al. '03: the 10×100-document corpus (1000
+words each) costs ~2 hours compute and ~3 Gbit transfer under commutative
+encryption; ~1M medical records cost ~4 hours and ~8 Gbit.  We run the
+protocols at reduced scale, model full-scale time from exact operation
+counts (each modexp priced at its 2009 1024-bit cost), and compare the
+share-based alternative the paper advocates (refs [31, 32]).
+
+Expected shape: crypto costs *hours* at paper scale, sharing costs
+*seconds* — the orders-of-magnitude contrast the proposal rests on.
+"""
+
+import pytest
+
+from repro.baselines.intersection import (
+    CommutativeIntersection,
+    plaintext_intersection,
+    share_based_intersection,
+)
+from repro.bench.reporting import record_experiment
+from repro.core.order_preserving import IntegerDomain
+from repro.sim.costmodel import CostModel
+from repro.workloads.documents import paper_corpora
+from repro.workloads.medical import overlapping_patient_ids
+
+DOMAIN = IntegerDomain(0, 10**8)
+
+#: The paper-era experiments used ~1024-bit group elements; our runnable
+#: group is 256-bit for speed.  Operation counts are identical, so wire
+#: volume for the crypto protocol is normalised by the element-size ratio.
+GROUP_SIZE_RATIO = 1024 / 256
+
+#: Reduced run sizes → linear extrapolation factors to the paper's scale.
+DOC_PAIRS_RUN = 20       # of the paper's 10×100 = 1000 document pairs
+MEDICAL_RUN = 2_000      # of the paper's ~1,000,000 records
+
+
+def _document_experiment():
+    site_a, site_b = paper_corpora(seed=2009)
+    pairs = [(a, b) for a in site_a for b in site_b][:DOC_PAIRS_RUN]
+    scale = (len(site_a) * len(site_b)) / DOC_PAIRS_RUN
+    crypto_seconds = 0.0
+    crypto_bits = 0
+    share_seconds = 0.0
+    share_bits = 0
+    for doc_a, doc_b in pairs:
+        words_a, words_b = sorted(doc_a.words), sorted(doc_b.words)
+        crypto = CommutativeIntersection(seed=1).run(words_a, words_b)
+        shared = share_based_intersection(words_a, words_b, DOMAIN, seed=1)
+        assert crypto.intersection == shared.intersection
+        crypto_seconds += crypto.modelled_seconds()
+        crypto_bits += int(crypto.bytes_transferred * 8 * GROUP_SIZE_RATIO)
+        share_seconds += shared.modelled_seconds()
+        share_bits += shared.bytes_transferred * 8
+    return {
+        "workload": "documents 10x100 (paper: ~2 h, ~3 Gbit)",
+        "crypto hours": round(crypto_seconds * scale / 3600, 2),
+        "crypto Gbit": round(crypto_bits * scale / 1e9, 2),
+        "share hours": round(share_seconds * scale / 3600, 4),
+        "share Gbit": round(share_bits * scale / 1e9, 2),
+    }
+
+
+def _medical_experiment():
+    ids_a, ids_b = overlapping_patient_ids(
+        MEDICAL_RUN, MEDICAL_RUN, overlap=0.3, seed=2009
+    )
+    scale = 1_000_000 / MEDICAL_RUN
+    crypto = CommutativeIntersection(seed=2).run(ids_a, ids_b)
+    shared = share_based_intersection(ids_a, ids_b, DOMAIN, seed=2)
+    assert crypto.intersection == shared.intersection == plaintext_intersection(ids_a, ids_b)
+    return {
+        "workload": "medical ~1M records (paper: ~4 h, ~8 Gbit)",
+        "crypto hours": round(crypto.modelled_seconds() * scale / 3600, 2),
+        "crypto Gbit": round(
+            crypto.bytes_transferred * 8 * GROUP_SIZE_RATIO * scale / 1e9, 2
+        ),
+        "share hours": round(shared.modelled_seconds() * scale / 3600, 4),
+        "share Gbit": round(shared.bytes_transferred * 8 * scale / 1e9, 2),
+    }
+
+
+def test_intersection_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_document_experiment(), _medical_experiment()],
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(
+        "EXP-T5",
+        "Private intersection at paper scale (extrapolated from exact op counts)",
+        rows,
+    )
+    docs, medical = rows
+    # paper's magnitudes: hours and Gbits for crypto (same order)
+    assert 0.5 < docs["crypto hours"] < 10
+    assert 1 < docs["crypto Gbit"] < 10
+    assert 0.5 < medical["crypto hours"] < 10
+    # the advocated approach: orders of magnitude cheaper in time
+    assert docs["share hours"] < docs["crypto hours"] / 100
+    assert medical["share hours"] < medical["crypto hours"] / 100
+
+
+def test_commutative_latency(benchmark):
+    a = list(range(200))
+    b = list(range(100, 300))
+    benchmark(lambda: CommutativeIntersection(seed=3).run(a, b))
+
+
+def test_share_based_latency(benchmark):
+    a = list(range(200))
+    b = list(range(100, 300))
+    benchmark(lambda: share_based_intersection(a, b, DOMAIN, seed=3))

@@ -1,0 +1,60 @@
+"""EXP-T4 — referential joins (Sec. V-A "Join Operations").
+
+"Salaries of all managers": Employees ⋈ Managers on the shared-domain key
+``eid``.  The share model joins provider-side on deterministic shares; OPE
+joins server-side on tokens; bucketization joins on coarse bucket labels
+(superset, fixed by decrypt-then-filter); row encryption must download
+both tables and join at the client.
+"""
+
+import pytest
+
+from repro import JoinSelect
+from repro.bench.metrics import measure_encrypted_query, measure_share_query
+from repro.bench.reporting import record_experiment
+from repro.sqlengine.executor import rows_equal_unordered
+
+JOIN = JoinSelect(
+    "Employees",
+    "Managers",
+    "eid",
+    "eid",
+    columns=("Employees.name", "Employees.salary"),
+)
+
+
+def _sweep(share_system, encrypted_systems):
+    rows = [measure_share_query(share_system, JOIN).as_row()]
+    for name, client in encrypted_systems.items():
+        rows.append(measure_encrypted_query(client, JOIN, name).as_row())
+    return rows
+
+
+def test_join_table(benchmark, share_system, encrypted_systems, oracle):
+    truth = oracle.execute(JOIN)
+    assert rows_equal_unordered(share_system.join(JOIN), truth)
+    for client in encrypted_systems.values():
+        assert rows_equal_unordered(client.join(JOIN), truth)
+    rows = benchmark.pedantic(
+        lambda: _sweep(share_system, encrypted_systems), rounds=1, iterations=1
+    )
+    record_experiment(
+        "EXP-T4",
+        "Employees ⋈ Managers on eid (|M|/|E| = 10%, N=2000)",
+        rows,
+    )
+    by_system = {row["system"]: row for row in rows}
+    # row encryption downloads both tables; the server-joining models move
+    # only the join result (+ replication factor for shares)
+    assert by_system["row-encryption"]["KB"] > 3 * by_system["ope"]["KB"]
+    assert by_system["secret-sharing"]["KB"] < by_system["row-encryption"]["KB"]
+
+
+def test_join_share_latency(benchmark, share_system):
+    benchmark(lambda: share_system.join(JOIN))
+
+
+@pytest.mark.parametrize("system", ["row-encryption", "ope"])
+def test_join_encrypted_latency(benchmark, encrypted_systems, system):
+    client = encrypted_systems[system]
+    benchmark(lambda: client.join(JOIN))

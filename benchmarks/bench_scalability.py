@@ -1,0 +1,123 @@
+"""EXP-T10 — scalability and the computation-vs-communication headline.
+
+The evaluation Sec. V-A defers: "a detailed performance evaluation to
+determine the computation versus communication trade-off under the two
+models".  Two sweeps:
+
+* database size N at fixed (n=5, k=3) — per-query bytes and ops for a
+  fixed-selectivity range query, share model vs encryption models;
+* provider count n at fixed N — what the extra replication costs per
+  query and at load time.
+"""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select, parse_sql
+from repro.bench.metrics import measure_encrypted_query, measure_share_query
+from repro.bench.reporting import record_experiment
+from repro.sqlengine.expression import Between
+from repro.workloads.employees import employees_table
+
+try:
+    from .conftest import build_encryption_clients
+except ImportError:  # pytest rootdir import mode
+    from conftest import build_encryption_clients
+
+SIZES = [500, 1_000, 2_000, 4_000]
+PROVIDER_COUNTS = [3, 5, 7, 9]
+
+RANGE = Between("salary", 45_000, 75_000)  # ~fixed selectivity
+
+
+def _query():
+    return Select("Employees", where=RANGE)
+
+
+def _size_sweep():
+    rows = []
+    for n_rows in SIZES:
+        employees = employees_table(n_rows, seed=2009)
+        source = DataSource(ProviderCluster(5, 3), seed=2009)
+        source.outsource_table(employees)
+        share = measure_share_query(source, _query())
+        clients = build_encryption_clients(employees)
+        entry = {
+            "N": n_rows,
+            "matched": share.result_rows,
+            "share KB": round(share.bytes_transferred / 1024, 1),
+            "share model sec": round(share.modelled_seconds(), 4),
+        }
+        for name, client in clients.items():
+            m = measure_encrypted_query(client, _query(), name)
+            entry[f"{name} KB"] = round(m.bytes_transferred / 1024, 1)
+        rows.append(entry)
+    return rows
+
+
+def test_size_scalability_table(benchmark):
+    rows = benchmark.pedantic(_size_sweep, rounds=1, iterations=1)
+    record_experiment(
+        "EXP-T10a",
+        "Scaling database size N (range query, fixed selectivity, n=5, k=3)",
+        rows,
+    )
+    # both share KB and row-encryption KB grow ~linearly with N, but the
+    # share model tracks *matches* while row encryption tracks the table
+    first, last = rows[0], rows[-1]
+    assert last["share KB"] > first["share KB"]
+    assert last["row-encryption KB"] > 6 * first["row-encryption KB"]
+
+
+def _provider_sweep():
+    rows = []
+    employees = employees_table(1_000, seed=2009)
+    for n in PROVIDER_COUNTS:
+        k = (n + 1) // 2
+        source = DataSource(ProviderCluster(n, k), seed=2009)
+        source.outsource_table(employees)
+        load_bytes = source.cluster.network.total_bytes
+        share = measure_share_query(source, _query())
+        rows.append(
+            {
+                "n providers": n,
+                "k": k,
+                "load MB": round(load_bytes / 1024 / 1024, 2),
+                "query KB": round(share.bytes_transferred / 1024, 1),
+                "query msgs": share.messages,
+                "crash tolerance": n - k,
+            }
+        )
+    return rows
+
+
+def test_provider_scalability_table(benchmark):
+    rows = benchmark.pedantic(_provider_sweep, rounds=1, iterations=1)
+    record_experiment(
+        "EXP-T10b",
+        "Scaling provider count n (N=1000, k=⌈n/2⌉): redundancy vs cost",
+        rows,
+    )
+    # load volume grows with n (one share per provider); *query* volume
+    # grows with k only (reads use a quorum), so it grows slower
+    assert rows[-1]["load MB"] > 2 * rows[0]["load MB"]
+    load_growth = rows[-1]["load MB"] / rows[0]["load MB"]
+    query_growth = rows[-1]["query KB"] / rows[0]["query KB"]
+    assert query_growth < load_growth
+
+
+def test_large_outsource_latency(benchmark):
+    employees = employees_table(1_000, seed=2009)
+
+    def load():
+        source = DataSource(ProviderCluster(5, 3), seed=2009)
+        source.outsource_table(employees)
+        return source
+
+    benchmark.pedantic(load, rounds=3, iterations=1)
+
+
+def test_large_range_query_latency(benchmark):
+    source = DataSource(ProviderCluster(5, 3), seed=2009)
+    source.outsource_table(employees_table(4_000, seed=2009))
+    query = _query()
+    benchmark(lambda: source.select(query))

@@ -1,0 +1,201 @@
+"""EXP-T9 — trust-mechanism overhead and detection (Sec. I issue 3, VI b).
+
+Three mechanisms, three questions:
+
+* what does verification cost when everyone is honest (bytes/time overhead
+  of verified reads, root audits, spot checks)?
+* does each mechanism catch its target misbehaviour (tamper → Merkle,
+  omission → chain/canaries)?
+* how does canary detection probability track the closed form 1-(1-f)^c?
+"""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select
+from repro.bench.reporting import record_experiment
+from repro.errors import CompletenessError, IntegrityError
+from repro.providers.failures import Fault, FailureMode
+from repro.sim.rng import DeterministicRNG
+from repro.sqlengine.expression import Between
+from repro.trust.assurance import AssuranceWrapper, detection_probability
+from repro.trust.auditing import AuditRegistry
+from repro.trust.chaining import CompletenessGuard
+from repro.workloads.employees import employees_table
+
+N_ROWS = 400
+RANGE_QUERY = Select("Employees", where=Between("salary", 20_000, 80_000))
+
+
+def _build_audited():
+    cluster = ProviderCluster(4, 2)
+    registry = AuditRegistry(4)
+    source = DataSource(cluster, seed=2009, audit=registry)
+    source.outsource_table(employees_table(N_ROWS, seed=2009))
+    return source, registry
+
+
+def _overhead_rows():
+    source, registry = _build_audited()
+    source.cluster.network.reset()
+    plain = source.select(RANGE_QUERY)
+    plain_bytes = source.cluster.network.total_bytes
+    source.cluster.network.reset()
+    verified = source.select_verified(RANGE_QUERY)
+    verified_bytes = source.cluster.network.total_bytes
+    assert len(plain) == len(verified)
+    source.cluster.network.reset()
+    registry.audit_roots(source.cluster, "Employees")
+    audit_bytes = source.cluster.network.total_bytes
+    source.cluster.network.reset()
+    registry.spot_check(source.cluster, "Employees", 0, 1)
+    spot_bytes = source.cluster.network.total_bytes
+    return [
+        {"operation": "plain range read", "KB": round(plain_bytes / 1024, 2)},
+        {"operation": "verified range read", "KB": round(verified_bytes / 1024, 2)},
+        {"operation": "whole-table root audit", "KB": round(audit_bytes / 1024, 3)},
+        {"operation": "single-row spot proof", "KB": round(spot_bytes / 1024, 3)},
+    ]
+
+
+def test_verification_overhead_table(benchmark):
+    rows = benchmark.pedantic(_overhead_rows, rounds=1, iterations=1)
+    record_experiment(
+        "EXP-T9a",
+        "Trust-layer communication overhead (N=400, n=4, k=2)",
+        rows,
+    )
+    by_op = {row["operation"]: row["KB"] for row in rows}
+    # verification reads the same shares; overhead is client-side hashing,
+    # so bytes stay ~equal.  Root audit is O(1); spot proof O(log N).
+    assert by_op["verified range read"] == pytest.approx(
+        by_op["plain range read"], rel=0.05
+    )
+    assert by_op["whole-table root audit"] < by_op["plain range read"] / 20
+    assert by_op["single-row spot proof"] < by_op["plain range read"] / 20
+
+
+def _detection_rows():
+    rows = []
+    # 1. Merkle vs tampering
+    source, registry = _build_audited()
+    source.cluster.inject_fault(
+        0, Fault(FailureMode.TAMPER, rate=0.3, rng=DeterministicRNG(1, "t"))
+    )
+    try:
+        source.select_verified(RANGE_QUERY)
+        merkle = "MISSED"
+    except IntegrityError:
+        merkle = "detected"
+    audit_flags = registry.audit_roots(source.cluster, "Employees")
+    rows.append(
+        {
+            "mechanism": "Merkle verified read",
+            "fault": "tamper 30% @ provider 0",
+            "outcome": merkle,
+        }
+    )
+    rows.append(
+        {
+            "mechanism": "Merkle root audit",
+            "fault": "tamper 30% @ provider 0",
+            "outcome": "flagged provider 0" if not audit_flags[0] else "MISSED",
+        }
+    )
+    # 2. completeness chain vs omission
+    cluster = ProviderCluster(4, 2)
+    source2 = DataSource(cluster, seed=2010)
+    guard = CompletenessGuard(source2, b"k" * 32)
+    guard.outsource_protected(employees_table(N_ROWS, seed=2010), "salary")
+    for i in (0, 1):
+        cluster.inject_fault(
+            i, Fault(FailureMode.OMIT, rate=0.2, rng=DeterministicRNG(2, f"o{i}"))
+        )
+    try:
+        guard.verified_range("Employees", "salary", 0, 10**6)
+        chain = "MISSED"
+    except CompletenessError:
+        chain = "detected"
+    rows.append(
+        {
+            "mechanism": "completeness chain",
+            "fault": "omit 20% @ quorum",
+            "outcome": chain,
+        }
+    )
+    return rows
+
+
+def test_detection_table(benchmark):
+    rows = benchmark.pedantic(_detection_rows, rounds=1, iterations=1)
+    record_experiment("EXP-T9b", "Misbehaviour detection outcomes", rows)
+    assert all("MISSED" not in row["outcome"] for row in rows)
+
+
+def _canary_rows():
+    def factory(rng, i):
+        return {
+            "eid": 900_000 + i,
+            "name": "CANARY",
+            "lastname": "ROW",
+            "department": "ENG",
+            "salary": rng.randint(0, 100_000),
+        }
+
+    rows = []
+    for omission_rate in (0.1, 0.3, 0.6):
+        detected = 0
+        trials = 30
+        for trial in range(trials):
+            cluster = ProviderCluster(3, 2)
+            source = DataSource(cluster, seed=3000 + trial)
+            wrapper = AssuranceWrapper(source, DeterministicRNG(trial, "a"))
+            wrapper.outsource_with_canaries(
+                employees_table(40, seed=3000 + trial), factory, 6
+            )
+            for i in (0, 1):
+                cluster.inject_fault(
+                    i,
+                    Fault(
+                        FailureMode.OMIT,
+                        rate=omission_rate,
+                        rng=DeterministicRNG(trial, f"o{i}"),
+                    ),
+                )
+            try:
+                wrapper.select(Select("Employees", where=Between("salary", 0, 10**6)))
+            except IntegrityError:
+                detected += 1
+        rows.append(
+            {
+                "omission rate": omission_rate,
+                "canaries": 6,
+                "measured detection": round(detected / trials, 2),
+                "closed form 1-(1-f)^c": round(
+                    detection_probability(omission_rate, 6), 2
+                ),
+            }
+        )
+    return rows
+
+
+def test_canary_detection_table(benchmark):
+    rows = benchmark.pedantic(_canary_rows, rounds=1, iterations=1)
+    record_experiment(
+        "EXP-T9c",
+        "Canary detection rate vs omission rate (30 trials each)",
+        rows,
+    )
+    # detection grows with omission rate and lands near the closed form
+    measured = [row["measured detection"] for row in rows]
+    assert measured == sorted(measured)
+    assert measured[-1] > 0.9
+
+
+def test_verified_read_latency(benchmark):
+    source, _ = _build_audited()
+    benchmark(lambda: source.select_verified(RANGE_QUERY))
+
+
+def test_root_audit_latency(benchmark):
+    source, registry = _build_audited()
+    benchmark(lambda: registry.audit_roots(source.cluster, "Employees"))

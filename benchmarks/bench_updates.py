@@ -1,0 +1,107 @@
+"""EXP-T8 — update protocols: eager vs lazy (Sec. V-C).
+
+The paper sketches lazy updates as a communication optimisation.  Sweep
+the number of UPDATE statements per batch and compare messages/bytes of
+per-statement eager application against one buffered flush.
+"""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Update
+from repro.bench.reporting import record_experiment
+from repro.client.updates import LazyUpdateBuffer
+from repro.sqlengine.expression import Between
+from repro.workloads.employees import employees_table
+
+N_ROWS = 500
+BATCH_SIZES = [1, 4, 16, 64]
+
+
+def _build():
+    source = DataSource(ProviderCluster(5, 3), seed=2009)
+    source.outsource_table(employees_table(N_ROWS, seed=2009))
+    return source
+
+
+def _statements(count):
+    # disjoint salary bands so statements touch different rows
+    width = 100_000 // max(1, count)
+    return [
+        Update(
+            "Employees",
+            {"department": "OPS"},
+            Between("salary", i * width, (i + 1) * width - 1),
+        )
+        for i in range(count)
+    ]
+
+
+def _eager_cost(count):
+    source = _build()
+    source.cluster.network.reset()
+    for statement in _statements(count):
+        source.update(statement)
+    return source.cluster.network.total_messages, source.cluster.network.total_bytes
+
+
+def _lazy_cost(count):
+    source = _build()
+    buffer = LazyUpdateBuffer(source, auto_flush_threshold=10_000)
+    source.cluster.network.reset()
+    for statement in _statements(count):
+        buffer.enqueue(statement)
+    buffer.flush()
+    return source.cluster.network.total_messages, source.cluster.network.total_bytes
+
+
+def _sweep():
+    rows = []
+    for count in BATCH_SIZES:
+        eager_msgs, eager_bytes = _eager_cost(count)
+        lazy_msgs, lazy_bytes = _lazy_cost(count)
+        rows.append(
+            {
+                "statements": count,
+                "eager msgs": eager_msgs,
+                "lazy msgs": lazy_msgs,
+                "eager KB": round(eager_bytes / 1024, 1),
+                "lazy KB": round(lazy_bytes / 1024, 1),
+                "msg saving": f"{(1 - lazy_msgs / eager_msgs) * 100:.0f}%",
+            }
+        )
+    return rows
+
+
+def test_update_batching_table(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_experiment(
+        "EXP-T8",
+        "Eager per-statement updates vs lazy batched flush (N=500, n=5)",
+        rows,
+    )
+    # the paper's expectation: batching reduces message count, and the
+    # saving grows with batch size
+    assert rows[-1]["lazy msgs"] < rows[-1]["eager msgs"]
+    last_saving = int(rows[-1]["msg saving"].rstrip("%"))
+    first_saving = int(rows[0]["msg saving"].rstrip("%"))
+    assert last_saving > first_saving
+
+
+def test_eager_update_latency(benchmark):
+    source = _build()
+    statement = Update(
+        "Employees", {"department": "OPS"}, Between("salary", 40_000, 60_000)
+    )
+    benchmark(lambda: source.update(statement))
+
+
+def test_lazy_flush_latency(benchmark):
+    source = _build()
+
+    def run():
+        buffer = LazyUpdateBuffer(source, auto_flush_threshold=10_000)
+        for statement in _statements(8):
+            buffer.enqueue(statement)
+        return buffer.flush()
+
+    benchmark(run)

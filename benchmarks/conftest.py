@@ -1,0 +1,93 @@
+"""Shared builders for the benchmark suites.
+
+Every EXP bench builds its systems through these helpers so workload,
+seeds, and accounting are identical across experiments.  Tables are
+printed to stdout (run with ``-s`` to see them live) and persisted to
+``benchmarks/results/EXP-*.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataSource, ProviderCluster
+from repro.baselines.encryption import (
+    BucketizationClient,
+    OPEClient,
+    RowEncryptionClient,
+)
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import PlaintextExecutor
+from repro.sqlengine.table import Table
+from repro.workloads.employees import employees_table, managers_table
+
+DEFAULT_ROWS = 2_000
+DEFAULT_SEED = 2009  # the paper's year
+
+
+def build_share_source(
+    n_rows: int = DEFAULT_ROWS,
+    n_providers: int = 5,
+    threshold: int = 3,
+    seed: int = DEFAULT_SEED,
+    with_managers: bool = False,
+):
+    cluster = ProviderCluster(n_providers, threshold)
+    source = DataSource(cluster, seed=seed)
+    employees = employees_table(n_rows, seed=seed)
+    source.outsource_table(employees)
+    if with_managers:
+        source.outsource_table(managers_table(employees, 0.1, seed=seed))
+    return source, employees
+
+
+def build_encryption_clients(
+    employees,
+    managers=None,
+    n_buckets: int = 32,
+):
+    clients = {}
+    for name, factory in [
+        ("row-encryption", RowEncryptionClient),
+        ("bucketization", lambda: BucketizationClient(n_buckets=n_buckets)),
+        ("ope", OPEClient),
+    ]:
+        client = factory() if callable(factory) else factory
+        client.outsource_table(employees)
+        if managers is not None:
+            client.outsource_table(managers)
+        clients[name] = client
+    return clients
+
+
+@pytest.fixture(scope="session")
+def shared_workload():
+    """One employees+managers workload reused by the cross-model benches."""
+    employees = employees_table(DEFAULT_ROWS, seed=DEFAULT_SEED)
+    managers = managers_table(employees, 0.1, seed=DEFAULT_SEED)
+    return employees, managers
+
+
+@pytest.fixture(scope="session")
+def share_system(shared_workload):
+    employees, managers = shared_workload
+    cluster = ProviderCluster(5, 3)
+    source = DataSource(cluster, seed=DEFAULT_SEED)
+    source.outsource_table(employees)
+    source.outsource_table(managers)
+    return source
+
+
+@pytest.fixture(scope="session")
+def encrypted_systems(shared_workload):
+    employees, managers = shared_workload
+    return build_encryption_clients(employees, managers)
+
+
+@pytest.fixture(scope="session")
+def oracle(shared_workload):
+    employees, managers = shared_workload
+    catalog = Catalog()
+    catalog.add_table(Table(employees.schema, employees.rows()))
+    catalog.add_table(Table(managers.schema, managers.rows()))
+    return PlaintextExecutor(catalog)

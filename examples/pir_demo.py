@@ -1,0 +1,103 @@
+"""Private information retrieval demo (paper Sec. II-B).
+
+Retrieves one record from a replicated database three ways — trivial
+download, 2-server XOR PIR, and the 8-server cube scheme — and prints the
+communication each used, plus the Sion–Carbunar modelled comparison of
+single-server computational PIR against the trivial protocol.
+
+Run: python examples/pir_demo.py
+"""
+
+from repro.pir.analysis import (
+    PIRTimeModel,
+    kserver_communication_bytes,
+    trivial_communication_bytes,
+)
+from repro.pir.multiserver import build_cube_cluster
+from repro.pir.trivial import TrivialPIRClient, TrivialPIRServer
+from repro.pir.xor2 import XorPIRServer, Xor2ServerPIRClient
+from repro.sim.rng import DeterministicRNG
+
+N_RECORDS = 4_096
+RECORD_BYTES = 64
+TARGET = 1_234
+
+
+def main() -> None:
+    rng = DeterministicRNG(2009, "pir-demo")
+    records = [rng.bytes(RECORD_BYTES) for _ in range(N_RECORDS)]
+    print(
+        f"database: {N_RECORDS} records x {RECORD_BYTES} B = "
+        f"{N_RECORDS * RECORD_BYTES / 1024:.0f} KB; retrieving record {TARGET} "
+        "without any single server learning which\n"
+    )
+
+    trivial = TrivialPIRClient(TrivialPIRServer(records))
+    assert trivial.retrieve(TARGET) == records[TARGET]
+    print(
+        f"  trivial download : {trivial.network.total_bytes / 1024:8.1f} KB "
+        "(1 server; provably optimal for a single IT-private server)"
+    )
+
+    xor2 = Xor2ServerPIRClient(
+        XorPIRServer(records, "A"),
+        XorPIRServer(records, "B"),
+        rng=rng.substream("xor"),
+    )
+    assert xor2.retrieve(TARGET) == records[TARGET]
+    print(
+        f"  2-server XOR     : {xor2.network.total_bytes / 1024:8.1f} KB "
+        "(N-bit masks, 1 record back per server)"
+    )
+
+    cube = build_cube_cluster(records, dimensions=3, rng=rng.substream("cube"))
+    assert cube.retrieve(TARGET) == records[TARGET]
+    print(
+        f"  8-server cube    : {cube.network.total_bytes / 1024:8.1f} KB "
+        "(O(d * N^(1/3)) masks per server)"
+    )
+
+    print("\nanalytic models (Sec. II-B claims):")
+    for n in (2**14, 2**20, 2**26):
+        trivial_kb = trivial_communication_bytes(n, RECORD_BYTES) / 1024
+        k2 = kserver_communication_bytes(n, RECORD_BYTES, 2) / 1024
+        k4 = kserver_communication_bytes(n, RECORD_BYTES, 4) / 1024
+        print(
+            f"  N={n:>9}: trivial {trivial_kb:12.0f} KB | "
+            f"k=2 model {k2:8.1f} KB | k=4 model {k4:8.1f} KB"
+        )
+
+    from repro.pir.spir import SPIRClient, SPIRServer
+
+    spir_client = SPIRClient(
+        SPIRServer(records[:256], seed=9), rng=rng.substream("spir")
+    )
+    assert spir_client.retrieve(TARGET % 256) == records[TARGET % 256]
+    ok, _ = spir_client.attempt_decrypt_other(TARGET % 256, 3)
+    print(
+        "\nsymmetric PIR (refs [27-29], 256 records): client retrieved its "
+        "record; decrypting another with the same key "
+        + ("SUCCEEDED (!)" if ok else "failed, as it must — data privacy holds")
+    )
+    print(
+        f"  SPIR cost: {spir_client.network.total_bytes / 1024:.1f} KB "
+        "(O(N) ciphertexts — single-server data privacy is paid in transfer)"
+    )
+
+    model = PIRTimeModel()
+    print("\nSion–Carbunar (ref [16]): single-server computational PIR vs trivial")
+    for n in (2**10, 2**14, 2**18):
+        print(
+            f"  N={n:>7}: trivial {model.trivial_seconds(n, RECORD_BYTES):8.2f} s"
+            f" | cPIR {model.cpir_seconds(n, RECORD_BYTES):12.0f} s"
+            f" | slowdown {model.slowdown(n, RECORD_BYTES):10.0f}x"
+        )
+    print(
+        "\nconclusion (the paper's): with one server, just download; with "
+        "several, replication buys sublinear communication — which is the "
+        "same trust structure the secret-sharing DBMS already requires."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Private + public data mash-up (paper Sec. V-D).
+
+Two scenarios straight from the paper:
+
+1. a client's private friends list (outsourced as shares) joined against a
+   provider's public restaurant directory — "restaurants close to a
+   friend's house, without revealing any private information about the
+   friend";
+2. an agency's private watchlist correlated with a public passenger
+   manifest (the FBI/TSA example).
+
+Each runs under three lookup strategies and prints the privacy/bandwidth
+ledger: direct lookups leak the probe keys, downloading everything or
+using multi-server PIR leaks nothing.
+
+Run: python examples/private_public_mashup.py
+"""
+
+from repro import DataSource, ProviderCluster, Select, Table, TableSchema
+from repro.mashup.engine import MashupEngine
+from repro.mashup.public_catalog import PublicCatalog
+from repro.sim.rng import DeterministicRNG
+from repro.sqlengine.expression import Comparison, ComparisonOp
+from repro.sqlengine.schema import integer_column, string_column
+
+FIRST_NAMES = ["ANNA", "BILL", "CARA", "DEEP", "EMMA", "FUAD", "GINA", "HANS"]
+CUISINES = ["PASTA", "SUSHI", "TACOS", "PHO", "CURRY", "BBQ", "FALAFEL"]
+ZIPS = [90210, 10001, 60601, 33101, 94105, 73301]
+
+
+def build_friends(rng):
+    schema = TableSchema(
+        "Friends",
+        (
+            integer_column("fid", 1, 10_000),
+            string_column("name", 8),
+            integer_column("zipcode", 10_000, 99_999),
+        ),
+        primary_key="fid",
+    )
+    rows = [
+        {"fid": i + 1, "name": FIRST_NAMES[i % len(FIRST_NAMES)],
+         "zipcode": rng.choice(ZIPS[:3])}
+        for i in range(8)
+    ]
+    return Table(schema, rows)
+
+
+def build_restaurants(rng):
+    schema = TableSchema(
+        "Restaurants",
+        (
+            integer_column("rid", 1, 10_000),
+            string_column("name", 10),
+            integer_column("zipcode", 10_000, 99_999),
+            integer_column("rating", 1, 5),
+        ),
+        primary_key="rid",
+    )
+    rows = [
+        {"rid": i + 1, "name": rng.choice(CUISINES),
+         "zipcode": rng.choice(ZIPS), "rating": rng.randint(1, 5)}
+        for i in range(60)
+    ]
+    return Table(schema, rows)
+
+
+def build_watchlist(rng):
+    schema = TableSchema(
+        "Watchlist",
+        (
+            integer_column("wid", 1, 10_000),
+            integer_column("passport", 10_000_000, 99_999_999),
+        ),
+        primary_key="wid",
+    )
+    rows = [
+        {"wid": i + 1, "passport": 10_000_000 + rng.randint(0, 400)}
+        for i in range(10)
+    ]
+    return Table(schema, rows)
+
+
+def build_manifest(rng):
+    schema = TableSchema(
+        "Passengers",
+        (
+            integer_column("seat", 1, 500),
+            string_column("name", 10),
+            integer_column("passport", 10_000_000, 99_999_999),
+        ),
+        primary_key="seat",
+    )
+    rows = [
+        {"seat": i + 1, "name": rng.choice(FIRST_NAMES),
+         "passport": 10_000_000 + i}
+        for i in range(400)
+    ]
+    return Table(schema, rows)
+
+
+def run_scenario(title, engine, private_table, probe_column, public_table,
+                 public_column, row_filter=None):
+    print(f"\n=== {title} ===")
+    for strategy in ("direct", "download", "pir"):
+        report = engine.probe_join(
+            private_table,
+            Select(private_table),
+            probe_column,
+            public_table,
+            public_column,
+            strategy=strategy,
+            row_filter=row_filter,
+        )
+        leak = (
+            f"LEAKED {report.keys_leaked} probe keys to the public server"
+            if report.leaked
+            else "leaked nothing"
+        )
+        print(
+            f"  {strategy:9s}: {len(report.rows):3d} joined rows, "
+            f"{report.public_bytes / 1024:7.1f} KB public traffic, {leak}"
+        )
+    return report
+
+
+def main() -> None:
+    rng = DeterministicRNG(2009, "mashup-example")
+
+    # private side: shares across 3 providers
+    cluster = ProviderCluster(n_providers=3, threshold=2)
+    source = DataSource(cluster, seed=2009)
+    friends = build_friends(rng.substream("friends"))
+    watchlist = build_watchlist(rng.substream("watch"))
+    source.outsource_table(friends)
+    source.outsource_table(watchlist)
+
+    # public side: plaintext catalog + a PIR hosting for private lookups
+    catalog = PublicCatalog()
+    restaurants = build_restaurants(rng.substream("rest"))
+    manifest = build_manifest(rng.substream("manifest"))
+    catalog.publish(restaurants)
+    catalog.publish(manifest)
+
+    engine = MashupEngine(source, catalog)
+    engine.enable_pir(restaurants, "zipcode")
+    engine.enable_pir(manifest, "passport")
+
+    run_scenario(
+        "restaurants near friends (rating >= 4 only)",
+        engine, "Friends", "zipcode", "Restaurants", "zipcode",
+        row_filter=lambda private, public: public["rating"] >= 4,
+    )
+
+    report = run_scenario(
+        "watchlist x passenger manifest (FBI/TSA example)",
+        engine, "Watchlist", "passport", "Passengers", "passport",
+    )
+    hits = {row["public.name"] for row in report.rows}
+    print(f"  watchlist hits on board: {sorted(hits) if hits else 'none'}")
+
+    print(
+        "\npublic server observed these query shapes "
+        f"({len(catalog.queries_observed)} total):"
+    )
+    for line in catalog.queries_observed[:3]:
+        print("   ", line[:100])
+    print("    ... (only 'direct' probes reveal keys; PIR probes never appear)")
+
+
+if __name__ == "__main__":
+    main()

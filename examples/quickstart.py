@@ -1,0 +1,53 @@
+"""Quickstart: outsource a table as Shamir shares and query it with SQL.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import DataSource, ProviderCluster
+from repro.workloads.employees import employees_table
+
+
+def main() -> None:
+    # 1. Five independent database service providers; any 3 shares
+    #    reconstruct a value, any 2 reveal nothing (Sec. III).
+    cluster = ProviderCluster(n_providers=5, threshold=3)
+    source = DataSource(cluster, seed=7)
+
+    # 2. Outsource a 1000-row payroll table.  Every value is split into 5
+    #    shares; searchable columns use the order-preserving construction
+    #    so providers can filter without seeing plaintext (Sec. IV).
+    employees = employees_table(n_rows=1_000, seed=7)
+    source.outsource_table(employees)
+    print(f"outsourced {len(employees)} rows to {cluster.n_providers} providers")
+
+    # 3. Query with SQL.  The client rewrites each literal into its share
+    #    per provider; providers filter on shares; the client interpolates.
+    rows = source.sql(
+        "SELECT name, salary FROM Employees "
+        "WHERE salary BETWEEN 40000 AND 60000"
+    )
+    print(f"range query matched {len(rows)} rows; first 3:")
+    for row in rows[:3]:
+        print("   ", row)
+
+    # 4. Aggregates are computed *at the providers* on shares — the SUM
+    #    comes back as k partial sums, interpolated client-side (Sec. V-A).
+    total = source.sql("SELECT SUM(salary) FROM Employees")
+    average = source.sql("SELECT AVG(salary) FROM Employees WHERE department = 'ENG'")
+    print(f"total payroll: {total}; ENG average: {average:.0f}")
+
+    # 5. What did all this cost?  The simulated network counts every byte.
+    print(
+        f"network: {cluster.network.total_messages} messages, "
+        f"{cluster.network.total_bytes / 1024:.1f} KB"
+    )
+
+    # 6. And what do the providers actually see?  Only huge share integers.
+    share_table = cluster.providers[0].store.table("Employees")
+    sample_row_id = share_table.all_row_ids()[0]
+    sample = share_table.get(sample_row_id)
+    print(f"provider 1's view of row {sample_row_id}: salary share = {sample['salary']}")
+
+
+if __name__ == "__main__":
+    main()

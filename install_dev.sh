@@ -1,0 +1,18 @@
+#!/bin/sh
+# Editable install with an offline fallback.
+#
+# `pip install -e .` needs the `wheel` package for PEP 660 editable wheels;
+# fully offline environments sometimes lack it.  In that case an editable
+# install is equivalent to a path file pointing at src/, which this script
+# writes instead.
+set -e
+
+if pip install -e . 2>/dev/null; then
+    echo "installed via pip (editable)"
+    exit 0
+fi
+
+echo "pip editable install unavailable (offline / no wheel); using a .pth file"
+SITE=$(python -c "import site; print(site.getsitepackages()[0])")
+echo "$(pwd)/src" > "$SITE/repro-dev.pth"
+python -c "import repro; print('repro', repro.__version__, 'importable')"

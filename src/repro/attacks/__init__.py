@@ -1,0 +1,1 @@
+"""Executable security analyses from the paper's own arguments."""

@@ -1,0 +1,158 @@
+"""The paper's attack on the monotone-function strawman (Sec. IV).
+
+The first order-preserving construction the paper considers derives
+coefficients from public monotone affine functions — and the paper itself
+shows why that fails: expanding ``p_v(x_i)`` gives
+
+    share(v, i) = A_i · v + B_i
+
+with constants ``A_i, B_i`` fixed per provider.  "If a service provider is
+able to break this method for one secret item [it] can determine the
+complete set of the secret values."
+
+This module makes that argument executable (ABL-2):
+
+* :func:`recover_affine_map` — from two known (value, share) pairs, solve
+  the affine map with no knowledge of the coefficient functions;
+* :func:`break_strawman` — invert every observed share through the map;
+* :func:`attack_slot_scheme` — run the *same* attack against the secure
+  slot construction and report how badly it fails (the per-value keyed
+  slot offsets destroy the affine structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.order_preserving import MonotoneStrawmanScheme, OrderPreservingScheme
+from ..errors import ShareError
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """share = slope * value + intercept (exact rationals)."""
+
+    slope: Fraction
+    intercept: Fraction
+
+    def invert(self, share: int) -> Fraction:
+        return (Fraction(share) - self.intercept) / self.slope
+
+
+def recover_affine_map(
+    known_pairs: Sequence[Tuple[int, int]],
+) -> AffineMap:
+    """Solve the provider's (A_i, B_i) from ≥ 2 known (value, share) pairs.
+
+    This is the adversary's step: it needs no key material, only two
+    plaintext-share correspondences (e.g. from auxiliary knowledge about
+    two employees' salaries).
+    """
+    if len(known_pairs) < 2:
+        raise ShareError("need at least two known (value, share) pairs")
+    (v1, s1), (v2, s2) = known_pairs[0], known_pairs[1]
+    if v1 == v2:
+        raise ShareError("known pairs must have distinct values")
+    slope = Fraction(s2 - s1, v2 - v1)
+    intercept = Fraction(s1) - slope * v1
+    # consistency check against any further pairs (an inconsistency means
+    # the scheme is NOT affine — i.e. the attack does not apply)
+    for value, share in known_pairs[2:]:
+        if slope * value + intercept != share:
+            raise ShareError(
+                "known pairs are not collinear; the sharing is not affine "
+                "in the secret (attack inapplicable)"
+            )
+    return AffineMap(slope, intercept)
+
+
+def break_strawman(
+    observed_shares: Sequence[int],
+    known_pairs: Sequence[Tuple[int, int]],
+) -> List[Optional[int]]:
+    """Recover every secret behind the observed shares of one provider.
+
+    Returns one recovered integer per share (None when the inversion is
+    not an integer — which never happens against the strawman and almost
+    always happens against the slot scheme).
+    """
+    mapping = recover_affine_map(known_pairs)
+    out: List[Optional[int]] = []
+    for share in observed_shares:
+        candidate = mapping.invert(share)
+        out.append(int(candidate) if candidate.denominator == 1 else None)
+    return out
+
+
+@dataclass
+class AttackOutcome:
+    """Scorecard of one attack run (charted by ABL-2)."""
+
+    total: int
+    recovered: int
+    correct: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def attack_strawman_scheme(
+    scheme: MonotoneStrawmanScheme,
+    secrets: Sequence[int],
+    provider_index: int,
+    known_values: Sequence[int],
+) -> AttackOutcome:
+    """End-to-end attack against the insecure strawman.
+
+    The adversary is provider ``provider_index``: it holds the shares of
+    every secret and has learned the plaintext of ``known_values`` (which
+    must appear in ``secrets``).  Expected outcome: 100% recovery.
+    """
+    known_pairs = [
+        (value, scheme.share(value, provider_index)) for value in known_values
+    ]
+    observed = [scheme.share(value, provider_index) for value in secrets]
+    recovered = break_strawman(observed, known_pairs)
+    correct = sum(
+        1 for guess, truth in zip(recovered, secrets) if guess == truth
+    )
+    return AttackOutcome(
+        total=len(secrets),
+        recovered=sum(1 for g in recovered if g is not None),
+        correct=correct,
+    )
+
+
+def attack_slot_scheme(
+    scheme: OrderPreservingScheme,
+    secrets: Sequence[int],
+    provider_index: int,
+    known_values: Sequence[int],
+) -> AttackOutcome:
+    """The same affine attack against the secure slot construction.
+
+    The keyed per-value slot offsets make shares non-affine in the secret,
+    so the recovered "affine map" (fit through two known points) inverts
+    other shares to garbage.  Expected outcome: recovery no better than
+    the known points themselves.
+    """
+    known_pairs = [
+        (value, scheme.share(value, provider_index)) for value in known_values
+    ]
+    try:
+        mapping = recover_affine_map(known_pairs)
+    except ShareError:
+        return AttackOutcome(total=len(secrets), recovered=0, correct=0)
+    correct = 0
+    recovered = 0
+    for value in secrets:
+        share = scheme.share(value, provider_index)
+        guess = mapping.invert(share)
+        if guess.denominator == 1:
+            recovered += 1
+            if int(guess) == value:
+                correct += 1
+    return AttackOutcome(total=len(secrets), recovered=recovered, correct=correct)

@@ -1,0 +1,9 @@
+"""Encryption-model baselines (the approaches the paper argues against).
+
+Sec. II-A surveys encryption-based outsourcing — NetDB2-style row
+encryption, Hacıgümüş-style bucketization, order-preserving encryption —
+and Sec. II's cost quotes motivate the secret-sharing alternative.  This
+package re-implements those baselines over the same simulated network and
+cost model so the cross-model benchmarks (EXP-T1…T5) compare like with
+like.
+"""

@@ -1,0 +1,191 @@
+"""A toy block cipher and row serialisation for the encryption baselines.
+
+This is a *workload stand-in*, *not* a secure cipher: an 8-round Feistel
+network over 64-bit blocks with SHA-256-derived round keys.  It exists so
+the encryption-model baselines perform real per-block work with real
+ciphertext sizes, while the :mod:`repro.sim.costmodel` attributes each
+block operation the cost of a production cipher.  Never reuse this for
+actual data protection.
+
+Row values are serialised with a small type-tagged text format (int,
+string, Decimal, date, bool, None) so ciphertext blobs round-trip exactly
+— including the types the SQL layer produces.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+from decimal import Decimal
+from typing import Dict, List, Optional
+
+from ..errors import EncodingError
+from ..sim.costmodel import CostRecorder
+
+_BLOCK_BYTES = 8
+_HALF_BYTES = 4
+_MASK32 = 0xFFFFFFFF
+
+
+class FeistelCipher:
+    """8-round Feistel cipher over 64-bit blocks (toy; cost-model carrier)."""
+
+    def __init__(self, key: bytes, rounds: int = 8) -> None:
+        if len(key) < 16:
+            raise EncodingError("cipher key must be at least 128 bits")
+        if rounds < 2:
+            raise EncodingError(f"need at least 2 rounds, got {rounds}")
+        self.rounds = rounds
+        self._round_keys = [
+            hashlib.sha256(key + bytes([r])).digest()[:8] for r in range(rounds)
+        ]
+
+    def _round_function(self, half: int, round_index: int) -> int:
+        data = half.to_bytes(_HALF_BYTES, "big") + self._round_keys[round_index]
+        return int.from_bytes(hashlib.sha256(data).digest()[:4], "big")
+
+    def encrypt_block(self, block: int) -> int:
+        """Encrypt one 64-bit integer block."""
+        left = (block >> 32) & _MASK32
+        right = block & _MASK32
+        for r in range(self.rounds):
+            left, right = right, left ^ self._round_function(right, r)
+        return (left << 32) | right
+
+    def decrypt_block(self, block: int) -> int:
+        left = (block >> 32) & _MASK32
+        right = block & _MASK32
+        for r in range(self.rounds - 1, -1, -1):
+            left, right = right ^ self._round_function(left, r), left
+        return (left << 32) | right
+
+    # -- byte-string interface --------------------------------------------------
+
+    def encrypt_bytes(
+        self, plaintext: bytes, cost: Optional[CostRecorder] = None
+    ) -> bytes:
+        """CBC-style encryption with a deterministic zero IV.
+
+        Determinism is intentional here: these baselines model systems
+        where ciphertext equality enables server-side filtering; the
+        randomized variants simply prepend a per-row counter block.
+        """
+        padded = _pad(plaintext)
+        blocks = len(padded) // _BLOCK_BYTES
+        if cost is not None:
+            cost.record("cipher_block", blocks)
+        out = bytearray()
+        previous = 0
+        for i in range(blocks):
+            chunk = int.from_bytes(
+                padded[i * _BLOCK_BYTES:(i + 1) * _BLOCK_BYTES], "big"
+            )
+            encrypted = self.encrypt_block(chunk ^ previous)
+            previous = encrypted
+            out += encrypted.to_bytes(_BLOCK_BYTES, "big")
+        return bytes(out)
+
+    def decrypt_bytes(
+        self, ciphertext: bytes, cost: Optional[CostRecorder] = None
+    ) -> bytes:
+        if len(ciphertext) % _BLOCK_BYTES != 0:
+            raise EncodingError("ciphertext length not a block multiple")
+        blocks = len(ciphertext) // _BLOCK_BYTES
+        if cost is not None:
+            cost.record("cipher_block", blocks)
+        out = bytearray()
+        previous = 0
+        for i in range(blocks):
+            encrypted = int.from_bytes(
+                ciphertext[i * _BLOCK_BYTES:(i + 1) * _BLOCK_BYTES], "big"
+            )
+            chunk = self.decrypt_block(encrypted) ^ previous
+            previous = encrypted
+            out += chunk.to_bytes(_BLOCK_BYTES, "big")
+        return _unpad(bytes(out))
+
+    def deterministic_token(
+        self, value: int, cost: Optional[CostRecorder] = None
+    ) -> int:
+        """Deterministic 64-bit token of an encoded value (equality index)."""
+        if cost is not None:
+            cost.record("cipher_block", 1)
+        return self.encrypt_block(value & ((1 << 64) - 1))
+
+
+def _pad(data: bytes) -> bytes:
+    """PKCS#7-style padding to the block size."""
+    padding = _BLOCK_BYTES - (len(data) % _BLOCK_BYTES)
+    return data + bytes([padding]) * padding
+
+
+def _unpad(data: bytes) -> bytes:
+    if not data:
+        raise EncodingError("empty plaintext after decryption")
+    padding = data[-1]
+    if not 1 <= padding <= _BLOCK_BYTES or data[-padding:] != bytes([padding]) * padding:
+        raise EncodingError("bad padding — wrong key or corrupted ciphertext")
+    return data[:-padding]
+
+
+# ---------------------------------------------------------------------------
+# Row serialisation (type-tagged, exact round trip)
+# ---------------------------------------------------------------------------
+
+_FIELD_SEP = "\x1f"
+_ROW_SEP = "\x1e"
+
+
+def serialize_row(row: Dict[str, object]) -> bytes:
+    """Canonical text serialisation of a row dict."""
+    parts: List[str] = []
+    for column in sorted(row):
+        parts.append(f"{column}{_FIELD_SEP}{_encode_value(row[column])}")
+    return _ROW_SEP.join(parts).encode("utf-8")
+
+
+def deserialize_row(blob: bytes) -> Dict[str, object]:
+    """Inverse of :func:`serialize_row`."""
+    text = blob.decode("utf-8")
+    row: Dict[str, object] = {}
+    if not text:
+        return row
+    for part in text.split(_ROW_SEP):
+        column, _, encoded = part.partition(_FIELD_SEP)
+        row[column] = _decode_value(encoded)
+    return row
+
+
+def _encode_value(value) -> str:
+    if value is None:
+        return "n:"
+    if isinstance(value, bool):
+        return f"b:{int(value)}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, Decimal):
+        return f"d:{value}"
+    if isinstance(value, datetime.date):
+        return f"t:{value.isoformat()}"
+    if isinstance(value, str):
+        if _FIELD_SEP in value or _ROW_SEP in value:
+            raise EncodingError("control characters in string value")
+        return f"s:{value}"
+    raise EncodingError(f"cannot serialise {type(value).__name__}")
+
+
+def _decode_value(encoded: str):
+    tag, _, body = encoded.partition(":")
+    if tag == "n":
+        return None
+    if tag == "b":
+        return bool(int(body))
+    if tag == "i":
+        return int(body)
+    if tag == "d":
+        return Decimal(body)
+    if tag == "t":
+        return datetime.date.fromisoformat(body)
+    if tag == "s":
+        return body
+    raise EncodingError(f"unknown serialisation tag {tag!r}")

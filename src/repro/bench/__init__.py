@@ -1,0 +1,18 @@
+"""Measurement scaffolding shared by the benchmark suites.
+
+The benchmark scripts in ``benchmarks/`` use these helpers to run the same
+query against several systems (share cluster, encryption baselines,
+plaintext oracle), capture a :class:`~repro.bench.metrics.Measurement` for
+each, and print the experiment table EXPERIMENTS.md records.
+"""
+
+from .metrics import Measurement, measure_share_query, measure_encrypted_query
+from .reporting import format_table, print_experiment
+
+__all__ = [
+    "Measurement",
+    "format_table",
+    "measure_encrypted_query",
+    "measure_share_query",
+    "print_experiment",
+]

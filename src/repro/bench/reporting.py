@@ -1,0 +1,72 @@
+"""Plain-text tables for the benchmark harness.
+
+Every EXP benchmark prints its rows through :func:`print_experiment`, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the tables recorded
+in EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned ASCII table (insertion-ordered keys)."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, rule] + body)
+
+
+def print_experiment(
+    experiment_id: str, title: str, rows: Sequence[Dict[str, object]]
+) -> None:
+    """Print one experiment's table with a header banner."""
+    banner = f"== {experiment_id}: {title} =="
+    print()
+    print(banner)
+    print(format_table(rows))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def record_experiment(
+    experiment_id: str,
+    title: str,
+    rows: Sequence[Dict[str, object]],
+    output_dir: str = "benchmarks/results",
+) -> str:
+    """Print the experiment table and persist it for EXPERIMENTS.md.
+
+    Returns the rendered table so benches can assert on it.
+    """
+    import os
+
+    rendered = format_table(rows)
+    print_experiment(experiment_id, title, rows)
+    os.makedirs(output_dir, exist_ok=True)
+    path = os.path.join(output_dir, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{experiment_id}: {title}\n")
+        handle.write(rendered)
+        handle.write("\n")
+    return rendered

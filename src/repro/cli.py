@@ -1,0 +1,265 @@
+"""Command-line interface for the secret-sharing DBaaS.
+
+Three subcommands::
+
+    python -m repro.cli demo  [--rows N] [--providers N] [--threshold K]
+        outsource a payroll workload and run a short guided tour
+
+    python -m repro.cli sql   [--workload employees|ecommerce] [--rows N]
+                              [--snapshot DIR] [--save DIR] [-e SQL ...]
+        an interactive SQL shell over an outsourced workload (or a saved
+        deployment); meta-commands: \\explain <sql>, \\stats, \\tables,
+        \\save <dir>, \\quit
+
+    python -m repro.cli figure1
+        print the paper's Figure 1 share table and its reconstruction
+
+All state is in-process (providers are simulated); ``--save``/
+``--snapshot`` round-trip deployments through repro.persistence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .bench.reporting import format_table
+from .client.datasource import DataSource
+from .errors import ReproError
+from .persistence import load_deployment, save_deployment
+from .providers.cluster import ProviderCluster
+from .workloads.ecommerce import clicklog_table
+from .workloads.employees import employees_table, managers_table
+
+META_PREFIX = "\\"
+
+
+def build_source(
+    workload: str,
+    rows: int,
+    providers: int,
+    threshold: int,
+    seed: int,
+) -> DataSource:
+    """Assemble a cluster and outsource the chosen workload."""
+    cluster = ProviderCluster(providers, threshold)
+    source = DataSource(cluster, seed=seed)
+    if workload == "employees":
+        employees = employees_table(rows, seed=seed)
+        source.outsource_table(employees)
+        source.outsource_table(managers_table(employees, 0.1, seed=seed))
+    elif workload == "ecommerce":
+        source.outsource_table(clicklog_table(rows, seed=seed))
+    else:
+        raise ReproError(f"unknown workload {workload!r}")
+    return source
+
+
+def render_result(result) -> str:
+    """Human-readable rendering of any query result."""
+    if isinstance(result, list):
+        if not result:
+            return "(0 rows)"
+        return format_table(result) + f"\n({len(result)} rows)"
+    return str(result)
+
+
+def execute_line(source: DataSource, line: str, out) -> bool:
+    """Run one shell line; returns False when the session should end."""
+    line = line.strip()
+    if not line:
+        return True
+    if line.startswith(META_PREFIX):
+        return _meta_command(source, line[1:], out)
+    try:
+        print(render_result(source.sql(line)), file=out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+    return True
+
+
+def _meta_command(source: DataSource, command: str, out) -> bool:
+    parts = command.split(None, 1)
+    verb = parts[0].lower() if parts else ""
+    argument = parts[1] if len(parts) > 1 else ""
+    if verb in ("quit", "q", "exit"):
+        return False
+    if verb == "tables":
+        for name in source.table_names():
+            columns = ", ".join(
+                f"{c.name}{'' if c.searchable else ' (random)'}"
+                for c in source.sharing(name).schema.columns
+            )
+            print(f"  {name}: {columns}", file=out)
+        return True
+    if verb == "stats":
+        network = source.cluster.network
+        print(
+            f"  providers: {source.cluster.n_providers} "
+            f"(threshold {source.threshold}); "
+            f"messages: {network.total_messages}; "
+            f"bytes: {network.total_bytes:,}; "
+            f"client ops: {source.cost.snapshot()}",
+            file=out,
+        )
+        return True
+    if verb == "explain":
+        if not argument:
+            print("usage: \\explain <sql>", file=out)
+            return True
+        try:
+            plan = source.explain(argument)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return True
+        for key, value in plan.items():
+            print(f"  {key}: {value}", file=out)
+        return True
+    if verb == "save":
+        if not argument:
+            print("usage: \\save <directory>", file=out)
+            return True
+        paths = save_deployment(source, argument)
+        print(f"  saved {len(paths)} snapshot files to {argument}", file=out)
+        return True
+    print(
+        "meta-commands: \\tables \\stats \\explain <sql> \\save <dir> \\quit",
+        file=out,
+    )
+    return True
+
+
+def cmd_demo(args, out) -> int:
+    source = build_source(
+        "employees", args.rows, args.providers, args.threshold, args.seed
+    )
+    print(
+        f"outsourced Employees({args.rows}) + Managers to "
+        f"{args.providers} providers (threshold {args.threshold})\n",
+        file=out,
+    )
+    tour = [
+        "SELECT COUNT(*) FROM Employees",
+        "SELECT name, salary FROM Employees "
+        "WHERE salary BETWEEN 40000 AND 60000 ORDER BY salary DESC LIMIT 5",
+        "SELECT department, AVG(salary) FROM Employees GROUP BY department",
+        "SELECT MEDIAN(salary) FROM Employees",
+    ]
+    for sql in tour:
+        print(f"> {sql}", file=out)
+        execute_line(source, sql, out)
+        print(file=out)
+    execute_line(source, "\\stats", out)
+    return 0
+
+
+def cmd_sql(args, out, input_lines: Optional[Sequence[str]] = None) -> int:
+    if args.snapshot:
+        source = load_deployment(args.snapshot)
+        print(f"loaded deployment from {args.snapshot}", file=out)
+    else:
+        source = build_source(
+            args.workload, args.rows, args.providers, args.threshold, args.seed
+        )
+        print(
+            f"outsourced {args.workload} workload "
+            f"({args.rows} rows, {args.providers} providers)",
+            file=out,
+        )
+    if args.execute:
+        for statement in args.execute:
+            print(f"> {statement}", file=out)
+            execute_line(source, statement, out)
+    else:
+        lines = input_lines if input_lines is not None else _stdin_lines()
+        for line in lines:
+            if not execute_line(source, line, out):
+                break
+    if args.save:
+        save_deployment(source, args.save)
+        print(f"saved deployment to {args.save}", file=out)
+    return 0
+
+
+def _stdin_lines():
+    while True:
+        try:
+            yield input("repro> ")
+        except EOFError:
+            return
+
+
+def cmd_figure1(args, out) -> int:
+    from .core.shamir import figure1_shares, salaries_from_figure1
+
+    columns = figure1_shares()
+    rows = [
+        {
+            "salary": salary,
+            "DAS1 (x=2)": columns["DAS1"][i],
+            "DAS2 (x=4)": columns["DAS2"][i],
+            "DAS3 (x=1)": columns["DAS3"][i],
+        }
+        for i, salary in enumerate([10, 20, 40, 60, 80])
+    ]
+    print(format_table(rows), file=out)
+    print(
+        f"reconstructed from DAS1+DAS3: {salaries_from_figure1(columns)}",
+        file=out,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secret-sharing database-as-a-service (ICDE'09 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--rows", type=int, default=500)
+        p.add_argument("--providers", type=int, default=5)
+        p.add_argument("--threshold", type=int, default=3)
+        p.add_argument("--seed", type=int, default=2009)
+
+    demo = sub.add_parser("demo", help="guided tour over a payroll workload")
+    common(demo)
+
+    sql = sub.add_parser("sql", help="interactive SQL shell")
+    common(sql)
+    sql.add_argument(
+        "--workload", choices=("employees", "ecommerce"), default="employees"
+    )
+    sql.add_argument("--snapshot", help="load a saved deployment directory")
+    sql.add_argument("--save", help="save the deployment on exit")
+    sql.add_argument(
+        "-e", "--execute", action="append",
+        help="run this statement and exit (repeatable)",
+    )
+
+    sub.add_parser("figure1", help="print the paper's Figure 1 reproduction")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "demo":
+            return cmd_demo(args, out)
+        if args.command == "sql":
+            return cmd_sql(args, out)
+        if args.command == "figure1":
+            return cmd_figure1(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

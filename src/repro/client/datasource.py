@@ -1,0 +1,1372 @@
+"""The data source: the client of the outsourced database (Sec. III).
+
+A :class:`DataSource` owns the secret material, outsources plaintext
+tables as shares across the provider cluster, rewrites queries per
+provider (Sec. V-A), reconstructs results, and performs updates
+(Sec. V-C).  It deliberately stores **no data** — only schemas, secrets,
+and a per-table row-id counter — matching the paper's footnote 1 that
+storing the sharing polynomials "would amount to storing the entire data
+itself".
+
+Usage::
+
+    cluster = ProviderCluster(n_providers=5, threshold=3)
+    source = DataSource(cluster, seed=7)
+    source.outsource_table(employees_table)
+    rows = source.sql("SELECT name FROM Employees WHERE salary BETWEEN 10000 AND 40000")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.order_preserving import OrderPreservingScheme
+from ..core.scheme import ShareRow, TableSharing
+from ..core.secrets import ClientSecrets, generate_client_secrets
+from ..errors import (
+    QueryError,
+    SchemaError,
+    UnsupportedQueryError,
+)
+from ..providers.cluster import ProviderCluster
+from ..sim.costmodel import CostRecorder
+from ..sim.rng import DeterministicRNG
+from ..sqlengine.catalog import Catalog
+from ..sqlengine.executor import compute_aggregate
+from ..sqlengine.expression import Predicate, TruePredicate
+from ..sqlengine.query import (
+    Aggregate,
+    AggregateFunc,
+    Delete,
+    Insert,
+    JoinSelect,
+    Select,
+    Update,
+)
+from ..sqlengine.schema import ColumnType, TableSchema
+from ..sqlengine.sqlparser import parse_sql
+from ..sqlengine.table import Table
+from .reconstruct import (
+    consistent_scalar,
+    reconstruct_rows,
+    reconstruct_single_rows,
+    rows_from_responses,
+    align_by_row_id,
+)
+from .rewriter import (
+    RewrittenPredicate,
+    rewrite_predicate,
+    split_join_predicate,
+)
+
+Row = Dict[str, object]
+
+
+class DataSource:
+    """Client front end over a provider cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The provider cluster (carries ``n`` and the threshold ``k``).
+    seed:
+        Seed for secret generation and sharing randomness.
+    secrets:
+        Explicit secret material (e.g. the Figure 1 evaluation points);
+        generated from the seed when omitted.
+    client_join_fallback:
+        When True, joins that cannot run provider-side (different domains,
+        non-searchable keys — the case Sec. V-A declares unsupported) fall
+        back to fetching both sides and joining at the client.  Default
+        False: such queries raise :class:`UnsupportedQueryError`, matching
+        the paper's stated capability boundary.
+    """
+
+    def __init__(
+        self,
+        cluster: ProviderCluster,
+        seed: int = 0,
+        secrets: Optional[ClientSecrets] = None,
+        client_join_fallback: bool = False,
+        audit: Optional[object] = None,
+        namespace: str = "",
+    ) -> None:
+        self.cluster = cluster
+        self.secrets = secrets or generate_client_secrets(
+            cluster.n_providers, seed
+        )
+        if self.secrets.n_providers != cluster.n_providers:
+            raise SchemaError(
+                f"secrets cover {self.secrets.n_providers} providers but the "
+                f"cluster has {cluster.n_providers}"
+            )
+        self.threshold = cluster.threshold
+        self.client_join_fallback = client_join_fallback
+        #: optional :class:`~repro.trust.auditing.AuditRegistry`; when set,
+        #: every write is mirrored into it and verified reads are available
+        self.audit = audit
+        #: multi-tenancy: a DBSP serves many customers (Sec. I), so each
+        #: client's tables live under its namespace at the providers.
+        #: Clients with different namespaces (and their own secrets) share
+        #: a cluster without name collisions — and without readability:
+        #: another tenant's shares are useless without its secret points.
+        if namespace and not namespace.replace("_", "").replace("-", "").isalnum():
+            raise SchemaError(f"invalid namespace {namespace!r}")
+        self.namespace = namespace
+        self.cost = CostRecorder("client")
+        self._rng = DeterministicRNG(seed, "datasource")
+        self._sharings: Dict[str, TableSharing] = {}
+        self._op_registry: Dict[str, OrderPreservingScheme] = {}
+        self._next_row_id: Dict[str, int] = {}
+        if audit is not None and getattr(audit, "namespace", "") == "":
+            audit.namespace = namespace
+
+    # ----------------------------------------------------------- namespacing --
+
+    def physical_name(self, table_name: str) -> str:
+        """The provider-side name of a logical table (namespace-qualified)."""
+        if self.namespace:
+            return f"{self.namespace}::{table_name}"
+        return table_name
+
+    def _qualify(self, request: Dict) -> Dict:
+        """Rewrite a logical RPC payload to physical table names."""
+        if not self.namespace:
+            return request
+        out = dict(request)
+        for key in ("table", "left", "right"):
+            if key in out:
+                out[key] = self.physical_name(out[key])
+        return out
+
+    def _broadcast(self, method: str, request_builder, **kwargs):
+        return self.cluster.broadcast(
+            method, lambda i: self._qualify(request_builder(i)), **kwargs
+        )
+
+    def _call_one(self, provider_index: int, method: str, request: Dict):
+        return self.cluster.call_one(
+            provider_index, method, self._qualify(request)
+        )
+
+    # ------------------------------------------------------------------ DDL --
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Register a schema and create the share table at every provider."""
+        if schema.name in self._sharings:
+            raise SchemaError(f"table {schema.name!r} already outsourced")
+        sharing = TableSharing(
+            schema, self.secrets, self.threshold, self._rng, self._op_registry
+        )
+        searchable = [c.name for c in schema.columns if c.searchable]
+        self._broadcast(
+            "create_table",
+            lambda i: {
+                "table": schema.name,
+                "columns": schema.column_names,
+                "searchable": searchable,
+            },
+            provider_indexes=self.cluster.write_targets(),
+        )
+        self._sharings[schema.name] = sharing
+        self._next_row_id[schema.name] = 0
+        if self.audit is not None:
+            self.audit.on_create_table(schema.name)
+
+    def restore_table(self, schema: TableSchema, next_row_id: int) -> None:
+        """Re-register an already-outsourced table after a client restart.
+
+        Unlike :meth:`create_table` this performs no provider RPC — the
+        providers already hold the shares; only the client's sharing
+        machinery (rebuilt deterministically from its secrets) and the
+        row-id counter are restored.  Used by :mod:`repro.persistence`.
+        """
+        if schema.name in self._sharings:
+            raise SchemaError(f"table {schema.name!r} already registered")
+        if next_row_id < 0:
+            raise SchemaError("next_row_id must be non-negative")
+        self._sharings[schema.name] = TableSharing(
+            schema, self.secrets, self.threshold, self._rng, self._op_registry
+        )
+        self._next_row_id[schema.name] = next_row_id
+        if self.audit is not None:
+            self.audit.on_create_table(schema.name)
+
+    def outsource_table(self, table: Table, batch_size: int = 500) -> int:
+        """Create the table and upload every row as shares; returns count."""
+        self.create_table(table.schema)
+        rows = table.rows()
+        for start in range(0, len(rows), batch_size):
+            self.insert_many(table.name, rows[start:start + batch_size])
+        return len(rows)
+
+    def outsource_catalog(self, catalog: Catalog) -> Dict[str, int]:
+        """Outsource every table of a catalog; returns per-table row counts."""
+        return {
+            table.name: self.outsource_table(table) for table in catalog
+        }
+
+    def sharing(self, table_name: str) -> TableSharing:
+        try:
+            return self._sharings[table_name]
+        except KeyError:
+            raise SchemaError(
+                f"table {table_name!r} has not been outsourced"
+            ) from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._sharings)
+
+    # --------------------------------------------------------------- writes --
+
+    def insert(self, table_name: str, row: Row) -> int:
+        """Insert one row; returns its client-assigned row id."""
+        return self.insert_many(table_name, [row])[0]
+
+    def insert_many(self, table_name: str, rows: List[Row]) -> List[int]:
+        """Share and upload a batch; returns assigned row ids."""
+        sharing = self.sharing(table_name)
+        prepared: List[Tuple[int, List[ShareRow]]] = []
+        row_ids: List[int] = []
+        for row in rows:
+            normalised = sharing.schema.validate_row(row)
+            row_id = self._next_row_id[table_name]
+            self._next_row_id[table_name] += 1
+            share_rows = sharing.share_row(normalised)
+            self.cost.record(
+                "poly_eval", len(sharing.schema.columns) * self.cluster.n_providers
+            )
+            prepared.append((row_id, share_rows))
+            row_ids.append(row_id)
+        if prepared:
+            targets = self.cluster.write_targets()
+            self._broadcast(
+                "insert_many",
+                lambda i: {
+                    "table": table_name,
+                    "rows": [[rid, shares[i]] for rid, shares in prepared],
+                },
+                provider_indexes=targets,
+            )
+            if self.audit is not None:
+                for rid, shares in prepared:
+                    for index in targets:
+                        self.audit.on_insert(table_name, index, rid, shares[index])
+        return row_ids
+
+    def update(self, query: Update) -> int:
+        """Eager update (Sec. V-C): fetch, reconstruct, re-share, write back."""
+        sharing = self.sharing(query.table)
+        matches = self._fetch_matching_rows(query)
+        if not matches:
+            return 0
+        schema = sharing.schema
+        for column in query.assignments:
+            schema.column(column)
+        pk = schema.primary_key
+        updates_per_provider: List[List] = [
+            [] for _ in range(self.cluster.n_providers)
+        ]
+        for row_id, row in matches:
+            candidate = dict(row)
+            candidate.update(query.assignments)
+            normalised = schema.validate_row(candidate)
+            if pk is not None and normalised[pk] != row[pk]:
+                raise SchemaError(
+                    f"table {query.table}: primary key update not supported"
+                )
+            # re-share only the assigned columns; untouched shares stay valid
+            for provider_index in range(self.cluster.n_providers):
+                updates_per_provider[provider_index].append(
+                    [
+                        row_id,
+                        {
+                            column: sharing.share_value(
+                                column, normalised[column]
+                            )[provider_index]
+                            for column in query.assignments
+                        },
+                    ]
+                )
+            self.cost.record(
+                "poly_eval",
+                len(query.assignments) * self.cluster.n_providers,
+            )
+        targets = self.cluster.write_targets()
+        self._broadcast(
+            "update_rows",
+            lambda i: {"table": query.table, "updates": updates_per_provider[i]},
+            provider_indexes=targets,
+        )
+        if self.audit is not None:
+            for index in targets:
+                for row_id, assignments in updates_per_provider[index]:
+                    self.audit.on_update(query.table, index, row_id, assignments)
+        return len(matches)
+
+    def delete(self, query: Delete) -> int:
+        """Delete matching rows at every live provider."""
+        matches = self._fetch_matching_rows(query)
+        if not matches:
+            return 0
+        row_ids = [row_id for row_id, _ in matches]
+        self._broadcast(
+            "delete_rows",
+            lambda i: {"table": query.table, "row_ids": row_ids},
+            provider_indexes=self.cluster.write_targets(),
+        )
+        if self.audit is not None:
+            for row_id in row_ids:
+                self.audit.on_delete(query.table, row_id)
+        return len(row_ids)
+
+    def increment(
+        self,
+        table_name: str,
+        column: str,
+        delta: int,
+        where: Predicate,
+    ) -> int:
+        """Incremental update (Sec. V-C): add ``delta`` to a column in place.
+
+        Exploits sharing linearity: the client ships one fresh share of
+        ``delta`` per matching row per provider, and providers add it to
+        the stored share — **no retrieval, no reconstruction**, roughly
+        halving the communication of an eager read-modify-write.
+
+        Restrictions (all inherent, all raised loudly):
+
+        * the column must be randomly shared (non-searchable) and INTEGER —
+          order-preserving shares are deterministic per value and cannot be
+          perturbed in place;
+        * the predicate must be fully provider-pushable — a client residual
+          would require fetching rows anyway, erasing the saving (use
+          :meth:`update`);
+        * incompatible with an attached audit registry (the client cannot
+          update its share hashes without knowing the current shares).
+
+        NULL values stay NULL; returns the number of rows incremented.
+        """
+        if self.audit is not None:
+            raise QueryError(
+                "increment() cannot maintain the audit registry's share "
+                "hashes; use update() on audited tables"
+            )
+        sharing = self.sharing(table_name)
+        column_schema = sharing.schema.column(column)
+        if column_schema.searchable:
+            raise UnsupportedQueryError(
+                f"column {table_name}.{column} is order-preserving; in-place "
+                "share addition would corrupt its deterministic shares — "
+                "use update() instead"
+            )
+        from ..sqlengine.schema import ColumnType
+
+        if column_schema.ctype is not ColumnType.INTEGER:
+            raise QueryError(
+                f"increment() supports INTEGER columns; {column} is "
+                f"{column_schema.ctype.value}"
+            )
+        bound = where.bind(sharing.schema)
+        rewritten = rewrite_predicate(bound, sharing)
+        if rewritten.provably_empty:
+            return 0
+        if rewritten.has_residual:
+            raise UnsupportedQueryError(
+                "increment() requires a fully provider-pushable predicate; "
+                "this one needs client-side filtering — use update()"
+            )
+        # fetch matching row ids only (empty projection: no share payload)
+        responses = self._select_rpc(table_name, rewritten, projection=[])
+        from .reconstruct import align_by_row_id, rows_from_responses
+
+        aligned = align_by_row_id(rows_from_responses(responses))
+        row_ids = [
+            rid for rid, per_provider in aligned.items()
+            if len(per_provider) >= self.threshold
+        ]
+        if not row_ids:
+            return 0
+        # domain check: the incremented values must stay in the column's
+        # declared domain; without reading them we can only check bounds
+        lo, hi = column_schema.lo, column_schema.hi
+        if delta > 0 and hi is not None and delta > (hi - lo):
+            raise QueryError(f"delta {delta} exceeds the column's domain span")
+        field = self.random_field()
+        increments_per_provider: List[List] = [
+            [] for _ in range(self.cluster.n_providers)
+        ]
+        for row_id in row_ids:
+            delta_shares = self.random_scheme_for(table_name).split(
+                field.encode_signed(delta), self._rng
+            )
+            self.cost.record("poly_eval", self.cluster.n_providers)
+            for index in range(self.cluster.n_providers):
+                increments_per_provider[index].append(
+                    [row_id, {column: delta_shares[index]}]
+                )
+        targets = self.cluster.write_targets()
+        responses = self._broadcast(
+            "increment_rows",
+            lambda i: {
+                "table": table_name,
+                "increments": increments_per_provider[i],
+                "modulus": self.secrets.field.modulus,
+            },
+            provider_indexes=targets,
+        )
+        counts = {response["incremented"] for response in responses.values()}
+        if len(counts) != 1:
+            from ..errors import IntegrityError
+
+            raise IntegrityError(
+                f"providers disagree on incremented row count: {sorted(counts)}"
+            )
+        return counts.pop()
+
+    def random_field(self):
+        """The prime field used by random (non-searchable) shares."""
+        return self.secrets.field
+
+    def random_scheme_for(self, table_name: str):
+        """The random Shamir scheme of an outsourced table."""
+        return self.sharing(table_name).random_scheme
+
+    def refresh_table_shares(self, table_name: str) -> int:
+        """Proactive share refresh (mobile-adversary defence, Sec. VI b).
+
+        Adds a fresh sharing of **zero** to every randomly-shared column of
+        every row: values are unchanged (linearity), but each row sits on a
+        brand-new polynomial afterwards, so shares an adversary exfiltrated
+        *before* the refresh cannot be combined with shares stolen *after*
+        it — the classical proactive-secret-sharing epoch bound.
+
+        Order-preserving columns are left untouched: their shares are
+        deterministic per value and cannot be re-randomised without
+        changing the scheme (their protection rests on the keyed slots,
+        not on polynomial freshness).  Incompatible with an attached audit
+        registry for the same reason as :meth:`increment` (the client
+        cannot update its share hashes blind); use :meth:`resync_table`
+        to refresh audited tables.
+
+        Returns the number of rows refreshed.
+        """
+        if self.audit is not None:
+            raise QueryError(
+                "refresh_table_shares() cannot maintain the audit registry; "
+                "use resync_table() on audited tables (same effect, plus "
+                "fresh hashes)"
+            )
+        sharing = self.sharing(table_name)
+        random_columns = [
+            c.name for c in sharing.schema.columns if not c.searchable
+        ]
+        if not random_columns:
+            return 0
+        responses = self._broadcast(
+            "select",
+            lambda i: {"table": table_name, "conditions": [], "projection": []},
+            minimum=self.threshold,
+            provider_indexes=self.cluster.read_quorum(),
+        )
+        aligned = align_by_row_id(rows_from_responses(responses))
+        row_ids = [
+            rid for rid, per_provider in aligned.items()
+            if len(per_provider) >= self.threshold
+        ]
+        if not row_ids:
+            return 0
+        increments_per_provider: List[List] = [
+            [] for _ in range(self.cluster.n_providers)
+        ]
+        for row_id in row_ids:
+            deltas_by_provider: List[Dict[str, int]] = [
+                {} for _ in range(self.cluster.n_providers)
+            ]
+            for column in random_columns:
+                zero_shares = sharing.random_scheme.split(0, self._rng)
+                self.cost.record("poly_eval", self.cluster.n_providers)
+                for index in range(self.cluster.n_providers):
+                    deltas_by_provider[index][column] = zero_shares[index]
+            for index in range(self.cluster.n_providers):
+                increments_per_provider[index].append(
+                    [row_id, deltas_by_provider[index]]
+                )
+        self._broadcast(
+            "increment_rows",
+            lambda i: {
+                "table": table_name,
+                "increments": increments_per_provider[i],
+                "modulus": self.secrets.field.modulus,
+            },
+            provider_indexes=self.cluster.write_targets(),
+        )
+        return len(row_ids)
+
+    def resync_table(self, table_name: str) -> int:
+        """Re-share a whole table to every live provider (anti-entropy).
+
+        After a provider recovers from a crash its copy is stale (writes it
+        missed never reach it).  Resync reads every row through the current
+        quorum, reconstructs plaintext at the client, draws *fresh* shares,
+        and rewrites the table at **all** live providers — shares must be
+        regenerated together because mixing polynomial generations across
+        providers breaks reconstruction.  Returns the row count.
+        """
+        sharing = self.sharing(table_name)
+        quorum = self.cluster.read_quorum()
+        responses = self._broadcast(
+            "scan",
+            lambda i: {"table": table_name, "projection": None},
+            minimum=self.threshold,
+            provider_indexes=quorum,
+        )
+        from .reconstruct import align_by_row_id, rows_from_responses
+
+        aligned = align_by_row_id(rows_from_responses(responses))
+        plaintext: List[Tuple[int, Row]] = []
+        for row_id, share_rows in aligned.items():
+            if len(share_rows) < self.threshold:
+                continue
+            plaintext.append((row_id, sharing.reconstruct_row(share_rows)))
+            self.cost.record("interpolate", len(sharing.schema.columns))
+        targets = self.cluster.write_targets()
+        searchable = [c.name for c in sharing.schema.columns if c.searchable]
+        # drop (where present) and recreate at every live provider
+        for index in targets:
+            provider = self.cluster.providers[index]
+            if provider.store.has_table(self.physical_name(table_name)):
+                self._call_one(index, "drop_table", {"table": table_name})
+            self._call_one(
+                index,
+                "create_table",
+                {
+                    "table": table_name,
+                    "columns": sharing.schema.column_names,
+                    "searchable": searchable,
+                },
+            )
+        prepared = [
+            (row_id, sharing.share_row(row)) for row_id, row in plaintext
+        ]
+        self.cost.record(
+            "poly_eval",
+            len(prepared) * len(sharing.schema.columns) * self.cluster.n_providers,
+        )
+        if prepared:
+            self._broadcast(
+                "insert_many",
+                lambda i: {
+                    "table": table_name,
+                    "rows": [[rid, shares[i]] for rid, shares in prepared],
+                },
+                provider_indexes=targets,
+            )
+        if self.audit is not None:
+            self.audit.on_resync(table_name)
+            for rid, shares in prepared:
+                for index in targets:
+                    self.audit.on_insert(table_name, index, rid, shares[index])
+        return len(prepared)
+
+    def _fetch_matching_rows(
+        self, query: Union[Update, Delete]
+    ) -> List[Tuple[int, Row]]:
+        """Row ids + plaintext of rows matching a write query's predicate."""
+        sharing = self.sharing(query.table)
+        predicate = query.where.bind(sharing.schema)
+        rewritten = rewrite_predicate(predicate, sharing)
+        if rewritten.provably_empty:
+            return []
+        responses = self._select_rpc(query.table, rewritten, projection=None)
+        aligned = align_by_row_id(rows_from_responses(responses))
+        matches: List[Tuple[int, Row]] = []
+        for row_id, share_rows in aligned.items():
+            if len(share_rows) < self.threshold:
+                continue
+            row = sharing.reconstruct_row(share_rows)
+            self.cost.record("interpolate", len(row))
+            if rewritten.residual.matches(row):
+                matches.append((row_id, row))
+        return matches
+
+    # ---------------------------------------------------------------- reads --
+
+    def select(self, query: Select) -> Union[List[Row], object]:
+        """Execute a SELECT (projection, aggregate, grouped, or top-k)."""
+        sharing = self.sharing(query.table)
+        predicate = query.where.bind(sharing.schema)
+        rewritten = rewrite_predicate(predicate, sharing)
+        if query.is_grouped:
+            return self._select_grouped(sharing, query, rewritten)
+        if query.is_aggregate:
+            return self._select_aggregate(sharing, query, rewritten)
+        if rewritten.provably_empty:
+            return []
+        for name in query.columns:
+            sharing.schema.column(name)
+        order_column = None
+        if query.order_by is not None:
+            order_column = sharing.schema.column(query.order_by)
+        # LIMIT can be pushed to the providers only when the client will
+        # not filter afterwards (a residual could strip pushed-down rows
+        # below the requested count)
+        push_limit = query.limit if not rewritten.has_residual else None
+        push_order = (
+            query.order_by
+            if query.order_by is not None and sharing.is_searchable(query.order_by)
+            else None
+        )
+        if push_order is None and query.order_by is not None:
+            push_limit = None  # cannot truncate before the client can sort
+        responses = self._select_rpc(
+            query.table,
+            rewritten,
+            projection=None,
+            order_by=push_order,
+            descending=query.descending,
+            limit=push_limit,
+        )
+        rows = reconstruct_rows(
+            sharing,
+            responses,
+            residual=rewritten.residual,
+            cost=self.cost,
+        )
+        if query.order_by is not None:
+            from ..sqlengine.schema import python_value_sort_key
+
+            rows.sort(
+                key=lambda r: python_value_sort_key(
+                    order_column, r.get(query.order_by)
+                ),
+                reverse=query.descending,
+            )
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        if query.columns:
+            rows = [{name: row[name] for name in query.columns} for row in rows]
+        return rows
+
+    def _select_grouped(
+        self,
+        sharing: TableSharing,
+        query: Select,
+        rewritten: RewrittenPredicate,
+    ) -> List[Row]:
+        """GROUP BY aggregation (extension: provider-side grouped partials).
+
+        Providers group by the deterministic share of the group column and
+        return per-group partials in plaintext group order, so the quorum's
+        group lists align positionally; the client reconstructs each group
+        key from its shares and combines partials exactly like the
+        ungrouped path.
+        """
+        from ..sqlengine.executor import compute_group_aggregate
+
+        aggregate = query.aggregate
+        group_column = query.group_by
+        sharing.schema.column(group_column)
+        column = aggregate.column
+        if column is not None and aggregate.func in (
+            AggregateFunc.SUM, AggregateFunc.AVG,
+        ):
+            if not sharing.schema.column(column).is_numeric():
+                raise QueryError(
+                    f"{aggregate.func.value.upper()}({column}) requires a "
+                    "numeric column"
+                )
+        if rewritten.provably_empty:
+            return []
+        order_based = aggregate.func in (
+            AggregateFunc.MIN, AggregateFunc.MAX, AggregateFunc.MEDIAN,
+        )
+        can_push = (
+            not rewritten.has_residual
+            and sharing.is_searchable(group_column)
+            and (not order_based or sharing.is_searchable(column))
+        )
+        if not can_push:
+            responses = self._select_rpc(query.table, rewritten, projection=None)
+            rows = reconstruct_rows(
+                sharing, responses, residual=rewritten.residual, cost=self.cost
+            )
+            return compute_group_aggregate(aggregate, group_column, rows)
+        quorum = self.cluster.read_quorum()
+        self._record_rewrite_cost(rewritten, len(quorum))
+        func_name = (
+            "sum" if aggregate.func is AggregateFunc.AVG else aggregate.func.value
+        )
+        responses = self._broadcast(
+            "aggregate_group",
+            lambda i: {
+                "table": query.table,
+                "conditions": rewritten.conditions_for(sharing, i),
+                "group_column": group_column,
+                "func": func_name,
+                "column": column,
+            },
+            minimum=self.threshold,
+            provider_indexes=quorum,
+        )
+        lengths = {len(response["groups"]) for response in responses.values()}
+        if len(lengths) != 1:
+            from ..errors import IntegrityError
+
+            raise IntegrityError(
+                f"providers disagree on the number of groups: {sorted(lengths)}"
+            )
+        n_groups = lengths.pop()
+        out: List[Row] = []
+        label = aggregate.func.value
+        for position in range(n_groups):
+            group_shares = {
+                index: response["groups"][position][0]
+                for index, response in responses.items()
+            }
+            payloads = {
+                index: response["groups"][position][1]
+                for index, response in responses.items()
+            }
+            group_value = sharing.reconstruct_value(group_column, group_shares)
+            self.cost.record("interpolate", 1)
+            out.append(
+                {
+                    group_column: group_value,
+                    label: self._combine_group_payload(
+                        sharing, aggregate, column, payloads
+                    ),
+                }
+            )
+        return out
+
+    def _combine_group_payload(
+        self,
+        sharing: TableSharing,
+        aggregate: Aggregate,
+        column: Optional[str],
+        payloads: Dict[int, Dict],
+    ):
+        func = aggregate.func
+        if func is AggregateFunc.COUNT:
+            return consistent_scalar(payloads, "count")
+        if func in (AggregateFunc.SUM, AggregateFunc.AVG):
+            count = consistent_scalar(payloads, "count")
+            if count == 0:
+                return None
+            partials = {
+                index: payload["partial_sum"]
+                for index, payload in payloads.items()
+            }
+            self.cost.record("interpolate", 1)
+            total = sharing.combine_sum(column, partials, count)
+            return total if func is AggregateFunc.SUM else total / count
+        row = reconstruct_single_rows(sharing, payloads, cost=self.cost)
+        return None if row is None else row[column]
+
+    def select_with_ids(self, query: Select) -> List[Tuple[int, Row]]:
+        """Like :meth:`select` but returns (row_id, row) pairs.
+
+        Used by the trust layer (completeness chains key on row ids) and
+        by tests; aggregates are not supported here.
+        """
+        if query.is_aggregate:
+            raise QueryError("select_with_ids does not support aggregates")
+        sharing = self.sharing(query.table)
+        predicate = query.where.bind(sharing.schema)
+        rewritten = rewrite_predicate(predicate, sharing)
+        if rewritten.provably_empty:
+            return []
+        responses = self._select_rpc(query.table, rewritten, projection=None)
+        aligned = align_by_row_id(rows_from_responses(responses))
+        out: List[Tuple[int, Row]] = []
+        for row_id, share_rows in aligned.items():
+            if len(share_rows) < self.threshold:
+                continue
+            row = sharing.reconstruct_row(share_rows)
+            self.cost.record("interpolate", len(row))
+            if rewritten.residual.matches(row):
+                if query.columns:
+                    row = {name: row[name] for name in query.columns}
+                out.append((row_id, row))
+        return out
+
+    def select_robust(self, query: Select) -> List[Row]:
+        """SELECT that *tolerates* a minority of tampering providers.
+
+        The malicious-environment read path (Sec. VI b): the query fans
+        out to **every** live provider (not just a k-quorum) and each value
+        is decoded with error-correcting reconstruction — a minority of
+        corrupted shares is outvoted rather than poisoning the result.
+        Where :meth:`select_verified` *detects and aborts*, this path
+        *masks and continues*; the redundancy costs one response per extra
+        provider.
+
+        Supports projection queries (with ORDER BY/LIMIT applied at the
+        client); aggregates should use the verified path instead.
+        """
+        if query.is_aggregate:
+            raise QueryError(
+                "select_robust supports row queries; robust aggregates "
+                "would need verifiable partials — use select_verified on "
+                "the underlying rows instead"
+            )
+        sharing = self.sharing(query.table)
+        predicate = query.where.bind(sharing.schema)
+        rewritten = rewrite_predicate(predicate, sharing)
+        if rewritten.provably_empty:
+            return []
+        live = self.cluster.live_provider_indexes()
+        if len(live) < self.threshold:
+            from ..errors import QuorumError
+
+            raise QuorumError(
+                f"only {len(live)} providers live, need k={self.threshold}"
+            )
+        self._record_rewrite_cost(rewritten, len(live))
+        responses = self._broadcast(
+            "select",
+            lambda i: {
+                "table": query.table,
+                "conditions": rewritten.conditions_for(sharing, i),
+                "projection": None,
+            },
+            minimum=self.threshold,
+            provider_indexes=live,
+        )
+        aligned = align_by_row_id(rows_from_responses(responses))
+        rows: List[Row] = []
+        for row_id, share_rows in aligned.items():
+            if len(share_rows) < self.threshold:
+                continue  # injected row ids from a minority are dropped
+            row = sharing.reconstruct_row_robust(share_rows)
+            self.cost.record(
+                "interpolate", len(row) * max(1, len(share_rows) - self.threshold + 1)
+            )
+            if rewritten.residual.matches(row):
+                rows.append(row)
+        if query.order_by is not None:
+            from ..sqlengine.schema import python_value_sort_key
+
+            order_column = sharing.schema.column(query.order_by)
+            rows.sort(
+                key=lambda r: python_value_sort_key(
+                    order_column, r.get(query.order_by)
+                ),
+                reverse=query.descending,
+            )
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        if query.columns:
+            rows = [{name: row[name] for name in query.columns} for row in rows]
+        return rows
+
+    def rotate_secrets(self, new_seed: int) -> Dict[str, int]:
+        """Re-key the deployment (the concern of paper ref [24]).
+
+        Reads every table through the current quorum, generates fresh
+        secret material (new evaluation points *and* new hash keys), and
+        re-shares everything at all live providers.  After rotation a
+        transcript of old shares plus a future compromise of the old
+        secrets reveals nothing about current data.  Returns per-table row
+        counts re-shared.
+        """
+        from ..core.secrets import generate_client_secrets
+
+        # 1. read everything out under the old secrets
+        snapshots: Dict[str, List[Tuple[int, Row]]] = {}
+        for name in self.table_names():
+            sharing = self.sharing(name)
+            quorum = self.cluster.read_quorum()
+            responses = self._broadcast(
+                "scan",
+                lambda i: {"table": name, "projection": None},
+                minimum=self.threshold,
+                provider_indexes=quorum,
+            )
+            aligned = align_by_row_id(rows_from_responses(responses))
+            snapshots[name] = [
+                (rid, sharing.reconstruct_row(share_rows))
+                for rid, share_rows in aligned.items()
+                if len(share_rows) >= self.threshold
+            ]
+        # 2. swap in fresh secrets and rebuild the sharing machinery
+        old_sharings = self._sharings
+        self.secrets = generate_client_secrets(
+            self.cluster.n_providers, new_seed, self.secrets.field
+        )
+        self._rng = DeterministicRNG(new_seed, "datasource-rotated")
+        self._op_registry = {}
+        self._sharings = {}
+        for name, old in old_sharings.items():
+            self._sharings[name] = TableSharing(
+                old.schema, self.secrets, self.threshold, self._rng,
+                self._op_registry,
+            )
+        # 3. re-share every table at every live provider
+        counts: Dict[str, int] = {}
+        targets = self.cluster.write_targets()
+        for name, rows in snapshots.items():
+            sharing = self._sharings[name]
+            searchable = [c.name for c in sharing.schema.columns if c.searchable]
+            for index in targets:
+                provider = self.cluster.providers[index]
+                if provider.store.has_table(self.physical_name(name)):
+                    self._call_one(index, "drop_table", {"table": name})
+                self._call_one(
+                    index,
+                    "create_table",
+                    {
+                        "table": name,
+                        "columns": sharing.schema.column_names,
+                        "searchable": searchable,
+                    },
+                )
+            prepared = [(rid, sharing.share_row(row)) for rid, row in rows]
+            self.cost.record(
+                "poly_eval",
+                len(prepared)
+                * len(sharing.schema.columns)
+                * self.cluster.n_providers,
+            )
+            if prepared:
+                self._broadcast(
+                    "insert_many",
+                    lambda i: {
+                        "table": name,
+                        "rows": [[rid, shares[i]] for rid, shares in prepared],
+                    },
+                    provider_indexes=targets,
+                )
+            if self.audit is not None:
+                self.audit.on_resync(name)
+                for rid, shares in prepared:
+                    for index in targets:
+                        self.audit.on_insert(name, index, rid, shares[index])
+            counts[name] = len(prepared)
+        return counts
+
+    def select_verified(self, query: Select) -> List[Row]:
+        """SELECT with the trust layer engaged (requires ``audit``).
+
+        Every returned share is checked against the client's recorded
+        hashes (correctness) and providers must agree on the matching row
+        set (strict alignment — detects omission within the quorum).
+        Raises :class:`IntegrityError` on any discrepancy.
+        """
+        if self.audit is None:
+            raise QueryError(
+                "select_verified requires an AuditRegistry; construct the "
+                "DataSource with audit=AuditRegistry(n_providers)"
+            )
+        if query.is_aggregate:
+            raise QueryError(
+                "verified aggregates are not supported; verify the "
+                "underlying rows with a projection query instead"
+            )
+        sharing = self.sharing(query.table)
+        predicate = query.where.bind(sharing.schema)
+        rewritten = rewrite_predicate(predicate, sharing)
+        if rewritten.provably_empty:
+            return []
+        responses = self._select_rpc(query.table, rewritten, projection=None)
+        self.audit.verify_responses(query.table, responses)
+        return reconstruct_rows(
+            sharing,
+            responses,
+            residual=rewritten.residual,
+            columns=list(query.columns) if query.columns else None,
+            cost=self.cost,
+            strict=True,
+        )
+
+    def _select_aggregate(
+        self,
+        sharing: TableSharing,
+        query: Select,
+        rewritten: RewrittenPredicate,
+    ):
+        aggregate = query.aggregate
+        func = aggregate.func
+        column = aggregate.column
+        if column is not None:
+            col_schema = sharing.schema.column(column)
+            if func in (AggregateFunc.SUM, AggregateFunc.AVG):
+                if not col_schema.is_numeric():
+                    raise QueryError(
+                        f"{func.value.upper()}({column}) requires a numeric column"
+                    )
+        if rewritten.provably_empty:
+            return compute_aggregate(aggregate, [])
+        order_based = func in (
+            AggregateFunc.MIN,
+            AggregateFunc.MAX,
+            AggregateFunc.MEDIAN,
+        )
+        # provider-side partial aggregation is only possible when the full
+        # predicate was pushed down; a client-side residual forces a fetch
+        can_push = not rewritten.has_residual and (
+            not order_based or sharing.is_searchable(column)
+        )
+        if not can_push:
+            responses = self._select_rpc(query.table, rewritten, projection=None)
+            rows = reconstruct_rows(
+                sharing, responses, residual=rewritten.residual, cost=self.cost
+            )
+            return compute_aggregate(aggregate, rows)
+        quorum = self.cluster.read_quorum()
+        responses = self._broadcast(
+            "aggregate",
+            lambda i: {
+                "table": query.table,
+                "conditions": rewritten.conditions_for(sharing, i),
+                "func": func.value if func is not AggregateFunc.AVG else "sum",
+                "column": column,
+            },
+            minimum=self.threshold,
+            provider_indexes=quorum,
+        )
+        self._record_rewrite_cost(rewritten, len(quorum))
+        if func is AggregateFunc.COUNT:
+            return consistent_scalar(responses, "count")
+        if func in (AggregateFunc.SUM, AggregateFunc.AVG):
+            count = consistent_scalar(responses, "count")
+            if count == 0:
+                return None if func is AggregateFunc.SUM else None
+            partials = {
+                index: response["partial_sum"]
+                for index, response in responses.items()
+            }
+            self.cost.record("interpolate", 1)
+            total = sharing.combine_sum(column, partials, count)
+            if func is AggregateFunc.SUM:
+                return total
+            return total / count
+        # MIN / MAX / MEDIAN: providers nominate the same row by share order
+        row = reconstruct_single_rows(sharing, responses, cost=self.cost)
+        return None if row is None else row[column]
+
+    def _select_rpc(
+        self,
+        table_name: str,
+        rewritten: RewrittenPredicate,
+        projection: Optional[List[str]],
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> Dict[int, Dict]:
+        sharing = self.sharing(table_name)
+        quorum = self.cluster.read_quorum()
+        self._record_rewrite_cost(rewritten, len(quorum))
+
+        def request(i: int) -> Dict:
+            payload = {
+                "table": table_name,
+                "conditions": rewritten.conditions_for(sharing, i),
+                "projection": projection,
+            }
+            if order_by is not None:
+                payload["order_by"] = order_by
+                payload["descending"] = descending
+            if limit is not None:
+                payload["limit"] = limit
+            return payload
+
+        return self._broadcast(
+            "select",
+            request,
+            minimum=self.threshold,
+            provider_indexes=quorum,
+        )
+
+    def _record_rewrite_cost(
+        self, rewritten: RewrittenPredicate, n_targets: int
+    ) -> None:
+        # two share evaluations (low & high endpoint) per interval per target
+        self.cost.record("poly_eval", 2 * len(rewritten.intervals) * n_targets)
+
+    # ---------------------------------------------------------------- joins --
+
+    def join(self, query: JoinSelect) -> List[Row]:
+        """Equi-join on a referential key (Sec. V-A "Join Operations")."""
+        left = self.sharing(query.left_table)
+        right = self.sharing(query.right_table)
+        left.schema.column(query.left_column)
+        right.schema.column(query.right_column)
+        left_pred, right_pred, residual = split_join_predicate(
+            query.where, query.left_table, query.right_table
+        )
+        left_rw = rewrite_predicate(left_pred.bind(left.schema), left)
+        right_rw = rewrite_predicate(right_pred.bind(right.schema), right)
+        if left_rw.provably_empty or right_rw.provably_empty:
+            return []
+        compatible = (
+            left.is_searchable(query.left_column)
+            and right.is_searchable(query.right_column)
+            and left.domain_label(query.left_column)
+            == right.domain_label(query.right_column)
+        )
+        if not compatible:
+            if not self.client_join_fallback:
+                raise UnsupportedQueryError(
+                    f"join {query.left_table}.{query.left_column} = "
+                    f"{query.right_table}.{query.right_column} cannot run at "
+                    "the providers: the columns are not order-preserving "
+                    "shares of the same domain (Sec. V-A); enable "
+                    "client_join_fallback to join at the client instead"
+                )
+            return self._client_side_join(query, left_rw, right_rw, residual)
+        quorum = self.cluster.read_quorum()
+        self._record_rewrite_cost(left_rw, len(quorum))
+        self._record_rewrite_cost(right_rw, len(quorum))
+        responses = self._broadcast(
+            "join",
+            lambda i: {
+                "left": query.left_table,
+                "right": query.right_table,
+                "left_column": query.left_column,
+                "right_column": query.right_column,
+                "left_conditions": left_rw.conditions_for(left, i),
+                "right_conditions": right_rw.conditions_for(right, i),
+                "projection_left": None,
+                "projection_right": None,
+            },
+            minimum=self.threshold,
+            provider_indexes=quorum,
+        )
+        # align joined pairs across providers by (left_id, right_id)
+        aligned: Dict[Tuple[int, int], Dict[int, Tuple[ShareRow, ShareRow]]] = {}
+        for index, response in responses.items():
+            for lid, rid, lrow, rrow in response["rows"]:
+                aligned.setdefault((lid, rid), {})[index] = (lrow, rrow)
+        results: List[Row] = []
+        combined_residual = residual
+        for (lid, rid), per_provider in sorted(aligned.items()):
+            if len(per_provider) < self.threshold:
+                continue
+            left_row = left.reconstruct_row(
+                {i: pair[0] for i, pair in per_provider.items()}
+            )
+            right_row = right.reconstruct_row(
+                {i: pair[1] for i, pair in per_provider.items()}
+            )
+            self.cost.record(
+                "interpolate", len(left_row) + len(right_row)
+            )
+            merged = {
+                f"{query.left_table}.{k}": v for k, v in left_row.items()
+            }
+            merged.update(
+                {f"{query.right_table}.{k}": v for k, v in right_row.items()}
+            )
+            if combined_residual.matches(merged):
+                results.append(merged)
+        return _project_qualified(results, query.columns)
+
+    def _client_side_join(
+        self,
+        query: JoinSelect,
+        left_rw: RewrittenPredicate,
+        right_rw: RewrittenPredicate,
+        residual: Predicate,
+    ) -> List[Row]:
+        """Fetch both sides and hash-join at the client (fallback path)."""
+        left = self.sharing(query.left_table)
+        right = self.sharing(query.right_table)
+        left_rows = reconstruct_rows(
+            left,
+            self._select_rpc(query.left_table, left_rw, None),
+            residual=left_rw.residual,
+            cost=self.cost,
+        )
+        right_rows = reconstruct_rows(
+            right,
+            self._select_rpc(query.right_table, right_rw, None),
+            residual=right_rw.residual,
+            cost=self.cost,
+        )
+        build: Dict[object, List[Row]] = {}
+        for row in right_rows:
+            key = row.get(query.right_column)
+            if key is not None:
+                build.setdefault(key, []).append(row)
+        self.cost.record("compare", len(left_rows) + len(right_rows))
+        results: List[Row] = []
+        for row in left_rows:
+            key = row.get(query.left_column)
+            if key is None:
+                continue
+            for match in build.get(key, ()):
+                merged = {
+                    f"{query.left_table}.{k}": v for k, v in row.items()
+                }
+                merged.update(
+                    {f"{query.right_table}.{k}": v for k, v in match.items()}
+                )
+                if residual.matches(merged):
+                    results.append(merged)
+        return _project_qualified(results, query.columns)
+
+    # -------------------------------------------------------------- dispatch --
+
+    def execute(self, query) -> Union[List[Row], object, int]:
+        """Execute any query-AST node (or SQL text)."""
+        if isinstance(query, str):
+            return self.sql(query)
+        if isinstance(query, Select):
+            return self.select(query)
+        if isinstance(query, JoinSelect):
+            return self.join(query)
+        if isinstance(query, Insert):
+            self.insert(query.table, query.row)
+            return 1
+        if isinstance(query, Update):
+            return self.update(query)
+        if isinstance(query, Delete):
+            return self.delete(query)
+        raise QueryError(f"unsupported query object {type(query).__name__}")
+
+    def sql(self, text: str) -> Union[List[Row], object, int]:
+        """Parse and execute one SQL statement."""
+        return self.execute(parse_sql(text))
+
+    def explain(self, query) -> Dict[str, object]:
+        """Describe how a query would execute, without executing it.
+
+        Returns a plain dict: which conjuncts push down to providers (as
+        plaintext intervals), what remains as a client-side residual, the
+        execution strategy, and the read quorum.  SQL text is accepted.
+        """
+        if isinstance(query, str):
+            query = parse_sql(query)
+        if isinstance(query, JoinSelect):
+            return self._explain_join(query)
+        if not isinstance(query, (Select, Update, Delete)):
+            raise QueryError(f"cannot explain {type(query).__name__}")
+        table = query.table
+        sharing = self.sharing(table)
+        predicate = query.where.bind(sharing.schema)
+        rewritten = rewrite_predicate(predicate, sharing)
+        plan: Dict[str, object] = {
+            "table": table,
+            "pushdown": [
+                {"column": i.column, "low": i.low, "high": i.high}
+                for i in rewritten.intervals
+            ],
+            "residual": (
+                None if not rewritten.has_residual else repr(rewritten.residual)
+            ),
+            "provably_empty": rewritten.provably_empty,
+            "read_quorum": self.cluster.read_quorum(),
+            "estimated_selectivity": _estimate_selectivity(sharing, rewritten),
+        }
+        if isinstance(query, Select) and query.is_grouped:
+            order_based = query.aggregate.func in (
+                AggregateFunc.MIN, AggregateFunc.MAX, AggregateFunc.MEDIAN,
+            )
+            pushed = (
+                not rewritten.has_residual
+                and sharing.is_searchable(query.group_by)
+                and (
+                    not order_based
+                    or sharing.is_searchable(query.aggregate.column)
+                )
+            )
+            plan["strategy"] = (
+                "provider-grouped partial aggregation"
+                if pushed
+                else "fetch matching rows, group at the client"
+            )
+        elif isinstance(query, Select) and query.is_aggregate:
+            order_based = query.aggregate.func in (
+                AggregateFunc.MIN, AggregateFunc.MAX, AggregateFunc.MEDIAN,
+            )
+            pushed = not rewritten.has_residual and (
+                not order_based or sharing.is_searchable(query.aggregate.column)
+            )
+            plan["strategy"] = (
+                "provider-side partial aggregation"
+                if pushed
+                else "fetch matching rows, aggregate at the client"
+            )
+        elif isinstance(query, Select):
+            parts = ["provider share-index filter" if rewritten.intervals
+                     else "provider full scan"]
+            if rewritten.has_residual:
+                parts.append("client residual filter")
+            if query.order_by is not None:
+                parts.append(
+                    "provider share-order sort"
+                    if sharing.is_searchable(query.order_by)
+                    else "client sort"
+                )
+            if query.limit is not None:
+                parts.append(
+                    f"limit {query.limit} "
+                    + ("at providers" if not rewritten.has_residual else "at client")
+                )
+            plan["strategy"] = " + ".join(parts)
+        else:
+            plan["strategy"] = (
+                "fetch matching rows, reconstruct, re-share changed columns"
+                if isinstance(query, Update)
+                else "fetch matching row ids, delete everywhere"
+            )
+        return plan
+
+    def _explain_join(self, query: JoinSelect) -> Dict[str, object]:
+        left = self.sharing(query.left_table)
+        right = self.sharing(query.right_table)
+        compatible = (
+            left.is_searchable(query.left_column)
+            and right.is_searchable(query.right_column)
+            and left.domain_label(query.left_column)
+            == right.domain_label(query.right_column)
+        )
+        if compatible:
+            strategy = "provider-side hash join on deterministic shares"
+        elif self.client_join_fallback:
+            strategy = "fetch both sides, hash join at the client"
+        else:
+            strategy = "UNSUPPORTED (different domains; Sec. V-A)"
+        return {
+            "join": f"{query.left_table}.{query.left_column} = "
+                    f"{query.right_table}.{query.right_column}",
+            "domain_compatible": compatible,
+            "strategy": strategy,
+            "read_quorum": self.cluster.read_quorum(),
+        }
+
+    # ------------------------------------------------------------ accounting --
+
+    def reset_accounting(self) -> None:
+        """Zero client cost, provider costs, and network counters."""
+        self.cost.reset()
+        self.cluster.reset_accounting()
+
+
+def _estimate_selectivity(sharing: TableSharing, rewritten) -> float:
+    """Uniform-assumption selectivity of the pushed-down intervals.
+
+    The product over intervals of (interval width / domain size) — the
+    textbook independent-uniform estimate.  Residual conjuncts are not
+    estimated (the client has no statistics for them); 1.0 means "full
+    scan".  Purely informational, surfaced by :meth:`DataSource.explain`.
+    """
+    if rewritten.provably_empty:
+        return 0.0
+    estimate = 1.0
+    for interval in rewritten.intervals:
+        domain = sharing.op_scheme(interval.column).domain
+        width = interval.high - interval.low + 1
+        estimate *= min(1.0, max(0.0, width / domain.size))
+    return estimate
+
+
+def _project_qualified(rows: List[Row], columns: Tuple[str, ...]) -> List[Row]:
+    if not columns:
+        return rows
+    missing = [c for c in columns if rows and c not in rows[0]]
+    if missing:
+        raise QueryError(f"unknown projection columns {missing}")
+    return [{name: row[name] for name in columns} for row in rows]

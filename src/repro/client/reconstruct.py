@@ -1,0 +1,139 @@
+"""Reconstruction of plaintext results from per-provider share responses.
+
+After the cluster fans a rewritten query out, each provider returns rows
+of shares keyed by client-assigned row ids.  Reconstruction aligns rows by
+id across the quorum, interpolates each column, and re-applies any
+client-side residual predicate.
+
+Alignment policy: a row is reconstructed when at least ``k`` providers
+returned it.  Honest providers always agree on the matching set (they
+filter the *same* plaintext rows, deterministically, in share space), so
+a shortfall only occurs under omission faults — which, without the trust
+layer, silently shrinks the result.  That silent data loss is precisely
+the vulnerability Sec. I's third challenge describes; the trust layer
+(:mod:`repro.trust`) makes it detectable, and EXP-T9 measures detection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.scheme import ShareRow, TableSharing
+from ..errors import IntegrityError, ReconstructionError
+from ..sim.costmodel import CostRecorder
+from ..sqlengine.expression import Predicate, TruePredicate
+
+ProviderRows = Dict[int, List[Tuple[int, ShareRow]]]
+
+
+def rows_from_responses(responses: Dict[int, Dict]) -> ProviderRows:
+    """Extract the per-provider (row_id, shares) lists from RPC responses."""
+    return {
+        index: [(row_id, values) for row_id, values in response["rows"]]
+        for index, response in responses.items()
+    }
+
+
+def align_by_row_id(
+    provider_rows: ProviderRows,
+) -> Dict[int, Dict[int, ShareRow]]:
+    """row_id → (provider_index → share row), insertion order by row id."""
+    aligned: Dict[int, Dict[int, ShareRow]] = {}
+    for provider_index, rows in provider_rows.items():
+        for row_id, values in rows:
+            aligned.setdefault(row_id, {})[provider_index] = values
+    return {row_id: aligned[row_id] for row_id in sorted(aligned)}
+
+
+def reconstruct_rows(
+    sharing: TableSharing,
+    responses: Dict[int, Dict],
+    residual: Optional[Predicate] = None,
+    columns: Optional[List[str]] = None,
+    cost: Optional[CostRecorder] = None,
+    strict: bool = False,
+) -> List[Dict[str, object]]:
+    """Reconstruct, residual-filter, and project query results.
+
+    ``strict=True`` raises :class:`IntegrityError` when providers disagree
+    on the matching row set (used by verified reads); the default silently
+    keeps rows with a full quorum, modelling the unverified client.
+    """
+    provider_rows = rows_from_responses(responses)
+    aligned = align_by_row_id(provider_rows)
+    threshold = sharing.threshold
+    residual = residual or TruePredicate()
+    needs_residual = not isinstance(residual, TruePredicate)
+    out: List[Dict[str, object]] = []
+    for row_id, share_rows in aligned.items():
+        if strict and len(share_rows) < len(responses):
+            raise IntegrityError(
+                f"row {row_id} returned by only {len(share_rows)} of "
+                f"{len(responses)} providers — a provider omitted results"
+            )
+        if len(share_rows) < threshold:
+            continue
+        # residual predicates may reference columns outside the projection,
+        # so reconstruct everything first, filter, then project
+        row = sharing.reconstruct_row(share_rows)
+        if cost is not None:
+            cost.record("interpolate", len(row))
+        if needs_residual and not residual.matches(row):
+            continue
+        if columns:
+            row = {name: row[name] for name in columns}
+        out.append(row)
+    return out
+
+
+def reconstruct_single_rows(
+    sharing: TableSharing,
+    responses: Dict[int, Dict],
+    cost: Optional[CostRecorder] = None,
+) -> Optional[Dict[str, object]]:
+    """Reconstruct a one-row-per-provider aggregate answer (MIN/MAX/MEDIAN).
+
+    Each provider nominates the extreme/median row; honest providers
+    nominate the *same* row id because share order equals value order.
+    Disagreement is evidence of tampering and raises.
+    """
+    nominations = {
+        index: response["row"] for index, response in responses.items()
+    }
+    non_empty = {i: r for i, r in nominations.items() if r is not None}
+    if not non_empty:
+        return None
+    if len(non_empty) != len(nominations):
+        raise IntegrityError(
+            "providers disagree on whether the aggregate input is empty"
+        )
+    row_ids = {row_id for row_id, _ in non_empty.values()}
+    if len(row_ids) != 1:
+        raise IntegrityError(
+            f"providers nominated different rows {sorted(row_ids)} for an "
+            "order-based aggregate; order-preserving shares guarantee "
+            "agreement, so a provider is faulty"
+        )
+    share_rows = {index: values for index, (_, values) in non_empty.items()}
+    if len(share_rows) < sharing.threshold:
+        raise ReconstructionError(
+            f"aggregate row returned by only {len(share_rows)} providers"
+        )
+    row = sharing.reconstruct_row(share_rows)
+    if cost is not None:
+        cost.record("interpolate", len(row))
+    return row
+
+
+def consistent_scalar(responses: Dict[int, Dict], key: str):
+    """A scalar every provider must agree on (e.g. COUNT).
+
+    Disagreement means a faulty provider; the client cannot tell *which*
+    without the trust layer, so it raises rather than guessing.
+    """
+    values = {response[key] for response in responses.values()}
+    if len(values) != 1:
+        raise IntegrityError(
+            f"providers disagree on {key}: {sorted(values)}"
+        )
+    return next(iter(values))

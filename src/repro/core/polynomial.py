@@ -1,0 +1,258 @@
+"""Polynomial algebra used by both sharing schemes.
+
+Two polynomial flavours appear in the paper:
+
+* **Field polynomials** (Sec. III): random degree-(k-1) polynomials over
+  GF(p) whose constant term is the secret.  Evaluation and Lagrange
+  interpolation are modular.
+* **Integer/rational polynomials** (Sec. IV): the order-preserving
+  construction evaluates polynomials with integer coefficients at positive
+  integer points *without* modular reduction (reduction would destroy
+  order).  Reconstruction interpolates with exact rational arithmetic
+  (:class:`fractions.Fraction`) so the recovered constant term is exact.
+
+Both are represented as coefficient lists, lowest degree first:
+``coeffs[j]`` multiplies ``x**j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from ..errors import ReconstructionError, ShareError
+from .field import PrimeField
+
+
+# ---------------------------------------------------------------------------
+# Field polynomials (mod p)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldPolynomial:
+    """A dense polynomial over a prime field, lowest degree first."""
+
+    field: PrimeField
+    coeffs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "coeffs",
+            tuple(c % self.field.modulus for c in self.coeffs),
+        )
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (−1 for the zero polynomial)."""
+        for i in range(len(self.coeffs) - 1, -1, -1):
+            if self.coeffs[i] != 0:
+                return i
+        return -1
+
+    @property
+    def constant_term(self) -> int:
+        return self.coeffs[0] if self.coeffs else 0
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation mod p."""
+        p = self.field.modulus
+        x %= p
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = (acc * x + c) % p
+        return acc
+
+    def evaluate_many(self, xs: Sequence[int]) -> List[int]:
+        return [self.evaluate(x) for x in xs]
+
+    def add(self, other: "FieldPolynomial") -> "FieldPolynomial":
+        if other.field != self.field:
+            raise ShareError("cannot add polynomials over different fields")
+        n = max(len(self.coeffs), len(other.coeffs))
+        a = list(self.coeffs) + [0] * (n - len(self.coeffs))
+        b = list(other.coeffs) + [0] * (n - len(other.coeffs))
+        return FieldPolynomial(self.field, tuple(self.field.add(x, y) for x, y in zip(a, b)))
+
+    def scale(self, factor: int) -> "FieldPolynomial":
+        return FieldPolynomial(
+            self.field, tuple(self.field.mul(c, factor) for c in self.coeffs)
+        )
+
+
+def random_field_polynomial(
+    field: PrimeField, constant: int, degree: int, rng
+) -> FieldPolynomial:
+    """Random polynomial of exactly the given degree budget with the secret
+    as constant term (Sec. III).
+
+    The non-constant coefficients are uniform in GF(p); the top coefficient
+    is allowed to be zero — a uniformly random polynomial of degree *at
+    most* k−1 is exactly what Shamir's proof requires (forcing the leading
+    coefficient nonzero would slightly bias the share distribution).
+    """
+    field.check_secret(constant)
+    if degree < 0:
+        raise ShareError(f"polynomial degree must be >= 0, got {degree}")
+    coeffs = [constant] + [
+        rng.field_element(field.modulus) for _ in range(degree)
+    ]
+    return FieldPolynomial(field, tuple(coeffs))
+
+
+def lagrange_constant_term(
+    field: PrimeField, points: Sequence[Tuple[int, int]]
+) -> int:
+    """Recover q(0) from (x_i, q(x_i)) pairs by Lagrange interpolation mod p.
+
+    This is the reconstruction step of Sec. III: any k shares plus the
+    secret evaluation points X determine the secret q(0) = v_s.
+    """
+    if not points:
+        raise ReconstructionError("no shares supplied for reconstruction")
+    xs = [x % field.modulus for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ReconstructionError(
+            f"duplicate evaluation points in shares: {sorted(xs)}"
+        )
+    if any(x == 0 for x in xs):
+        raise ReconstructionError("evaluation point 0 would reveal the secret directly")
+    p = field.modulus
+    # denominators (x_j - x_i) batched for one inversion
+    denominators: List[int] = []
+    for i, xi in enumerate(xs):
+        d = 1
+        for j, xj in enumerate(xs):
+            if i != j:
+                d = (d * ((xi - xj) % p)) % p
+        denominators.append(d)
+    inv_denominators = field.batch_inv(denominators)
+    total = 0
+    for i, (xi, yi) in enumerate(zip(xs, (y for _, y in points))):
+        numerator = 1
+        for j, xj in enumerate(xs):
+            if i != j:
+                numerator = (numerator * ((-xj) % p)) % p
+        total = (total + yi * numerator % p * inv_denominators[i]) % p
+    return total
+
+
+def interpolate_field_polynomial(
+    field: PrimeField, points: Sequence[Tuple[int, int]]
+) -> FieldPolynomial:
+    """Full Lagrange interpolation mod p (used by tests and the trust layer)."""
+    if not points:
+        raise ReconstructionError("no points supplied for interpolation")
+    xs = [x % field.modulus for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ReconstructionError("duplicate evaluation points")
+    p = field.modulus
+    n = len(points)
+    result = [0] * n
+    for i, (xi, yi) in enumerate(points):
+        # basis polynomial L_i(x) = prod_{j!=i} (x - x_j) / (x_i - x_j)
+        basis = [1]
+        denom = 1
+        for j, (xj, _) in enumerate(points):
+            if j == i:
+                continue
+            # multiply basis by (x - x_j)
+            new = [0] * (len(basis) + 1)
+            for d, c in enumerate(basis):
+                new[d] = (new[d] - c * xj) % p
+                new[d + 1] = (new[d + 1] + c) % p
+            basis = new
+            denom = (denom * ((xi - xj) % p)) % p
+        scale = yi * field.inv(denom) % p
+        for d, c in enumerate(basis):
+            result[d] = (result[d] + c * scale) % p
+    return FieldPolynomial(field, tuple(result))
+
+
+# ---------------------------------------------------------------------------
+# Integer polynomials (no modulus) — order-preserving construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntegerPolynomial:
+    """A polynomial with integer coefficients evaluated over the integers.
+
+    Used by the order-preserving construction of Sec. IV where shares must
+    compare like the secrets, so no modular wrap-around is allowed.
+    """
+
+    coeffs: Tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        for i in range(len(self.coeffs) - 1, -1, -1):
+            if self.coeffs[i] != 0:
+                return i
+        return -1
+
+    @property
+    def constant_term(self) -> int:
+        return self.coeffs[0] if self.coeffs else 0
+
+    def evaluate(self, x: int) -> int:
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = acc * x + c
+        return acc
+
+    def evaluate_many(self, xs: Sequence[int]) -> List[int]:
+        return [self.evaluate(x) for x in xs]
+
+    def dominates(self, other: "IntegerPolynomial") -> bool:
+        """True when every coefficient strictly exceeds the other's.
+
+        Coefficient-wise dominance is the paper's sufficient condition for
+        share-order preservation at all positive evaluation points:
+        ``a1 < a2, b1 < b2, c1 < c2, v1 < v2 ⇒ p_v1(x) < p_v2(x)`` for all
+        x > 0 (Sec. IV).
+        """
+        if len(self.coeffs) != len(other.coeffs):
+            raise ShareError("dominance requires equal-length coefficient vectors")
+        return all(a > b for a, b in zip(self.coeffs, other.coeffs))
+
+
+def interpolate_rational_constant(points: Sequence[Tuple[int, int]]) -> Fraction:
+    """Recover q(0) from integer (x, y) samples with exact rationals.
+
+    The order-preserving polynomials have integer coefficients, so the true
+    constant term is an integer; callers check ``denominator == 1`` to
+    detect corrupted shares.
+    """
+    if not points:
+        raise ReconstructionError("no shares supplied for reconstruction")
+    xs = [x for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ReconstructionError(f"duplicate evaluation points: {sorted(xs)}")
+    if any(x == 0 for x in xs):
+        raise ReconstructionError("evaluation point 0 would reveal the secret directly")
+    total = Fraction(0)
+    for i, (xi, yi) in enumerate(points):
+        term = Fraction(yi)
+        for j, (xj, _) in enumerate(points):
+            if i != j:
+                term *= Fraction(-xj, xi - xj)
+        total += term
+    return total
+
+
+def interpolate_integer_constant(points: Sequence[Tuple[int, int]]) -> int:
+    """Like :func:`interpolate_rational_constant` but insists on an integer.
+
+    Raises :class:`ReconstructionError` when the interpolated constant term
+    is not an integer — the signature of a tampered or mismatched share set.
+    """
+    value = interpolate_rational_constant(points)
+    if value.denominator != 1:
+        raise ReconstructionError(
+            f"interpolated constant term {value} is not an integer; "
+            "shares are inconsistent or tampered"
+        )
+    return int(value)

@@ -1,0 +1,296 @@
+"""Per-table sharing configuration.
+
+:class:`TableSharing` binds a plaintext :class:`TableSchema` to concrete
+sharing machinery:
+
+* **searchable** columns → :class:`OrderPreservingScheme` instances keyed
+  by the column's *domain label* (Sec. V-A: "our polynomials are
+  constructed for each domain not for each attribute"), enabling
+  provider-side filtering and cross-table joins on shared labels;
+* **non-searchable** columns → one random :class:`ShamirScheme`
+  (information-theoretic secrecy, no provider-side predicates).
+
+It owns encoding (via each column's codec), splitting a plaintext row into
+``n`` share rows, and reconstructing plaintext from ≥ k share rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import QueryError, ReconstructionError, UnsupportedQueryError
+from ..sim.rng import DeterministicRNG
+from ..sqlengine.schema import Column, TableSchema
+from .order_preserving import IntegerDomain, OrderPreservingScheme
+from .secrets import ClientSecrets
+from .shamir import ShamirScheme
+
+ShareRow = Dict[str, Optional[int]]
+
+
+class TableSharing:
+    """Sharing machinery for one outsourced table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        secrets: ClientSecrets,
+        threshold: int,
+        rng: DeterministicRNG,
+        op_schemes: Optional[Dict[str, OrderPreservingScheme]] = None,
+    ) -> None:
+        if threshold < 2:
+            raise QueryError(
+                "outsourcing requires threshold k >= 2: with k=1 a single "
+                "provider could reconstruct every value by itself"
+            )
+        self.schema = schema
+        self.secrets = secrets
+        self.threshold = threshold
+        self._rng = rng.substream(f"table/{schema.name}")
+        self.random_scheme = ShamirScheme(secrets, threshold)
+        self._codecs = {c.name: c.codec() for c in schema.columns}
+        self._op: Dict[str, OrderPreservingScheme] = {}
+        shared_registry = op_schemes if op_schemes is not None else {}
+        for column in schema.columns:
+            if not column.searchable:
+                continue
+            label = column.effective_domain_label(schema.name)
+            scheme = shared_registry.get(label)
+            if scheme is None:
+                domain = self._codecs[column.name].domain()
+                scheme = OrderPreservingScheme(
+                    secrets,
+                    domain,
+                    threshold=threshold,
+                    label=label,
+                )
+                shared_registry[label] = scheme
+            else:
+                self._check_domain_compatible(column, scheme)
+            self._op[column.name] = scheme
+
+    def _check_domain_compatible(
+        self, column: Column, scheme: OrderPreservingScheme
+    ) -> None:
+        domain = self._codecs[column.name].domain()
+        if (domain.lo, domain.hi) != (scheme.domain.lo, scheme.domain.hi):
+            raise QueryError(
+                f"column {self.schema.name}.{column.name} declares domain "
+                f"label {column.domain_label!r} but its domain "
+                f"[{domain.lo},{domain.hi}] differs from the label's "
+                f"[{scheme.domain.lo},{scheme.domain.hi}] — join-compatible "
+                "columns must share a domain (Sec. V-A)"
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_providers(self) -> int:
+        return self.secrets.n_providers
+
+    def is_searchable(self, column: str) -> bool:
+        return column in self._op
+
+    def codec(self, column: str):
+        try:
+            return self._codecs[column]
+        except KeyError:
+            raise QueryError(
+                f"table {self.schema.name} has no column {column!r}"
+            ) from None
+
+    def op_scheme(self, column: str) -> OrderPreservingScheme:
+        try:
+            return self._op[column]
+        except KeyError:
+            raise UnsupportedQueryError(
+                f"column {self.schema.name}.{column} is not searchable: it is "
+                "randomly shared, so providers cannot filter or order by it"
+            ) from None
+
+    def domain_label(self, column: str) -> str:
+        return self.op_scheme(column).label
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, column: str, value) -> Optional[int]:
+        """Plaintext value → domain integer (None passes through for NULL)."""
+        if value is None:
+            return None
+        return self.codec(column).encode(value)
+
+    def decode(self, column: str, number: Optional[int]):
+        if number is None:
+            return None
+        return self.codec(column).decode(number)
+
+    # -- sharing ---------------------------------------------------------------
+
+    def share_value(self, column: str, value) -> List[Optional[int]]:
+        """All n shares of one column value (NULL → None everywhere)."""
+        encoded = self.encode(column, value)
+        if encoded is None:
+            return [None] * self.n_providers
+        if column in self._op:
+            return self._op[column].split(encoded)
+        return self.random_scheme.split(
+            self.random_scheme.field.encode_signed(encoded), self._rng
+        )
+
+    def share_row(self, row: Dict[str, object]) -> List[ShareRow]:
+        """A full plaintext row → one share row per provider."""
+        per_provider: List[ShareRow] = [
+            {} for _ in range(self.n_providers)
+        ]
+        for column in self.schema.column_names:
+            shares = self.share_value(column, row.get(column))
+            for index, share in enumerate(shares):
+                per_provider[index][column] = share
+        return per_provider
+
+    # -- query-time share computation (Sec. V-A rewriting) ------------------------
+
+    def query_share(self, column: str, value, provider_index: int) -> int:
+        """share(v, i) for a query literal on a searchable column."""
+        encoded = self.encode(column, value)
+        if encoded is None:
+            raise QueryError("cannot compute a share of NULL")
+        return self.op_scheme(column).share(encoded, provider_index)
+
+    def query_share_encoded(
+        self, column: str, encoded: int, provider_index: int
+    ) -> int:
+        """share for an already-encoded domain integer."""
+        return self.op_scheme(column).share(encoded, provider_index)
+
+    # -- reconstruction --------------------------------------------------------------
+
+    def reconstruct_value(
+        self, column: str, shares: Dict[int, Optional[int]]
+    ):
+        """Plaintext value from a provider-index → share mapping.
+
+        NULL is represented by None at every provider; a mix of None and
+        integers is share corruption and raises.
+        """
+        non_null = {i: s for i, s in shares.items() if s is not None}
+        if not non_null:
+            return None
+        if len(non_null) != len(shares):
+            raise ReconstructionError(
+                f"column {column}: NULL-presence disagreement across "
+                f"providers {sorted(set(shares) - set(non_null))}"
+            )
+        if column in self._op:
+            encoded = self._op[column].reconstruct(non_null)
+        else:
+            encoded = self.random_scheme.field.decode_signed(
+                self.random_scheme.reconstruct(non_null)
+            )
+        return self.decode(column, encoded)
+
+    def reconstruct_value_robust(
+        self, column: str, shares: Dict[int, Optional[int]]
+    ):
+        """Error-correcting variant of :meth:`reconstruct_value`.
+
+        Tolerates a minority of tampered shares (including shares flipped
+        to/from NULL): NULL wins only with a strict majority of None
+        entries; otherwise the non-NULL shares are decoded robustly.
+        """
+        nulls = sum(1 for share in shares.values() if share is None)
+        if nulls * 2 > len(shares):
+            return None
+        non_null = {i: s for i, s in shares.items() if s is not None}
+        if column in self._op:
+            encoded = self._op[column].reconstruct_robust(non_null)
+        else:
+            encoded = self.random_scheme.field.decode_signed(
+                self.random_scheme.reconstruct_robust(non_null)
+            )
+        return self.decode(column, encoded)
+
+    def reconstruct_row_robust(
+        self, share_rows: Dict[int, ShareRow], columns: Optional[List[str]] = None
+    ) -> Dict[str, object]:
+        """Error-correcting variant of :meth:`reconstruct_row`."""
+        if len(share_rows) < self.threshold:
+            raise ReconstructionError(
+                f"need shares from at least k={self.threshold} providers, "
+                f"got {len(share_rows)}"
+            )
+        names = columns if columns is not None else self.schema.column_names
+        return {
+            column: self.reconstruct_value_robust(
+                column,
+                {index: row.get(column) for index, row in share_rows.items()},
+            )
+            for column in names
+        }
+
+    def reconstruct_row(
+        self, share_rows: Dict[int, ShareRow], columns: Optional[List[str]] = None
+    ) -> Dict[str, object]:
+        """Plaintext row from per-provider share rows (≥ k of them)."""
+        if len(share_rows) < self.threshold:
+            raise ReconstructionError(
+                f"need shares from at least k={self.threshold} providers, "
+                f"got {len(share_rows)}"
+            )
+        names = columns if columns is not None else self.schema.column_names
+        out: Dict[str, object] = {}
+        for column in names:
+            out[column] = self.reconstruct_value(
+                column,
+                {index: row.get(column) for index, row in share_rows.items()},
+            )
+        return out
+
+    # -- aggregate reconstruction -------------------------------------------------------
+
+    def combine_sum(
+        self, column: str, partials: Dict[int, int], count: int
+    ) -> Optional[object]:
+        """Plaintext SUM from per-provider partial share sums.
+
+        Linearity holds for both schemes: summed random shares interpolate
+        mod p to the signed-encoded total; summed order-preserving shares
+        interpolate exactly over the rationals to the encoded total.  The
+        encoded total is then decoded (e.g. fixed-point scaling undone).
+        """
+        if count == 0:
+            return None
+        if len(partials) < self.threshold:
+            raise ReconstructionError(
+                f"SUM needs partials from k={self.threshold} providers"
+            )
+        if column in self._op:
+            from .polynomial import interpolate_integer_constant
+
+            chosen = sorted(partials.items())[: self.threshold]
+            points = [(self.secrets.point_for(i), s) for i, s in chosen]
+            encoded_total = interpolate_integer_constant(points)
+        else:
+            field = self.random_scheme.field
+            reduced = {i: s % field.modulus for i, s in partials.items()}
+            encoded_total = field.decode_signed(
+                self.random_scheme.reconstruct(reduced)
+            )
+        return self._decode_sum(column, encoded_total)
+
+    def _decode_sum(self, column: str, encoded_total: int):
+        """Decode a summed encoded value (sums live outside the domain)."""
+        codec = self.codec(column)
+        # DecimalCodec scales by 10^scale; IntegerCodec is identity; other
+        # types are rejected before aggregation reaches here.
+        from .encoding import DecimalCodec, IntegerCodec
+        from decimal import Decimal
+
+        if isinstance(codec, IntegerCodec):
+            return encoded_total
+        if isinstance(codec, DecimalCodec):
+            return Decimal(encoded_total) / (10**codec.scale)
+        raise QueryError(
+            f"column {column} is not numeric; SUM/AVG are undefined"
+        )

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass that applies; messages always name the offending object
+(attribute, provider, query) so failures are diagnosable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scheme, cluster, or client was configured inconsistently.
+
+    Examples: threshold ``k`` larger than the number of providers ``n``,
+    duplicate provider evaluation points, or an attribute scheme that does
+    not cover the attribute's domain.
+    """
+
+
+class ShareError(ReproError):
+    """Share material is malformed or insufficient for reconstruction."""
+
+
+class ReconstructionError(ShareError):
+    """Fewer than ``k`` usable shares were available, or interpolation of
+    the collected shares did not yield a value inside the declared domain."""
+
+
+class DomainError(ReproError):
+    """A value lies outside the domain an encoding or scheme was built for."""
+
+
+class EncodingError(DomainError):
+    """A non-numeric value could not be encoded to (or decoded from) its
+    numeric representation."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or unsupported by the engine that received it."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query shape is recognised but outside the scheme's capability.
+
+    The paper itself notes such cases (e.g. joins across attributes from
+    *different* domains, Sec. V-A); we surface them explicitly rather than
+    silently computing something wrong.
+    """
+
+
+class ParseError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class ProviderError(ReproError):
+    """A provider-side failure (storage corruption, unknown table, ...)."""
+
+
+class ProviderUnavailableError(ProviderError):
+    """The provider is crashed/partitioned and cannot serve requests."""
+
+
+class QuorumError(ReproError):
+    """Fewer than ``k`` providers responded; the query cannot complete."""
+
+
+class IntegrityError(ReproError):
+    """Verification of provider responses failed.
+
+    Raised by the trust layer when a Merkle proof, completeness chain, or
+    challenge token does not check out — i.e. a provider returned tampered,
+    dropped, or fabricated results.
+    """
+
+
+class CompletenessError(IntegrityError):
+    """A range result is provably missing tuples (broken hash chain)."""
+
+
+class SchemaError(ReproError):
+    """Table/column definitions are inconsistent or violated by a row."""

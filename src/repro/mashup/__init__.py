@@ -1,0 +1,15 @@
+"""Private + public data mash-up (paper Sec. V-D).
+
+The paper's motivating scenarios: a client joins her *private* friends
+list against a provider's *public* restaurant directory without revealing
+the friends, and an agency correlates a private watchlist against a
+public passenger manifest.  The engine offers three lookup strategies
+with different privacy/communication trade-offs, all byte-accounted:
+
+* ``direct``   — ask the public server for exactly the needed keys
+  (cheapest, leaks the keys);
+* ``download`` — fetch the whole public table and filter client-side
+  (trivial-PIR privacy, O(N) bytes);
+* ``pir``      — retrieve the needed records through the multi-server
+  cube PIR of :mod:`repro.pir.multiserver` (private, sublinear).
+"""

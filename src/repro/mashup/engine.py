@@ -1,0 +1,231 @@
+"""The mash-up engine: private-probe joins into public data (Sec. V-D).
+
+A probe works in two steps:
+
+1. read the private probe keys from the client's *outsourced* table
+   (shares, reconstructed at the client — the share providers learn only
+   that some rows were read);
+2. look the keys up in the public table under one of three strategies —
+   ``direct`` (leaks the keys to the public server), ``download``
+   (trivial-PIR private, O(N) bytes), or ``pir`` (cube-PIR private,
+   sublinear bytes).
+
+:class:`MashupReport` carries both the joined rows and the
+leakage/communication ledger the EXP benchmarks chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..client.datasource import DataSource
+from ..errors import QueryError
+from ..pir.multiserver import CubePIRClient, CubePIRServer
+from ..sim.network import SimulatedNetwork
+from ..sqlengine.query import Select
+from ..sqlengine.table import Table
+from .public_catalog import PublicCatalog
+from ..baselines.cipher import deserialize_row, serialize_row
+
+Row = Dict[str, object]
+
+STRATEGIES = ("direct", "download", "pir")
+
+
+@dataclass
+class MashupReport:
+    """Result rows plus the privacy/cost ledger of one probe join."""
+
+    rows: List[Row]
+    strategy: str
+    probe_keys: int
+    public_bytes: int
+    keys_leaked: int
+
+    @property
+    def leaked(self) -> bool:
+        return self.keys_leaked > 0
+
+
+class PIRBackedPublicIndex:
+    """A public table re-hosted as a PIR database, keyed by one column.
+
+    Records are grouped by key into fixed-width blocks (padded to the
+    largest group) and replicated at 2^d PIR servers; a lookup retrieves
+    one key's group without any server learning which.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        key_column: str,
+        dimensions: int = 2,
+        network: Optional[SimulatedNetwork] = None,
+    ) -> None:
+        schema = table.schema
+        column = schema.column(key_column)
+        codec = column.codec()
+        groups: Dict[int, List[Row]] = {}
+        for row in table:
+            key = row.get(key_column)
+            if key is None:
+                continue
+            groups.setdefault(codec.encode(key), []).append(dict(row))
+        if not groups:
+            raise QueryError(
+                f"public table {table.name} has no non-NULL {key_column} keys"
+            )
+        # dense index over the keys actually present (the key→index map is
+        # public metadata the client downloads once)
+        self.key_to_index = {
+            encoded: index for index, encoded in enumerate(sorted(groups))
+        }
+        self.codec = codec
+        self.key_column = key_column
+        blobs = []
+        for encoded in sorted(groups):
+            blobs.append(_pack_rows(groups[encoded]))
+        width = max(len(b) for b in blobs)
+        self.records = [b.ljust(width, b"\x00") for b in blobs]
+        self.servers = [
+            CubePIRServer(self.records, dimensions, name=f"PUBPIR-{i}")
+            for i in range(2**dimensions)
+        ]
+        self.client = CubePIRClient(
+            self.servers, network=network or SimulatedNetwork()
+        )
+
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self.client.network
+
+    def lookup(self, key) -> List[Row]:
+        """All public rows with the given key, retrieved privately."""
+        encoded = self.codec.encode(key)
+        index = self.key_to_index.get(encoded)
+        if index is None:
+            return []
+        return _unpack_rows(self.client.retrieve(index))
+
+
+class MashupEngine:
+    """Joins a private outsourced table against public data."""
+
+    def __init__(
+        self,
+        source: DataSource,
+        catalog: PublicCatalog,
+    ) -> None:
+        self.source = source
+        self.catalog = catalog
+        self._pir_indexes: Dict[str, PIRBackedPublicIndex] = {}
+
+    def enable_pir(
+        self, public_table: Table, key_column: str, dimensions: int = 2
+    ) -> None:
+        """Build (once) the PIR hosting of a public table for ``pir`` probes."""
+        self._pir_indexes[public_table.name] = PIRBackedPublicIndex(
+            public_table, key_column, dimensions
+        )
+
+    def probe_join(
+        self,
+        private_table: str,
+        private_select: Select,
+        probe_column: str,
+        public_table: str,
+        public_column: str,
+        strategy: str = "pir",
+        row_filter: Optional[Callable[[Row, Row], bool]] = None,
+    ) -> MashupReport:
+        """Join private probe rows against public rows on matching keys.
+
+        ``private_select`` picks the probe rows from the outsourced table
+        (it must project nothing so ``probe_column`` is present);
+        ``row_filter(private_row, public_row)`` optionally post-filters
+        pairs (e.g. proximity predicates).
+        """
+        if strategy not in STRATEGIES:
+            raise QueryError(
+                f"unknown strategy {strategy!r}; pick one of {STRATEGIES}"
+            )
+        if private_select.table != private_table:
+            raise QueryError("private_select must target private_table")
+        if private_select.is_aggregate or private_select.columns:
+            raise QueryError("private_select must be an unprojected row query")
+        private_rows = self.source.select(private_select)
+        keys = sorted(
+            {row[probe_column] for row in private_rows if row[probe_column] is not None},
+            key=repr,
+        )
+        public_by_key: Dict[object, List[Row]] = {}
+        public_bytes_before = self._public_bytes(strategy, public_table)
+        keys_leaked = 0
+        if strategy == "direct":
+            for key in keys:
+                public_by_key[key] = self.catalog.lookup_key(
+                    public_table, public_column, key
+                )
+            keys_leaked = len(keys)
+        elif strategy == "download":
+            everything = self.catalog.download_all(public_table)
+            for row in everything:
+                public_by_key.setdefault(row.get(public_column), []).append(row)
+        else:  # pir
+            index = self._pir_indexes.get(public_table)
+            if index is None:
+                raise QueryError(
+                    f"call enable_pir({public_table!r}, ...) before 'pir' probes"
+                )
+            if index.key_column != public_column:
+                raise QueryError(
+                    f"PIR index keys {index.key_column!r}, not {public_column!r}"
+                )
+            for key in keys:
+                public_by_key[key] = index.lookup(key)
+        public_bytes = self._public_bytes(strategy, public_table) - public_bytes_before
+        joined: List[Row] = []
+        for private_row in private_rows:
+            key = private_row.get(probe_column)
+            for public_row in public_by_key.get(key, []):
+                if row_filter is not None and not row_filter(private_row, public_row):
+                    continue
+                merged = {f"private.{k}": v for k, v in private_row.items()}
+                merged.update({f"public.{k}": v for k, v in public_row.items()})
+                joined.append(merged)
+        return MashupReport(
+            rows=joined,
+            strategy=strategy,
+            probe_keys=len(keys),
+            public_bytes=public_bytes,
+            keys_leaked=keys_leaked,
+        )
+
+    def _public_bytes(self, strategy: str, public_table: str) -> int:
+        if strategy == "pir":
+            index = self._pir_indexes.get(public_table)
+            return index.network.total_bytes if index else 0
+        return self.catalog.network.total_bytes
+
+
+def _pack_rows(rows: Sequence[Row]) -> bytes:
+    parts = [serialize_row(row) for row in rows]
+    out = bytearray()
+    out += len(parts).to_bytes(2, "big")
+    for part in parts:
+        out += len(part).to_bytes(2, "big")
+        out += part
+    return bytes(out)
+
+
+def _unpack_rows(blob: bytes) -> List[Row]:
+    count = int.from_bytes(blob[:2], "big")
+    rows: List[Row] = []
+    offset = 2
+    for _ in range(count):
+        length = int.from_bytes(blob[offset:offset + 2], "big")
+        offset += 2
+        rows.append(deserialize_row(blob[offset:offset + length]))
+        offset += length
+    return rows

@@ -1,0 +1,77 @@
+"""Provider-hosted public tables.
+
+Public data (Sec. V-D: restaurant directories, passenger manifests) is
+stored in plaintext at a public server; queries against it are accounted
+through the simulated network but — unlike the share providers — the
+server *sees* every predicate, which is exactly the leakage the mash-up
+strategies trade against bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SchemaError
+from ..sim.network import SimulatedNetwork
+from ..sqlengine.expression import Comparison, ComparisonOp, Predicate, TruePredicate
+from ..sqlengine.table import Table
+
+Row = Dict[str, object]
+
+CLIENT_NAME = "mashup-client"
+SERVER_NAME = "PUBLIC"
+
+
+class PublicCatalog:
+    """A plaintext public-data server behind the accounted network."""
+
+    def __init__(self, network: Optional[SimulatedNetwork] = None) -> None:
+        self.network = network or SimulatedNetwork()
+        self._tables: Dict[str, Table] = {}
+        self.queries_observed: List[str] = []
+
+    def publish(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise SchemaError(f"public table {table.name!r} already published")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no public table {name!r}") from None
+
+    # -- accounted query surface ------------------------------------------------
+
+    def select(self, table_name: str, predicate: Predicate) -> List[Row]:
+        """Filtered read — the server observes the predicate (leakage!)."""
+        table = self.table(table_name)
+        bound = predicate.bind(table.schema)
+        self.queries_observed.append(f"{table_name}:{bound!r}")
+        self.network.send(
+            CLIENT_NAME, SERVER_NAME, {"table": table_name, "pred": repr(bound)}
+        )
+        rows = table.select(bound)
+        self.network.send(SERVER_NAME, CLIENT_NAME, _rows_payload(rows))
+        return rows
+
+    def lookup_key(self, table_name: str, column: str, key) -> List[Row]:
+        """Point lookup by key — maximal leakage, minimal bytes."""
+        return self.select(table_name, Comparison(column, ComparisonOp.EQ, key))
+
+    def download_all(self, table_name: str) -> List[Row]:
+        """Whole-table download — zero query leakage, O(N) bytes."""
+        table = self.table(table_name)
+        self.queries_observed.append(f"{table_name}:<full download>")
+        self.network.send(CLIENT_NAME, SERVER_NAME, {"table": table_name})
+        rows = table.select(TruePredicate())
+        self.network.send(SERVER_NAME, CLIENT_NAME, _rows_payload(rows))
+        return rows
+
+
+def _rows_payload(rows: List[Row]) -> List[Dict]:
+    """Wire-measurable payload for a plaintext row list."""
+    return [
+        {k: (str(v) if not isinstance(v, (int, str, bool)) else v) for k, v in row.items()}
+        for row in rows
+    ]

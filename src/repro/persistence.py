@@ -1,0 +1,254 @@
+"""Durable snapshots of providers and client state.
+
+A database service survives restarts.  This module serialises
+
+* each provider's **share store** (tables, rows of share integers), and
+* the client's **metadata** — secret material, threshold, outsourced
+  schemas, and row-id counters (never any data: the client's statelessness
+  w.r.t. data is the point of outsourcing, paper footnote 1),
+
+to JSON files, and restores a working cluster + data source from them.
+Python's JSON handles arbitrary-precision integers natively, so the big
+order-preserving shares round-trip exactly.
+
+Usage::
+
+    save_deployment(source, "snapshot/")
+    ...
+    source = load_deployment("snapshot/")
+    source.sql("SELECT COUNT(*) FROM Employees")   # picks up where it left off
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .client.datasource import DataSource
+from .core.field import PrimeField
+from .core.secrets import ClientSecrets
+from .errors import ConfigurationError, SchemaError
+from .providers.cluster import ProviderCluster
+from .providers.provider import ShareProvider
+from .sqlengine.schema import Column, ColumnType, ForeignKey, TableSchema
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# schema (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def schema_to_dict(schema: TableSchema) -> Dict:
+    """JSON-safe representation of a table schema."""
+    return {
+        "name": schema.name,
+        "primary_key": schema.primary_key,
+        "foreign_keys": [
+            [fk.column, fk.references_table, fk.references_column]
+            for fk in schema.foreign_keys
+        ],
+        "columns": [
+            {
+                "name": c.name,
+                "ctype": c.ctype.value,
+                "lo": c.lo,
+                "hi": c.hi,
+                "width": c.width,
+                "scale": c.scale,
+                "nullable": c.nullable,
+                "searchable": c.searchable,
+                "domain_label": c.domain_label,
+                "alphabet": c.alphabet,
+            }
+            for c in schema.columns
+        ],
+    }
+
+
+def schema_from_dict(data: Dict) -> TableSchema:
+    """Inverse of :func:`schema_to_dict`."""
+    columns = tuple(
+        Column(
+            name=c["name"],
+            ctype=ColumnType(c["ctype"]),
+            lo=c["lo"],
+            hi=c["hi"],
+            width=c["width"],
+            scale=c["scale"],
+            nullable=c["nullable"],
+            searchable=c["searchable"],
+            domain_label=c["domain_label"],
+            alphabet=c.get("alphabet"),
+        )
+        for c in data["columns"]
+    )
+    foreign_keys = tuple(
+        ForeignKey(column, table, ref) for column, table, ref in data["foreign_keys"]
+    )
+    return TableSchema(
+        name=data["name"],
+        columns=columns,
+        primary_key=data["primary_key"],
+        foreign_keys=foreign_keys,
+    )
+
+
+# ---------------------------------------------------------------------------
+# provider snapshots
+# ---------------------------------------------------------------------------
+
+
+def provider_to_dict(provider: ShareProvider) -> Dict:
+    """Snapshot one provider's entire share store."""
+    tables = {}
+    for table_name in provider.store.table_names():
+        table = provider.store.table(table_name)
+        tables[table_name] = {
+            "columns": table.columns,
+            "searchable": sorted(table.searchable),
+            "rows": {
+                str(row_id): table.get(row_id)
+                for row_id in table.all_row_ids()
+            },
+        }
+    return {"version": _FORMAT_VERSION, "name": provider.name, "tables": tables}
+
+
+def provider_from_dict(data: Dict) -> ShareProvider:
+    """Rebuild a provider (and its sorted indexes) from a snapshot."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported provider snapshot version {data.get('version')!r}"
+        )
+    provider = ShareProvider(data["name"])
+    for table_name, table_data in data["tables"].items():
+        table = provider.store.create_table(
+            table_name, list(table_data["columns"]), table_data["searchable"]
+        )
+        for row_id_text, values in table_data["rows"].items():
+            table.insert(int(row_id_text), values)
+    return provider
+
+
+# ---------------------------------------------------------------------------
+# client snapshot
+# ---------------------------------------------------------------------------
+
+
+def client_to_dict(source: DataSource) -> Dict:
+    """Snapshot the client's metadata (secrets + schemas, never data)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "threshold": source.threshold,
+        "n_providers": source.cluster.n_providers,
+        "client_join_fallback": source.client_join_fallback,
+        "namespace": source.namespace,
+        # each restore derives a fresh randomness epoch: replaying the
+        # original seed would re-issue random-share coefficients already
+        # used before the snapshot, and two values shared with the same
+        # coefficients leak their difference to every provider
+        "rng": {
+            "seed": source._rng.seed,
+            "epoch": getattr(source, "_restore_epoch", 0) + 1,
+        },
+        "secrets": {
+            "evaluation_points": list(source.secrets.evaluation_points),
+            "hash_key": source.secrets.hash_key.hex(),
+            "field_modulus": source.secrets.field.modulus,
+        },
+        "tables": {
+            name: {
+                "schema": schema_to_dict(source.sharing(name).schema),
+                "next_row_id": source._next_row_id[name],
+            }
+            for name in source.table_names()
+        },
+    }
+
+
+def client_from_dict(data: Dict, cluster: ProviderCluster) -> DataSource:
+    """Rebuild a data source around an already-restored cluster."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported client snapshot version {data.get('version')!r}"
+        )
+    if cluster.n_providers != data["n_providers"]:
+        raise ConfigurationError(
+            f"snapshot expects {data['n_providers']} providers, cluster has "
+            f"{cluster.n_providers}"
+        )
+    if cluster.threshold != data["threshold"]:
+        raise ConfigurationError(
+            f"snapshot expects threshold {data['threshold']}, cluster has "
+            f"{cluster.threshold}"
+        )
+    secrets = ClientSecrets(
+        tuple(data["secrets"]["evaluation_points"]),
+        bytes.fromhex(data["secrets"]["hash_key"]),
+        PrimeField(data["secrets"]["field_modulus"]),
+    )
+    rng_info = data.get("rng", {"seed": 0, "epoch": 1})
+    epoch_seed = (
+        rng_info["seed"] * 1_000_003 + rng_info["epoch"]
+    ) % (1 << 62)
+    source = DataSource(
+        cluster,
+        seed=epoch_seed,
+        secrets=secrets,
+        client_join_fallback=data["client_join_fallback"],
+        namespace=data.get("namespace", ""),
+    )
+    source._restore_epoch = rng_info["epoch"]
+    for name, table_data in data["tables"].items():
+        source.restore_table(
+            schema_from_dict(table_data["schema"]), table_data["next_row_id"]
+        )
+    return source
+
+
+# ---------------------------------------------------------------------------
+# whole-deployment convenience
+# ---------------------------------------------------------------------------
+
+
+def save_deployment(source: DataSource, directory: str) -> List[str]:
+    """Write client + every provider snapshot into ``directory``.
+
+    Returns the written file paths.  Each provider gets its own file —
+    in a real deployment each provider persists its own storage; the
+    client file holds only metadata and secrets (protect it accordingly).
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    client_path = os.path.join(directory, "client.json")
+    with open(client_path, "w", encoding="utf-8") as handle:
+        json.dump(client_to_dict(source), handle)
+    paths.append(client_path)
+    for index, provider in enumerate(source.cluster.providers):
+        path = os.path.join(directory, f"provider_{index}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(provider_to_dict(provider), handle)
+        paths.append(path)
+    return paths
+
+
+def load_deployment(directory: str) -> DataSource:
+    """Restore a full deployment saved by :func:`save_deployment`."""
+    client_path = os.path.join(directory, "client.json")
+    if not os.path.exists(client_path):
+        raise ConfigurationError(f"no client snapshot in {directory!r}")
+    with open(client_path, encoding="utf-8") as handle:
+        client_data = json.load(handle)
+    cluster = ProviderCluster(
+        client_data["n_providers"], client_data["threshold"]
+    )
+    for index in range(client_data["n_providers"]):
+        path = os.path.join(directory, f"provider_{index}.json")
+        if not os.path.exists(path):
+            raise ConfigurationError(f"missing provider snapshot {path!r}")
+        with open(path, encoding="utf-8") as handle:
+            cluster.providers[index] = provider_from_dict(json.load(handle))
+    return client_from_dict(client_data, cluster)

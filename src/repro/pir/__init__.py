@@ -1,0 +1,21 @@
+"""Private information retrieval protocols (paper Sec. II-B).
+
+The paper frames PIR as the second outsourcing challenge: retrieving the
+i-th of N records "without disclosing any information about i to the
+server".  This package implements the reference points the paper cites:
+
+* :mod:`repro.pir.trivial` — the trivial download-everything protocol,
+  optimal for a single information-theoretic server (ref [11]);
+* :mod:`repro.pir.xor2` — the basic 2-server XOR scheme (linear queries);
+* :mod:`repro.pir.multiserver` — the combinatorial-cube scheme over 2^d
+  servers with O(d·N^{1/d}) communication, demonstrating how replication
+  buys sublinearity;
+* :mod:`repro.pir.analysis` — closed-form communication/computation
+  models, including the paper's quoted O(N^{1/(2k-1)}) bound and the
+  Sion–Carbunar single-server-cPIR-vs-trivial computation comparison
+  (ref [16]);
+* :mod:`repro.pir.spir` — **symmetric** PIR (refs [27–29]): an
+  oblivious-transfer construction where the client provably learns only
+  the record it asked for (data privacy), not just hiding which it asked
+  for (query privacy).
+"""

@@ -1,0 +1,51 @@
+"""The trivial PIR protocol: download everything.
+
+Perfect privacy from a single server — the server learns nothing because
+the query is independent of the index — at O(N·b) communication.  A simple
+proof (ref [11]) shows this is optimal for one information-theoretically
+private server, which is why the paper (and this package) turn to
+replication for anything better.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import QueryError
+from ..sim.costmodel import CostRecorder
+from ..sim.network import SimulatedNetwork
+
+
+class TrivialPIRServer:
+    """Holds the record array and ships all of it on request."""
+
+    def __init__(self, records: Sequence[bytes], name: str = "PIR-S") -> None:
+        if not records:
+            raise QueryError("PIR database must be non-empty")
+        self.name = name
+        self.records = list(records)
+        self.cost = CostRecorder(name)
+
+    def fetch_all(self) -> List[bytes]:
+        return list(self.records)
+
+
+class TrivialPIRClient:
+    """Retrieves record i by downloading the whole database."""
+
+    def __init__(
+        self,
+        server: TrivialPIRServer,
+        network: Optional[SimulatedNetwork] = None,
+    ) -> None:
+        self.server = server
+        self.network = network or SimulatedNetwork()
+        self.cost = CostRecorder("pir-client")
+
+    def retrieve(self, index: int) -> bytes:
+        records = self.server.records
+        if not 0 <= index < len(records):
+            raise QueryError(f"index {index} outside [0, {len(records)})")
+        self.network.send("pir-client", self.server.name, {"op": "fetch_all"})
+        self.network.send(self.server.name, "pir-client", records)
+        return records[index]

@@ -1,0 +1,103 @@
+"""Basic 2-server XOR PIR (Chor, Goldreich, Kushilevitz, Sudan — ref [11]).
+
+The simplest replication-based protocol: the client draws a uniformly
+random subset S ⊆ [N], sends S to server A and S Δ {i} to server B; each
+server returns the XOR of the records its subset selects; XOR-ing the two
+answers yields record i.  Each individual server sees a uniformly random
+subset, independent of i — information-theoretic privacy against one
+server.
+
+Communication: an N-bit query to each server, one record back — the
+protocol trades the trivial scheme's O(N·b) *download* for an O(N) *query*
+(a factor-b saving for b-byte records) and an O(N) XOR scan per server.
+The cube scheme in :mod:`repro.pir.multiserver` does asymptotically
+better.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import QueryError
+from ..sim.costmodel import CostRecorder
+from ..sim.network import SimulatedNetwork
+from ..sim.rng import DeterministicRNG
+
+
+def xor_blocks(left: bytes, right: bytes) -> bytes:
+    """Blockwise XOR of equal-length byte strings."""
+    if len(left) != len(right):
+        raise QueryError(
+            f"block length mismatch: {len(left)} vs {len(right)}"
+        )
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+class XorPIRServer:
+    """One of the two replicas."""
+
+    def __init__(self, records: Sequence[bytes], name: str) -> None:
+        if not records:
+            raise QueryError("PIR database must be non-empty")
+        lengths = {len(r) for r in records}
+        if len(lengths) != 1:
+            raise QueryError("all PIR records must have equal length")
+        self.name = name
+        self.records = list(records)
+        self.block_bytes = lengths.pop()
+        self.cost = CostRecorder(name)
+
+    def answer(self, subset_mask: List[bool]) -> bytes:
+        """XOR of the records selected by the subset bitmask."""
+        if len(subset_mask) != len(self.records):
+            raise QueryError(
+                f"mask length {len(subset_mask)} != N={len(self.records)}"
+            )
+        accumulator = bytes(self.block_bytes)
+        selected = 0
+        for record, chosen in zip(self.records, subset_mask):
+            if chosen:
+                accumulator = xor_blocks(accumulator, record)
+                selected += 1
+        self.cost.record("xor", selected * max(1, self.block_bytes // 8))
+        return accumulator
+
+
+class Xor2ServerPIRClient:
+    """Client of the basic 2-server scheme."""
+
+    def __init__(
+        self,
+        server_a: XorPIRServer,
+        server_b: XorPIRServer,
+        rng: Optional[DeterministicRNG] = None,
+        network: Optional[SimulatedNetwork] = None,
+    ) -> None:
+        if len(server_a.records) != len(server_b.records):
+            raise QueryError("replicas disagree on database size")
+        self.server_a = server_a
+        self.server_b = server_b
+        self.rng = rng or DeterministicRNG(0, "pir-xor2")
+        self.network = network or SimulatedNetwork()
+        self.cost = CostRecorder("pir-client")
+
+    @property
+    def n_records(self) -> int:
+        return len(self.server_a.records)
+
+    def retrieve(self, index: int) -> bytes:
+        if not 0 <= index < self.n_records:
+            raise QueryError(f"index {index} outside [0, {self.n_records})")
+        mask_a = [self.rng.random() < 0.5 for _ in range(self.n_records)]
+        mask_b = list(mask_a)
+        mask_b[index] = not mask_b[index]
+        answer_a = self._query(self.server_a, mask_a)
+        answer_b = self._query(self.server_b, mask_b)
+        self.cost.record("xor", max(1, self.server_a.block_bytes // 8))
+        return xor_blocks(answer_a, answer_b)
+
+    def _query(self, server: XorPIRServer, mask: List[bool]) -> bytes:
+        self.network.send("pir-client", server.name, mask)
+        answer = server.answer(mask)
+        self.network.send(server.name, "pir-client", answer)
+        return answer

@@ -1,0 +1,160 @@
+"""The provider cluster: fan-out, quorum collection, failure routing.
+
+The data source talks to ``n`` providers through one
+:class:`ProviderCluster`, which
+
+* serialises every request/response through the simulated network so the
+  benchmarks get byte-exact communication accounting,
+* collects responses, routing around crashed providers,
+* enforces the quorum rule: reads need ``k`` responses (reconstruction
+  threshold), writes are best-effort to all live providers (a provider
+  that was down during a write is stale — handled by the availability
+  experiments, EXP-T7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ProviderUnavailableError, QuorumError
+from ..sim.costmodel import CostRecorder
+from ..sim.network import LatencyModel, SimulatedNetwork
+from .failures import Fault
+from .provider import ShareProvider
+
+CLIENT_NAME = "client"
+
+
+class ProviderCluster:
+    """``n`` share providers behind a byte-accounted network."""
+
+    def __init__(
+        self,
+        n_providers: int,
+        threshold: int,
+        network: Optional[SimulatedNetwork] = None,
+    ) -> None:
+        if n_providers < 1:
+            raise QuorumError(f"need at least one provider, got {n_providers}")
+        if not 1 <= threshold <= n_providers:
+            raise QuorumError(
+                f"threshold k={threshold} must satisfy 1 <= k <= n={n_providers}"
+            )
+        self.threshold = threshold
+        self.network = network or SimulatedNetwork()
+        self.providers: List[ShareProvider] = [
+            ShareProvider(f"DAS{i + 1}") for i in range(n_providers)
+        ]
+
+    @property
+    def n_providers(self) -> int:
+        return len(self.providers)
+
+    # -- fault management ---------------------------------------------------------
+
+    def inject_fault(self, provider_index: int, fault: Fault) -> None:
+        self.providers[provider_index].inject_fault(fault)
+
+    def clear_faults(self) -> None:
+        for provider in self.providers:
+            provider.clear_fault()
+
+    def live_provider_indexes(self) -> List[int]:
+        return [
+            i
+            for i, p in enumerate(self.providers)
+            if p.fault is None or not p.fault.is_crash
+        ]
+
+    # -- RPC ---------------------------------------------------------------------------
+
+    def call_one(self, provider_index: int, method: str, request: Dict) -> Dict:
+        """One accounted round trip to one provider.
+
+        Raises :class:`ProviderUnavailableError` if the provider is down —
+        after the request bytes were spent, as in a real timeout.
+        """
+        provider = self.providers[provider_index]
+        self.network.send(CLIENT_NAME, provider.name, {"method": method, **request})
+        response = provider.handle(method, request)
+        self.network.send(provider.name, CLIENT_NAME, response)
+        return response
+
+    def call_all(
+        self,
+        method: str,
+        requests: Dict[int, Dict],
+        minimum: Optional[int] = None,
+    ) -> Dict[int, Dict]:
+        """Fan a per-provider request map out; collect responses.
+
+        ``minimum=None`` means "need every *addressed* provider" (writes to
+        the live set); an integer demands at least that many successes and
+        raises :class:`QuorumError` below it, naming the failed providers.
+        """
+        responses: Dict[int, Dict] = {}
+        failures: Dict[int, str] = {}
+        for index, request in sorted(requests.items()):
+            try:
+                responses[index] = self.call_one(index, method, request)
+            except ProviderUnavailableError as exc:
+                failures[index] = str(exc)
+        required = len(requests) if minimum is None else minimum
+        if len(responses) < required:
+            raise QuorumError(
+                f"{method}: only {len(responses)}/{len(requests)} providers "
+                f"responded (need {required}); failures: {failures}"
+            )
+        return responses
+
+    def broadcast(
+        self,
+        method: str,
+        request_builder: Callable[[int], Dict],
+        minimum: Optional[int] = None,
+        provider_indexes: Optional[List[int]] = None,
+    ) -> Dict[int, Dict]:
+        """Like :meth:`call_all` with per-provider requests built on demand."""
+        indexes = (
+            provider_indexes
+            if provider_indexes is not None
+            else list(range(self.n_providers))
+        )
+        return self.call_all(
+            method, {i: request_builder(i) for i in indexes}, minimum
+        )
+
+    # -- quorum helpers ------------------------------------------------------------------
+
+    def read_quorum(self) -> List[int]:
+        """The first k live providers (deterministic, lowest index first).
+
+        Deterministic selection keeps experiments reproducible; a real
+        deployment would load-balance, which changes nothing about
+        correctness because any k providers suffice (Sec. III).
+        """
+        live = self.live_provider_indexes()
+        if len(live) < self.threshold:
+            raise QuorumError(
+                f"only {len(live)} providers live, need k={self.threshold}"
+            )
+        return live[: self.threshold]
+
+    def write_targets(self) -> List[int]:
+        """All live providers (writes are best-effort to everyone)."""
+        return self.live_provider_indexes()
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def total_provider_cost(self) -> CostRecorder:
+        """Merged computation counters across providers."""
+        merged = CostRecorder("providers")
+        for provider in self.providers:
+            merged.merge(provider.cost)
+        return merged
+
+    def reset_accounting(self) -> None:
+        self.network.reset()
+        for provider in self.providers:
+            provider.cost.reset()
+            provider.requests_served = 0

@@ -1,0 +1,85 @@
+"""Fault injection for providers.
+
+Sec. VI(b) calls for "exploration of different failure models and the
+development of algorithms for both benign and malicious environments".
+We model three provider behaviours beyond honest operation:
+
+* **CRASH** — the provider stops responding (benign fail-stop).  The
+  cluster routes around it as long as k providers remain (EXP-T7).
+* **TAMPER** — a malicious provider perturbs the share values it returns.
+  Detected by the trust layer (Merkle proofs / redundant-share
+  cross-checks) and, for order-preserving shares, by out-of-domain
+  reconstruction (EXP-T9).
+* **OMIT** — a lazy/malicious provider silently drops a fraction of
+  matching rows from range results.  Detected by completeness chaining.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.rng import DeterministicRNG
+
+
+class FailureMode(enum.Enum):
+    """What kind of misbehaviour a faulty provider exhibits."""
+
+    CRASH = "crash"
+    TAMPER = "tamper"
+    OMIT = "omit"
+
+
+@dataclass
+class Fault:
+    """A fault configuration attached to a provider.
+
+    ``rate`` is the per-item probability of corruption (TAMPER) or drop
+    (OMIT); CRASH ignores it.  The RNG stream makes the misbehaviour
+    deterministic per seed, so detection experiments are reproducible.
+    """
+
+    mode: FailureMode
+    rate: float = 1.0
+    rng: DeterministicRNG = field(
+        default_factory=lambda: DeterministicRNG(0, "fault")
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+    @property
+    def is_crash(self) -> bool:
+        return self.mode is FailureMode.CRASH
+
+    def maybe_corrupt_share(self, share: Optional[int]) -> Optional[int]:
+        """TAMPER: perturb a share value with probability ``rate``.
+
+        The perturbation is a small additive offset — the hardest kind of
+        tampering to notice without verification, since the share stays
+        plausible in magnitude.
+        """
+        if share is None or self.mode is not FailureMode.TAMPER:
+            return share
+        if self.rng.random() < self.rate:
+            return share + self.rng.randint(1, 1_000)
+        return share
+
+    def corrupt_row(
+        self, values: Dict[str, Optional[int]]
+    ) -> Dict[str, Optional[int]]:
+        """TAMPER: apply per-share corruption across a row."""
+        if self.mode is not FailureMode.TAMPER:
+            return values
+        return {
+            column: self.maybe_corrupt_share(share)
+            for column, share in values.items()
+        }
+
+    def filter_rows(self, rows: List) -> List:
+        """OMIT: silently drop each result row with probability ``rate``."""
+        if self.mode is not FailureMode.OMIT:
+            return rows
+        return [row for row in rows if self.rng.random() >= self.rate]

@@ -1,0 +1,492 @@
+"""One database service provider (DAS_i).
+
+A provider holds one share of every value and executes **share-space**
+requests: filter by comparisons on order-preserving shares, partially
+aggregate, hash-join on deterministic shares, and mutate rows.  It never
+sees plaintext, evaluation points, or hash keys — everything it learns is
+share order and equality, which is exactly the leakage the paper accepts
+in exchange for provider-side filtering (Sec. IV).
+
+The RPC surface is a single :meth:`handle` dispatching on a method name
+with primitive-typed payloads, so the cluster can serialise every request
+and response through the simulated network for byte accounting.
+
+Conditions arrive as dicts::
+
+    {"column": str, "op": "eq|lt|le|gt|ge|range", "low": int, "high": int?}
+
+``low``/``high`` are *share-space* values computed by the client's query
+rewriter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProviderError, ProviderUnavailableError, QueryError
+from ..sim.costmodel import CostRecorder
+from .failures import Fault
+from .storage import ShareRow, ShareStore, ShareTable
+
+_CONDITION_OPS = {"eq", "lt", "le", "gt", "ge", "range"}
+
+#: Aggregates a provider can compute partially (Sec. V-A).
+_AGGREGATE_FUNCS = {"sum", "count", "min", "max", "median"}
+
+
+class ShareProvider:
+    """A single DAS provider over an in-memory share store."""
+
+    def __init__(self, name: str, cost: Optional[CostRecorder] = None) -> None:
+        self.name = name
+        self.store = ShareStore()
+        self.cost = cost or CostRecorder(name)
+        self.fault: Optional[Fault] = None
+        self.requests_served = 0
+        self._merkle_cache: Dict[str, Tuple[int, object]] = {}
+
+    # -- fault management ------------------------------------------------------
+
+    def inject_fault(self, fault: Fault) -> None:
+        self.fault = fault
+
+    def clear_fault(self) -> None:
+        self.fault = None
+
+    def _check_available(self) -> None:
+        if self.fault is not None and self.fault.is_crash:
+            raise ProviderUnavailableError(f"provider {self.name} is down")
+
+    # -- RPC dispatch -------------------------------------------------------------
+
+    def handle(self, method: str, request: Dict) -> Dict:
+        """Execute one RPC; payloads in and out are wire-primitive dicts."""
+        self._check_available()
+        handler = getattr(self, f"_rpc_{method}", None)
+        if handler is None:
+            raise ProviderError(f"provider {self.name}: unknown method {method!r}")
+        self.requests_served += 1
+        return handler(request)
+
+    # -- DDL / writes -----------------------------------------------------------
+
+    def _rpc_create_table(self, request: Dict) -> Dict:
+        self.store.create_table(
+            request["table"], list(request["columns"]), request["searchable"]
+        )
+        return {"ok": True}
+
+    def _rpc_drop_table(self, request: Dict) -> Dict:
+        self.store.drop_table(request["table"])
+        return {"ok": True}
+
+    def _rpc_insert_many(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        for row_id, values in request["rows"]:
+            table.insert(row_id, values)
+        return {"inserted": len(request["rows"])}
+
+    def _rpc_update_rows(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        for row_id, assignments in request["updates"]:
+            table.update(row_id, assignments)
+        return {"updated": len(request["updates"])}
+
+    def _rpc_delete_rows(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        for row_id in request["row_ids"]:
+            table.delete(row_id)
+        return {"deleted": len(request["row_ids"])}
+
+    def _rpc_increment_rows(self, request: Dict) -> Dict:
+        """Add delta shares in place (Sec. V-C incremental updates).
+
+        Only valid for randomly-shared (non-searchable) columns: their
+        shares are plain field points, and share addition is value
+        addition by linearity.  Order-preserving shares are deterministic
+        per value, so in-place addition would corrupt them — rejected.
+        NULL values stay NULL (SQL: NULL + x = NULL).
+        """
+        table = self.store.table(request["table"])
+        # the share-field modulus is a public parameter; reducing keeps
+        # share magnitudes bounded across repeated increments/refreshes
+        modulus = request.get("modulus")
+        incremented = 0
+        for row_id, deltas in request["increments"]:
+            row = table.get(row_id)
+            assignments = {}
+            for column, delta_share in deltas.items():
+                if column in table.searchable:
+                    raise QueryError(
+                        f"column {column!r} is order-preserving; incremental "
+                        "share addition is only sound for randomly-shared "
+                        "columns"
+                    )
+                current = row.get(column)
+                if current is None:
+                    continue
+                updated = current + delta_share
+                if modulus is not None:
+                    updated %= modulus
+                assignments[column] = updated
+            if assignments:
+                table.update(row_id, assignments)
+                incremented += 1
+        return {"incremented": incremented}
+
+    # -- reads ----------------------------------------------------------------------
+
+    def _rpc_select(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        row_ids = self._matching_row_ids(table, request.get("conditions") or [])
+        order_by = request.get("order_by")
+        if order_by is not None:
+            # order by share value (= plaintext order for OP columns).
+            # Tie semantics must match a *stable* sort over row-id order —
+            # what every engine (oracle, client re-sort) produces — so ties
+            # keep ascending row ids in BOTH directions, and NULLs sit
+            # first ascending / last descending.
+            table.index_for(order_by)  # require searchable
+            null_ids = [
+                rid for rid in row_ids if table.get(rid).get(order_by) is None
+            ]
+            keyed = [
+                (table.get(rid)[order_by], rid)
+                for rid in row_ids
+                if table.get(rid).get(order_by) is not None
+            ]
+            self.cost.record(
+                "compare", len(keyed) * max(1, len(keyed).bit_length())
+            )
+            if request.get("descending"):
+                keyed.sort(key=lambda pair: (-pair[0], pair[1]))
+                row_ids = [rid for _, rid in keyed] + null_ids
+            else:
+                keyed.sort()
+                row_ids = null_ids + [rid for _, rid in keyed]
+        limit = request.get("limit")
+        if limit is not None:
+            row_ids = row_ids[:limit]
+        projection = request.get("projection")
+        rows = [(rid, self._project(table, rid, projection)) for rid in row_ids]
+        rows = self._apply_result_faults(rows)
+        return {"rows": rows}
+
+    def _rpc_get_rows(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        projection = request.get("projection")
+        rows = [
+            (rid, self._project(table, rid, projection))
+            for rid in request["row_ids"]
+            if table.has_row(rid)
+        ]
+        rows = self._apply_result_faults(rows)
+        return {"rows": rows}
+
+    def _rpc_scan(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        projection = request.get("projection")
+        rows = [
+            (rid, self._project(table, rid, projection))
+            for rid in table.all_row_ids()
+        ]
+        rows = self._apply_result_faults(rows)
+        return {"rows": rows}
+
+    def _rpc_row_count(self, request: Dict) -> Dict:
+        return {"count": len(self.store.table(request["table"]))}
+
+    def _rpc_aggregate(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        func = request["func"]
+        if func not in _AGGREGATE_FUNCS:
+            raise QueryError(f"provider cannot aggregate with {func!r}")
+        row_ids = self._matching_row_ids(table, request.get("conditions") or [])
+        column = request.get("column")
+        if func == "count":
+            if column is None:
+                return {"count": len(row_ids)}
+            present = sum(
+                1 for rid in row_ids if table.get(rid).get(column) is not None
+            )
+            self.cost.record("compare", len(row_ids))
+            return {"count": present}
+        if column is None:
+            raise QueryError(f"aggregate {func} requires a column")
+        if func == "sum":
+            total = 0
+            count = 0
+            for rid in row_ids:
+                share = table.get(rid).get(column)
+                if share is not None:
+                    total += share
+                    count += 1
+            self.cost.record("compare", len(row_ids))
+            if self.fault is not None:
+                corrupted = self.fault.maybe_corrupt_share(total)
+                total = corrupted if corrupted is not None else total
+            return {"partial_sum": total, "count": count}
+        # min / max / median: pick the extreme/middle row by share order of
+        # the aggregate column (valid because OP shares preserve value order)
+        ordered = self._order_by_share(table, row_ids, column)
+        if not ordered:
+            return {"row": None, "count": 0}
+        if func == "min":
+            chosen = ordered[0]
+        elif func == "max":
+            chosen = ordered[-1]
+        else:  # median (lower-median convention, matches the executor)
+            chosen = ordered[(len(ordered) - 1) // 2]
+        row = (chosen, self._project(table, chosen, None))
+        row = self._apply_result_faults([row])
+        return {"row": row[0] if row else None, "count": len(ordered)}
+
+    def _rpc_aggregate_group(self, request: Dict) -> Dict:
+        """Grouped partial aggregation (extension of Sec. V-A).
+
+        Groups matching rows by the deterministic share of the group
+        column and returns one partial result per group, ordered by group
+        share ascending — which is plaintext group order, so honest
+        providers return positionally aligned group lists and the client
+        can combine partials without knowing the group values up front.
+        """
+        table = self.store.table(request["table"])
+        group_column = request["group_column"]
+        if group_column not in table.searchable:
+            raise QueryError(
+                f"GROUP BY {group_column!r} requires an order-preserving "
+                "(searchable) column at the provider"
+            )
+        func = request["func"]
+        if func not in _AGGREGATE_FUNCS:
+            raise QueryError(f"provider cannot aggregate with {func!r}")
+        column = request.get("column")
+        row_ids = self._matching_row_ids(table, request.get("conditions") or [])
+        groups: Dict[int, List[int]] = {}
+        for rid in row_ids:
+            share = table.get(rid).get(group_column)
+            if share is None:
+                continue
+            groups.setdefault(share, []).append(rid)
+        self.cost.record("compare", len(row_ids))
+        out = []
+        for group_share in sorted(groups):
+            members = groups[group_share]
+            if func == "count":
+                if column is None:
+                    payload = {"count": len(members)}
+                else:
+                    payload = {
+                        "count": sum(
+                            1
+                            for rid in members
+                            if table.get(rid).get(column) is not None
+                        )
+                    }
+            elif func == "sum":
+                total = 0
+                count = 0
+                for rid in members:
+                    share = table.get(rid).get(column)
+                    if share is not None:
+                        total += share
+                        count += 1
+                payload = {"partial_sum": total, "count": count}
+            else:  # min / max / median by share order of the agg column
+                ordered = self._order_by_share(table, members, column)
+                if not ordered:
+                    payload = {"row": None, "count": 0}
+                else:
+                    if func == "min":
+                        chosen = ordered[0]
+                    elif func == "max":
+                        chosen = ordered[-1]
+                    else:
+                        chosen = ordered[(len(ordered) - 1) // 2]
+                    payload = {
+                        "row": [chosen, self._project(table, chosen, None)],
+                        "count": len(ordered),
+                    }
+            out.append([group_share, payload])
+        if self.fault is not None:
+            out = self.fault.filter_rows(out)
+            corrupted = []
+            for group_share, payload in out:
+                share = self.fault.maybe_corrupt_share(group_share)
+                if "partial_sum" in payload:
+                    payload = dict(payload)
+                    payload["partial_sum"] = self.fault.maybe_corrupt_share(
+                        payload["partial_sum"]
+                    )
+                corrupted.append([share, payload])
+            out = corrupted
+        return {"groups": out}
+
+    def _rpc_join(self, request: Dict) -> Dict:
+        left = self.store.table(request["left"])
+        right = self.store.table(request["right"])
+        left_column = request["left_column"]
+        right_column = request["right_column"]
+        if left_column not in left.searchable or right_column not in right.searchable:
+            raise QueryError(
+                "provider-side join requires searchable (order-preserving) "
+                "join columns; randomly-shared columns cannot be matched"
+            )
+        left_ids = self._matching_row_ids(left, request.get("left_conditions") or [])
+        right_ids = self._matching_row_ids(
+            right, request.get("right_conditions") or []
+        )
+        # hash join on deterministic share equality (Sec. V-A)
+        build: Dict[int, List[int]] = {}
+        for rid in right_ids:
+            share = right.get(rid).get(right_column)
+            if share is not None:
+                build.setdefault(share, []).append(rid)
+        self.cost.record("compare", len(right_ids) + len(left_ids))
+        joined: List[Tuple[int, int, ShareRow, ShareRow]] = []
+        for lid in left_ids:
+            share = left.get(lid).get(left_column)
+            if share is None:
+                continue
+            for rid in build.get(share, ()):
+                joined.append(
+                    (
+                        lid,
+                        rid,
+                        self._project(left, lid, request.get("projection_left")),
+                        self._project(right, rid, request.get("projection_right")),
+                    )
+                )
+        if self.fault is not None:
+            joined = self.fault.filter_rows(joined)
+            joined = [
+                (lid, rid, self.fault.corrupt_row(lrow), self.fault.corrupt_row(rrow))
+                for lid, rid, lrow, rrow in joined
+            ]
+        return {"rows": joined}
+
+    # -- trust-layer RPCs ----------------------------------------------------------------
+
+    def _merkle_tree(self, table: ShareTable):
+        """The canonical Merkle tree over current storage (version-cached).
+
+        An honest provider's tree matches the client auditor's; a provider
+        that silently modified stored shares produces a different root.
+        """
+        from ..trust.merkle import tree_for_rows
+
+        cached = self._merkle_cache.get(table.name)
+        if cached is not None and cached[0] == table.version:
+            return cached[1]
+        tree = tree_for_rows(table.name, table.rows)
+        self.cost.record("hash", max(1, 2 * len(table.rows)))
+        self._merkle_cache[table.name] = (table.version, tree)
+        return tree
+
+    def _rpc_merkle_root(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        root = self._merkle_tree(table).root
+        if self.fault is not None and self.fault.mode.value == "tamper":
+            # a tampering provider's storage diverges from the client's
+            # record; model it by perturbing the root it reports
+            root = bytes(b ^ 0x5A for b in root)
+        return {"root": root}
+
+    def _rpc_merkle_proof(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        row_id = request["row_id"]
+        ordered = table.all_row_ids()
+        if row_id not in table.rows:
+            raise ProviderError(
+                f"table {table.name}: no row with id {row_id}"
+            )
+        index = ordered.index(row_id)
+        tree = self._merkle_tree(table)
+        values = table.get(row_id)
+        if self.fault is not None:
+            values = self.fault.corrupt_row(values)
+        return {
+            "row": [row_id, values],
+            "proof": [[side, sibling] for side, sibling in tree.proof(index)],
+        }
+
+    # -- filtering internals ------------------------------------------------------------
+
+    def _matching_row_ids(
+        self, table: ShareTable, conditions: List[Dict]
+    ) -> List[int]:
+        """Row ids matching every share-space condition, ascending row id.
+
+        Each condition probes the column's sorted index; multiple
+        conditions intersect.  With no conditions, all rows match (the
+        idealized full-retrieval mode of Sec. III).
+        """
+        if not conditions:
+            return table.all_row_ids()
+        result: Optional[set] = None
+        for condition in conditions:
+            matched = set(self._condition_row_ids(table, condition))
+            result = matched if result is None else (result & matched)
+            if not result:
+                return []
+        return sorted(result)
+
+    def _condition_row_ids(self, table: ShareTable, condition: Dict) -> List[int]:
+        op = condition.get("op")
+        if op not in _CONDITION_OPS:
+            raise QueryError(f"unknown share condition op {op!r}")
+        column = condition["column"]
+        index = table.index_for(column)
+        self.cost.record("compare", index.comparisons_for_range())
+        if op == "eq":
+            return index.equal_row_ids(condition["low"])
+        if op == "range":
+            return index.range_row_ids(condition["low"], condition["high"])
+        if op == "lt":
+            return index.range_row_ids(None, condition["low"], high_inclusive=False)
+        if op == "le":
+            return index.range_row_ids(None, condition["low"])
+        if op == "gt":
+            return index.range_row_ids(condition["low"], None, low_inclusive=False)
+        return index.range_row_ids(condition["low"], None)  # ge
+
+    def _order_by_share(
+        self, table: ShareTable, row_ids: List[int], column: str
+    ) -> List[int]:
+        """Row ids sorted by the column's share value (NULLs excluded)."""
+        table.index_for(column)  # require searchable
+        keyed = [
+            (table.get(rid)[column], rid)
+            for rid in row_ids
+            if table.get(rid).get(column) is not None
+        ]
+        self.cost.record(
+            "compare", len(keyed) * max(1, len(keyed).bit_length())
+        )
+        keyed.sort()
+        return [rid for _, rid in keyed]
+
+    def _project(
+        self, table: ShareTable, row_id: int, projection: Optional[List[str]]
+    ) -> ShareRow:
+        row = table.get(row_id)
+        if projection is None:
+            return row
+        unknown = set(projection) - set(table.columns)
+        if unknown:
+            raise QueryError(f"unknown projection columns {sorted(unknown)}")
+        return {column: row[column] for column in projection}
+
+    def _apply_result_faults(self, rows: List[Tuple[int, ShareRow]]):
+        if self.fault is None:
+            return rows
+        rows = self.fault.filter_rows(rows)
+        return [(rid, self.fault.corrupt_row(values)) for rid, values in rows]
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def table_names(self) -> List[str]:
+        return self.store.table_names()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShareProvider({self.name}, tables={self.store.table_names()})"

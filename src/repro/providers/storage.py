@@ -1,0 +1,228 @@
+"""Provider-side share storage.
+
+A provider stores, per table, rows of **share integers** keyed by a
+client-assigned row id (the same logical row carries the same row id at
+every provider, which is how the client re-aligns shares for
+reconstruction).  Searchable columns — those shared with the
+order-preserving scheme — additionally maintain a sorted index over share
+values, which is what lets the provider answer exact-match and range
+predicates without learning anything beyond share order (Sec. IV).
+
+NULLs are stored as ``None`` and never indexed; comparisons against NULL
+are false, matching SQL WHERE semantics on the plaintext side.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import ProviderError
+
+ShareRow = Dict[str, Optional[int]]
+
+
+class SortedShareIndex:
+    """A sorted (share, row_id) index supporting range scans.
+
+    Duplicate share values are expected: the deterministic order-preserving
+    scheme maps equal plaintext values to equal shares (that determinism is
+    what enables provider-side equality and joins).
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._entries: List[Tuple[int, int]] = []  # (share, row_id), sorted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, share: int, row_id: int) -> None:
+        bisect.insort(self._entries, (share, row_id))
+
+    def remove(self, share: int, row_id: int) -> None:
+        index = bisect.bisect_left(self._entries, (share, row_id))
+        if (
+            index >= len(self._entries)
+            or self._entries[index] != (share, row_id)
+        ):
+            raise ProviderError(
+                f"index {self.column}: entry (share, row {row_id}) missing"
+            )
+        del self._entries[index]
+
+    def range_row_ids(
+        self,
+        low: Optional[int],
+        high: Optional[int],
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> List[int]:
+        """Row ids whose share lies in the given (possibly open) interval,
+        in ascending share order."""
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._entries, (low, -1))
+        else:
+            start = bisect.bisect_right(self._entries, (low, float("inf")))
+        if high is None:
+            stop = len(self._entries)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._entries, (high, float("inf")))
+        else:
+            stop = bisect.bisect_left(self._entries, (high, -1))
+        return [row_id for _, row_id in self._entries[start:stop]]
+
+    def equal_row_ids(self, share: int) -> List[int]:
+        return self.range_row_ids(share, share)
+
+    def min_entry(self) -> Optional[Tuple[int, int]]:
+        return self._entries[0] if self._entries else None
+
+    def max_entry(self) -> Optional[Tuple[int, int]]:
+        return self._entries[-1] if self._entries else None
+
+    def entries_in_order(self) -> List[Tuple[int, int]]:
+        """All (share, row_id) pairs in ascending share order (copy)."""
+        return list(self._entries)
+
+    def comparisons_for_range(self) -> int:
+        """Logical comparison count of one bisect-bounded range probe."""
+        n = len(self._entries)
+        return 2 * max(1, n.bit_length())
+
+
+class ShareTable:
+    """One table's shares at one provider."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: List[str],
+        searchable: Iterable[str],
+    ) -> None:
+        searchable = set(searchable)
+        unknown = searchable - set(columns)
+        if unknown:
+            raise ProviderError(
+                f"table {name}: searchable columns {sorted(unknown)} not in schema"
+            )
+        self.name = name
+        self.columns = list(columns)
+        self.searchable: Set[str] = searchable
+        self.rows: Dict[int, ShareRow] = {}
+        self.indexes: Dict[str, SortedShareIndex] = {
+            column: SortedShareIndex(column) for column in searchable
+        }
+        #: bumped on every mutation; used to invalidate cached Merkle trees
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, row_id: int, values: ShareRow) -> None:
+        if row_id in self.rows:
+            raise ProviderError(f"table {self.name}: duplicate row id {row_id}")
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ProviderError(
+                f"table {self.name}: unknown columns {sorted(unknown)}"
+            )
+        row = {column: values.get(column) for column in self.columns}
+        self.rows[row_id] = row
+        for column, index in self.indexes.items():
+            share = row[column]
+            if share is not None:
+                index.insert(share, row_id)
+        self.version += 1
+
+    def update(self, row_id: int, assignments: ShareRow) -> None:
+        row = self._row(row_id)
+        unknown = set(assignments) - set(self.columns)
+        if unknown:
+            raise ProviderError(
+                f"table {self.name}: unknown columns {sorted(unknown)}"
+            )
+        for column, new_share in assignments.items():
+            old_share = row[column]
+            if column in self.indexes:
+                if old_share is not None:
+                    self.indexes[column].remove(old_share, row_id)
+                if new_share is not None:
+                    self.indexes[column].insert(new_share, row_id)
+            row[column] = new_share
+        self.version += 1
+
+    def delete(self, row_id: int) -> None:
+        row = self._row(row_id)
+        for column, index in self.indexes.items():
+            share = row[column]
+            if share is not None:
+                index.remove(share, row_id)
+        del self.rows[row_id]
+        self.version += 1
+
+    # -- access --------------------------------------------------------------
+
+    def _row(self, row_id: int) -> ShareRow:
+        try:
+            return self.rows[row_id]
+        except KeyError:
+            raise ProviderError(
+                f"table {self.name}: no row with id {row_id}"
+            ) from None
+
+    def get(self, row_id: int) -> ShareRow:
+        return dict(self._row(row_id))
+
+    def has_row(self, row_id: int) -> bool:
+        return row_id in self.rows
+
+    def all_row_ids(self) -> List[int]:
+        return sorted(self.rows)
+
+    def index_for(self, column: str) -> SortedShareIndex:
+        try:
+            return self.indexes[column]
+        except KeyError:
+            raise ProviderError(
+                f"table {self.name}: column {column!r} is not searchable — "
+                "randomly-shared columns cannot be filtered at the provider"
+            ) from None
+
+
+class ShareStore:
+    """All tables held by one provider."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, ShareTable] = {}
+
+    def create_table(
+        self, name: str, columns: List[str], searchable: Iterable[str]
+    ) -> ShareTable:
+        if name in self._tables:
+            raise ProviderError(f"table {name!r} already exists")
+        table = ShareTable(name, columns, searchable)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise ProviderError(f"no such table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> ShareTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ProviderError(f"no such table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)

@@ -1,0 +1,150 @@
+"""Simulated client↔provider network with byte-exact accounting.
+
+The paper's evaluation question is a **computation vs communication
+trade-off** (Sec. V-A, "Future work entails a detailed performance
+evaluation...").  Communication is therefore measured, not guessed: every
+request and response between the data source and a provider passes through
+a :class:`SimulatedNetwork`, which sizes the payload with a documented
+wire format and tallies messages/bytes per endpoint and direction.
+
+Wire format (sizing only — data never actually leaves the process):
+
+* integer: 2-byte tag/length header + big-endian magnitude bytes
+  (order-preserving shares are big integers, so their real size matters);
+* string: 2-byte header + UTF-8 bytes;
+* bytes: 2-byte header + raw length;
+* None/bool: 1 byte;
+* float: 8 bytes + 1 tag;
+* list/tuple: 4-byte count + elements;
+* dict: 4-byte count + key/value pairs.
+
+Modelled transfer time = RTT/2 per message + bytes / bandwidth, using the
+latency model's constants; benchmarks report both raw bytes and modelled
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import Dict, Tuple
+
+
+def measure_bytes(payload: object) -> int:
+    """Size of ``payload`` under the documented wire format."""
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        magnitude = abs(payload)
+        return 2 + max(1, (magnitude.bit_length() + 7) // 8)
+    if isinstance(payload, float):
+        return 9
+    if isinstance(payload, Decimal):
+        return 2 + len(str(payload))
+    if isinstance(payload, str):
+        return 2 + len(payload.encode("utf-8"))
+    if isinstance(payload, bytes):
+        return 2 + len(payload)
+    if isinstance(payload, (list, tuple)):
+        return 4 + sum(measure_bytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return 4 + sum(
+            measure_bytes(k) + measure_bytes(v) for k, v in payload.items()
+        )
+    if hasattr(payload, "wire_size"):
+        return payload.wire_size()
+    raise TypeError(
+        f"cannot size object of type {type(payload).__name__} for the wire"
+    )
+
+
+@dataclass
+class LatencyModel:
+    """Constants converting volumes to modelled time.
+
+    Defaults approximate a 2009-era WAN between a client and commodity
+    providers: 40 ms RTT, 10 Mbit/s sustained throughput.
+    """
+
+    rtt_seconds: float = 0.040
+    bandwidth_bits_per_second: float = 10_000_000.0
+
+    def transfer_seconds(self, message_bytes: int) -> float:
+        """One-way modelled time for a message of the given size."""
+        return self.rtt_seconds / 2 + (message_bytes * 8) / self.bandwidth_bits_per_second
+
+
+@dataclass
+class EndpointStats:
+    """Traffic counters for one endpoint pair and direction."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+
+
+class NetworkStats:
+    """Aggregated traffic counters, with per-endpoint breakdown."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.by_link: Dict[Tuple[str, str], EndpointStats] = {}
+
+    def record(self, src: str, dst: str, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        stats = self.by_link.setdefault((src, dst), EndpointStats())
+        stats.messages += 1
+        stats.payload_bytes += size
+
+    def bytes_between(self, src: str, dst: str) -> int:
+        stats = self.by_link.get((src, dst))
+        return stats.payload_bytes if stats else 0
+
+    def bytes_to(self, dst: str) -> int:
+        return sum(
+            s.payload_bytes for (src, d), s in self.by_link.items() if d == dst
+        )
+
+    def bytes_from(self, src: str) -> int:
+        return sum(
+            s.payload_bytes for (s_, d), s in self.by_link.items() if s_ == src
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict summary used by benchmark reports."""
+        return {
+            "messages": self.messages_sent,
+            "bytes": self.bytes_sent,
+        }
+
+
+class SimulatedNetwork:
+    """The channel through which every client↔provider message flows."""
+
+    def __init__(self, latency: LatencyModel = None) -> None:
+        self.latency = latency or LatencyModel()
+        self.stats = NetworkStats()
+        self.modelled_seconds = 0.0
+
+    def send(self, src: str, dst: str, payload: object) -> int:
+        """Account for one message; returns its wire size in bytes."""
+        size = measure_bytes(payload)
+        self.stats.record(src, dst, size)
+        self.modelled_seconds += self.latency.transfer_seconds(size)
+        return size
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark iterations)."""
+        self.stats = NetworkStats()
+        self.modelled_seconds = 0.0
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.bytes_sent
+
+    @property
+    def total_messages(self) -> int:
+        return self.stats.messages_sent

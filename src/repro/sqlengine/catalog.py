@@ -1,0 +1,61 @@
+"""Name → table resolution shared by every engine front end."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SchemaError
+from .schema import TableSchema
+from .table import Table
+
+
+class Catalog:
+    """A set of named plaintext tables.
+
+    Used directly by the reference executor and as the staging area from
+    which a :class:`~repro.client.datasource.DataSource` outsources data.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table; name collisions are an error."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        """Register a pre-populated table object."""
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"no such table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table {name!r}") from None
+
+    def schema(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,153 @@
+"""Engine-neutral query AST.
+
+The same AST is executed by the plaintext reference executor (ground truth
+in tests), by the secret-sharing client (rewritten per provider, Sec. V-A),
+and by the encryption-model baselines — which is what makes the
+cross-model benchmarks apples-to-apples.
+
+Supported query shapes mirror Sec. III/V-A exactly:
+
+* exact-match selections,
+* range selections,
+* aggregations (SUM/AVG/COUNT/MIN/MAX/MEDIAN) over exact matches and
+  ranges,
+* equi-joins on referential keys,
+* INSERT / UPDATE / DELETE (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import QueryError
+from .expression import Predicate, TruePredicate
+
+
+class AggregateFunc(enum.Enum):
+    """Aggregate functions from Sec. III / V-A."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+    MEDIAN = "median"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(column)``; COUNT may use column=None for COUNT(*)."""
+
+    func: AggregateFunc
+    column: Optional[str]
+
+    def __post_init__(self) -> None:
+        if self.func is not AggregateFunc.COUNT and self.column is None:
+            raise QueryError(f"{self.func.value.upper()} requires a column")
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT columns FROM table WHERE predicate`` (or one aggregate).
+
+    ``columns=()`` means ``*``.  ``aggregate`` and ``columns`` are mutually
+    exclusive.
+
+    Extensions beyond the paper's core query classes (all executable
+    provider-side thanks to the order-preserving shares):
+
+    * ``group_by`` — one grouping column for an aggregate query; result is
+      one row per group, ordered by group value ascending.
+    * ``order_by``/``descending``/``limit`` — ordered (top-k) projection
+      queries; NULLs sort first ascending.
+    """
+
+    table: str
+    columns: Tuple[str, ...] = ()
+    where: Predicate = field(default_factory=TruePredicate)
+    aggregate: Optional[Aggregate] = None
+    group_by: Optional[str] = None
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate is not None and self.columns:
+            raise QueryError("aggregate queries cannot also project columns")
+        if self.group_by is not None and self.aggregate is None:
+            raise QueryError("GROUP BY requires an aggregate")
+        if self.group_by is not None and (
+            self.order_by is not None or self.limit is not None
+        ):
+            raise QueryError("GROUP BY cannot combine with ORDER BY/LIMIT")
+        if self.aggregate is not None and self.order_by is not None:
+            raise QueryError("aggregates cannot combine with ORDER BY")
+        if self.limit is not None and self.limit < 0:
+            raise QueryError(f"LIMIT must be non-negative, got {self.limit}")
+        if self.order_by is None and self.descending:
+            # descending is meaningless without an ordering column;
+            # normalise so equal queries compare equal
+            object.__setattr__(self, "descending", False)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    @property
+    def is_grouped(self) -> bool:
+        return self.group_by is not None
+
+
+@dataclass(frozen=True)
+class JoinSelect:
+    """Equi-join of two tables on one column pair (Sec. V-A).
+
+    ``SELECT columns FROM left JOIN right ON left.left_column =
+    right.right_column WHERE predicate`` — projected column names are
+    qualified (``table.column``); predicates reference qualified names too.
+    """
+
+    left_table: str
+    right_table: str
+    left_column: str
+    right_column: str
+    columns: Tuple[str, ...] = ()
+    where: Predicate = field(default_factory=TruePredicate)
+
+    def __post_init__(self) -> None:
+        if self.left_table == self.right_table:
+            raise QueryError("self-joins are not supported")
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO table VALUES (row)``."""
+
+    table: str
+    row: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE table SET assignments WHERE predicate`` (Sec. V-C)."""
+
+    table: str
+    assignments: Dict[str, object]
+    where: Predicate = field(default_factory=TruePredicate)
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise QueryError("UPDATE requires at least one assignment")
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM table WHERE predicate``."""
+
+    table: str
+    where: Predicate = field(default_factory=TruePredicate)
+
+
+Query = object  # union of the dataclasses above; isinstance-dispatched

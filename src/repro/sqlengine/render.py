@@ -1,0 +1,147 @@
+"""Render query-AST nodes back to SQL text.
+
+The inverse of :mod:`repro.sqlengine.sqlparser`, used for logging,
+``explain`` output, and as the parser's property-test oracle:
+``parse_sql(render_sql(q)) == q`` for every constructible query.
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+from typing import List
+
+from ..errors import QueryError
+from .expression import (
+    And,
+    Between,
+    Comparison,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    StartsWith,
+    TruePredicate,
+)
+from .query import (
+    Aggregate,
+    AggregateFunc,
+    Delete,
+    Insert,
+    JoinSelect,
+    Select,
+    Update,
+)
+
+
+def render_literal(value) -> str:
+    """SQL literal text for a Python value."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Decimal):
+        return str(value)
+    if isinstance(value, datetime.date):
+        return f"'{value.isoformat()}'"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise QueryError(f"cannot render literal of type {type(value).__name__}")
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """SQL text of a predicate tree (fully parenthesised logic)."""
+    if isinstance(predicate, TruePredicate):
+        raise QueryError("TruePredicate has no SQL form; omit the WHERE clause")
+    if isinstance(predicate, Comparison):
+        return f"{predicate.column} {predicate.op.value} {render_literal(predicate.value)}"
+    if isinstance(predicate, Between):
+        return (
+            f"{predicate.column} BETWEEN {render_literal(predicate.low)} "
+            f"AND {render_literal(predicate.high)}"
+        )
+    if isinstance(predicate, StartsWith):
+        return f"{predicate.column} LIKE {render_literal(predicate.prefix + '%')}"
+    if isinstance(predicate, IsNull):
+        suffix = "IS NOT NULL" if predicate.negated else "IS NULL"
+        return f"{predicate.column} {suffix}"
+    if isinstance(predicate, Not):
+        return f"NOT ({render_predicate(predicate.part)})"
+    if isinstance(predicate, And):
+        return " AND ".join(
+            f"({render_predicate(part)})" for part in predicate.parts
+        )
+    if isinstance(predicate, Or):
+        return " OR ".join(
+            f"({render_predicate(part)})" for part in predicate.parts
+        )
+    raise QueryError(f"cannot render predicate {type(predicate).__name__}")
+
+
+def _render_where(predicate: Predicate) -> str:
+    if isinstance(predicate, TruePredicate):
+        return ""
+    return f" WHERE {render_predicate(predicate)}"
+
+
+def _render_aggregate(aggregate: Aggregate) -> str:
+    name = aggregate.func.value.upper()
+    inner = "*" if aggregate.column is None else aggregate.column
+    return f"{name}({inner})"
+
+
+def render_sql(query) -> str:
+    """SQL text of any query-AST node."""
+    if isinstance(query, Select):
+        return _render_select(query)
+    if isinstance(query, JoinSelect):
+        return _render_join(query)
+    if isinstance(query, Insert):
+        columns = list(query.row)
+        values = ", ".join(render_literal(query.row[c]) for c in columns)
+        return (
+            f"INSERT INTO {query.table} ({', '.join(columns)}) "
+            f"VALUES ({values})"
+        )
+    if isinstance(query, Update):
+        assignments = ", ".join(
+            f"{column} = {render_literal(value)}"
+            for column, value in query.assignments.items()
+        )
+        return f"UPDATE {query.table} SET {assignments}{_render_where(query.where)}"
+    if isinstance(query, Delete):
+        return f"DELETE FROM {query.table}{_render_where(query.where)}"
+    raise QueryError(f"cannot render {type(query).__name__}")
+
+
+def _render_select(query: Select) -> str:
+    if query.is_grouped:
+        projection = f"{query.group_by}, {_render_aggregate(query.aggregate)}"
+    elif query.is_aggregate:
+        projection = _render_aggregate(query.aggregate)
+    elif query.columns:
+        projection = ", ".join(query.columns)
+    else:
+        projection = "*"
+    text = f"SELECT {projection} FROM {query.table}{_render_where(query.where)}"
+    if query.group_by is not None:
+        text += f" GROUP BY {query.group_by}"
+    if query.order_by is not None:
+        text += f" ORDER BY {query.order_by}"
+        if query.descending:
+            text += " DESC"
+    if query.limit is not None:
+        text += f" LIMIT {query.limit}"
+    return text
+
+
+def _render_join(query: JoinSelect) -> str:
+    projection = ", ".join(query.columns) if query.columns else "*"
+    text = (
+        f"SELECT {projection} FROM {query.left_table} JOIN {query.right_table} "
+        f"ON {query.left_table}.{query.left_column} = "
+        f"{query.right_table}.{query.right_column}"
+    )
+    return text + _render_where(query.where)

@@ -1,0 +1,247 @@
+"""Range-completeness verification via value-order hash chains.
+
+The second misbehaviour of Sec. I's trust challenge: a provider silently
+*omitting* tuples from a range result.  Following the signature-chaining
+idea of the paper's refs [20, 21] (Pang et al., Narasimha–Tsudik), every
+row of a protected table carries authenticated pointers to its
+predecessor and successor **in the value order of the protected column**:
+
+    aux(row) = (prev_enc, prev_rid, next_enc, next_rid, mac)
+
+where ``mac`` is an HMAC over the row's own (enc, rid) and both pointers.
+The aux fields are outsourced as ordinary *non-searchable* (randomly
+shared) columns, so providers learn nothing from them.  A range result is
+complete iff, after sorting by value:
+
+* the first row's predecessor lies strictly *below* the range,
+* every row's successor pointer names exactly the next returned row,
+* the last row's successor lies strictly *above* the range,
+* every row's MAC verifies.
+
+Any omission breaks one of these.  Virtual sentinels (rank lo−1 / hi+1,
+row id −1/−2) close the chain at the domain edges.
+
+Limitations (documented, inherent to the construction):
+
+* **empty results cannot be proven complete** without the provider
+  returning the single chain link that spans the queried range; strict
+  verification therefore refuses empty results;
+* **mutations invalidate the chain** — re-protect after updates/deletes
+  (the classic maintenance cost of chained completeness schemes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, List, Optional, Tuple
+
+from ..client.datasource import DataSource
+from ..errors import CompletenessError, ConfigurationError, SchemaError
+from ..sqlengine.expression import Between
+from ..sqlengine.query import Select
+from ..sqlengine.schema import Column, ColumnType, TableSchema, integer_column
+from ..sqlengine.table import Table
+
+#: Encoded-domain bound such that aux integers fit the share field.
+_MAX_ENC = (1 << 60) - 2
+_HEAD_RID = -1
+_TAIL_RID = -2
+
+
+def _aux_names(column: str) -> Tuple[str, str, str, str, str]:
+    base = f"chain_{column}"
+    return (
+        f"{base}_prev_enc",
+        f"{base}_prev_rid",
+        f"{base}_next_enc",
+        f"{base}_next_rid",
+        f"{base}_mac",
+    )
+
+
+class CompletenessGuard:
+    """Builds chained tables and verifies range results over them."""
+
+    def __init__(self, source: DataSource, key: bytes) -> None:
+        if len(key) < 16:
+            raise ConfigurationError("chain key must be at least 128 bits")
+        self.source = source
+        self.key = key
+        #: (table, column) pairs currently protected
+        self._protected: Dict[Tuple[str, str], bool] = {}
+
+    # -- sealing ---------------------------------------------------------------
+
+    def protected_schema(self, schema: TableSchema, column: str) -> TableSchema:
+        """The input schema extended with the aux chain columns."""
+        target = schema.column(column)
+        if not target.searchable:
+            raise SchemaError(
+                f"column {column!r} is not searchable; completeness chains "
+                "only make sense for range-filterable columns"
+            )
+        codec_domain = target.codec().domain()
+        if codec_domain.hi > _MAX_ENC or codec_domain.lo < -_MAX_ENC:
+            raise SchemaError(
+                f"column {column!r}: encoded domain too wide for chain aux "
+                "fields (limit 2^60)"
+            )
+        prev_enc, prev_rid, next_enc, next_rid, mac = _aux_names(column)
+        aux = (
+            integer_column(
+                prev_enc, codec_domain.lo - 1, codec_domain.hi + 1,
+                searchable=False,
+            ),
+            integer_column(prev_rid, -2, 1 << 40, searchable=False),
+            integer_column(
+                next_enc, codec_domain.lo - 1, codec_domain.hi + 1,
+                searchable=False,
+            ),
+            integer_column(next_rid, -2, 1 << 40, searchable=False),
+            integer_column(mac, 0, (1 << 60) - 1, searchable=False),
+        )
+        return TableSchema(
+            name=schema.name,
+            columns=schema.columns + aux,
+            primary_key=schema.primary_key,
+            foreign_keys=schema.foreign_keys,
+        )
+
+    def outsource_protected(self, table: Table, column: str) -> int:
+        """Outsource ``table`` with a completeness chain on ``column``.
+
+        Row ids are assigned here (sequentially, matching the data source's
+        insertion order) so the chain pointers can reference them.
+        """
+        schema = self.protected_schema(table.schema, column)
+        codec = table.schema.column(column).codec()
+        domain = codec.domain()
+        rows = table.rows()
+        # the data source assigns ids 0..n-1 in insertion order
+        entries = [
+            (codec.encode(row[column]), rid, row)
+            for rid, row in enumerate(rows)
+            if row.get(column) is not None
+        ]
+        if len(entries) != len(rows):
+            raise SchemaError(
+                f"column {column!r} has NULLs; chain-protect a NOT NULL column"
+            )
+        entries.sort(key=lambda e: (e[0], e[1]))
+        prev_enc_n, prev_rid_n, next_enc_n, next_rid_n, mac_n = _aux_names(column)
+        augmented: List[Dict[str, object]] = [None] * len(rows)
+        for position, (enc, rid, row) in enumerate(entries):
+            if position == 0:
+                prev = (domain.lo - 1, _HEAD_RID)
+            else:
+                prev = (entries[position - 1][0], entries[position - 1][1])
+            if position == len(entries) - 1:
+                nxt = (domain.hi + 1, _TAIL_RID)
+            else:
+                nxt = (entries[position + 1][0], entries[position + 1][1])
+            out = dict(row)
+            out[prev_enc_n], out[prev_rid_n] = prev
+            out[next_enc_n], out[next_rid_n] = nxt
+            out[mac_n] = self._mac(
+                table.schema.name, column, enc, rid, prev, nxt
+            )
+            augmented[rid] = out
+        protected = Table(schema, augmented)
+        count = self.source.outsource_table(protected)
+        self._protected[(table.schema.name, column)] = True
+        return count
+
+    def invalidate(self, table: str, column: str) -> None:
+        """Mark a chain stale (call after any mutation of the table)."""
+        self._protected[(table, column)] = False
+
+    def _mac(
+        self,
+        table: str,
+        column: str,
+        enc: int,
+        rid: int,
+        prev: Tuple[int, int],
+        nxt: Tuple[int, int],
+    ) -> int:
+        message = (
+            f"{table}|{column}|{enc}|{rid}|{prev[0]}|{prev[1]}|"
+            f"{nxt[0]}|{nxt[1]}"
+        ).encode("utf-8")
+        digest = hmac.new(self.key, message, hashlib.sha256).digest()
+        return int.from_bytes(digest[:7], "big")  # 56 bits < 2^60
+
+    # -- verified reads -----------------------------------------------------------
+
+    def verified_range(
+        self,
+        table: str,
+        column: str,
+        low,
+        high,
+        columns: Optional[List[str]] = None,
+    ) -> List[Dict[str, object]]:
+        """Range select with completeness verification.
+
+        Raises :class:`CompletenessError` when tuples were provably
+        omitted, the chain MACs fail, or the result is empty (emptiness is
+        unprovable under this scheme — see module docstring).
+        """
+        if not self._protected.get((table, column), False):
+            raise CompletenessError(
+                f"no valid completeness chain for {table}.{column}; "
+                "outsource_protected() it first (chains go stale on mutation)"
+            )
+        sharing = self.source.sharing(table)
+        codec = sharing.codec(column)
+        domain = codec.domain()
+        enc_low = max(domain.lo, codec.encode(low))
+        enc_high = min(domain.hi, codec.encode(high))
+        query = Select(table, where=Between(column, low, high))
+        with_ids = self.source.select_with_ids(query)
+        if not with_ids:
+            raise CompletenessError(
+                f"empty range result on {table}.{column} cannot be proven "
+                "complete: the provider must exhibit the chain link spanning "
+                f"[{low}, {high}] and this protocol does not fetch it"
+            )
+        prev_enc_n, prev_rid_n, next_enc_n, next_rid_n, mac_n = _aux_names(column)
+        ordered = sorted(
+            with_ids, key=lambda pair: (codec.encode(pair[1][column]), pair[0])
+        )
+        for position, (rid, row) in enumerate(ordered):
+            enc = codec.encode(row[column])
+            prev = (row[prev_enc_n], row[prev_rid_n])
+            nxt = (row[next_enc_n], row[next_rid_n])
+            if row[mac_n] != self._mac(table, column, enc, rid, prev, nxt):
+                raise CompletenessError(
+                    f"chain MAC failure on row {rid} of {table} — aux data "
+                    "was tampered with"
+                )
+            if position == 0 and prev[0] >= enc_low:
+                raise CompletenessError(
+                    f"rows omitted at the head of the range: row {rid}'s "
+                    f"predecessor (enc {prev[0]}) is inside [{enc_low}, "
+                    f"{enc_high}]"
+                )
+            if position == len(ordered) - 1 and nxt[0] <= enc_high:
+                raise CompletenessError(
+                    f"rows omitted at the tail of the range: row {rid}'s "
+                    f"successor (enc {nxt[0]}) is inside the range"
+                )
+            if position < len(ordered) - 1:
+                next_rid_actual, next_row = ordered[position + 1]
+                next_enc_actual = codec.encode(next_row[column])
+                if nxt != (next_enc_actual, next_rid_actual):
+                    raise CompletenessError(
+                        f"rows omitted between row {rid} and row "
+                        f"{next_rid_actual} of {table}: chain pointer names "
+                        f"(enc {nxt[0]}, rid {nxt[1]})"
+                    )
+        visible = columns or [
+            c.name
+            for c in sharing.schema.columns
+            if not c.name.startswith(f"chain_{column}_")
+        ]
+        return [{name: row[name] for name in visible} for _, row in ordered]

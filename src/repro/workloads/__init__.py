@@ -1,0 +1,1 @@
+"""Synthetic workload generators used by tests, examples, and benchmarks."""

@@ -1,0 +1,87 @@
+"""Unit tests for the strawman attack (ABL-2)."""
+
+import pytest
+
+from repro.attacks.monotone import (
+    AffineMap,
+    attack_slot_scheme,
+    attack_strawman_scheme,
+    break_strawman,
+    recover_affine_map,
+)
+from repro.core.order_preserving import (
+    IntegerDomain,
+    MonotoneStrawmanScheme,
+    OrderPreservingScheme,
+)
+from repro.core.secrets import generate_client_secrets
+from repro.errors import ShareError
+
+DOMAIN = IntegerDomain(0, 50_000)
+SECRETS = generate_client_secrets(5, seed=71)
+VALUES = list(range(0, 50_001, 97))
+
+
+class TestAffineRecovery:
+    def test_recover_from_two_points(self):
+        mapping = recover_affine_map([(1, 10), (3, 16)])
+        assert mapping.slope == 3 and mapping.intercept == 7
+        assert mapping.invert(10) == 1
+
+    def test_extra_consistent_points_ok(self):
+        recover_affine_map([(1, 10), (3, 16), (5, 22)])
+
+    def test_inconsistent_points_rejected(self):
+        with pytest.raises(ShareError):
+            recover_affine_map([(1, 10), (3, 16), (5, 99)])
+
+    def test_too_few_points(self):
+        with pytest.raises(ShareError):
+            recover_affine_map([(1, 10)])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ShareError):
+            recover_affine_map([(1, 10), (1, 12)])
+
+
+class TestStrawmanBreak:
+    def test_full_recovery(self):
+        """The paper's claim: break one (well, two) → break everything."""
+        scheme = MonotoneStrawmanScheme(SECRETS, DOMAIN)
+        outcome = attack_strawman_scheme(scheme, VALUES, 0, [0, 50_000])
+        assert outcome.success_rate == 1.0
+        assert outcome.recovered == len(VALUES)
+
+    def test_any_provider_works(self):
+        scheme = MonotoneStrawmanScheme(SECRETS, DOMAIN)
+        for provider in range(5):
+            outcome = attack_strawman_scheme(
+                scheme, VALUES[:50], provider, [VALUES[0], VALUES[10]]
+            )
+            assert outcome.success_rate == 1.0
+
+    def test_break_strawman_inverts_exactly(self):
+        scheme = MonotoneStrawmanScheme(SECRETS, DOMAIN)
+        observed = [scheme.share(v, 2) for v in (5, 500, 49_999)]
+        known = [(0, scheme.share(0, 2)), (100, scheme.share(100, 2))]
+        assert break_strawman(observed, known) == [5, 500, 49_999]
+
+
+class TestSlotSchemeResists:
+    def test_attack_fails(self):
+        scheme = OrderPreservingScheme(SECRETS, DOMAIN, threshold=4, label="r")
+        outcome = attack_slot_scheme(scheme, VALUES, 0, [0, 50_000])
+        # keyed slots destroy the affine structure: essentially nothing
+        # beyond the known points can be recovered
+        assert outcome.success_rate < 0.01
+
+    def test_attack_fails_with_close_known_points(self):
+        scheme = OrderPreservingScheme(SECRETS, DOMAIN, threshold=4, label="r")
+        outcome = attack_slot_scheme(scheme, VALUES, 1, [100, 101])
+        assert outcome.success_rate < 0.01
+
+    def test_outcome_scorecard(self):
+        scheme = MonotoneStrawmanScheme(SECRETS, DOMAIN)
+        outcome = attack_strawman_scheme(scheme, [0, 1, 2], 0, [0, 2])
+        assert outcome.total == 3
+        assert outcome.correct == 3

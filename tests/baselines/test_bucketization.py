@@ -1,0 +1,93 @@
+"""Unit tests for bucketized encrypted indexes."""
+
+import pytest
+
+from repro.baselines.bucketization import BucketIndex
+from repro.core.order_preserving import IntegerDomain
+from repro.errors import ConfigurationError, DomainError
+from repro.sim.costmodel import CostRecorder
+
+KEY = b"\x03" * 32
+
+
+@pytest.fixture
+def index():
+    return BucketIndex(KEY, IntegerDomain(0, 999), n_buckets=10)
+
+
+class TestConstruction:
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BucketIndex(b"x", IntegerDomain(0, 9), 2)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BucketIndex(KEY, IntegerDomain(0, 9), 0)
+
+    def test_buckets_capped_at_domain_size(self):
+        index = BucketIndex(KEY, IntegerDomain(0, 4), n_buckets=100)
+        assert index.n_buckets == 5
+
+
+class TestBucketing:
+    def test_equi_width(self, index):
+        assert index.bucket_of(0) == 0
+        assert index.bucket_of(99) == 0
+        assert index.bucket_of(100) == 1
+        assert index.bucket_of(999) == 9
+
+    def test_out_of_domain(self, index):
+        with pytest.raises(DomainError):
+            index.bucket_of(1000)
+
+    def test_labels_opaque_and_stable(self, index):
+        a = index.bucket_label(3)
+        assert a == index.bucket_label(3)
+        assert a != index.bucket_label(4)
+        assert a != 3  # not the ordinal itself
+
+    def test_labels_unordered(self, index):
+        """Keyed labels must not reveal bucket order (unlike OPE)."""
+        labels = [index.bucket_label(i) for i in range(10)]
+        assert labels != sorted(labels)
+
+    def test_label_of_value(self, index):
+        assert index.label_of_value(150) == index.bucket_label(1)
+
+    def test_bad_bucket_rejected(self, index):
+        with pytest.raises(DomainError):
+            index.bucket_label(10)
+
+
+class TestRangeLabels:
+    def test_covering_buckets(self, index):
+        labels = index.labels_for_range(150, 349)
+        assert labels == [index.bucket_label(b) for b in (1, 2, 3)]
+
+    def test_range_clamps(self, index):
+        labels = index.labels_for_range(-100, 5000)
+        assert len(labels) == 10
+
+    def test_empty_range_rejected(self, index):
+        with pytest.raises(DomainError):
+            index.labels_for_range(5, 4)
+
+    def test_cost_recorded(self, index):
+        cost = CostRecorder("t")
+        index.labels_for_range(0, 999, cost=cost)
+        assert cost.count("hash") == 10
+
+
+class TestSupersetFactor:
+    def test_formula(self, index):
+        # 10% selectivity, 10 buckets → factor 1 + 1/(0.1*10) = 2.0
+        assert index.expected_superset_factor(0.1) == pytest.approx(2.0)
+
+    def test_more_buckets_tighter(self):
+        few = BucketIndex(KEY, IntegerDomain(0, 999), 10)
+        many = BucketIndex(KEY, IntegerDomain(0, 999), 100)
+        assert many.expected_superset_factor(0.1) < few.expected_superset_factor(0.1)
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            index.expected_superset_factor(0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the private-intersection contenders (EXP-T5)."""
+
+import pytest
+
+from repro.baselines.intersection import (
+    SAFE_PRIME_256,
+    CommutativeIntersection,
+    IntersectionResult,
+    plaintext_intersection,
+    share_based_intersection,
+)
+from repro.core.field import is_probable_prime
+from repro.core.order_preserving import IntegerDomain
+from repro.errors import ConfigurationError
+
+
+class TestGroup:
+    def test_modulus_is_safe_prime(self):
+        assert is_probable_prime(SAFE_PRIME_256)
+        assert is_probable_prime((SAFE_PRIME_256 - 1) // 2)
+
+
+class TestCommutative:
+    def test_correct_intersection(self):
+        a = list(range(0, 50))
+        b = list(range(25, 80))
+        result = CommutativeIntersection(seed=1).run(a, b)
+        assert result.intersection == plaintext_intersection(a, b)
+
+    def test_disjoint_sets(self):
+        result = CommutativeIntersection(seed=2).run([1, 2], [3, 4])
+        assert result.intersection == set()
+
+    def test_identical_sets(self):
+        result = CommutativeIntersection(seed=3).run([5, 6], [5, 6])
+        assert result.intersection == {5, 6}
+
+    def test_modexp_count_linear(self):
+        a, b = list(range(10)), list(range(20))
+        result = CommutativeIntersection(seed=4).run(a, b)
+        # A: |a| + |b| modexp; B: |a| + |b| modexp
+        assert result.total_modexp() == 2 * (len(a) + len(b))
+
+    def test_bytes_scale_with_sets(self):
+        small = CommutativeIntersection(seed=5).run(list(range(5)), list(range(5)))
+        large = CommutativeIntersection(seed=5).run(list(range(50)), list(range(50)))
+        assert large.bytes_transferred > 5 * small.bytes_transferred
+
+    def test_modelled_time_dominated_by_modexp(self):
+        result = CommutativeIntersection(seed=6).run(list(range(100)), list(range(100)))
+        # 400 modexp at 1000/s → ≥ 0.4 s modelled
+        assert result.modelled_seconds() >= 0.4
+
+
+class TestShareBased:
+    DOMAIN = IntegerDomain(0, 10**6)
+
+    def test_correct_intersection(self):
+        a = list(range(100, 300))
+        b = list(range(250, 400))
+        result = share_based_intersection(a, b, self.DOMAIN, seed=1)
+        assert result.intersection == plaintext_intersection(a, b)
+
+    def test_disjoint(self):
+        result = share_based_intersection([1, 2], [3, 4], self.DOMAIN, seed=2)
+        assert result.intersection == set()
+
+    def test_no_modexp_used(self):
+        result = share_based_intersection(
+            list(range(50)), list(range(50)), self.DOMAIN, seed=3
+        )
+        assert result.total_modexp() == 0
+        assert result.party_a_cost.count("poly_eval") > 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            share_based_intersection(
+                [1], [2], self.DOMAIN, n_providers=2, threshold=3
+            )
+
+    def test_orders_of_magnitude_cheaper(self):
+        """The paper's core claim: sharing beats encryption by a lot."""
+        a = list(range(0, 200))
+        b = list(range(100, 300))
+        crypto = CommutativeIntersection(seed=7).run(a, b)
+        shared = share_based_intersection(a, b, self.DOMAIN, seed=7)
+        assert shared.intersection == crypto.intersection
+        assert crypto.modelled_seconds() > 100 * shared.modelled_seconds()

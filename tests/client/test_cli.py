@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, build_source, cmd_sql, execute_line, main, render_result
+from repro.errors import ReproError
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        code, text = run(["demo", "--rows", "60"])
+        assert code == 0
+        assert "outsourced Employees(60)" in text
+        assert "GROUP BY department" in text
+        assert "messages:" in text
+
+    def test_custom_cluster_shape(self):
+        code, text = run(["demo", "--rows", "30", "--providers", "3",
+                          "--threshold", "2"])
+        assert code == 0
+        assert "3 providers (threshold 2)" in text
+
+
+class TestFigure1:
+    def test_prints_share_table(self):
+        code, text = run(["figure1"])
+        assert code == 0
+        assert "210" in text and "410" in text
+        assert "[10, 20, 40, 60, 80]" in text
+
+
+class TestSqlBatch:
+    def test_execute_statements(self):
+        code, text = run([
+            "sql", "--rows", "40",
+            "-e", "SELECT COUNT(*) FROM Employees",
+            "-e", "SELECT MAX(salary) FROM Employees",
+        ])
+        assert code == 0
+        assert "40" in text
+
+    def test_parse_error_reported_not_fatal(self):
+        code, text = run([
+            "sql", "--rows", "10",
+            "-e", "SELEKT broken",
+            "-e", "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 0
+        assert "error:" in text
+        assert "10" in text
+
+    def test_ecommerce_workload(self):
+        code, text = run([
+            "sql", "--workload", "ecommerce", "--rows", "50",
+            "-e", "SELECT action, COUNT(*) FROM Events GROUP BY action",
+        ])
+        assert code == 0
+        assert "action" in text
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "snap")
+        code, _ = run([
+            "sql", "--rows", "15", "--save", directory,
+            "-e", "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 0
+        code, text = run([
+            "sql", "--snapshot", directory,
+            "-e", "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 0
+        assert "15" in text
+
+
+class TestInteractiveShell:
+    def drive(self, lines, rows=20):
+        out = io.StringIO()
+        parser = build_parser()
+        args = parser.parse_args(["sql", "--rows", str(rows)])
+        cmd_sql(args, out, input_lines=lines)
+        return out.getvalue()
+
+    def test_meta_tables(self):
+        text = self.drive(["\\tables", "\\quit"])
+        assert "Employees" in text and "(random)" in text
+
+    def test_meta_stats(self):
+        text = self.drive(["SELECT COUNT(*) FROM Employees", "\\stats"])
+        assert "messages:" in text
+
+    def test_meta_explain(self):
+        text = self.drive(
+            ["\\explain SELECT * FROM Employees WHERE salary BETWEEN 1 AND 2"]
+        )
+        assert "pushdown" in text
+
+    def test_meta_explain_usage(self):
+        text = self.drive(["\\explain"])
+        assert "usage" in text
+
+    def test_unknown_meta_shows_help(self):
+        text = self.drive(["\\bogus"])
+        assert "meta-commands" in text
+
+    def test_quit_stops(self):
+        text = self.drive(["\\quit", "SELECT COUNT(*) FROM Employees"])
+        # the post-quit statement never executes: no standalone scalar line
+        assert "20" not in [line.strip() for line in text.splitlines()]
+
+    def test_empty_lines_ignored(self):
+        text = self.drive(["", "   ", "\\quit"])
+        assert "error" not in text
+
+    def test_save_meta(self, tmp_path):
+        directory = str(tmp_path / "metasnap")
+        text = self.drive([f"\\save {directory}", "\\quit"])
+        assert "saved" in text
+
+
+class TestHelpers:
+    def test_render_scalar(self):
+        assert render_result(42) == "42"
+
+    def test_render_empty(self):
+        assert render_result([]) == "(0 rows)"
+
+    def test_render_rows(self):
+        text = render_result([{"a": 1}, {"a": 2}])
+        assert "(2 rows)" in text
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError):
+            build_source("nope", 10, 3, 2, 1)
+
+
+class TestSubprocess:
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "figure1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "210" in completed.stdout

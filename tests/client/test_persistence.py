@@ -1,0 +1,155 @@
+"""Tests for deployment snapshots (save/restore)."""
+
+import json
+import os
+
+import pytest
+
+from repro import DataSource, ProviderCluster
+from repro.errors import ConfigurationError
+from repro.persistence import (
+    client_from_dict,
+    client_to_dict,
+    load_deployment,
+    provider_from_dict,
+    provider_to_dict,
+    save_deployment,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.sqlengine.executor import rows_equal_unordered
+from repro.workloads.employees import employees_schema, employees_table
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    source = DataSource(ProviderCluster(4, 2), seed=37)
+    source.outsource_table(employees_table(40, seed=37))
+    return source, str(tmp_path / "snap")
+
+
+class TestSchemaRoundtrip:
+    def test_roundtrip(self):
+        schema = employees_schema()
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored == schema
+
+    def test_extended_alphabet_survives(self):
+        from repro.core.encoding import EXTENDED_ALPHABET
+        from repro.sqlengine.schema import TableSchema, string_column
+
+        schema = TableSchema(
+            "U", (string_column("h", 6, alphabet=EXTENDED_ALPHABET),)
+        )
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.column("h").alphabet == EXTENDED_ALPHABET
+
+
+class TestProviderRoundtrip:
+    def test_store_and_indexes_restored(self, deployment):
+        source, _ = deployment
+        provider = source.cluster.providers[0]
+        restored = provider_from_dict(provider_to_dict(provider))
+        original_table = provider.store.table("Employees")
+        restored_table = restored.store.table("Employees")
+        assert restored_table.all_row_ids() == original_table.all_row_ids()
+        for rid in original_table.all_row_ids():
+            assert restored_table.get(rid) == original_table.get(rid)
+        # sorted index rebuilt: range queries behave identically
+        index_a = original_table.index_for("salary").entries_in_order()
+        index_b = restored_table.index_for("salary").entries_in_order()
+        assert index_a == index_b
+
+    def test_json_serialisable(self, deployment):
+        source, _ = deployment
+        text = json.dumps(provider_to_dict(source.cluster.providers[0]))
+        assert "Employees" in text
+
+    def test_version_check(self):
+        with pytest.raises(ConfigurationError):
+            provider_from_dict({"version": 99, "name": "X", "tables": {}})
+
+
+class TestDeploymentRoundtrip:
+    def test_full_cycle_preserves_answers(self, deployment):
+        source, directory = deployment
+        expected_rows = source.sql(
+            "SELECT name, salary FROM Employees WHERE salary BETWEEN 30000 AND 70000"
+        )
+        expected_sum = source.sql("SELECT SUM(salary) FROM Employees")
+        paths = save_deployment(source, directory)
+        assert len(paths) == 5  # client + 4 providers
+        restored = load_deployment(directory)
+        assert rows_equal_unordered(
+            restored.sql(
+                "SELECT name, salary FROM Employees WHERE salary BETWEEN 30000 AND 70000"
+            ),
+            expected_rows,
+        )
+        assert restored.sql("SELECT SUM(salary) FROM Employees") == expected_sum
+
+    def test_writes_continue_after_restore(self, deployment):
+        source, directory = deployment
+        save_deployment(source, directory)
+        restored = load_deployment(directory)
+        restored.sql(
+            "INSERT INTO Employees (eid, name, lastname, department, salary) "
+            "VALUES (999999, 'POST', 'RESTORE', 'ENG', 1234)"
+        )
+        assert restored.sql(
+            "SELECT COUNT(*) FROM Employees WHERE salary = 1234"
+        ) == 1
+        assert restored.sql("SELECT COUNT(*) FROM Employees") == 41
+
+    def test_row_id_counter_restored(self, deployment):
+        source, directory = deployment
+        save_deployment(source, directory)
+        restored = load_deployment(directory)
+        assert restored._next_row_id["Employees"] == 40
+
+    def test_restore_uses_fresh_randomness_epoch(self, deployment):
+        """Replaying sharing randomness after restore would leak value
+        differences; the restored client must draw different coefficients
+        than the original would for the same insert."""
+        source, directory = deployment
+        save_deployment(source, directory)
+        restored = load_deployment(directory)
+        row = {
+            "eid": 999_999, "name": "SAME", "lastname": "ROW",
+            "department": "ENG", "salary": 50_000,
+        }
+        original_shares = source.sharing("Employees").share_row(row)
+        restored_shares = restored.sharing("Employees").share_row(row)
+        # order-preserving (deterministic) columns must agree ...
+        assert [s["salary"] for s in original_shares] == [
+            s["salary"] for s in restored_shares
+        ]
+        # ... while the random scheme's polynomials must differ — compare
+        # random shares of a second value drawn from each stream
+        a = source.sharing("Employees").random_scheme.split(
+            123, source._rng.substream("probe")
+        )
+        b = restored.sharing("Employees").random_scheme.split(
+            123, restored._rng.substream("probe")
+        )
+        assert a != b
+
+    def test_double_restore_epochs_differ(self, deployment):
+        source, directory = deployment
+        save_deployment(source, directory)
+        first = load_deployment(directory)
+        save_deployment(first, directory)
+        second = load_deployment(directory)
+        assert second._restore_epoch == first._restore_epoch + 1
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_deployment(str(tmp_path))
+
+    def test_cluster_mismatch_rejected(self, deployment):
+        source, _ = deployment
+        data = client_to_dict(source)
+        with pytest.raises(ConfigurationError):
+            client_from_dict(data, ProviderCluster(3, 2))
+        with pytest.raises(ConfigurationError):
+            client_from_dict(data, ProviderCluster(4, 3))

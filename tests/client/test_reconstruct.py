@@ -1,0 +1,129 @@
+"""Unit tests for result reconstruction and alignment."""
+
+import pytest
+
+from repro.client.reconstruct import (
+    align_by_row_id,
+    consistent_scalar,
+    reconstruct_rows,
+    reconstruct_single_rows,
+    rows_from_responses,
+)
+from repro.core.scheme import TableSharing
+from repro.core.secrets import generate_client_secrets
+from repro.errors import IntegrityError, ReconstructionError
+from repro.sim.rng import DeterministicRNG
+from repro.sqlengine.expression import Comparison, ComparisonOp
+from repro.sqlengine.schema import TableSchema, integer_column
+
+
+@pytest.fixture
+def sharing():
+    schema = TableSchema(
+        "T", (integer_column("k", 0, 1000), integer_column("v", 0, 1000))
+    )
+    return TableSharing(
+        schema, generate_client_secrets(4, seed=8), 3, DeterministicRNG(8)
+    )
+
+
+def make_responses(sharing, rows):
+    """Simulate honest provider responses for given plaintext rows."""
+    responses = {i: {"rows": []} for i in range(4)}
+    for rid, row in rows:
+        share_rows = sharing.share_row(row)
+        for i in range(4):
+            responses[i]["rows"].append([rid, share_rows[i]])
+    return responses
+
+
+class TestAlignment:
+    def test_rows_from_responses(self, sharing):
+        responses = make_responses(sharing, [(0, {"k": 1, "v": 2})])
+        provider_rows = rows_from_responses(responses)
+        assert set(provider_rows) == {0, 1, 2, 3}
+
+    def test_align_by_row_id_sorted(self, sharing):
+        responses = make_responses(
+            sharing, [(5, {"k": 1, "v": 1}), (2, {"k": 2, "v": 2})]
+        )
+        aligned = align_by_row_id(rows_from_responses(responses))
+        assert list(aligned) == [2, 5]
+        assert set(aligned[2]) == {0, 1, 2, 3}
+
+
+class TestReconstruct:
+    def test_roundtrip(self, sharing):
+        rows = [(0, {"k": 10, "v": 20}), (1, {"k": 30, "v": 40})]
+        responses = make_responses(sharing, rows)
+        out = reconstruct_rows(sharing, responses)
+        assert out == [{"k": 10, "v": 20}, {"k": 30, "v": 40}]
+
+    def test_projection(self, sharing):
+        responses = make_responses(sharing, [(0, {"k": 10, "v": 20})])
+        out = reconstruct_rows(sharing, responses, columns=["v"])
+        assert out == [{"v": 20}]
+
+    def test_residual_filters(self, sharing):
+        rows = [(0, {"k": 10, "v": 20}), (1, {"k": 30, "v": 40})]
+        responses = make_responses(sharing, rows)
+        out = reconstruct_rows(
+            sharing, responses, residual=Comparison("v", ComparisonOp.GT, 25)
+        )
+        assert out == [{"k": 30, "v": 40}]
+
+    def test_underquorum_rows_dropped_silently(self, sharing):
+        responses = make_responses(sharing, [(0, {"k": 1, "v": 2})])
+        # provider 3 omits the row; 3 ≥ k=3 still → kept.  Then drop from
+        # provider 2 as well → only 2 copies → dropped.
+        responses[3]["rows"] = []
+        assert len(reconstruct_rows(sharing, responses)) == 1
+        responses[2]["rows"] = []
+        assert reconstruct_rows(sharing, responses) == []
+
+    def test_strict_mode_raises_on_omission(self, sharing):
+        responses = make_responses(sharing, [(0, {"k": 1, "v": 2})])
+        responses[3]["rows"] = []
+        with pytest.raises(IntegrityError):
+            reconstruct_rows(sharing, responses, strict=True)
+
+
+class TestSingleRowAggregates:
+    def test_agreeing_nominations(self, sharing):
+        share_rows = sharing.share_row({"k": 5, "v": 6})
+        responses = {
+            i: {"row": [7, share_rows[i]], "count": 3} for i in range(4)
+        }
+        row = reconstruct_single_rows(sharing, responses)
+        assert row == {"k": 5, "v": 6}
+
+    def test_disagreeing_nominations_detected(self, sharing):
+        share_rows = sharing.share_row({"k": 5, "v": 6})
+        responses = {
+            i: {"row": [7, share_rows[i]], "count": 3} for i in range(4)
+        }
+        responses[2]["row"][0] = 8  # different row id
+        with pytest.raises(IntegrityError):
+            reconstruct_single_rows(sharing, responses)
+
+    def test_empty_everywhere(self, sharing):
+        responses = {i: {"row": None, "count": 0} for i in range(4)}
+        assert reconstruct_single_rows(sharing, responses) is None
+
+    def test_partial_emptiness_detected(self, sharing):
+        share_rows = sharing.share_row({"k": 5, "v": 6})
+        responses = {i: {"row": [7, share_rows[i]], "count": 3} for i in range(4)}
+        responses[1]["row"] = None
+        with pytest.raises(IntegrityError):
+            reconstruct_single_rows(sharing, responses)
+
+
+class TestConsistentScalar:
+    def test_agreement(self):
+        responses = {0: {"count": 5}, 1: {"count": 5}}
+        assert consistent_scalar(responses, "count") == 5
+
+    def test_disagreement(self):
+        responses = {0: {"count": 5}, 1: {"count": 6}}
+        with pytest.raises(IntegrityError):
+            consistent_scalar(responses, "count")

@@ -1,0 +1,128 @@
+"""Unit tests for the lazy-update buffer (Sec. V-C)."""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select, Update
+from repro.client.updates import LazyUpdateBuffer
+from repro.errors import QueryError
+from repro.sqlengine.expression import Between, Comparison, ComparisonOp
+from repro.sqlengine.query import Aggregate, AggregateFunc
+from repro.workloads.employees import employees_table
+
+
+@pytest.fixture
+def source():
+    cluster = ProviderCluster(4, 2)
+    source = DataSource(cluster, seed=11)
+    source.outsource_table(employees_table(60, seed=11))
+    return source
+
+
+@pytest.fixture
+def buffer(source):
+    return LazyUpdateBuffer(source, auto_flush_threshold=100)
+
+
+class TestEnqueueFlush:
+    def test_enqueue_defers_provider_writes(self, source, buffer):
+        source.cluster.network.reset()
+        buffer.enqueue(Update("Employees", {"salary": 1}, Between("salary", 0, 10_000)))
+        assert source.cluster.network.total_messages == 0
+        assert buffer.pending_count == 1
+
+    def test_flush_applies(self, source, buffer):
+        before = source.sql("SELECT COUNT(*) FROM Employees WHERE salary > 90000")
+        buffer.enqueue(
+            Update("Employees", {"salary": 95000},
+                   Comparison("salary", ComparisonOp.GT, 90000))
+        )
+        changed = buffer.flush()
+        assert changed == before
+        assert buffer.pending_count == 0
+        assert source.sql("SELECT COUNT(*) FROM Employees WHERE salary = 95000") >= before
+
+    def test_flush_empty_is_noop(self, buffer):
+        assert buffer.flush() == 0
+
+    def test_statements_compose_in_order(self, source, buffer):
+        # raise low salaries to 50k, then raise 50k to 60k: both apply
+        buffer.enqueue(
+            Update("Employees", {"salary": 50000},
+                   Comparison("salary", ComparisonOp.LT, 20000))
+        )
+        buffer.enqueue(
+            Update("Employees", {"salary": 60000},
+                   Comparison("salary", ComparisonOp.EQ, 50000))
+        )
+        buffer.flush()
+        assert source.sql("SELECT COUNT(*) FROM Employees WHERE salary = 50000") == 0
+
+    def test_auto_flush_threshold(self, source):
+        buffer = LazyUpdateBuffer(source, auto_flush_threshold=2)
+        buffer.enqueue(Update("Employees", {"salary": 1}, Between("salary", 0, 1)))
+        assert buffer.pending_count == 1
+        buffer.enqueue(Update("Employees", {"salary": 2}, Between("salary", 0, 1)))
+        assert buffer.pending_count == 0  # flushed
+        assert buffer.flush_count == 1
+
+    def test_bad_threshold(self, source):
+        with pytest.raises(QueryError):
+            LazyUpdateBuffer(source, auto_flush_threshold=0)
+
+    def test_enqueue_validates_columns(self, buffer):
+        with pytest.raises(Exception):
+            buffer.enqueue(Update("Employees", {"zzz": 1}))
+
+    def test_batching_saves_messages(self, source):
+        """The paper's motivation: one batched round beats per-statement."""
+        eager_source = source
+        lazy = LazyUpdateBuffer(source, auto_flush_threshold=1000)
+        statements = [
+            Update("Employees", {"department": "OPS"},
+                   Between("salary", lo, lo + 5000))
+            for lo in range(30000, 60000, 5000)
+        ]
+        source.cluster.network.reset()
+        for statement in statements:
+            lazy.enqueue(statement)
+        lazy.flush()
+        lazy_msgs = source.cluster.network.total_messages
+        source.cluster.network.reset()
+        for statement in statements:
+            eager_source.update(statement)
+        eager_msgs = source.cluster.network.total_messages
+        assert lazy_msgs < eager_msgs
+
+
+class TestReadThrough:
+    def test_reads_see_pending_updates(self, source, buffer):
+        buffer.enqueue(
+            Update("Employees", {"salary": 77777},
+                   Comparison("salary", ComparisonOp.GT, 90000))
+        )
+        rows = buffer.read_through(
+            Select("Employees", where=Comparison("salary", ComparisonOp.EQ, 77777))
+        )
+        stale = source.sql("SELECT * FROM Employees WHERE salary = 77777")
+        assert len(rows) >= len(stale)
+
+    def test_projection_applied(self, source, buffer):
+        buffer.enqueue(
+            Update("Employees", {"salary": 5},
+                   Comparison("salary", ComparisonOp.LT, 20000))
+        )
+        rows = buffer.read_through(
+            Select("Employees", columns=("name",),
+                   where=Comparison("salary", ComparisonOp.EQ, 5))
+        )
+        assert all(set(r) == {"name"} for r in rows)
+
+    def test_no_pending_delegates(self, source, buffer):
+        rows = buffer.read_through(Select("Employees"))
+        assert len(rows) == 60
+
+    def test_aggregate_requires_flush(self, buffer):
+        with pytest.raises(QueryError):
+            buffer.read_through(
+                Select("Employees", aggregate=Aggregate(AggregateFunc.COUNT, None))
+            )

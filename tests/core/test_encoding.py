@@ -1,0 +1,191 @@
+"""Unit tests for value codecs (Sec. V-B enumeration)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.core.encoding import (
+    BooleanCodec,
+    DateCodec,
+    DecimalCodec,
+    IntegerCodec,
+    StringCodec,
+)
+from repro.errors import EncodingError
+
+
+class TestIntegerCodec:
+    codec = IntegerCodec(-100, 100)
+
+    def test_identity_roundtrip(self):
+        for v in (-100, -1, 0, 50, 100):
+            assert self.codec.decode(self.codec.encode(v)) == v
+
+    def test_out_of_domain(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(101)
+        with pytest.raises(EncodingError):
+            self.codec.decode(-101)
+
+    def test_none_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(None)
+
+    def test_bool_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(True)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(EncodingError):
+            IntegerCodec(5, 4)
+
+    def test_domain(self):
+        domain = self.codec.domain()
+        assert (domain.lo, domain.hi) == (-100, 100)
+
+
+class TestStringCodec:
+    codec = StringCodec(width=5)
+
+    def test_paper_example_consistent_reading(self):
+        # digits (1,2,3,0,0) in base 27 — see module docstring on the
+        # paper's own arithmetic slip
+        assert self.codec.encode("ABC") == 1 * 27**4 + 2 * 27**3 + 3 * 27**2
+
+    def test_roundtrip(self):
+        for s in ("", "A", "Z", "FATIH", "AB"):
+            assert self.codec.decode(self.codec.encode(s)) == s
+
+    def test_case_folding(self):
+        assert self.codec.encode("john") == self.codec.encode("JOHN")
+
+    def test_order_matches_padded_string_order(self):
+        words = ["", "A", "AA", "ABC", "AZ", "B", "JACK", "ZZZZZ"]
+        encoded = [self.codec.encode(w) for w in words]
+        assert encoded == sorted(encoded)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode("TOOLONG")
+
+    def test_bad_characters_rejected(self):
+        for bad in ("A1", "A B", "Ä", "A*"):
+            with pytest.raises(EncodingError):
+                self.codec.encode(bad)
+
+    def test_none_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(None)
+
+    def test_domain_size(self):
+        assert self.codec.domain().hi == 27**5 - 1
+
+    def test_prefix_range_contains_exactly_prefixed(self):
+        low, high = self.codec.prefix_range("AB")
+        for word in ("AB", "ABA", "ABZZZ"):
+            assert low <= self.codec.encode(word) <= high
+        for word in ("AA", "AC", "B", "A"):
+            enc = self.codec.encode(word)
+            assert enc < low or enc > high
+
+    def test_full_width_prefix_is_point(self):
+        low, high = self.codec.prefix_range("HELLO")
+        assert low == high == self.codec.encode("HELLO")
+
+    def test_decode_out_of_domain(self):
+        with pytest.raises(EncodingError):
+            self.codec.decode(27**5)
+
+    def test_width_one(self):
+        codec = StringCodec(width=1)
+        assert codec.decode(codec.encode("Q")) == "Q"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(EncodingError):
+            StringCodec(width=0)
+
+
+class TestDecimalCodec:
+    codec = DecimalCodec(Decimal(0), Decimal(1000), scale=2)
+
+    def test_roundtrip(self):
+        for v in (Decimal("0"), Decimal("0.01"), Decimal("999.99"), Decimal(1000)):
+            assert self.codec.decode(self.codec.encode(v)) == v
+
+    def test_order_preserved(self):
+        values = [Decimal("0.01"), Decimal("0.10"), Decimal("1"), Decimal("999.99")]
+        encoded = [self.codec.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_too_many_digits_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(Decimal("1.001"))
+
+    def test_out_of_domain(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(Decimal("1000.01"))
+
+    def test_int_coerced(self):
+        assert self.codec.encode(5) == 500
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(EncodingError):
+            DecimalCodec(Decimal(0), Decimal(1), scale=-1)
+
+    def test_unrepresentable_bound_rejected(self):
+        with pytest.raises(EncodingError):
+            DecimalCodec(Decimal("0.001"), Decimal(1), scale=2)
+
+
+class TestDateCodec:
+    codec = DateCodec()
+
+    def test_roundtrip(self):
+        for d in (
+            datetime.date(1900, 1, 1),
+            datetime.date(2009, 3, 29),  # ICDE 2009
+            datetime.date(2100, 12, 31),
+        ):
+            assert self.codec.decode(self.codec.encode(d)) == d
+
+    def test_order_preserved(self):
+        a = self.codec.encode(datetime.date(2000, 1, 1))
+        b = self.codec.encode(datetime.date(2000, 1, 2))
+        assert a < b
+
+    def test_out_of_domain(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(datetime.date(1899, 12, 31))
+
+    def test_datetime_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(datetime.datetime(2000, 1, 1, 12, 0))
+
+    def test_custom_bounds(self):
+        codec = DateCodec(datetime.date(2020, 1, 1), datetime.date(2020, 12, 31))
+        with pytest.raises(EncodingError):
+            codec.encode(datetime.date(2021, 1, 1))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(EncodingError):
+            DateCodec(datetime.date(2021, 1, 1), datetime.date(2020, 1, 1))
+
+
+class TestBooleanCodec:
+    codec = BooleanCodec()
+
+    def test_roundtrip(self):
+        assert self.codec.decode(self.codec.encode(True)) is True
+        assert self.codec.decode(self.codec.encode(False)) is False
+
+    def test_false_below_true(self):
+        assert self.codec.encode(False) < self.codec.encode(True)
+
+    def test_int_rejected(self):
+        with pytest.raises(EncodingError):
+            self.codec.encode(1)
+
+    def test_decode_validation(self):
+        with pytest.raises(EncodingError):
+            self.codec.decode(2)

@@ -1,0 +1,149 @@
+"""Unit tests for prime-field arithmetic."""
+
+import pytest
+
+from repro.core.field import (
+    DEFAULT_FIELD,
+    MERSENNE_61,
+    PRIME_89,
+    PRIME_127,
+    PRIME_521,
+    PrimeField,
+    field_for_domain,
+    is_probable_prime,
+)
+from repro.errors import ConfigurationError, DomainError
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 15, 100, 7917):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # classic Fermat pseudoprimes must not fool Miller-Rabin
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(n)
+
+    def test_standard_primes_are_prime(self):
+        for p in (MERSENNE_61, PRIME_89, PRIME_127, PRIME_521):
+            assert is_probable_prime(p)
+
+    def test_mersenne_61_value(self):
+        assert MERSENNE_61 == 2**61 - 1
+
+
+class TestFieldConstruction:
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrimeField(2**61)  # even
+
+    def test_small_prime_field(self):
+        field = PrimeField(101)
+        assert field.modulus == 101
+
+    def test_fields_hashable_and_equal(self):
+        assert PrimeField(101) == PrimeField(101)
+        assert hash(PrimeField(101)) == hash(PrimeField(101))
+
+
+class TestArithmetic:
+    field = PrimeField(101)
+
+    def test_add_wraps(self):
+        assert self.field.add(100, 5) == 4
+
+    def test_sub_wraps(self):
+        assert self.field.sub(3, 10) == 94
+
+    def test_mul(self):
+        assert self.field.mul(20, 6) == 120 % 101
+
+    def test_neg(self):
+        assert self.field.neg(1) == 100
+        assert self.field.neg(0) == 0
+
+    def test_inverse_roundtrip(self):
+        for a in range(1, 101):
+            assert self.field.mul(a, self.field.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            self.field.inv(0)
+
+    def test_div(self):
+        assert self.field.mul(self.field.div(7, 3), 3) == 7
+
+    def test_pow(self):
+        assert self.field.pow(2, 10) == 1024 % 101
+
+    def test_sum(self):
+        assert self.field.sum([100, 100, 100]) == 300 % 101
+
+    def test_dot(self):
+        assert self.field.dot([1, 2, 3], [4, 5, 6]) == 32 % 101
+
+    def test_dot_length_mismatch(self):
+        with pytest.raises(ValueError):
+            self.field.dot([1], [1, 2])
+
+    def test_batch_inv_matches_inv(self):
+        values = [3, 7, 50, 99, 1]
+        batch = self.field.batch_inv(values)
+        assert batch == [self.field.inv(v) for v in values]
+
+    def test_batch_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            self.field.batch_inv([3, 0, 7])
+
+
+class TestSignedEncoding:
+    field = PrimeField(101)
+
+    def test_roundtrip_positive(self):
+        for v in (0, 1, 50):
+            assert self.field.decode_signed(self.field.encode_signed(v)) == v
+
+    def test_roundtrip_negative(self):
+        for v in (-1, -25, -50):
+            assert self.field.decode_signed(self.field.encode_signed(v)) == v
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DomainError):
+            self.field.encode_signed(51)
+        with pytest.raises(DomainError):
+            self.field.encode_signed(-51)
+
+
+class TestSecretValidation:
+    def test_in_range_passes(self):
+        assert DEFAULT_FIELD.check_secret(0) == 0
+        assert DEFAULT_FIELD.check_secret(MERSENNE_61 - 1) == MERSENNE_61 - 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(DomainError):
+            DEFAULT_FIELD.check_secret(MERSENNE_61)
+        with pytest.raises(DomainError):
+            DEFAULT_FIELD.check_secret(-1)
+
+
+class TestFieldForDomain:
+    def test_small_domain_gets_default(self):
+        assert field_for_domain(10**6).modulus == MERSENNE_61
+
+    def test_wide_domain_gets_bigger_prime(self):
+        assert field_for_domain(2**61).modulus == PRIME_89
+        assert field_for_domain(2**90).modulus == PRIME_127
+        assert field_for_domain(2**130).modulus == PRIME_521
+
+    def test_huge_domain_rejected(self):
+        with pytest.raises(DomainError):
+            field_for_domain(2**521)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(DomainError):
+            field_for_domain(-1)

@@ -1,0 +1,192 @@
+"""Unit tests for field and integer polynomials and interpolation."""
+
+import pytest
+from fractions import Fraction
+
+from repro.core.field import PrimeField
+from repro.core.polynomial import (
+    FieldPolynomial,
+    IntegerPolynomial,
+    interpolate_field_polynomial,
+    interpolate_integer_constant,
+    interpolate_rational_constant,
+    lagrange_constant_term,
+    random_field_polynomial,
+)
+from repro.errors import ReconstructionError, ShareError
+from repro.sim.rng import DeterministicRNG
+
+FIELD = PrimeField(101)
+
+
+class TestFieldPolynomial:
+    def test_coefficients_reduced(self):
+        poly = FieldPolynomial(FIELD, (105, 203))
+        assert poly.coeffs == (4, 1)
+
+    def test_degree(self):
+        assert FieldPolynomial(FIELD, (1, 2, 3)).degree == 2
+        assert FieldPolynomial(FIELD, (1, 0, 0)).degree == 0
+        assert FieldPolynomial(FIELD, (0,)).degree == -1
+
+    def test_constant_term(self):
+        assert FieldPolynomial(FIELD, (42, 7)).constant_term == 42
+
+    def test_evaluate_horner(self):
+        # 3 + 2x + x^2 at x=5 → 38
+        poly = FieldPolynomial(FIELD, (3, 2, 1))
+        assert poly.evaluate(5) == 38
+
+    def test_evaluate_wraps(self):
+        poly = FieldPolynomial(FIELD, (100, 100))
+        assert poly.evaluate(2) == (100 + 200) % 101
+
+    def test_evaluate_many(self):
+        poly = FieldPolynomial(FIELD, (1, 1))
+        assert poly.evaluate_many([1, 2, 3]) == [2, 3, 4]
+
+    def test_add(self):
+        a = FieldPolynomial(FIELD, (1, 2))
+        b = FieldPolynomial(FIELD, (3, 4, 5))
+        assert a.add(b).coeffs == (4, 6, 5)
+
+    def test_add_different_fields_rejected(self):
+        a = FieldPolynomial(FIELD, (1,))
+        b = FieldPolynomial(PrimeField(103), (1,))
+        with pytest.raises(ShareError):
+            a.add(b)
+
+    def test_scale(self):
+        poly = FieldPolynomial(FIELD, (2, 3))
+        assert poly.scale(10).coeffs == (20, 30)
+
+
+class TestRandomPolynomial:
+    def test_constant_is_secret(self):
+        rng = DeterministicRNG(0)
+        poly = random_field_polynomial(FIELD, 42, 3, rng)
+        assert poly.constant_term == 42
+        assert len(poly.coeffs) == 4
+
+    def test_secret_out_of_field_rejected(self):
+        rng = DeterministicRNG(0)
+        with pytest.raises(Exception):
+            random_field_polynomial(FIELD, 101, 2, rng)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ShareError):
+            random_field_polynomial(FIELD, 1, -1, DeterministicRNG(0))
+
+    def test_degree_zero_is_constant(self):
+        poly = random_field_polynomial(FIELD, 9, 0, DeterministicRNG(0))
+        assert poly.coeffs == (9,)
+
+
+class TestLagrange:
+    def test_reconstructs_constant_term(self):
+        rng = DeterministicRNG(1)
+        poly = random_field_polynomial(FIELD, 55, 2, rng)
+        points = [(x, poly.evaluate(x)) for x in (3, 7, 11)]
+        assert lagrange_constant_term(FIELD, points) == 55
+
+    def test_any_subset_of_points_works(self):
+        rng = DeterministicRNG(2)
+        poly = random_field_polynomial(FIELD, 17, 2, rng)
+        xs = [2, 5, 9, 13, 20]
+        points = [(x, poly.evaluate(x)) for x in xs]
+        import itertools
+
+        for subset in itertools.combinations(points, 3):
+            assert lagrange_constant_term(FIELD, list(subset)) == 17
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ReconstructionError):
+            lagrange_constant_term(FIELD, [])
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ReconstructionError):
+            lagrange_constant_term(FIELD, [(3, 1), (3, 2)])
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ReconstructionError):
+            lagrange_constant_term(FIELD, [(0, 5), (1, 6)])
+
+    def test_full_interpolation_matches(self):
+        rng = DeterministicRNG(3)
+        poly = random_field_polynomial(FIELD, 8, 3, rng)
+        points = [(x, poly.evaluate(x)) for x in (1, 2, 3, 4)]
+        recovered = interpolate_field_polynomial(FIELD, points)
+        assert recovered.coeffs[: len(poly.coeffs)] == poly.coeffs
+
+
+class TestIntegerPolynomial:
+    def test_evaluate(self):
+        # 5 + 2x + 3x^2 at x=4 → 5 + 8 + 48 = 61
+        poly = IntegerPolynomial((5, 2, 3))
+        assert poly.evaluate(4) == 61
+
+    def test_negative_constant(self):
+        poly = IntegerPolynomial((-7, 1))
+        assert poly.evaluate(3) == -4
+
+    def test_degree_and_constant(self):
+        poly = IntegerPolynomial((9, 0, 4))
+        assert poly.degree == 2
+        assert poly.constant_term == 9
+
+    def test_dominates(self):
+        low = IntegerPolynomial((1, 2, 3))
+        high = IntegerPolynomial((2, 3, 4))
+        assert high.dominates(low)
+        assert not low.dominates(high)
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ShareError):
+            IntegerPolynomial((1,)).dominates(IntegerPolynomial((1, 2)))
+
+    def test_dominance_implies_order_at_positive_points(self):
+        # the paper's key observation (Sec. IV)
+        low = IntegerPolynomial((10, 100, 7, 3))
+        high = IntegerPolynomial((11, 101, 8, 4))
+        assert high.dominates(low)
+        for x in (1, 2, 5, 100, 10_000):
+            assert high.evaluate(x) > low.evaluate(x)
+
+
+class TestRationalInterpolation:
+    def test_exact_integer_constant(self):
+        poly = IntegerPolynomial((42, 17, 3, 9))
+        points = [(x, poly.evaluate(x)) for x in (2, 4, 1, 7)]
+        assert interpolate_integer_constant(points) == 42
+
+    def test_rational_result_detected(self):
+        # tamper one share → non-integer constant (overwhelmingly likely)
+        poly = IntegerPolynomial((42, 17, 3, 9))
+        points = [(x, poly.evaluate(x)) for x in (2, 4, 1, 7)]
+        points[0] = (points[0][0], points[0][1] + 1)
+        result = interpolate_rational_constant(points)
+        assert result != 42
+
+    def test_non_integer_raises(self):
+        points = [(1, 1), (2, 2), (3, 4)]  # not on an integer-constant parabola
+        value = interpolate_rational_constant(points)
+        if value.denominator != 1:
+            with pytest.raises(ReconstructionError):
+                interpolate_integer_constant(points)
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ReconstructionError):
+            interpolate_rational_constant([(2, 1), (2, 3)])
+
+    def test_zero_x_rejected(self):
+        with pytest.raises(ReconstructionError):
+            interpolate_rational_constant([(0, 1), (2, 3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReconstructionError):
+            interpolate_rational_constant([])
+
+    def test_negative_constant_roundtrip(self):
+        poly = IntegerPolynomial((-500, 3, 2))
+        points = [(x, poly.evaluate(x)) for x in (1, 5, 9)]
+        assert interpolate_integer_constant(points) == -500

@@ -1,0 +1,195 @@
+"""Unit tests for per-table sharing configuration."""
+
+import pytest
+from decimal import Decimal
+
+from repro.core.scheme import TableSharing
+from repro.core.secrets import generate_client_secrets
+from repro.errors import (
+    QueryError,
+    ReconstructionError,
+    UnsupportedQueryError,
+)
+from repro.sim.rng import DeterministicRNG
+from repro.sqlengine.schema import (
+    TableSchema,
+    decimal_column,
+    integer_column,
+    string_column,
+)
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        "T",
+        (
+            integer_column("id", 1, 10_000),
+            string_column("name", 6),
+            integer_column("secret_num", -500, 500, searchable=False),
+            decimal_column("price", 0, 1000, scale=2),
+        ),
+        primary_key="id",
+    )
+
+
+@pytest.fixture
+def sharing(schema):
+    return TableSharing(
+        schema, generate_client_secrets(5, seed=2), 3, DeterministicRNG(2)
+    )
+
+
+class TestConfiguration:
+    def test_threshold_one_rejected(self, schema):
+        with pytest.raises(QueryError):
+            TableSharing(
+                schema, generate_client_secrets(5, seed=2), 1, DeterministicRNG(2)
+            )
+
+    def test_searchability(self, sharing):
+        assert sharing.is_searchable("id")
+        assert sharing.is_searchable("name")
+        assert not sharing.is_searchable("secret_num")
+
+    def test_op_scheme_for_random_column_raises(self, sharing):
+        with pytest.raises(UnsupportedQueryError):
+            sharing.op_scheme("secret_num")
+
+    def test_unknown_column_raises(self, sharing):
+        with pytest.raises(QueryError):
+            sharing.codec("nope")
+
+    def test_domain_label_sharing(self):
+        schema_a = TableSchema(
+            "A", (integer_column("k", 1, 100, domain_label="dom/k"),)
+        )
+        schema_b = TableSchema(
+            "B", (integer_column("k", 1, 100, domain_label="dom/k"),)
+        )
+        secrets = generate_client_secrets(4, seed=1)
+        registry = {}
+        a = TableSharing(schema_a, secrets, 2, DeterministicRNG(1), registry)
+        b = TableSharing(schema_b, secrets, 2, DeterministicRNG(1), registry)
+        # join compatibility: equal values → equal shares across tables
+        assert a.query_share("k", 42, 0) == b.query_share("k", 42, 0)
+
+    def test_incompatible_domain_same_label_rejected(self):
+        schema_a = TableSchema(
+            "A", (integer_column("k", 1, 100, domain_label="dom/x"),)
+        )
+        schema_b = TableSchema(
+            "B", (integer_column("k", 1, 999, domain_label="dom/x"),)
+        )
+        secrets = generate_client_secrets(4, seed=1)
+        registry = {}
+        TableSharing(schema_a, secrets, 2, DeterministicRNG(1), registry)
+        with pytest.raises(QueryError):
+            TableSharing(schema_b, secrets, 2, DeterministicRNG(1), registry)
+
+
+class TestRowSharing:
+    def test_share_and_reconstruct_row(self, sharing):
+        row = {
+            "id": 7,
+            "name": "ALICE",
+            "secret_num": -123,
+            "price": Decimal("19.99"),
+        }
+        share_rows = sharing.share_row(row)
+        assert len(share_rows) == 5
+        reconstructed = sharing.reconstruct_row(dict(enumerate(share_rows)))
+        assert reconstructed == row
+
+    def test_null_handling(self, schema):
+        schema_nullable = TableSchema(
+            "T2",
+            (
+                integer_column("id", 1, 100),
+                integer_column("x", 0, 10, nullable=True),
+            ),
+        )
+        sharing = TableSharing(
+            schema_nullable, generate_client_secrets(3, seed=4), 2,
+            DeterministicRNG(4),
+        )
+        share_rows = sharing.share_row({"id": 1, "x": None})
+        assert all(r["x"] is None for r in share_rows)
+        row = sharing.reconstruct_row(dict(enumerate(share_rows)))
+        assert row["x"] is None
+
+    def test_null_disagreement_detected(self, sharing):
+        share_rows = sharing.share_row(
+            {"id": 1, "name": "B", "secret_num": 0, "price": Decimal(1)}
+        )
+        share_rows[0]["name"] = None
+        with pytest.raises(ReconstructionError):
+            sharing.reconstruct_row(dict(enumerate(share_rows)))
+
+    def test_too_few_providers(self, sharing):
+        share_rows = sharing.share_row(
+            {"id": 1, "name": "B", "secret_num": 0, "price": Decimal(1)}
+        )
+        with pytest.raises(ReconstructionError):
+            sharing.reconstruct_row({0: share_rows[0], 1: share_rows[1]})
+
+    def test_partial_column_reconstruction(self, sharing):
+        row = {"id": 3, "name": "CAROL", "secret_num": 5, "price": Decimal(2)}
+        share_rows = sharing.share_row(row)
+        partial = sharing.reconstruct_row(
+            dict(enumerate(share_rows)), columns=["id", "name"]
+        )
+        assert partial == {"id": 3, "name": "CAROL"}
+
+    def test_query_share_matches_stored_share(self, sharing):
+        row = {"id": 9, "name": "DAVE", "secret_num": 1, "price": Decimal(5)}
+        share_rows = sharing.share_row(row)
+        for i in range(5):
+            assert sharing.query_share("id", 9, i) == share_rows[i]["id"]
+            assert sharing.query_share("name", "DAVE", i) == share_rows[i]["name"]
+
+    def test_random_columns_not_deterministic(self, sharing):
+        a = sharing.share_value("secret_num", 42)
+        b = sharing.share_value("secret_num", 42)
+        assert a != b
+
+    def test_query_share_of_null_rejected(self, sharing):
+        with pytest.raises(QueryError):
+            sharing.query_share("id", None, 0)
+
+
+class TestSumCombination:
+    def test_op_column_sum(self, sharing):
+        values = [100, 250, 333]
+        partials = {i: 0 for i in range(5)}
+        for v in values:
+            shares = sharing.share_value("id", v)
+            for i in range(5):
+                partials[i] += shares[i]
+        assert sharing.combine_sum("id", partials, len(values)) == sum(values)
+
+    def test_random_column_sum_with_negatives(self, sharing):
+        values = [-100, 250, -33]
+        partials = {i: 0 for i in range(5)}
+        for v in values:
+            shares = sharing.share_value("secret_num", v)
+            for i in range(5):
+                partials[i] += shares[i]
+        assert sharing.combine_sum("secret_num", partials, len(values)) == 117
+
+    def test_decimal_sum_decoding(self, sharing):
+        values = [Decimal("1.25"), Decimal("2.50")]
+        partials = {i: 0 for i in range(5)}
+        for v in values:
+            shares = sharing.share_value("price", v)
+            for i in range(5):
+                partials[i] += shares[i]
+        assert sharing.combine_sum("price", partials, 2) == Decimal("3.75")
+
+    def test_empty_sum_is_none(self, sharing):
+        assert sharing.combine_sum("id", {}, 0) is None
+
+    def test_non_numeric_sum_rejected(self, sharing):
+        partials = {i: s for i, s in enumerate(sharing.share_value("name", "A"))}
+        with pytest.raises(QueryError):
+            sharing.combine_sum("name", partials, 1)

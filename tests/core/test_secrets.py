@@ -1,0 +1,100 @@
+"""Unit tests for client secret material."""
+
+import pytest
+
+from repro.core.field import PrimeField
+from repro.core.secrets import (
+    ClientSecrets,
+    generate_client_secrets,
+    secrets_with_points,
+    shares_by_provider,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSecrets((2, 2, 3), b"k" * 32)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSecrets((0, 1, 2), b"k" * 32)
+
+    def test_negative_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSecrets((-1, 1), b"k" * 32)
+
+    def test_point_beyond_field_rejected(self):
+        field = PrimeField(101)
+        with pytest.raises(ConfigurationError):
+            ClientSecrets((102,), b"k" * 32, field)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSecrets((1, 2), b"short")
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_client_secrets(5, seed=7)
+        b = generate_client_secrets(5, seed=7)
+        assert a.evaluation_points == b.evaluation_points
+        assert a.hash_key == b.hash_key
+
+    def test_different_seeds_differ(self):
+        a = generate_client_secrets(5, seed=7)
+        b = generate_client_secrets(5, seed=8)
+        assert a.evaluation_points != b.evaluation_points
+
+    def test_points_distinct_and_positive(self):
+        secrets = generate_client_secrets(20, seed=1)
+        points = secrets.evaluation_points
+        assert len(set(points)) == 20
+        assert all(p > 0 for p in points)
+
+    def test_zero_providers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_client_secrets(0)
+
+    def test_explicit_points(self):
+        secrets = secrets_with_points((2, 4, 1), seed=0)
+        assert secrets.evaluation_points == (2, 4, 1)
+        assert secrets.point_for(1) == 4
+
+
+class TestKeyedHash:
+    def test_deterministic(self):
+        secrets = generate_client_secrets(2, seed=1)
+        assert secrets.keyed_hash("label", 5) == secrets.keyed_hash("label", 5)
+
+    def test_label_separation(self):
+        secrets = generate_client_secrets(2, seed=1)
+        assert secrets.keyed_hash("a", 5) != secrets.keyed_hash("b", 5)
+
+    def test_value_separation(self):
+        secrets = generate_client_secrets(2, seed=1)
+        assert secrets.keyed_hash("a", 5) != secrets.keyed_hash("a", 6)
+
+    def test_negative_values_distinct(self):
+        secrets = generate_client_secrets(2, seed=1)
+        assert secrets.keyed_hash("a", -5) != secrets.keyed_hash("a", 5)
+
+    def test_key_dependence(self):
+        a = generate_client_secrets(2, seed=1)
+        b = generate_client_secrets(2, seed=2)
+        assert a.keyed_hash("a", 5) != b.keyed_hash("a", 5)
+
+    def test_subkey_derivation(self):
+        secrets = generate_client_secrets(2, seed=1)
+        assert secrets.derive_subkey("x") != secrets.derive_subkey("y")
+        assert len(secrets.derive_subkey("x")) == 32
+
+
+class TestHelpers:
+    def test_shares_by_provider_sorted(self):
+        assert shares_by_provider({2: 30, 0: 10, 1: 20}) == [
+            (0, 10),
+            (1, 20),
+            (2, 30),
+        ]

@@ -1,0 +1,84 @@
+"""Integration tests for availability under provider failures (EXP-T7)."""
+
+import itertools
+
+import pytest
+
+from repro import DataSource, ProviderCluster
+from repro.errors import QuorumError
+from repro.providers.failures import Fault, FailureMode
+from repro.workloads.employees import employees_table
+
+
+def build(n, k, rows=30, seed=81):
+    cluster = ProviderCluster(n, k)
+    source = DataSource(cluster, seed=seed)
+    source.outsource_table(employees_table(rows, seed=seed))
+    return source
+
+
+QUERY = "SELECT COUNT(*) FROM Employees WHERE salary BETWEEN 0 AND 1000000"
+
+
+class TestAvailabilityBoundary:
+    @pytest.mark.parametrize("n,k", [(3, 2), (5, 3), (7, 4)])
+    def test_survives_exactly_n_minus_k_crashes(self, n, k):
+        source = build(n, k)
+        for i in range(n - k):
+            source.cluster.inject_fault(i, Fault(FailureMode.CRASH))
+        assert source.sql(QUERY) == 30
+
+    @pytest.mark.parametrize("n,k", [(3, 2), (5, 3), (7, 4)])
+    def test_fails_at_n_minus_k_plus_one_crashes(self, n, k):
+        source = build(n, k)
+        for i in range(n - k + 1):
+            source.cluster.inject_fault(i, Fault(FailureMode.CRASH))
+        with pytest.raises(QuorumError):
+            source.sql(QUERY)
+
+    def test_any_subset_of_allowed_size_survives(self):
+        source = build(5, 3)
+        for crashed in itertools.combinations(range(5), 2):
+            source.cluster.clear_faults()
+            for i in crashed:
+                source.cluster.inject_fault(i, Fault(FailureMode.CRASH))
+            assert source.sql(QUERY) == 30, crashed
+
+
+class TestRecovery:
+    def test_provider_returns_after_crash(self):
+        source = build(4, 2)
+        source.cluster.inject_fault(0, Fault(FailureMode.CRASH))
+        assert source.sql(QUERY) == 30
+        source.cluster.clear_faults()
+        assert source.sql(QUERY) == 30
+
+    def test_writes_during_crash_leave_crashed_provider_stale(self):
+        """The documented write-availability model: a provider that missed
+        a write serves stale data, which the quorum masks as long as k
+        up-to-date providers respond."""
+        source = build(4, 2)
+        source.cluster.inject_fault(3, Fault(FailureMode.CRASH))
+        source.sql("UPDATE Employees SET salary = 123 WHERE salary >= 0")
+        source.cluster.clear_faults()
+        # quorum picks the first k live providers (0, 1) — both fresh
+        assert source.sql("SELECT COUNT(*) FROM Employees WHERE salary = 123") == 30
+        # provider 3's stale storage is observable directly
+        fresh = source.cluster.providers[0].store.table("Employees")
+        stale = source.cluster.providers[3].store.table("Employees")
+        fresh_salaries = [r["salary"] for r in fresh.rows.values()]
+        stale_salaries = [r["salary"] for r in stale.rows.values()]
+        assert fresh_salaries != stale_salaries
+
+
+class TestMixedFaults:
+    def test_crash_plus_tamper_outside_quorum_harmless(self):
+        source = build(5, 2, seed=82)
+        source.cluster.inject_fault(3, Fault(FailureMode.CRASH))
+        from repro.sim.rng import DeterministicRNG
+
+        source.cluster.inject_fault(
+            4, Fault(FailureMode.TAMPER, rng=DeterministicRNG(1, "t"))
+        )
+        # quorum = providers 0,1 — both honest
+        assert source.sql(QUERY) == 30

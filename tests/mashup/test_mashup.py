@@ -1,0 +1,181 @@
+"""Unit tests for the private/public mash-up engine (Sec. V-D)."""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select, Table, TableSchema
+from repro.errors import QueryError, SchemaError
+from repro.mashup.engine import MashupEngine, PIRBackedPublicIndex
+from repro.mashup.public_catalog import PublicCatalog
+from repro.sqlengine.expression import Comparison, ComparisonOp
+from repro.sqlengine.schema import integer_column, string_column
+
+
+def friends_table():
+    schema = TableSchema(
+        "Friends",
+        (
+            integer_column("fid", 1, 1000),
+            string_column("name", 8),
+            integer_column("zipcode", 10000, 99999, domain_label="d/zip"),
+        ),
+        primary_key="fid",
+    )
+    return Table(
+        schema,
+        [
+            {"fid": 1, "name": "ANNA", "zipcode": 90210},
+            {"fid": 2, "name": "BILL", "zipcode": 10001},
+            {"fid": 3, "name": "CARA", "zipcode": 90210},
+        ],
+    )
+
+
+def restaurants_table():
+    schema = TableSchema(
+        "Restaurants",
+        (
+            integer_column("rid", 1, 10000),
+            string_column("name", 10),
+            integer_column("zipcode", 10000, 99999),
+            integer_column("rating", 1, 5),
+        ),
+        primary_key="rid",
+    )
+    rows = [
+        {"rid": 1, "name": "PASTA", "zipcode": 90210, "rating": 4},
+        {"rid": 2, "name": "SUSHI", "zipcode": 90210, "rating": 5},
+        {"rid": 3, "name": "TACOS", "zipcode": 10001, "rating": 3},
+        {"rid": 4, "name": "BURGER", "zipcode": 60601, "rating": 2},
+    ]
+    return Table(schema, rows)
+
+
+@pytest.fixture
+def engine():
+    cluster = ProviderCluster(3, 2)
+    source = DataSource(cluster, seed=61)
+    source.outsource_table(friends_table())
+    catalog = PublicCatalog()
+    catalog.publish(restaurants_table())
+    engine = MashupEngine(source, catalog)
+    engine.enable_pir(restaurants_table(), "zipcode")
+    return engine
+
+
+def run(engine, strategy):
+    return engine.probe_join(
+        "Friends",
+        Select("Friends"),
+        "zipcode",
+        "Restaurants",
+        "zipcode",
+        strategy=strategy,
+    )
+
+
+EXPECTED_PAIRS = {
+    ("ANNA", "PASTA"), ("ANNA", "SUSHI"),
+    ("CARA", "PASTA"), ("CARA", "SUSHI"),
+    ("BILL", "TACOS"),
+}
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("strategy", ["direct", "download", "pir"])
+    def test_join_results(self, engine, strategy):
+        report = run(engine, strategy)
+        pairs = {
+            (row["private.name"], row["public.name"]) for row in report.rows
+        }
+        assert pairs == EXPECTED_PAIRS
+        assert report.probe_keys == 2  # two distinct zip codes
+
+
+class TestLeakageLedger:
+    def test_direct_leaks_keys(self, engine):
+        report = run(engine, "direct")
+        assert report.keys_leaked == 2 and report.leaked
+
+    def test_download_and_pir_leak_nothing(self, engine):
+        for strategy in ("download", "pir"):
+            report = run(engine, strategy)
+            assert report.keys_leaked == 0 and not report.leaked
+
+    def test_public_server_observes_direct_queries(self, engine):
+        run(engine, "direct")
+        observed = engine.catalog.queries_observed
+        assert any("90210" in q for q in observed)
+
+    def test_bytes_accounted(self, engine):
+        for strategy in ("direct", "download", "pir"):
+            assert run(engine, strategy).public_bytes > 0
+
+
+class TestRowFilter:
+    def test_proximity_style_filter(self, engine):
+        report = engine.probe_join(
+            "Friends",
+            Select("Friends"),
+            "zipcode",
+            "Restaurants",
+            "zipcode",
+            strategy="download",
+            row_filter=lambda private, public: public["rating"] >= 4,
+        )
+        names = {row["public.name"] for row in report.rows}
+        assert names == {"PASTA", "SUSHI"}
+
+
+class TestPIRIndex:
+    def test_lookup_matches_table(self):
+        index = PIRBackedPublicIndex(restaurants_table(), "zipcode")
+        rows = index.lookup(90210)
+        assert {r["name"] for r in rows} == {"PASTA", "SUSHI"}
+        assert index.lookup(33101) == []
+
+    def test_key_column_mismatch_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.probe_join(
+                "Friends", Select("Friends"), "zipcode",
+                "Restaurants", "rating", strategy="pir",
+            )
+
+    def test_pir_requires_enabling(self):
+        cluster = ProviderCluster(3, 2)
+        source = DataSource(cluster, seed=2)
+        source.outsource_table(friends_table())
+        catalog = PublicCatalog()
+        catalog.publish(restaurants_table())
+        engine = MashupEngine(source, catalog)
+        with pytest.raises(QueryError):
+            run(engine, "pir")
+
+    def test_empty_key_table_rejected(self):
+        schema = TableSchema("P", (integer_column("k", 0, 9, nullable=True),))
+        with pytest.raises(QueryError):
+            PIRBackedPublicIndex(Table(schema, [{"k": None}]), "k")
+
+
+class TestGuards:
+    def test_unknown_strategy(self, engine):
+        with pytest.raises(QueryError):
+            run(engine, "telepathy")
+
+    def test_projected_probe_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.probe_join(
+                "Friends",
+                Select("Friends", columns=("name",)),
+                "zipcode", "Restaurants", "zipcode",
+            )
+
+    def test_table_mismatch_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.probe_join(
+                "Friends", Select("Other"), "zipcode",
+                "Restaurants", "zipcode",
+            )
+
+    def test_duplicate_publish_rejected(self, engine):
+        with pytest.raises(SchemaError):
+            engine.catalog.publish(restaurants_table())

@@ -1,0 +1,70 @@
+"""Unit tests for PIR communication/computation models."""
+
+import pytest
+
+from repro.pir.analysis import (
+    PIRTimeModel,
+    communication_table,
+    cube_communication_bytes,
+    kserver_communication_bytes,
+    trivial_communication_bytes,
+)
+
+
+class TestCommunicationModels:
+    def test_trivial_linear(self):
+        assert trivial_communication_bytes(1000, 64) == 64_000
+        assert trivial_communication_bytes(2000, 64) == 128_000
+
+    def test_trivial_validation(self):
+        with pytest.raises(ValueError):
+            trivial_communication_bytes(0, 64)
+
+    def test_kserver_sublinear(self):
+        small = kserver_communication_bytes(2**10, 64, 2)
+        large = kserver_communication_bytes(2**20, 64, 2)
+        # N grew 1024x; N^(1/3) grows ~10x
+        assert large < 20 * small
+
+    def test_more_servers_less_communication_at_scale(self):
+        n = 2**30
+        assert kserver_communication_bytes(n, 64, 4) < kserver_communication_bytes(n, 64, 2)
+
+    def test_kserver_validation(self):
+        with pytest.raises(ValueError):
+            kserver_communication_bytes(100, 64, 1)
+
+    def test_kserver_beats_trivial_at_scale(self):
+        """The paper's Sec. II-B point: replication buys sublinearity."""
+        n = 2**20
+        assert kserver_communication_bytes(n, 64, 2) < trivial_communication_bytes(n, 64)
+
+    def test_cube_model_positive_and_sublinear(self):
+        small = cube_communication_bytes(2**10, 64, 3)
+        large = cube_communication_bytes(2**20, 64, 3)
+        assert 0 < small < large
+        assert large < 100 * small  # ≪ the 1024x data growth
+
+    def test_table_shape(self):
+        rows = communication_table([1024, 4096], record_bytes=32, k_values=[2, 3])
+        assert len(rows) == 2
+        assert set(rows[0]) == {"N", "trivial", "k=2", "k=3"}
+
+
+class TestTimeModel:
+    model = PIRTimeModel()
+
+    def test_cpir_slower_than_trivial(self):
+        """Sion–Carbunar (ref [16]): cPIR is orders of magnitude slower."""
+        slowdown = self.model.slowdown(10_000, 64)
+        assert slowdown > 100
+
+    def test_trivial_bandwidth_bound(self):
+        fast = self.model.trivial_seconds(1000, 64)
+        slow = self.model.trivial_seconds(100_000, 64)
+        assert slow > 50 * fast
+
+    def test_cpir_linear_in_bits(self):
+        assert self.model.cpir_seconds(2000, 64) == pytest.approx(
+            2 * self.model.cpir_seconds(1000, 64)
+        )

@@ -1,0 +1,156 @@
+"""Unit tests for the PIR protocols."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.pir.multiserver import (
+    CubePIRClient,
+    CubePIRServer,
+    build_cube_cluster,
+    cube_side,
+    index_to_coordinates,
+)
+from repro.pir.trivial import TrivialPIRClient, TrivialPIRServer
+from repro.pir.xor2 import XorPIRServer, Xor2ServerPIRClient, xor_blocks
+from repro.sim.rng import DeterministicRNG
+
+
+@pytest.fixture
+def records():
+    rng = DeterministicRNG(5, "pir-test")
+    return [rng.bytes(24) for _ in range(64)]
+
+
+class TestXorHelper:
+    def test_xor_blocks(self):
+        assert xor_blocks(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_xor_identity(self):
+        assert xor_blocks(b"ab", b"\x00\x00") == b"ab"
+
+    def test_length_mismatch(self):
+        with pytest.raises(QueryError):
+            xor_blocks(b"a", b"ab")
+
+
+class TestTrivial:
+    def test_retrieval(self, records):
+        client = TrivialPIRClient(TrivialPIRServer(records))
+        for i in (0, 31, 63):
+            assert client.retrieve(i) == records[i]
+
+    def test_bounds(self, records):
+        client = TrivialPIRClient(TrivialPIRServer(records))
+        with pytest.raises(QueryError):
+            client.retrieve(64)
+
+    def test_downloads_everything(self, records):
+        client = TrivialPIRClient(TrivialPIRServer(records))
+        client.retrieve(0)
+        total = sum(len(r) for r in records)
+        assert client.network.total_bytes > total
+
+    def test_empty_db_rejected(self):
+        with pytest.raises(QueryError):
+            TrivialPIRServer([])
+
+
+class TestXor2:
+    def make(self, records, seed=9):
+        return Xor2ServerPIRClient(
+            XorPIRServer(records, "A"),
+            XorPIRServer(records, "B"),
+            rng=DeterministicRNG(seed, "x"),
+        )
+
+    def test_every_index_retrievable(self, records):
+        client = self.make(records)
+        for i in range(0, 64, 7):
+            assert client.retrieve(i) == records[i]
+
+    def test_single_server_view_independent_of_index(self, records):
+        """Privacy: the mask sent to server A is the same random subset
+        regardless of the target (only B's differs by one flip)."""
+        client_a = self.make(records, seed=11)
+        client_b = self.make(records, seed=11)
+        masks = []
+        original_answer = XorPIRServer.answer
+
+        def spy(self, mask):
+            masks.append(list(mask))
+            return original_answer(self, mask)
+
+        XorPIRServer.answer = spy
+        try:
+            client_a.retrieve(3)
+            client_b.retrieve(57)
+        finally:
+            XorPIRServer.answer = original_answer
+        assert masks[0] == masks[2]  # server A saw identical distributions
+
+    def test_unequal_lengths_rejected(self, records):
+        with pytest.raises(QueryError):
+            XorPIRServer([b"a", b"bb"], "A")
+
+    def test_replica_size_mismatch(self, records):
+        with pytest.raises(QueryError):
+            Xor2ServerPIRClient(
+                XorPIRServer(records, "A"),
+                XorPIRServer(records[:10], "B"),
+            )
+
+    def test_index_bounds(self, records):
+        with pytest.raises(QueryError):
+            self.make(records).retrieve(64)
+
+
+class TestCube:
+    def test_cube_side(self):
+        assert cube_side(64, 3) == 4
+        assert cube_side(65, 3) == 5
+        assert cube_side(1, 2) == 1
+
+    def test_index_coordinates_roundtrip(self):
+        side, dims = 5, 3
+        for index in range(side**dims):
+            coords = index_to_coordinates(index, side, dims)
+            rebuilt = sum(c * side**i for i, c in enumerate(coords))
+            assert rebuilt == index
+
+    @pytest.mark.parametrize("dimensions", [1, 2, 3])
+    def test_every_index_retrievable(self, records, dimensions):
+        client = build_cube_cluster(
+            records, dimensions, rng=DeterministicRNG(13, "c")
+        )
+        for i in range(0, 64, 9):
+            assert client.retrieve(i) == records[i]
+        assert client.retrieve(63) == records[63]
+
+    def test_wrong_server_count_rejected(self, records):
+        servers = [CubePIRServer(records, 2, f"S{i}") for i in range(3)]
+        with pytest.raises(QueryError):
+            CubePIRClient(servers)
+
+    def test_sublinear_communication(self):
+        """Cube query bytes grow like N^(1/d), trivial like N."""
+        rng = DeterministicRNG(17, "grow")
+        small = [rng.bytes(16) for _ in range(64)]
+        big = [rng.bytes(16) for _ in range(4096)]
+
+        def bytes_for(records):
+            client = build_cube_cluster(
+                records, 3, rng=DeterministicRNG(1, "q")
+            )
+            client.retrieve(0)
+            return client.network.total_bytes
+
+        small_bytes = bytes_for(small)
+        big_bytes = bytes_for(big)
+        # 64x data → cube side x4 → far less than 64x traffic
+        assert big_bytes < 10 * small_bytes
+
+    def test_non_replicas_rejected(self, records):
+        servers = [CubePIRServer(records, 2, f"S{i}") for i in range(3)]
+        servers.append(CubePIRServer(records[:10], 2, "S3"))
+        with pytest.raises(QueryError):
+            CubePIRClient(servers)

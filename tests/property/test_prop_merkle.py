@@ -1,0 +1,55 @@
+"""Property-based tests for Merkle trees and OPE monotonicity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.ope import OrderPreservingEncryption
+from repro.core.order_preserving import IntegerDomain
+from repro.trust.merkle import MerkleTree, leaf_hash, verify_proof
+
+leaf_lists = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=1, max_size=40, unique=True
+)
+
+
+@given(values=leaf_lists)
+@settings(max_examples=100, deadline=None)
+def test_all_proofs_verify(values):
+    leaves = [leaf_hash("T", i, {"v": v}) for i, v in enumerate(values)]
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        assert verify_proof(tree.root, leaf, tree.proof(i))
+
+
+@given(values=leaf_lists, tamper_index=st.integers(min_value=0, max_value=39))
+@settings(max_examples=100, deadline=None)
+def test_tampered_leaf_never_verifies(values, tamper_index):
+    tamper_index %= len(values)
+    leaves = [leaf_hash("T", i, {"v": v}) for i, v in enumerate(values)]
+    tree = MerkleTree(leaves)
+    forged = leaf_hash("T", tamper_index, {"v": values[tamper_index] + 1})
+    assert not verify_proof(tree.root, forged, tree.proof(tamper_index))
+
+
+@given(values=leaf_lists)
+@settings(max_examples=50, deadline=None)
+def test_root_binds_content(values):
+    leaves = [leaf_hash("T", i, {"v": v}) for i, v in enumerate(values)]
+    modified = list(leaves)
+    modified[0] = leaf_hash("T", 0, {"v": values[0] + 1})
+    assert MerkleTree(leaves).root != MerkleTree(modified).root
+
+
+OPE = OrderPreservingEncryption(b"\x0a" * 32, IntegerDomain(0, 2**20))
+ope_values = st.integers(min_value=0, max_value=2**20)
+
+
+@given(a=ope_values, b=ope_values)
+@settings(max_examples=200, deadline=None)
+def test_ope_strictly_monotone(a, b):
+    ca, cb = OPE.encrypt(a), OPE.encrypt(b)
+    if a < b:
+        assert ca < cb
+    elif a > b:
+        assert ca > cb
+    else:
+        assert ca == cb

@@ -1,0 +1,80 @@
+"""Property-based tests for Shamir sharing invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.field import DEFAULT_FIELD
+from repro.core.secrets import generate_client_secrets
+from repro.core.shamir import ShamirScheme
+from repro.sim.rng import DeterministicRNG
+
+SECRETS_5 = generate_client_secrets(5, seed=100)
+
+secret_values = st.integers(min_value=0, max_value=DEFAULT_FIELD.modulus - 1)
+thresholds = st.integers(min_value=1, max_value=5)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(secret=secret_values, threshold=thresholds, seed=seeds)
+@settings(max_examples=150, deadline=None)
+def test_split_reconstruct_roundtrip(secret, threshold, seed):
+    """Any (n=5, k) split reconstructs exactly from any k shares."""
+    scheme = ShamirScheme(SECRETS_5, threshold)
+    shares = scheme.split(secret, DeterministicRNG(seed, "prop"))
+    subset = dict(list(enumerate(shares))[:threshold])
+    assert scheme.reconstruct(subset) == secret
+
+
+@given(secret=secret_values, seed=seeds, drop=st.integers(0, 4))
+@settings(max_examples=100, deadline=None)
+def test_reconstruct_from_any_quorum(secret, seed, drop):
+    """Dropping any single provider never changes the reconstruction."""
+    scheme = ShamirScheme(SECRETS_5, 3)
+    shares = dict(enumerate(scheme.split(secret, DeterministicRNG(seed, "p"))))
+    del shares[drop]
+    assert scheme.reconstruct(shares) == secret
+
+
+@given(
+    a=st.integers(min_value=0, max_value=10**12),
+    b=st.integers(min_value=0, max_value=10**12),
+    seed=seeds,
+)
+@settings(max_examples=100, deadline=None)
+def test_linearity(a, b, seed):
+    """share(a) + share(b) reconstructs to a + b (mod p)."""
+    scheme = ShamirScheme(SECRETS_5, 3)
+    rng = DeterministicRNG(seed, "lin")
+    shares_a = scheme.split(a, rng)
+    shares_b = scheme.split(b, rng)
+    summed = scheme.add_share_vectors(shares_a, shares_b)
+    assert scheme.reconstruct(dict(enumerate(summed))) == (a + b) % DEFAULT_FIELD.modulus
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=-(10**9), max_value=10**9), min_size=1, max_size=20
+    ),
+    seed=seeds,
+)
+@settings(max_examples=75, deadline=None)
+def test_signed_partial_sums(values, seed):
+    """Provider-side partial sums reconstruct signed totals exactly."""
+    scheme = ShamirScheme(SECRETS_5, 3)
+    rng = DeterministicRNG(seed, "sum")
+    partials = {i: 0 for i in range(5)}
+    for value in values:
+        shares = scheme.split(scheme.field.encode_signed(value), rng)
+        for i in range(5):
+            partials[i] += shares[i]
+    reduced = {i: s % DEFAULT_FIELD.modulus for i, s in partials.items()}
+    assert scheme.combine_partial_sums_signed(reduced) == sum(values)
+
+
+@given(secret=secret_values, seed=seeds)
+@settings(max_examples=75, deadline=None)
+def test_scaling(secret, seed):
+    """Public-constant scaling commutes with reconstruction."""
+    scheme = ShamirScheme(SECRETS_5, 2)
+    shares = scheme.split(secret, DeterministicRNG(seed, "s"))
+    scaled = scheme.scale_share_vector(shares, 7)
+    assert scheme.reconstruct(dict(enumerate(scaled))) == (7 * secret) % DEFAULT_FIELD.modulus

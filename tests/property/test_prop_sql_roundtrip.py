@@ -1,0 +1,186 @@
+"""Property test: parse_sql(render_sql(query)) == query for random ASTs."""
+
+import datetime
+from decimal import Decimal
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine.expression import (
+    And,
+    Between,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Not,
+    Or,
+    StartsWith,
+    TruePredicate,
+)
+from repro.sqlengine.query import (
+    Aggregate,
+    AggregateFunc,
+    Delete,
+    Insert,
+    JoinSelect,
+    Select,
+    Update,
+)
+from repro.sqlengine.render import render_predicate, render_sql
+from repro.sqlengine.sqlparser import parse_sql
+
+identifiers = st.from_regex(r"[a-zA-Z][a-zA-Z_0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "LIKE",
+        "IS", "NULL", "TRUE", "FALSE", "JOIN", "ON", "INSERT", "INTO",
+        "VALUES", "UPDATE", "SET", "DELETE", "COUNT", "SUM", "AVG", "MIN",
+        "MAX", "MEDIAN", "AS", "GROUP", "ORDER", "BY", "ASC", "DESC",
+        "LIMIT",
+    }
+)
+
+safe_strings = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 '", min_size=0, max_size=12
+)
+
+literals = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    safe_strings,
+    st.booleans(),
+    st.decimals(
+        min_value=Decimal(0), max_value=Decimal("9999.99"), places=2,
+        allow_nan=False, allow_infinity=False,
+    ),
+    st.none(),
+)
+
+comparisons = st.builds(
+    Comparison,
+    column=identifiers,
+    op=st.sampled_from(list(ComparisonOp)),
+    value=st.one_of(
+        st.integers(min_value=-(10**6), max_value=10**6), safe_strings
+    ),
+)
+
+leaf_predicates = st.one_of(
+    comparisons,
+    st.builds(
+        Between,
+        column=identifiers,
+        low=st.integers(min_value=-(10**6), max_value=10**6),
+        high=st.integers(min_value=-(10**6), max_value=10**6),
+    ),
+    st.builds(
+        StartsWith,
+        column=identifiers,
+        prefix=st.text(alphabet="ABCXYZ", min_size=1, max_size=4),
+    ),
+    st.builds(IsNull, column=identifiers, negated=st.booleans()),
+)
+
+predicates = st.recursive(
+    leaf_predicates,
+    lambda children: st.one_of(
+        st.builds(Not, part=children),
+        st.builds(
+            And, parts=st.lists(children, min_size=2, max_size=3).map(tuple)
+        ),
+        st.builds(
+            Or, parts=st.lists(children, min_size=2, max_size=3).map(tuple)
+        ),
+    ),
+    max_leaves=6,
+)
+
+
+@given(predicate=predicates, table=identifiers)
+@settings(max_examples=200, deadline=None)
+def test_predicate_roundtrip(predicate, table):
+    text = f"SELECT * FROM {table} WHERE {render_predicate(predicate)}"
+    parsed = parse_sql(text)
+    assert parsed.where == predicate
+
+
+selects = st.builds(
+    Select,
+    table=identifiers,
+    columns=st.one_of(
+        st.just(()), st.lists(identifiers, min_size=1, max_size=3).map(tuple)
+    ),
+    where=st.one_of(st.just(TruePredicate()), leaf_predicates),
+    order_by=st.one_of(st.none(), identifiers),
+    descending=st.booleans(),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+)
+
+aggregate_selects = st.builds(
+    Select,
+    table=identifiers,
+    where=st.one_of(st.just(TruePredicate()), leaf_predicates),
+    aggregate=st.builds(
+        Aggregate,
+        func=st.sampled_from(
+            [f for f in AggregateFunc if f is not AggregateFunc.COUNT]
+        ),
+        column=identifiers,
+    ),
+    group_by=st.one_of(st.none(), identifiers),
+)
+
+
+@given(query=selects)
+@settings(max_examples=150, deadline=None)
+def test_select_roundtrip(query):
+    assert parse_sql(render_sql(query)) == query
+
+
+@given(query=aggregate_selects)
+@settings(max_examples=150, deadline=None)
+def test_aggregate_select_roundtrip(query):
+    assert parse_sql(render_sql(query)) == query
+
+
+inserts = st.builds(
+    Insert,
+    table=identifiers,
+    row=st.dictionaries(identifiers, literals, min_size=1, max_size=4),
+)
+
+updates = st.builds(
+    Update,
+    table=identifiers,
+    assignments=st.dictionaries(identifiers, literals, min_size=1, max_size=3),
+    where=st.one_of(st.just(TruePredicate()), leaf_predicates),
+)
+
+deletes = st.builds(
+    Delete,
+    table=identifiers,
+    where=st.one_of(st.just(TruePredicate()), leaf_predicates),
+)
+
+distinct_tables = st.tuples(identifiers, identifiers).filter(
+    lambda pair: pair[0] != pair[1]
+)
+
+joins = st.tuples(distinct_tables, identifiers, identifiers).map(
+    lambda parts: JoinSelect(
+        left_table=parts[0][0],
+        right_table=parts[0][1],
+        left_column=parts[1],
+        right_column=parts[2],
+    )
+)
+
+
+@given(query=st.one_of(inserts, updates, deletes))
+@settings(max_examples=200, deadline=None)
+def test_write_roundtrip(query):
+    assert parse_sql(render_sql(query)) == query
+
+
+@given(query=joins)
+@settings(max_examples=100, deadline=None)
+def test_join_roundtrip(query):
+    assert parse_sql(render_sql(query)) == query

@@ -1,0 +1,110 @@
+"""Unit tests for the provider cluster (fan-out, quorum, accounting)."""
+
+import pytest
+
+from repro.errors import ProviderUnavailableError, QuorumError
+from repro.providers.cluster import ProviderCluster
+from repro.providers.failures import Fault, FailureMode
+
+
+@pytest.fixture
+def cluster():
+    c = ProviderCluster(5, 3)
+    c.broadcast(
+        "create_table",
+        lambda i: {"table": "T", "columns": ["k"], "searchable": ["k"]},
+    )
+    return c
+
+
+class TestConstruction:
+    def test_bad_sizes(self):
+        with pytest.raises(QuorumError):
+            ProviderCluster(0, 1)
+        with pytest.raises(QuorumError):
+            ProviderCluster(3, 4)
+        with pytest.raises(QuorumError):
+            ProviderCluster(3, 0)
+
+    def test_provider_names(self, cluster):
+        assert [p.name for p in cluster.providers] == [
+            "DAS1", "DAS2", "DAS3", "DAS4", "DAS5",
+        ]
+
+
+class TestCalls:
+    def test_call_one_accounts_bytes(self, cluster):
+        before = cluster.network.total_bytes
+        cluster.call_one(0, "row_count", {"table": "T"})
+        assert cluster.network.total_bytes > before
+        assert cluster.network.total_messages >= 2  # request + response
+
+    def test_call_all_collects(self, cluster):
+        responses = cluster.call_all(
+            "row_count", {i: {"table": "T"} for i in range(5)}
+        )
+        assert set(responses) == {0, 1, 2, 3, 4}
+
+    def test_broadcast_subset(self, cluster):
+        responses = cluster.broadcast(
+            "row_count", lambda i: {"table": "T"}, provider_indexes=[1, 3]
+        )
+        assert set(responses) == {1, 3}
+
+
+class TestFailureRouting:
+    def test_crashed_provider_skipped_with_minimum(self, cluster):
+        cluster.inject_fault(0, Fault(FailureMode.CRASH))
+        responses = cluster.call_all(
+            "row_count", {i: {"table": "T"} for i in range(5)}, minimum=3
+        )
+        assert 0 not in responses and len(responses) == 4
+
+    def test_quorum_error_below_minimum(self, cluster):
+        for i in range(3):
+            cluster.inject_fault(i, Fault(FailureMode.CRASH))
+        with pytest.raises(QuorumError):
+            cluster.call_all(
+                "row_count", {i: {"table": "T"} for i in range(5)}, minimum=3
+            )
+
+    def test_write_requires_all_addressed(self, cluster):
+        cluster.inject_fault(2, Fault(FailureMode.CRASH))
+        with pytest.raises(QuorumError):
+            cluster.call_all("row_count", {i: {"table": "T"} for i in range(5)})
+
+    def test_live_indexes(self, cluster):
+        cluster.inject_fault(1, Fault(FailureMode.CRASH))
+        assert cluster.live_provider_indexes() == [0, 2, 3, 4]
+        cluster.clear_faults()
+        assert cluster.live_provider_indexes() == [0, 1, 2, 3, 4]
+
+    def test_read_quorum(self, cluster):
+        assert cluster.read_quorum() == [0, 1, 2]
+        cluster.inject_fault(0, Fault(FailureMode.CRASH))
+        assert cluster.read_quorum() == [1, 2, 3]
+
+    def test_read_quorum_insufficient(self, cluster):
+        for i in range(3):
+            cluster.inject_fault(i, Fault(FailureMode.CRASH))
+        with pytest.raises(QuorumError):
+            cluster.read_quorum()
+
+    def test_write_targets(self, cluster):
+        cluster.inject_fault(4, Fault(FailureMode.CRASH))
+        assert cluster.write_targets() == [0, 1, 2, 3]
+
+
+class TestAccounting:
+    def test_cost_merge(self, cluster):
+        cluster.providers[0].cost.record("compare", 5)
+        cluster.providers[1].cost.record("compare", 7)
+        merged = cluster.total_provider_cost()
+        assert merged.count("compare") == 12
+
+    def test_reset(self, cluster):
+        cluster.call_one(0, "row_count", {"table": "T"})
+        cluster.providers[0].cost.record("compare", 5)
+        cluster.reset_accounting()
+        assert cluster.network.total_bytes == 0
+        assert cluster.total_provider_cost().total_operations() == 0

@@ -1,0 +1,66 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.providers.failures import Fault, FailureMode
+from repro.sim.rng import DeterministicRNG
+
+
+class TestFaultConfig:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Fault(FailureMode.OMIT, rate=1.5)
+        with pytest.raises(ValueError):
+            Fault(FailureMode.OMIT, rate=-0.1)
+
+    def test_is_crash(self):
+        assert Fault(FailureMode.CRASH).is_crash
+        assert not Fault(FailureMode.TAMPER).is_crash
+
+
+class TestTamper:
+    def test_full_rate_corrupts_everything(self):
+        fault = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(1, "x"))
+        assert fault.maybe_corrupt_share(100) != 100
+
+    def test_zero_rate_corrupts_nothing(self):
+        fault = Fault(FailureMode.TAMPER, rate=0.0, rng=DeterministicRNG(1, "x"))
+        assert fault.maybe_corrupt_share(100) == 100
+
+    def test_null_untouched(self):
+        fault = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(1, "x"))
+        assert fault.maybe_corrupt_share(None) is None
+
+    def test_corrupt_row(self):
+        fault = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(1, "x"))
+        row = fault.corrupt_row({"a": 1, "b": None})
+        assert row["a"] != 1 and row["b"] is None
+
+    def test_other_modes_passthrough(self):
+        fault = Fault(FailureMode.OMIT, rate=1.0, rng=DeterministicRNG(1, "x"))
+        assert fault.maybe_corrupt_share(100) == 100
+        assert fault.corrupt_row({"a": 1}) == {"a": 1}
+
+    def test_deterministic_per_seed(self):
+        a = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(7, "s"))
+        b = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(7, "s"))
+        assert a.maybe_corrupt_share(5) == b.maybe_corrupt_share(5)
+
+
+class TestOmit:
+    def test_full_rate_drops_all(self):
+        fault = Fault(FailureMode.OMIT, rate=1.0, rng=DeterministicRNG(2, "y"))
+        assert fault.filter_rows([1, 2, 3]) == []
+
+    def test_zero_rate_keeps_all(self):
+        fault = Fault(FailureMode.OMIT, rate=0.0, rng=DeterministicRNG(2, "y"))
+        assert fault.filter_rows([1, 2, 3]) == [1, 2, 3]
+
+    def test_partial_rate_statistics(self):
+        fault = Fault(FailureMode.OMIT, rate=0.5, rng=DeterministicRNG(3, "z"))
+        kept = len(fault.filter_rows(list(range(1000))))
+        assert 350 < kept < 650
+
+    def test_tamper_does_not_filter(self):
+        fault = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(2, "y"))
+        assert fault.filter_rows([1, 2]) == [1, 2]

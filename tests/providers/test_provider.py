@@ -1,0 +1,269 @@
+"""Unit tests for the share provider RPC surface."""
+
+import pytest
+
+from repro.errors import ProviderError, ProviderUnavailableError, QueryError
+from repro.providers.failures import Fault, FailureMode
+from repro.providers.provider import ShareProvider
+from repro.sim.rng import DeterministicRNG
+
+
+@pytest.fixture
+def provider():
+    p = ShareProvider("DAS1")
+    p.handle(
+        "create_table",
+        {"table": "T", "columns": ["k", "v"], "searchable": ["k"]},
+    )
+    p.handle(
+        "insert_many",
+        {
+            "table": "T",
+            "rows": [
+                [0, {"k": 100, "v": 11}],
+                [1, {"k": 200, "v": 22}],
+                [2, {"k": 300, "v": 33}],
+                [3, {"k": 200, "v": 44}],
+            ],
+        },
+    )
+    return p
+
+
+class TestDispatch:
+    def test_unknown_method(self, provider):
+        with pytest.raises(ProviderError):
+            provider.handle("nope", {})
+
+    def test_requests_counted(self, provider):
+        before = provider.requests_served
+        provider.handle("row_count", {"table": "T"})
+        assert provider.requests_served == before + 1
+
+
+class TestSelect:
+    def test_eq_condition(self, provider):
+        response = provider.handle(
+            "select",
+            {
+                "table": "T",
+                "conditions": [{"column": "k", "op": "eq", "low": 200}],
+            },
+        )
+        assert [rid for rid, _ in response["rows"]] == [1, 3]
+
+    def test_range_condition(self, provider):
+        response = provider.handle(
+            "select",
+            {
+                "table": "T",
+                "conditions": [
+                    {"column": "k", "op": "range", "low": 150, "high": 250}
+                ],
+            },
+        )
+        assert [rid for rid, _ in response["rows"]] == [1, 3]
+
+    def test_inequality_conditions(self, provider):
+        for op, expected in [
+            ("lt", [0]),
+            ("le", [0, 1, 3]),
+            ("gt", [2]),
+            ("ge", [1, 2, 3]),
+        ]:
+            response = provider.handle(
+                "select",
+                {
+                    "table": "T",
+                    "conditions": [{"column": "k", "op": op, "low": 200}],
+                },
+            )
+            assert [rid for rid, _ in response["rows"]] == expected, op
+
+    def test_condition_intersection(self, provider):
+        response = provider.handle(
+            "select",
+            {
+                "table": "T",
+                "conditions": [
+                    {"column": "k", "op": "ge", "low": 150},
+                    {"column": "k", "op": "le", "low": 250},
+                ],
+            },
+        )
+        assert [rid for rid, _ in response["rows"]] == [1, 3]
+
+    def test_no_conditions_scans_all(self, provider):
+        response = provider.handle("select", {"table": "T", "conditions": []})
+        assert len(response["rows"]) == 4
+
+    def test_projection(self, provider):
+        response = provider.handle(
+            "select", {"table": "T", "conditions": [], "projection": ["v"]}
+        )
+        assert response["rows"][0][1] == {"v": 11}
+
+    def test_bad_projection(self, provider):
+        with pytest.raises(QueryError):
+            provider.handle(
+                "select", {"table": "T", "conditions": [], "projection": ["zz"]}
+            )
+
+    def test_unknown_op(self, provider):
+        with pytest.raises(QueryError):
+            provider.handle(
+                "select",
+                {"table": "T", "conditions": [{"column": "k", "op": "xx"}]},
+            )
+
+    def test_condition_on_unsearchable_rejected(self, provider):
+        with pytest.raises(ProviderError):
+            provider.handle(
+                "select",
+                {
+                    "table": "T",
+                    "conditions": [{"column": "v", "op": "eq", "low": 11}],
+                },
+            )
+
+
+class TestAggregate:
+    def test_sum(self, provider):
+        response = provider.handle(
+            "aggregate",
+            {"table": "T", "conditions": [], "func": "sum", "column": "v"},
+        )
+        assert response == {"partial_sum": 110, "count": 4}
+
+    def test_count(self, provider):
+        response = provider.handle(
+            "aggregate",
+            {"table": "T", "conditions": [], "func": "count", "column": None},
+        )
+        assert response["count"] == 4
+
+    def test_min_max_median_by_share_order(self, provider):
+        for func, expected_rid in [("min", 0), ("max", 2), ("median", 1)]:
+            response = provider.handle(
+                "aggregate",
+                {"table": "T", "conditions": [], "func": func, "column": "k"},
+            )
+            assert response["row"][0] == expected_rid, func
+            assert response["count"] == 4
+
+    def test_order_aggregate_needs_searchable(self, provider):
+        with pytest.raises(ProviderError):
+            provider.handle(
+                "aggregate",
+                {"table": "T", "conditions": [], "func": "min", "column": "v"},
+            )
+
+    def test_empty_aggregate(self, provider):
+        response = provider.handle(
+            "aggregate",
+            {
+                "table": "T",
+                "conditions": [{"column": "k", "op": "eq", "low": 1}],
+                "func": "min",
+                "column": "k",
+            },
+        )
+        assert response == {"row": None, "count": 0}
+
+    def test_unknown_func(self, provider):
+        with pytest.raises(QueryError):
+            provider.handle(
+                "aggregate",
+                {"table": "T", "conditions": [], "func": "stdev", "column": "v"},
+            )
+
+
+class TestJoin:
+    def make_pair(self):
+        p = ShareProvider("DAS1")
+        p.handle("create_table", {"table": "L", "columns": ["k", "x"], "searchable": ["k"]})
+        p.handle("create_table", {"table": "R", "columns": ["k", "y"], "searchable": ["k"]})
+        p.handle("insert_many", {"table": "L", "rows": [
+            [0, {"k": 1, "x": 10}], [1, {"k": 2, "x": 20}], [2, {"k": 3, "x": 30}]]})
+        p.handle("insert_many", {"table": "R", "rows": [
+            [0, {"k": 2, "y": 200}], [1, {"k": 3, "y": 300}], [2, {"k": 2, "y": 201}]]})
+        return p
+
+    def test_hash_join_on_shares(self):
+        p = self.make_pair()
+        response = p.handle(
+            "join",
+            {
+                "left": "L", "right": "R",
+                "left_column": "k", "right_column": "k",
+            },
+        )
+        pairs = {(lid, rid) for lid, rid, _, _ in response["rows"]}
+        assert pairs == {(1, 0), (1, 2), (2, 1)}
+
+    def test_join_with_conditions(self):
+        p = self.make_pair()
+        response = p.handle(
+            "join",
+            {
+                "left": "L", "right": "R",
+                "left_column": "k", "right_column": "k",
+                "left_conditions": [{"column": "k", "op": "eq", "low": 3}],
+            },
+        )
+        assert {(lid, rid) for lid, rid, _, _ in response["rows"]} == {(2, 1)}
+
+    def test_join_requires_searchable_keys(self):
+        p = self.make_pair()
+        with pytest.raises(QueryError):
+            p.handle(
+                "join",
+                {
+                    "left": "L", "right": "R",
+                    "left_column": "x", "right_column": "y",
+                },
+            )
+
+
+class TestWritesAndFaults:
+    def test_update_rows(self, provider):
+        provider.handle(
+            "update_rows", {"table": "T", "updates": [[0, {"k": 999}]]}
+        )
+        response = provider.handle(
+            "select",
+            {"table": "T", "conditions": [{"column": "k", "op": "eq", "low": 999}]},
+        )
+        assert [rid for rid, _ in response["rows"]] == [0]
+
+    def test_delete_rows(self, provider):
+        provider.handle("delete_rows", {"table": "T", "row_ids": [0, 2]})
+        assert provider.handle("row_count", {"table": "T"})["count"] == 2
+
+    def test_get_rows_skips_missing(self, provider):
+        response = provider.handle("get_rows", {"table": "T", "row_ids": [0, 99]})
+        assert [rid for rid, _ in response["rows"]] == [0]
+
+    def test_crash_fault(self, provider):
+        provider.inject_fault(Fault(FailureMode.CRASH))
+        with pytest.raises(ProviderUnavailableError):
+            provider.handle("row_count", {"table": "T"})
+        provider.clear_fault()
+        assert provider.handle("row_count", {"table": "T"})["count"] == 4
+
+    def test_tamper_fault_changes_shares(self, provider):
+        clean = provider.handle("select", {"table": "T", "conditions": []})
+        provider.inject_fault(
+            Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(1, "t"))
+        )
+        dirty = provider.handle("select", {"table": "T", "conditions": []})
+        clean_vals = [v for _, row in clean["rows"] for v in row.values()]
+        dirty_vals = [v for _, row in dirty["rows"] for v in row.values()]
+        assert clean_vals != dirty_vals
+
+    def test_omit_fault_drops_rows(self, provider):
+        provider.inject_fault(
+            Fault(FailureMode.OMIT, rate=1.0, rng=DeterministicRNG(1, "o"))
+        )
+        response = provider.handle("select", {"table": "T", "conditions": []})
+        assert response["rows"] == []

@@ -1,0 +1,150 @@
+"""Unit tests for provider-side share storage."""
+
+import pytest
+
+from repro.errors import ProviderError
+from repro.providers.storage import ShareStore, ShareTable, SortedShareIndex
+
+
+class TestSortedShareIndex:
+    def test_insert_and_range(self):
+        index = SortedShareIndex("c")
+        for share, rid in [(50, 1), (10, 2), (30, 3), (30, 4)]:
+            index.insert(share, rid)
+        assert index.range_row_ids(10, 30) == [2, 3, 4]
+        assert index.range_row_ids(31, 100) == [1]
+
+    def test_equal_row_ids_duplicates(self):
+        index = SortedShareIndex("c")
+        index.insert(5, 1)
+        index.insert(5, 2)
+        assert index.equal_row_ids(5) == [1, 2]
+        assert index.equal_row_ids(6) == []
+
+    def test_open_ended_ranges(self):
+        index = SortedShareIndex("c")
+        for share, rid in [(10, 1), (20, 2), (30, 3)]:
+            index.insert(share, rid)
+        assert index.range_row_ids(None, 20) == [1, 2]
+        assert index.range_row_ids(20, None) == [2, 3]
+        assert index.range_row_ids(None, None) == [1, 2, 3]
+
+    def test_exclusive_bounds(self):
+        index = SortedShareIndex("c")
+        for share, rid in [(10, 1), (20, 2), (30, 3)]:
+            index.insert(share, rid)
+        assert index.range_row_ids(None, 20, high_inclusive=False) == [1]
+        assert index.range_row_ids(20, None, low_inclusive=False) == [3]
+
+    def test_remove(self):
+        index = SortedShareIndex("c")
+        index.insert(5, 1)
+        index.remove(5, 1)
+        assert len(index) == 0
+        with pytest.raises(ProviderError):
+            index.remove(5, 1)
+
+    def test_min_max_entries(self):
+        index = SortedShareIndex("c")
+        assert index.min_entry() is None
+        index.insert(10, 1)
+        index.insert(5, 2)
+        assert index.min_entry() == (5, 2)
+        assert index.max_entry() == (10, 1)
+
+    def test_comparisons_positive(self):
+        index = SortedShareIndex("c")
+        assert index.comparisons_for_range() >= 1
+
+
+class TestShareTable:
+    def make(self):
+        return ShareTable("T", ["a", "b"], searchable=["a"])
+
+    def test_insert_and_get(self):
+        table = self.make()
+        table.insert(1, {"a": 100, "b": 200})
+        assert table.get(1) == {"a": 100, "b": 200}
+        assert len(table) == 1
+        assert table.has_row(1)
+
+    def test_missing_column_stored_as_null(self):
+        table = self.make()
+        table.insert(1, {"a": 100})
+        assert table.get(1)["b"] is None
+
+    def test_duplicate_rid_rejected(self):
+        table = self.make()
+        table.insert(1, {"a": 1})
+        with pytest.raises(ProviderError):
+            table.insert(1, {"a": 2})
+
+    def test_unknown_column_rejected(self):
+        table = self.make()
+        with pytest.raises(ProviderError):
+            table.insert(1, {"zzz": 5})
+
+    def test_index_updated_on_mutation(self):
+        table = self.make()
+        table.insert(1, {"a": 10, "b": 1})
+        table.update(1, {"a": 99})
+        assert table.index_for("a").equal_row_ids(10) == []
+        assert table.index_for("a").equal_row_ids(99) == [1]
+
+    def test_update_to_null_removes_from_index(self):
+        table = self.make()
+        table.insert(1, {"a": 10})
+        table.update(1, {"a": None})
+        assert table.index_for("a").equal_row_ids(10) == []
+        assert table.get(1)["a"] is None
+
+    def test_delete_cleans_index(self):
+        table = self.make()
+        table.insert(1, {"a": 10})
+        table.delete(1)
+        assert not table.has_row(1)
+        assert table.index_for("a").equal_row_ids(10) == []
+
+    def test_non_searchable_index_access_rejected(self):
+        table = self.make()
+        with pytest.raises(ProviderError):
+            table.index_for("b")
+
+    def test_searchable_must_be_subset(self):
+        with pytest.raises(ProviderError):
+            ShareTable("T", ["a"], searchable=["zzz"])
+
+    def test_version_bumps(self):
+        table = self.make()
+        v0 = table.version
+        table.insert(1, {"a": 1})
+        table.update(1, {"a": 2})
+        table.delete(1)
+        assert table.version == v0 + 3
+
+    def test_all_row_ids_sorted(self):
+        table = self.make()
+        for rid in (5, 1, 3):
+            table.insert(rid, {"a": rid})
+        assert table.all_row_ids() == [1, 3, 5]
+
+
+class TestShareStore:
+    def test_create_and_lookup(self):
+        store = ShareStore()
+        store.create_table("T", ["a"], ["a"])
+        assert store.has_table("T")
+        assert store.table_names() == ["T"]
+        with pytest.raises(ProviderError):
+            store.create_table("T", ["a"], [])
+
+    def test_drop(self):
+        store = ShareStore()
+        store.create_table("T", ["a"], [])
+        store.drop_table("T")
+        with pytest.raises(ProviderError):
+            store.drop_table("T")
+
+    def test_missing_table(self):
+        with pytest.raises(ProviderError):
+            ShareStore().table("nope")

@@ -1,0 +1,60 @@
+"""Unit tests for the explicit cost model."""
+
+import pytest
+
+from repro.sim.costmodel import DEFAULT_RATES, CostModel, CostRecorder
+
+
+class TestCostModel:
+    def test_default_rates_present(self):
+        for op in ("modexp", "cipher_block", "poly_eval", "interpolate", "hash",
+                   "compare", "xor"):
+            assert op in DEFAULT_RATES
+
+    def test_seconds_for(self):
+        model = CostModel()
+        assert model.seconds_for("modexp", 1000) == pytest.approx(1.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            CostModel().seconds_for("teleport", 1)
+
+    def test_modexp_dominates_poly_eval(self):
+        """The calibration that drives the paper's headline contrast."""
+        model = CostModel()
+        assert model.seconds_for("modexp", 1) > 100 * model.seconds_for("poly_eval", 1)
+
+
+class TestCostRecorder:
+    def test_record_and_count(self):
+        recorder = CostRecorder("t")
+        recorder.record("hash", 3)
+        recorder.record("hash")
+        assert recorder.count("hash") == 4
+        assert recorder.count("modexp") == 0
+        assert recorder.total_operations() == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostRecorder("t").record("hash", -1)
+
+    def test_modelled_seconds(self):
+        recorder = CostRecorder("t")
+        recorder.record("modexp", 500)
+        assert recorder.modelled_seconds() == pytest.approx(0.5)
+
+    def test_merge(self):
+        a = CostRecorder("a")
+        b = CostRecorder("b")
+        a.record("hash", 1)
+        b.record("hash", 2)
+        b.record("compare", 5)
+        a.merge(b)
+        assert a.count("hash") == 3 and a.count("compare") == 5
+
+    def test_reset_and_snapshot(self):
+        recorder = CostRecorder("t")
+        recorder.record("xor", 7)
+        assert recorder.snapshot() == {"xor": 7}
+        recorder.reset()
+        assert recorder.snapshot() == {}

@@ -1,0 +1,88 @@
+"""Unit tests for the simulated network and byte accounting."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.sim.network import (
+    LatencyModel,
+    NetworkStats,
+    SimulatedNetwork,
+    measure_bytes,
+)
+
+
+class TestMeasureBytes:
+    def test_primitives(self):
+        assert measure_bytes(None) == 1
+        assert measure_bytes(True) == 1
+        assert measure_bytes(0) == 3  # 2 header + 1 magnitude byte
+        assert measure_bytes(255) == 3
+        assert measure_bytes(256) == 4
+        assert measure_bytes(1.5) == 9
+
+    def test_big_integers_cost_more(self):
+        small = measure_bytes(100)
+        huge = measure_bytes(2**200)
+        assert huge > small + 20
+
+    def test_negative_magnitude(self):
+        assert measure_bytes(-256) == measure_bytes(256)
+
+    def test_strings_and_bytes(self):
+        assert measure_bytes("abc") == 5
+        assert measure_bytes(b"abc") == 5
+        assert measure_bytes("é") == 2 + 2  # UTF-8 two bytes
+
+    def test_decimal(self):
+        assert measure_bytes(Decimal("1.25")) == 2 + 4
+
+    def test_containers(self):
+        assert measure_bytes([1, 2]) == 4 + 3 + 3
+        assert measure_bytes((1,)) == 4 + 3
+        assert measure_bytes({"a": 1}) == 4 + 3 + 3
+
+    def test_nested(self):
+        payload = {"rows": [[1, {"k": 2}]]}
+        assert measure_bytes(payload) > 0
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            measure_bytes(object())
+
+
+class TestLatencyModel:
+    def test_transfer_time(self):
+        model = LatencyModel(rtt_seconds=0.1, bandwidth_bits_per_second=1000)
+        # 125 bytes = 1000 bits → 1 s + half-RTT
+        assert model.transfer_seconds(125) == pytest.approx(1.05)
+
+
+class TestNetworkStats:
+    def test_per_link_breakdown(self):
+        stats = NetworkStats()
+        stats.record("c", "s1", 100)
+        stats.record("c", "s2", 50)
+        stats.record("s1", "c", 30)
+        assert stats.bytes_between("c", "s1") == 100
+        assert stats.bytes_to("c") == 30
+        assert stats.bytes_from("c") == 150
+        assert stats.messages_sent == 3
+        assert stats.snapshot() == {"messages": 3, "bytes": 180}
+
+
+class TestSimulatedNetwork:
+    def test_send_accounts(self):
+        network = SimulatedNetwork()
+        size = network.send("a", "b", {"x": [1, 2, 3]})
+        assert size == measure_bytes({"x": [1, 2, 3]})
+        assert network.total_bytes == size
+        assert network.total_messages == 1
+        assert network.modelled_seconds > 0
+
+    def test_reset(self):
+        network = SimulatedNetwork()
+        network.send("a", "b", 42)
+        network.reset()
+        assert network.total_bytes == 0
+        assert network.modelled_seconds == 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for deterministic randomness."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG, zipf_sampler
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(5)
+        b = DeterministicRNG(5)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(5)
+        b = DeterministicRNG(6)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(-1)
+
+    def test_substreams_order_independent(self):
+        root_a = DeterministicRNG(5)
+        root_a.randint(0, 100)  # consume from the root
+        child_a = root_a.substream("x")
+        child_b = DeterministicRNG(5).substream("x")
+        assert child_a.randint(0, 10**9) == child_b.randint(0, 10**9)
+
+    def test_substream_names_independent(self):
+        root = DeterministicRNG(5)
+        x = root.substream("x").randint(0, 10**9)
+        y = root.substream("y").randint(0, 10**9)
+        assert x != y
+
+
+class TestDraws:
+    rng = DeterministicRNG(7)
+
+    def test_ranges_respected(self):
+        for _ in range(100):
+            assert 5 <= self.rng.randint(5, 9) <= 9
+            assert 0 <= self.rng.randrange(10) < 10
+            assert 0.0 <= self.rng.random() < 1.0
+
+    def test_choice_and_sample(self):
+        items = ["a", "b", "c"]
+        assert self.rng.choice(items) in items
+        sample = self.rng.sample(items, 2)
+        assert len(set(sample)) == 2
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            self.rng.choice([])
+
+    def test_shuffled_is_permutation(self):
+        items = list(range(20))
+        shuffled = self.rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # original untouched
+
+    def test_bytes_length(self):
+        assert len(self.rng.bytes(16)) == 16
+
+    def test_field_elements(self):
+        for _ in range(50):
+            assert 0 <= self.rng.field_element(97) < 97
+            assert 1 <= self.rng.nonzero_field_element(97) < 97
+
+    def test_distinct_field_elements(self):
+        values = self.rng.distinct_field_elements(10, 97)
+        assert len(set(values)) == 10
+        assert all(1 <= v < 97 for v in values)
+
+    def test_distinct_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            self.rng.distinct_field_elements(97, 97)
+
+
+class TestZipf:
+    def test_rank_bounds(self):
+        rng = DeterministicRNG(9)
+        draw = zipf_sampler(rng, 100, 1.0)
+        ranks = [draw() for _ in range(1000)]
+        assert all(1 <= r <= 100 for r in ranks)
+
+    def test_skew_concentrates_mass(self):
+        rng = DeterministicRNG(9)
+        draw = zipf_sampler(rng, 100, 1.5)
+        ranks = [draw() for _ in range(2000)]
+        top_share = sum(1 for r in ranks if r <= 10) / len(ranks)
+        assert top_share > 0.5
+
+    def test_zero_skew_uniformish(self):
+        rng = DeterministicRNG(9)
+        draw = zipf_sampler(rng, 10, 0.0)
+        ranks = [draw() for _ in range(5000)]
+        counts = [ranks.count(r) for r in range(1, 11)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_validation(self):
+        rng = DeterministicRNG(9)
+        with pytest.raises(ValueError):
+            zipf_sampler(rng, 0)
+        with pytest.raises(ValueError):
+            zipf_sampler(rng, 10, -1.0)

@@ -1,0 +1,52 @@
+"""Unit tests for the table catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.schema import TableSchema, integer_column
+from repro.sqlengine.table import Table
+
+SCHEMA = TableSchema("T", (integer_column("x", 0, 10),))
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table(SCHEMA)
+        assert catalog.table("T") is table
+        assert catalog.schema("T") is SCHEMA
+        assert catalog.has_table("T")
+        assert catalog.table_names() == ["T"]
+        assert len(catalog) == 1
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(SCHEMA)
+        with pytest.raises(SchemaError):
+            catalog.create_table(SCHEMA)
+
+    def test_add_existing_table(self):
+        catalog = Catalog()
+        table = Table(SCHEMA, [{"x": 1}])
+        catalog.add_table(table)
+        assert len(catalog.table("T").rows()) == 1
+        with pytest.raises(SchemaError):
+            catalog.add_table(Table(SCHEMA))
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table(SCHEMA)
+        catalog.drop_table("T")
+        assert not catalog.has_table("T")
+        with pytest.raises(SchemaError):
+            catalog.drop_table("T")
+
+    def test_missing_lookup(self):
+        with pytest.raises(SchemaError):
+            Catalog().table("nope")
+
+    def test_iteration(self):
+        catalog = Catalog()
+        catalog.create_table(SCHEMA)
+        assert [t.name for t in catalog] == ["T"]

@@ -1,0 +1,184 @@
+"""Unit tests for the plaintext reference executor."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import (
+    PlaintextExecutor,
+    compute_aggregate,
+    rows_equal_unordered,
+)
+from repro.sqlengine.expression import Between, Comparison, ComparisonOp
+from repro.sqlengine.query import (
+    Aggregate,
+    AggregateFunc,
+    Delete,
+    Insert,
+    JoinSelect,
+    Select,
+    Update,
+)
+from repro.sqlengine.schema import TableSchema, integer_column, string_column
+from repro.sqlengine.table import Table
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    emp = Table(
+        TableSchema(
+            "E",
+            (
+                integer_column("eid", 1, 100, domain_label="d/eid"),
+                string_column("name", 6),
+                integer_column("salary", 0, 1000, nullable=True),
+            ),
+            primary_key="eid",
+        ),
+        [
+            {"eid": 1, "name": "ANA", "salary": 100},
+            {"eid": 2, "name": "BOB", "salary": 200},
+            {"eid": 3, "name": "CARA", "salary": 300},
+            {"eid": 4, "name": "DAN", "salary": None},
+        ],
+    )
+    mgr = Table(
+        TableSchema(
+            "M",
+            (
+                integer_column("eid", 1, 100, domain_label="d/eid"),
+                string_column("title", 6),
+            ),
+        ),
+        [
+            {"eid": 1, "title": "CTO"},
+            {"eid": 3, "title": "VP"},
+        ],
+    )
+    catalog.add_table(emp)
+    catalog.add_table(mgr)
+    return catalog
+
+
+@pytest.fixture
+def executor(catalog):
+    return PlaintextExecutor(catalog)
+
+
+class TestSelect:
+    def test_filter_and_project(self, executor):
+        rows = executor.execute(
+            Select("E", columns=("name",), where=Between("salary", 150, 300))
+        )
+        assert rows_equal_unordered(rows, [{"name": "BOB"}, {"name": "CARA"}])
+
+    def test_unknown_projection_rejected(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute(Select("E", columns=("nope",)))
+
+    def test_unknown_table_rejected(self, executor):
+        with pytest.raises(SchemaError):
+            executor.execute(Select("Nope"))
+
+
+class TestAggregates:
+    def test_count_star_and_column(self, executor):
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.COUNT, None))) == 4
+        # COUNT(col) skips NULLs
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.COUNT, "salary"))) == 3
+
+    def test_sum_ignores_nulls(self, executor):
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.SUM, "salary"))) == 600
+
+    def test_avg(self, executor):
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.AVG, "salary"))) == 200
+
+    def test_min_max(self, executor):
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.MIN, "salary"))) == 100
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.MAX, "salary"))) == 300
+
+    def test_median_lower_convention(self, executor):
+        # values 100,200,300 → median 200; with 4 values, lower middle
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.MEDIAN, "salary"))) == 200
+        assert compute_aggregate(
+            Aggregate(AggregateFunc.MEDIAN, "x"),
+            [{"x": 1}, {"x": 2}, {"x": 3}, {"x": 4}],
+        ) == 2
+
+    def test_empty_aggregates(self, executor):
+        empty = Comparison("salary", ComparisonOp.GT, 999)
+        assert executor.execute(Select("E", where=empty, aggregate=Aggregate(AggregateFunc.SUM, "salary"))) is None
+        assert executor.execute(Select("E", where=empty, aggregate=Aggregate(AggregateFunc.COUNT, None))) == 0
+
+    def test_unknown_aggregate_column(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.SUM, "zzz")))
+
+
+class TestJoin:
+    def test_equi_join(self, executor):
+        rows = executor.execute(JoinSelect("E", "M", "eid", "eid"))
+        assert len(rows) == 2
+        assert {r["M.title"] for r in rows} == {"CTO", "VP"}
+
+    def test_join_projection(self, executor):
+        rows = executor.execute(
+            JoinSelect("E", "M", "eid", "eid", columns=("E.name", "M.title"))
+        )
+        assert rows_equal_unordered(
+            rows,
+            [
+                {"E.name": "ANA", "M.title": "CTO"},
+                {"E.name": "CARA", "M.title": "VP"},
+            ],
+        )
+
+    def test_join_where(self, executor):
+        rows = executor.execute(
+            JoinSelect(
+                "E", "M", "eid", "eid",
+                where=Comparison("E.salary", ComparisonOp.GE, 300),
+            )
+        )
+        assert len(rows) == 1 and rows[0]["M.title"] == "VP"
+
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            JoinSelect("E", "E", "eid", "eid")
+
+
+class TestWrites:
+    def test_insert(self, executor):
+        assert executor.execute(Insert("E", {"eid": 9, "name": "EVE", "salary": 50})) == 1
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.COUNT, None))) == 5
+
+    def test_update(self, executor):
+        changed = executor.execute(
+            Update("E", {"salary": 999}, Comparison("name", ComparisonOp.EQ, "BOB"))
+        )
+        assert changed == 1
+        assert executor.execute(Select("E", aggregate=Aggregate(AggregateFunc.MAX, "salary"))) == 999
+
+    def test_delete(self, executor):
+        removed = executor.execute(Delete("E", Comparison("salary", ComparisonOp.LT, 250)))
+        assert removed == 2
+
+    def test_unknown_query_type(self, executor):
+        with pytest.raises(QueryError):
+            executor.execute(object())
+
+
+class TestRowsEqualUnordered:
+    def test_order_insensitive(self):
+        a = [{"x": 1}, {"x": 2}]
+        b = [{"x": 2}, {"x": 1}]
+        assert rows_equal_unordered(a, b)
+
+    def test_multiset_semantics(self):
+        assert not rows_equal_unordered([{"x": 1}], [{"x": 1}, {"x": 1}])
+
+    def test_mixed_types_no_crash(self):
+        a = [{"x": None}, {"x": 1}]
+        b = [{"x": 1}, {"x": None}]
+        assert rows_equal_unordered(a, b)

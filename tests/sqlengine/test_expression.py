@@ -1,0 +1,175 @@
+"""Unit tests for predicate expressions and pushdown classification."""
+
+import pytest
+
+from repro.sqlengine.expression import (
+    And,
+    Between,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Not,
+    Or,
+    StartsWith,
+    TruePredicate,
+    classify_pushdown,
+    conjunction,
+    flip_comparison,
+    split_conjunction,
+)
+from repro.sqlengine.schema import TableSchema, integer_column, string_column
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        integer_column("a", 0, 100),
+        string_column("s", 6),
+        integer_column("hidden", 0, 100, searchable=False),
+        integer_column("n", 0, 100, nullable=True),
+    ),
+)
+
+ROW = {"a": 50, "s": "HELLO", "hidden": 7, "n": None}
+
+
+class TestComparison:
+    def test_eq(self):
+        assert Comparison("a", ComparisonOp.EQ, 50).matches(ROW)
+        assert not Comparison("a", ComparisonOp.EQ, 51).matches(ROW)
+
+    def test_ordering_ops(self):
+        assert Comparison("a", ComparisonOp.LT, 51).matches(ROW)
+        assert Comparison("a", ComparisonOp.LE, 50).matches(ROW)
+        assert Comparison("a", ComparisonOp.GT, 49).matches(ROW)
+        assert Comparison("a", ComparisonOp.GE, 50).matches(ROW)
+        assert Comparison("a", ComparisonOp.NE, 49).matches(ROW)
+
+    def test_null_comparisons_false(self):
+        for op in ComparisonOp:
+            assert not Comparison("n", op, 5).matches(ROW)
+
+    def test_string_case_insensitive(self):
+        assert Comparison("s", ComparisonOp.EQ, "hello").matches(ROW)
+
+    def test_bind_coerces(self):
+        bound = Comparison("a", ComparisonOp.EQ, 50).bind(SCHEMA)
+        assert bound.value == 50
+
+    def test_referenced_columns(self):
+        assert Comparison("a", ComparisonOp.EQ, 1).referenced_columns() == {"a"}
+
+
+class TestBetween:
+    def test_inclusive(self):
+        assert Between("a", 50, 60).matches(ROW)
+        assert Between("a", 40, 50).matches(ROW)
+        assert not Between("a", 51, 60).matches(ROW)
+
+    def test_null_false(self):
+        assert not Between("n", 0, 100).matches(ROW)
+
+    def test_string_bounds_folded(self):
+        assert Between("s", "ha", "hz").matches(ROW)
+
+
+class TestStartsWith:
+    def test_prefix(self):
+        assert StartsWith("s", "HE").matches(ROW)
+        assert StartsWith("s", "he").matches(ROW)
+        assert not StartsWith("s", "EL").matches(ROW)
+
+    def test_null_false(self):
+        assert not StartsWith("n", "X").matches({"n": None})
+
+
+class TestNullAndLogic:
+    def test_is_null(self):
+        assert IsNull("n").matches(ROW)
+        assert not IsNull("a").matches(ROW)
+        assert IsNull("a", negated=True).matches(ROW)
+
+    def test_and_or_not(self):
+        t = Comparison("a", ComparisonOp.EQ, 50)
+        f = Comparison("a", ComparisonOp.EQ, 0)
+        assert And((t, t)).matches(ROW)
+        assert not And((t, f)).matches(ROW)
+        assert Or((f, t)).matches(ROW)
+        assert not Or((f, f)).matches(ROW)
+        assert Not(f).matches(ROW)
+
+    def test_true_predicate(self):
+        assert TruePredicate().matches({})
+        assert TruePredicate().referenced_columns() == frozenset()
+
+
+class TestConjunctionHelpers:
+    def test_conjunction_flattens(self):
+        a = Comparison("a", ComparisonOp.EQ, 1)
+        b = Comparison("a", ComparisonOp.EQ, 2)
+        c = Comparison("a", ComparisonOp.EQ, 3)
+        merged = conjunction([And((a, b)), c, TruePredicate()])
+        assert isinstance(merged, And)
+        assert len(merged.parts) == 3
+
+    def test_conjunction_empty(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_conjunction_single(self):
+        a = Comparison("a", ComparisonOp.EQ, 1)
+        assert conjunction([a]) is a
+
+    def test_split_roundtrip(self):
+        a = Comparison("a", ComparisonOp.EQ, 1)
+        b = Between("a", 1, 2)
+        assert split_conjunction(conjunction([a, b])) == [a, b]
+        assert split_conjunction(TruePredicate()) == []
+
+
+class TestPushdownClassification:
+    def test_searchable_comparison_pushed(self):
+        push, residual = classify_pushdown(
+            Comparison("a", ComparisonOp.EQ, 5), SCHEMA
+        )
+        assert len(push) == 1 and not residual
+
+    def test_ne_not_pushed(self):
+        push, residual = classify_pushdown(
+            Comparison("a", ComparisonOp.NE, 5), SCHEMA
+        )
+        assert not push and len(residual) == 1
+
+    def test_non_searchable_not_pushed(self):
+        push, residual = classify_pushdown(
+            Comparison("hidden", ComparisonOp.EQ, 5), SCHEMA
+        )
+        assert not push and len(residual) == 1
+
+    def test_or_not_pushed(self):
+        pred = Or(
+            (
+                Comparison("a", ComparisonOp.EQ, 1),
+                Comparison("a", ComparisonOp.EQ, 2),
+            )
+        )
+        push, residual = classify_pushdown(pred, SCHEMA)
+        assert not push and residual == [pred]
+
+    def test_mixed_conjunction_splits(self):
+        pred = And(
+            (
+                Between("a", 1, 10),
+                IsNull("n"),
+                StartsWith("s", "H"),
+            )
+        )
+        push, residual = classify_pushdown(pred, SCHEMA)
+        assert len(push) == 2
+        assert len(residual) == 1
+        assert isinstance(residual[0], IsNull)
+
+
+class TestFlip:
+    def test_flip_ops(self):
+        assert flip_comparison(ComparisonOp.LT) is ComparisonOp.GT
+        assert flip_comparison(ComparisonOp.GE) is ComparisonOp.LE
+        assert flip_comparison(ComparisonOp.EQ) is ComparisonOp.EQ

@@ -1,0 +1,200 @@
+"""Tests for NULL-aware predicate normalization (NOT elimination)."""
+
+import pytest
+
+from repro.sqlengine.expression import (
+    And,
+    Between,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Not,
+    Or,
+    StartsWith,
+    TruePredicate,
+    normalize_predicate,
+)
+from repro.sqlengine.schema import TableSchema, integer_column, string_column
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        integer_column("a", 0, 100),
+        integer_column("n", 0, 100, nullable=True),
+        string_column("s", 5),
+    ),
+)
+
+
+def norm(pred):
+    return normalize_predicate(pred, SCHEMA)
+
+
+class TestNegationPushdown:
+    def test_not_comparison(self):
+        assert norm(Not(Comparison("a", ComparisonOp.LT, 5))) == Comparison(
+            "a", ComparisonOp.GE, 5
+        )
+        assert norm(Not(Comparison("a", ComparisonOp.EQ, 5))) == Comparison(
+            "a", ComparisonOp.NE, 5
+        )
+
+    def test_double_negation(self):
+        pred = Comparison("a", ComparisonOp.GT, 5)
+        assert norm(Not(Not(pred))) == pred
+
+    def test_not_between_becomes_or(self):
+        out = norm(Not(Between("a", 5, 10)))
+        assert out == Or(
+            (
+                Comparison("a", ComparisonOp.LT, 5),
+                Comparison("a", ComparisonOp.GT, 10),
+            )
+        )
+
+    def test_demorgan_or_to_and(self):
+        pred = Not(
+            Or(
+                (
+                    Comparison("a", ComparisonOp.LT, 5),
+                    Comparison("a", ComparisonOp.GT, 10),
+                )
+            )
+        )
+        out = norm(pred)
+        assert out == And(
+            (
+                Comparison("a", ComparisonOp.GE, 5),
+                Comparison("a", ComparisonOp.LE, 10),
+            )
+        )
+
+    def test_demorgan_and_to_or(self):
+        pred = Not(
+            And(
+                (
+                    Comparison("a", ComparisonOp.GE, 5),
+                    Comparison("a", ComparisonOp.LE, 10),
+                )
+            )
+        )
+        out = norm(pred)
+        assert isinstance(out, Or)
+
+    def test_is_null_flips(self):
+        assert norm(Not(IsNull("n"))) == IsNull("n", negated=True)
+        assert norm(Not(IsNull("n", negated=True))) == IsNull("n")
+
+
+class TestNullFaithfulness:
+    def test_nullable_column_keeps_not(self):
+        """NOT (n < 5) matches NULL rows; n >= 5 does not — the rewrite
+        must not fire for nullable columns."""
+        out = norm(Not(Comparison("n", ComparisonOp.LT, 5)))
+        assert out == Not(Comparison("n", ComparisonOp.LT, 5))
+
+    def test_nullable_between_keeps_not(self):
+        out = norm(Not(Between("n", 1, 2)))
+        assert isinstance(out, Not)
+
+    def test_semantics_preserved_on_nullable(self):
+        row_null = {"a": 50, "n": None, "s": "X"}
+        row_low = {"a": 50, "n": 1, "s": "X"}
+        original = Not(Comparison("n", ComparisonOp.LT, 5))
+        out = norm(original)
+        for row in (row_null, row_low):
+            assert out.matches(row) == original.matches(row)
+
+    def test_semantics_preserved_exhaustive(self):
+        """Brute-force: every normalized predicate agrees with its original
+        on a grid of rows, including NULLs."""
+        rows = [
+            {"a": a, "n": n, "s": s}
+            for a in (0, 5, 50)
+            for n in (None, 0, 50)
+            for s in ("", "AB", "ZZ")
+        ]
+        predicates = [
+            Not(Comparison("a", ComparisonOp.LT, 5)),
+            Not(Comparison("n", ComparisonOp.GE, 5)),
+            Not(Between("a", 5, 50)),
+            Not(Between("n", 5, 50)),
+            Not(Or((Comparison("a", ComparisonOp.LT, 5), IsNull("n")))),
+            Not(And((Comparison("a", ComparisonOp.GE, 5),
+                     Comparison("n", ComparisonOp.LE, 50)))),
+            Not(Not(Comparison("a", ComparisonOp.EQ, 5))),
+            Not(StartsWith("s", "A")),
+        ]
+        for predicate in predicates:
+            normalized = norm(predicate)
+            for row in rows:
+                assert normalized.matches(row) == predicate.matches(row), (
+                    predicate, row
+                )
+
+
+class TestFlattening:
+    def test_nested_or_flattened(self):
+        pred = Or(
+            (
+                Or(
+                    (
+                        Comparison("a", ComparisonOp.EQ, 1),
+                        Comparison("a", ComparisonOp.EQ, 2),
+                    )
+                ),
+                Comparison("a", ComparisonOp.EQ, 3),
+            )
+        )
+        out = norm(pred)
+        assert isinstance(out, Or) and len(out.parts) == 3
+
+    def test_nested_and_flattened(self):
+        pred = And(
+            (
+                And(
+                    (
+                        Comparison("a", ComparisonOp.GE, 1),
+                        Comparison("a", ComparisonOp.LE, 9),
+                    )
+                ),
+                Comparison("a", ComparisonOp.NE, 5),
+            )
+        )
+        out = norm(pred)
+        assert isinstance(out, And) and len(out.parts) == 3
+
+    def test_leaves_unchanged(self):
+        for pred in (
+            Comparison("a", ComparisonOp.EQ, 1),
+            Between("a", 1, 2),
+            StartsWith("s", "A"),
+            IsNull("n"),
+            TruePredicate(),
+        ):
+            assert norm(pred) == pred
+
+
+class TestPushdownGain:
+    def test_not_or_becomes_pushable_interval(self):
+        """The payoff: a NOT(OR) over a NOT NULL column pushes down."""
+        from repro import DataSource, ProviderCluster
+        from repro.client.rewriter import rewrite_predicate
+        from repro.workloads.employees import employees_table
+
+        source = DataSource(ProviderCluster(3, 2), seed=89)
+        source.outsource_table(employees_table(5, seed=89))
+        sharing = source.sharing("Employees")
+        pred = Not(
+            Or(
+                (
+                    Comparison("salary", ComparisonOp.LT, 30_000),
+                    Comparison("salary", ComparisonOp.GT, 70_000),
+                )
+            )
+        ).bind(sharing.schema)
+        rewritten = rewrite_predicate(pred, sharing)
+        assert len(rewritten.intervals) == 1
+        assert not rewritten.has_residual
+        interval = rewritten.intervals[0]
+        assert (interval.low, interval.high) == (30_000, 70_000)

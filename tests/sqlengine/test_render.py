@@ -1,0 +1,84 @@
+"""Unit tests for SQL rendering (the property tests cover round trips)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sqlengine.expression import (
+    Between,
+    Comparison,
+    ComparisonOp,
+    TruePredicate,
+)
+from repro.sqlengine.query import Aggregate, AggregateFunc, Delete, Select
+from repro.sqlengine.render import render_literal, render_predicate, render_sql
+
+
+class TestLiterals:
+    def test_basics(self):
+        assert render_literal(None) == "NULL"
+        assert render_literal(True) == "TRUE"
+        assert render_literal(False) == "FALSE"
+        assert render_literal(42) == "42"
+        assert render_literal(-7) == "-7"
+        assert render_literal(Decimal("3.50")) == "3.50"
+
+    def test_strings_escaped(self):
+        assert render_literal("O'BRIEN") == "'O''BRIEN'"
+
+    def test_dates(self):
+        assert render_literal(datetime.date(2009, 3, 29)) == "'2009-03-29'"
+
+    def test_unsupported(self):
+        with pytest.raises(QueryError):
+            render_literal([1, 2])
+
+
+class TestPredicatesAndQueries:
+    def test_comparison(self):
+        assert (
+            render_predicate(Comparison("a", ComparisonOp.GE, 5)) == "a >= 5"
+        )
+
+    def test_between(self):
+        assert (
+            render_predicate(Between("a", 1, 2)) == "a BETWEEN 1 AND 2"
+        )
+
+    def test_true_predicate_has_no_form(self):
+        with pytest.raises(QueryError):
+            render_predicate(TruePredicate())
+
+    def test_select_full_clauses(self):
+        query = Select(
+            "T",
+            columns=("a", "b"),
+            where=Comparison("a", ComparisonOp.GT, 1),
+            order_by="a",
+            descending=True,
+            limit=5,
+        )
+        assert render_sql(query) == (
+            "SELECT a, b FROM T WHERE a > 1 ORDER BY a DESC LIMIT 5"
+        )
+
+    def test_grouped_select(self):
+        query = Select(
+            "T",
+            aggregate=Aggregate(AggregateFunc.SUM, "v"),
+            group_by="g",
+        )
+        assert render_sql(query) == "SELECT g, SUM(v) FROM T GROUP BY g"
+
+    def test_count_star(self):
+        query = Select("T", aggregate=Aggregate(AggregateFunc.COUNT, None))
+        assert render_sql(query) == "SELECT COUNT(*) FROM T"
+
+    def test_delete_without_where(self):
+        assert render_sql(Delete("T")) == "DELETE FROM T"
+
+    def test_unknown_node(self):
+        with pytest.raises(QueryError):
+            render_sql(42)

@@ -1,0 +1,184 @@
+"""Parser and executor tests for GROUP BY / ORDER BY / LIMIT and the
+extended string alphabet."""
+
+import pytest
+
+from repro.core.encoding import EXTENDED_ALPHABET, StringCodec
+from repro.errors import EncodingError, ParseError
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import PlaintextExecutor, compute_group_aggregate
+from repro.sqlengine.query import Aggregate, AggregateFunc, Select
+from repro.sqlengine.schema import TableSchema, integer_column, string_column
+from repro.sqlengine.sqlparser import parse_sql
+from repro.sqlengine.table import Table
+
+
+class TestParserClauses:
+    def test_group_by(self):
+        q = parse_sql("SELECT department, SUM(salary) FROM E GROUP BY department")
+        assert q.group_by == "department"
+        assert q.aggregate == Aggregate(AggregateFunc.SUM, "salary")
+        assert q.columns == ()
+
+    def test_group_by_without_projection(self):
+        q = parse_sql("SELECT COUNT(*) FROM E GROUP BY department")
+        assert q.group_by == "department"
+
+    def test_group_projection_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT name, SUM(salary) FROM E GROUP BY department")
+
+    def test_mixed_projection_without_group_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT name, SUM(salary) FROM E")
+
+    def test_two_aggregates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT SUM(a), SUM(b) FROM E")
+
+    def test_order_by_variants(self):
+        q = parse_sql("SELECT * FROM E ORDER BY salary")
+        assert q.order_by == "salary" and not q.descending
+        q = parse_sql("SELECT * FROM E ORDER BY salary ASC")
+        assert not q.descending
+        q = parse_sql("SELECT * FROM E ORDER BY salary DESC")
+        assert q.descending
+
+    def test_limit(self):
+        q = parse_sql("SELECT * FROM E LIMIT 10")
+        assert q.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM E LIMIT 'ten'")
+
+    def test_full_clause_order(self):
+        q = parse_sql(
+            "SELECT name FROM E WHERE salary > 5 ORDER BY salary DESC LIMIT 3"
+        )
+        assert q.order_by == "salary" and q.descending and q.limit == 3
+
+    def test_clauses_on_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM A JOIN B ON A.x = B.y LIMIT 3")
+
+
+class TestExecutorClauses:
+    @pytest.fixture
+    def executor(self):
+        schema = TableSchema(
+            "E",
+            (
+                integer_column("id", 1, 100),
+                string_column("dept", 6),
+                integer_column("v", 0, 1000, nullable=True),
+            ),
+            primary_key="id",
+        )
+        table = Table(
+            schema,
+            [
+                {"id": 1, "dept": "A", "v": 10},
+                {"id": 2, "dept": "B", "v": 20},
+                {"id": 3, "dept": "A", "v": 30},
+                {"id": 4, "dept": "B", "v": None},
+                {"id": 5, "dept": "C", "v": 5},
+            ],
+        )
+        catalog = Catalog()
+        catalog.add_table(table)
+        return PlaintextExecutor(catalog)
+
+    def test_group_sum(self, executor):
+        out = executor.execute(parse_sql("SELECT dept, SUM(v) FROM E GROUP BY dept"))
+        assert out == [
+            {"dept": "A", "sum": 40},
+            {"dept": "B", "sum": 20},
+            {"dept": "C", "sum": 5},
+        ]
+
+    def test_group_count_star_vs_column(self, executor):
+        star = executor.execute(parse_sql("SELECT COUNT(*) FROM E GROUP BY dept"))
+        col = executor.execute(parse_sql("SELECT COUNT(v) FROM E GROUP BY dept"))
+        assert star[1] == {"dept": "B", "count": 2}
+        assert col[1] == {"dept": "B", "count": 1}  # NULL skipped
+
+    def test_group_null_keys_excluded(self):
+        rows = [{"g": None, "v": 1}, {"g": 2, "v": 3}]
+        out = compute_group_aggregate(
+            Aggregate(AggregateFunc.SUM, "v"), "g", rows
+        )
+        assert out == [{"g": 2, "sum": 3}]
+
+    def test_order_by_asc_nulls_first(self, executor):
+        out = executor.execute(parse_sql("SELECT id FROM E ORDER BY v"))
+        assert [r["id"] for r in out] == [4, 5, 1, 2, 3]
+
+    def test_order_by_desc(self, executor):
+        out = executor.execute(parse_sql("SELECT id FROM E ORDER BY v DESC"))
+        assert [r["id"] for r in out] == [3, 2, 1, 5, 4]
+
+    def test_limit(self, executor):
+        out = executor.execute(parse_sql("SELECT id FROM E ORDER BY v DESC LIMIT 2"))
+        assert [r["id"] for r in out] == [3, 2]
+
+    def test_limit_zero(self, executor):
+        assert executor.execute(parse_sql("SELECT * FROM E LIMIT 0")) == []
+
+
+class TestExtendedAlphabet:
+    codec = StringCodec(width=6, alphabet=EXTENDED_ALPHABET)
+
+    def test_digits_roundtrip(self):
+        for s in ("A1", "42", "USER7", "2B"):
+            assert self.codec.decode(self.codec.encode(s)) == s
+
+    def test_digits_sort_before_letters(self):
+        assert self.codec.encode("1") < self.codec.encode("A")
+        assert self.codec.encode("A1") < self.codec.encode("AA")
+
+    def test_order_matches_padded_comparison(self):
+        words = ["", "0", "99", "A", "A0", "USER1", "USER2", "Z"]
+        encoded = [self.codec.encode(w) for w in words]
+        assert encoded == sorted(encoded)
+
+    def test_prefix_range(self):
+        low, high = self.codec.prefix_range("USER")
+        assert low <= self.codec.encode("USER1") <= high
+        assert not low <= self.codec.encode("VSER1") <= high
+
+    def test_default_alphabet_still_rejects_digits(self):
+        with pytest.raises(EncodingError):
+            StringCodec(width=5).encode("A1")
+
+    def test_bad_alphabets_rejected(self):
+        with pytest.raises(EncodingError):
+            StringCodec(width=3, alphabet="ABC")  # no pad char first
+        with pytest.raises(EncodingError):
+            StringCodec(width=3, alphabet="*AA")  # duplicates
+
+    def test_column_integration(self):
+        from repro import DataSource, ProviderCluster
+
+        schema = TableSchema(
+            "Users",
+            (
+                integer_column("uid", 1, 100),
+                string_column("handle", 8, alphabet=EXTENDED_ALPHABET),
+            ),
+            primary_key="uid",
+        )
+        table = Table(
+            schema,
+            [
+                {"uid": 1, "handle": "ALICE99"},
+                {"uid": 2, "handle": "BOB7"},
+                {"uid": 3, "handle": "ALICE01"},
+            ],
+        )
+        source = DataSource(ProviderCluster(3, 2), seed=5)
+        source.outsource_table(table)
+        rows = source.sql("SELECT uid FROM Users WHERE handle LIKE 'ALICE%'")
+        assert sorted(r["uid"] for r in rows) == [1, 3]
+        rows = source.sql("SELECT * FROM Users WHERE handle = 'BOB7'")
+        assert rows[0]["uid"] == 2

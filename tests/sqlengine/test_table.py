@@ -1,0 +1,116 @@
+"""Unit tests for the in-memory plaintext table."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sqlengine.expression import Comparison, ComparisonOp, TruePredicate
+from repro.sqlengine.schema import TableSchema, integer_column, string_column
+from repro.sqlengine.table import Table
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        integer_column("id", 1, 1000),
+        string_column("name", 6),
+        integer_column("v", 0, 100, nullable=True),
+    ),
+    primary_key="id",
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        SCHEMA,
+        [
+            {"id": 1, "name": "A", "v": 10},
+            {"id": 2, "name": "B", "v": 20},
+            {"id": 3, "name": "C", "v": None},
+        ],
+    )
+
+
+class TestInsert:
+    def test_len(self, table):
+        assert len(table) == 3
+
+    def test_duplicate_pk_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "name": "X", "v": 0})
+
+    def test_validation_applied(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 4, "name": "TOOLONGNAME", "v": 0})
+
+    def test_insert_many(self):
+        table = Table(SCHEMA)
+        count = table.insert_many(
+            [{"id": i, "name": "X", "v": i} for i in range(1, 6)]
+        )
+        assert count == 5 and len(table) == 5
+
+    def test_rows_are_copies(self, table):
+        rows = table.rows()
+        rows[0]["v"] = 999
+        assert table.get_by_pk(1)["v"] == 10
+
+
+class TestSelect:
+    def test_predicate_filter(self, table):
+        rows = table.select(Comparison("v", ComparisonOp.GE, 20))
+        assert [r["id"] for r in rows] == [2]
+
+    def test_true_predicate_returns_all(self, table):
+        assert len(table.select(TruePredicate())) == 3
+
+    def test_pk_lookup(self, table):
+        assert table.get_by_pk(2)["name"] == "B"
+        assert table.get_by_pk(99) is None
+
+    def test_pk_lookup_without_pk_raises(self):
+        schema = TableSchema("U", (integer_column("x", 0, 1),))
+        with pytest.raises(SchemaError):
+            Table(schema).get_by_pk(0)
+
+    def test_sorted_by_with_nulls_first(self, table):
+        ordered = table.sorted_by("v")
+        assert [r["id"] for r in ordered] == [3, 1, 2]
+
+
+class TestUpdate:
+    def test_update_where(self, table):
+        changed = table.update_where(
+            Comparison("id", ComparisonOp.EQ, 1), {"v": 99}
+        )
+        assert changed == 1
+        assert table.get_by_pk(1)["v"] == 99
+
+    def test_update_validates(self, table):
+        with pytest.raises(SchemaError):
+            table.update_where(TruePredicate(), {"v": 101})
+
+    def test_update_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.update_where(TruePredicate(), {"zzz": 1})
+
+    def test_pk_update_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.update_where(Comparison("id", ComparisonOp.EQ, 1), {"id": 9})
+
+    def test_update_no_match(self, table):
+        assert table.update_where(Comparison("id", ComparisonOp.EQ, 99), {"v": 1}) == 0
+
+
+class TestDelete:
+    def test_delete_where(self, table):
+        removed = table.delete_where(Comparison("v", ComparisonOp.LE, 10))
+        assert removed == 1
+        assert len(table) == 2
+        assert table.get_by_pk(1) is None
+
+    def test_pk_index_rebuilt(self, table):
+        table.delete_where(Comparison("id", ComparisonOp.EQ, 2))
+        assert table.get_by_pk(3)["name"] == "C"
+
+    def test_delete_none(self, table):
+        assert table.delete_where(Comparison("id", ComparisonOp.EQ, 99)) == 0

@@ -1,0 +1,122 @@
+"""Unit tests for canary-based execution assurance."""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, Select
+from repro.errors import IntegrityError, QueryError
+from repro.providers.failures import Fault, FailureMode
+from repro.sim.rng import DeterministicRNG
+from repro.sqlengine.expression import Between, Comparison, ComparisonOp
+from repro.sqlengine.query import Aggregate, AggregateFunc
+from repro.trust.assurance import (
+    AssuranceWrapper,
+    detection_probability,
+)
+from repro.workloads.employees import employees_table
+
+
+def canary_factory(rng, i):
+    return {
+        "eid": 900_000 + i,
+        "name": rng.choice(["JOHN", "MARY", "OMAR"]),
+        "lastname": "CANARY",
+        "department": "ENG",
+        "salary": rng.randint(10_000, 90_000),
+    }
+
+
+@pytest.fixture
+def wrapped():
+    cluster = ProviderCluster(3, 2)
+    source = DataSource(cluster, seed=51)
+    wrapper = AssuranceWrapper(source, DeterministicRNG(51, "a"))
+    real, canaries = wrapper.outsource_with_canaries(
+        employees_table(40, seed=51), canary_factory, 12
+    )
+    assert (real, canaries) == (40, 12)
+    return source, wrapper
+
+
+class TestDetectionProbability:
+    def test_closed_form(self):
+        assert detection_probability(0.0, 10) == 0.0
+        assert detection_probability(1.0, 1) == 1.0
+        assert detection_probability(0.5, 2) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_probability(1.5, 1)
+        with pytest.raises(ValueError):
+            detection_probability(0.5, -1)
+
+
+class TestHonestPath:
+    def test_canaries_filtered_from_results(self, wrapped):
+        _, wrapper = wrapped
+        rows = wrapper.select(Select("Employees", where=Between("salary", 0, 10**6)))
+        assert len(rows) == 40
+        assert all(row["lastname"] != "CANARY" for row in rows)
+
+    def test_projection_applied(self, wrapped):
+        _, wrapper = wrapped
+        rows = wrapper.select(
+            Select("Employees", columns=("name",),
+                   where=Between("salary", 20_000, 80_000))
+        )
+        assert all(set(row) == {"name"} for row in rows)
+
+    def test_check_counter(self, wrapped):
+        _, wrapper = wrapped
+        wrapper.select(Select("Employees", where=Between("salary", 0, 10**6)))
+        assert wrapper.checks_performed == 1
+        assert wrapper.omissions_detected == 0
+
+    def test_canaries_recorded(self, wrapped):
+        _, wrapper = wrapped
+        assert len(wrapper.canaries_for("Employees")) == 12
+
+
+class TestOmissionDetection:
+    def test_heavy_omission_detected(self, wrapped):
+        source, wrapper = wrapped
+        for i in (0, 1):
+            source.cluster.inject_fault(
+                i, Fault(FailureMode.OMIT, rate=0.6,
+                         rng=DeterministicRNG(7, f"o{i}"))
+            )
+        with pytest.raises(IntegrityError):
+            wrapper.select(Select("Employees", where=Between("salary", 0, 10**6)))
+        assert wrapper.omissions_detected == 1
+
+    def test_expected_rate_formula(self, wrapped):
+        _, wrapper = wrapped
+        rate = wrapper.expected_detection_rate(
+            "Employees", Between("salary", 0, 10**6), omission_rate=0.5
+        )
+        assert rate == pytest.approx(1 - 0.5**12)
+
+    def test_rate_zero_when_no_canary_in_range(self, wrapped):
+        _, wrapper = wrapped
+        rate = wrapper.expected_detection_rate(
+            "Employees",
+            Comparison("salary", ComparisonOp.GT, 999_998),
+            omission_rate=0.9,
+        )
+        assert rate == 0.0
+
+
+class TestGuards:
+    def test_aggregates_rejected(self, wrapped):
+        _, wrapper = wrapped
+        with pytest.raises(QueryError):
+            wrapper.select(
+                Select("Employees", aggregate=Aggregate(AggregateFunc.COUNT, None))
+            )
+
+    def test_zero_canaries_rejected(self, cluster):
+        source = DataSource(cluster, seed=1)
+        wrapper = AssuranceWrapper(source)
+        with pytest.raises(QueryError):
+            wrapper.outsource_with_canaries(
+                employees_table(5, seed=1), canary_factory, 0
+            )

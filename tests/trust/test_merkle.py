@@ -1,0 +1,164 @@
+"""Unit tests for Merkle commitments and the share auditor."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.trust.merkle import (
+    EMPTY_ROOT,
+    MerkleTree,
+    ShareAuditor,
+    column_hash,
+    leaf_hash,
+    leaf_hash_from_column_hashes,
+    tree_for_rows,
+    verify_proof,
+)
+
+
+class TestHashes:
+    def test_column_hash_distinguishes_null(self):
+        assert column_hash("c", None) != column_hash("c", 0)
+
+    def test_column_hash_binds_column_name(self):
+        assert column_hash("a", 5) != column_hash("b", 5)
+
+    def test_leaf_hash_consistency(self):
+        values = {"a": 1, "b": None}
+        direct = leaf_hash("T", 3, values)
+        via_columns = leaf_hash_from_column_hashes(
+            "T", 3, {c: column_hash(c, v) for c, v in values.items()}
+        )
+        assert direct == via_columns
+
+    def test_leaf_hash_binds_table_and_row(self):
+        values = {"a": 1}
+        assert leaf_hash("T", 1, values) != leaf_hash("U", 1, values)
+        assert leaf_hash("T", 1, values) != leaf_hash("T", 2, values)
+
+
+class TestMerkleTree:
+    def leaves(self, n):
+        return [leaf_hash("T", i, {"a": i}) for i in range(n)]
+
+    def test_empty_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf(self):
+        leaves = self.leaves(1)
+        assert MerkleTree(leaves).root == leaves[0]
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 13])
+    def test_proofs_verify(self, n):
+        leaves = self.leaves(n)
+        tree = MerkleTree(leaves)
+        for i in range(n):
+            assert verify_proof(tree.root, leaves[i], tree.proof(i))
+
+    def test_wrong_leaf_fails(self):
+        leaves = self.leaves(8)
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, leaves[1], tree.proof(0))
+
+    def test_tampered_path_fails(self):
+        leaves = self.leaves(8)
+        tree = MerkleTree(leaves)
+        path = tree.proof(3)
+        bad = [(s, bytes(32)) for s, _ in path]
+        assert not verify_proof(tree.root, leaves[3], bad)
+
+    def test_proof_bounds(self):
+        tree = MerkleTree(self.leaves(4))
+        with pytest.raises(IntegrityError):
+            tree.proof(4)
+
+    def test_bad_side_marker(self):
+        with pytest.raises(IntegrityError):
+            verify_proof(bytes(32), bytes(32), [("X", bytes(32))])
+
+    def test_root_depends_on_order(self):
+        leaves = self.leaves(4)
+        assert MerkleTree(leaves).root != MerkleTree(list(reversed(leaves))).root
+
+    def test_tree_for_rows_canonical_order(self):
+        rows = {3: {"a": 3}, 1: {"a": 1}}
+        tree = tree_for_rows("T", rows)
+        expected = MerkleTree(
+            [leaf_hash("T", 1, {"a": 1}), leaf_hash("T", 3, {"a": 3})]
+        )
+        assert tree.root == expected.root
+
+
+class TestShareAuditor:
+    def make(self):
+        auditor = ShareAuditor("T", 0)
+        auditor.record_insert(0, {"a": 10, "b": 20})
+        auditor.record_insert(1, {"a": 11, "b": 21})
+        return auditor
+
+    def test_verify_row_passes(self):
+        auditor = self.make()
+        auditor.verify_row(0, {"a": 10, "b": 20})
+        auditor.verify_row(0, {"a": 10})  # projection subset OK
+
+    def test_tampered_share_detected(self):
+        auditor = self.make()
+        with pytest.raises(IntegrityError):
+            auditor.verify_row(0, {"a": 999})
+
+    def test_unknown_row_detected(self):
+        auditor = self.make()
+        with pytest.raises(IntegrityError):
+            auditor.verify_row(99, {"a": 1})
+
+    def test_unknown_column_detected(self):
+        auditor = self.make()
+        with pytest.raises(IntegrityError):
+            auditor.verify_row(0, {"zzz": 1})
+
+    def test_update_changes_expectation(self):
+        auditor = self.make()
+        auditor.record_update(0, {"a": 999})
+        auditor.verify_row(0, {"a": 999, "b": 20})
+        with pytest.raises(IntegrityError):
+            auditor.verify_row(0, {"a": 10})
+
+    def test_update_unknown_row(self):
+        with pytest.raises(IntegrityError):
+            self.make().record_update(9, {"a": 1})
+
+    def test_delete(self):
+        auditor = self.make()
+        auditor.record_delete(0)
+        assert auditor.row_count == 1
+        with pytest.raises(IntegrityError):
+            auditor.record_delete(0)
+
+    def test_duplicate_insert(self):
+        with pytest.raises(IntegrityError):
+            self.make().record_insert(0, {"a": 1})
+
+    def test_root_matches_provider_tree(self):
+        """Client auditor and provider storage derive the same root."""
+        auditor = self.make()
+        provider_rows = {0: {"a": 10, "b": 20}, 1: {"a": 11, "b": 21}}
+        assert auditor.expected_root() == tree_for_rows("T", provider_rows).root
+
+    def test_verify_root(self):
+        auditor = self.make()
+        auditor.verify_root(auditor.expected_root())
+        with pytest.raises(IntegrityError):
+            auditor.verify_root(bytes(32))
+
+    def test_spot_proof(self):
+        auditor = self.make()
+        provider_rows = {0: {"a": 10, "b": 20}, 1: {"a": 11, "b": 21}}
+        tree = tree_for_rows("T", provider_rows)
+        auditor.verify_spot_proof(1, provider_rows[1], tree.proof(1))
+        with pytest.raises(IntegrityError):
+            auditor.verify_spot_proof(1, {"a": 99, "b": 21}, tree.proof(1))
+
+    def test_leaf_index(self):
+        auditor = self.make()
+        assert auditor.leaf_index(1) == 1
+        with pytest.raises(IntegrityError):
+            auditor.leaf_index(42)

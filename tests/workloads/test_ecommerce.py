@@ -1,0 +1,89 @@
+"""Tests for the e-commerce click-log workload."""
+
+import datetime
+
+import pytest
+
+from repro import DataSource, ProviderCluster
+from repro.workloads.ecommerce import (
+    AMOUNT_HI,
+    EVENT_TYPES,
+    clicklog_schema,
+    clicklog_table,
+)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert clicklog_table(50, seed=3).rows() == clicklog_table(50, seed=3).rows()
+
+    def test_row_shape(self):
+        table = clicklog_table(100, seed=4)
+        assert len(table) == 100
+        for row in table:
+            assert row["action"] in EVENT_TYPES
+            assert 0 <= row["amount_cents"] <= AMOUNT_HI
+            assert isinstance(row["day"], datetime.date)
+
+    def test_view_events_carry_no_amount(self):
+        table = clicklog_table(200, seed=5)
+        for row in table:
+            if row["action"] in ("VIEW", "CART"):
+                assert row["amount_cents"] == 0
+            else:
+                assert row["amount_cents"] > 0
+
+    def test_zipf_concentration(self):
+        table = clicklog_table(1000, seed=6, n_users=50)
+        counts = {}
+        for row in table:
+            counts[row["user"]] = counts.get(row["user"], 0) + 1
+        hottest = max(counts.values())
+        assert hottest > 2 * (1000 / 50)  # far above the uniform share
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clicklog_table(0)
+
+    def test_amount_column_randomly_shared(self):
+        schema = clicklog_schema()
+        assert not schema.column("amount_cents").searchable
+        assert schema.column("user").searchable
+
+
+class TestOutsourcedAnalytics:
+    @pytest.fixture(scope="class")
+    def source(self):
+        source = DataSource(ProviderCluster(4, 2), seed=7)
+        source.outsource_table(clicklog_table(400, seed=7))
+        return source
+
+    def test_grouped_revenue(self, source):
+        rows = source.sql(
+            "SELECT action, SUM(amount_cents) FROM Events GROUP BY action"
+        )
+        by_action = {row["action"]: row["sum"] for row in rows}
+        assert set(by_action) == set(EVENT_TYPES)
+        assert by_action["VIEW"] == 0
+        assert by_action["BUY"] > 0
+
+    def test_date_range_counts(self, source):
+        total = source.sql("SELECT COUNT(*) FROM Events")
+        windowed = source.sql(
+            "SELECT COUNT(*) FROM Events "
+            "WHERE day BETWEEN '2008-11-10' AND '2008-11-20'"
+        )
+        assert 0 < windowed < total
+
+    def test_topk_by_day(self, source):
+        rows = source.sql(
+            "SELECT event_id, day FROM Events ORDER BY day DESC LIMIT 5"
+        )
+        days = [row["day"] for row in rows]
+        assert days == sorted(days, reverse=True)
+        assert len(rows) == 5
+
+    def test_user_prefix_query(self, source):
+        rows = source.sql("SELECT * FROM Events WHERE user LIKE 'U00%'")
+        assert all(row["user"].startswith("U00") for row in rows)
+        assert rows

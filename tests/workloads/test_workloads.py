@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.distributions import (
+    clamped_normal_int,
+    distinct_ints,
+    uniform_int,
+    zipf_choice,
+)
+from repro.workloads.documents import (
+    PAPER_SITE_A_DOCS,
+    PAPER_SITE_B_DOCS,
+    PAPER_WORDS_PER_DOC,
+    flatten_words,
+    generate_corpus,
+    paper_corpora,
+)
+from repro.workloads.employees import (
+    employees_table,
+    managers_table,
+    paper_salary_table,
+)
+from repro.workloads.medical import (
+    medical_table,
+    overlapping_patient_ids,
+)
+
+
+class TestDistributions:
+    rng = DeterministicRNG(3)
+
+    def test_uniform_bounds(self):
+        draw = uniform_int(self.rng, 5, 10)
+        assert all(5 <= draw() <= 10 for _ in range(100))
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_int(self.rng, 10, 5)
+
+    def test_clamped_normal(self):
+        draw = clamped_normal_int(self.rng, 50, 10, 0, 100)
+        values = [draw() for _ in range(500)]
+        assert all(0 <= v <= 100 for v in values)
+        assert 40 < sum(values) / len(values) < 60
+
+    def test_clamped_normal_validation(self):
+        with pytest.raises(ValueError):
+            clamped_normal_int(self.rng, 0, -1, 0, 10)
+
+    def test_zipf_choice(self):
+        draw = zipf_choice(self.rng, ["hot", "warm", "cold"], skew=2.0)
+        picks = [draw() for _ in range(500)]
+        assert picks.count("hot") > picks.count("cold")
+
+    def test_zipf_choice_empty(self):
+        with pytest.raises(ValueError):
+            zipf_choice(self.rng, [])
+
+    def test_distinct_ints(self):
+        values = distinct_ints(self.rng, 50, 0, 59)
+        assert len(set(values)) == 50
+        with pytest.raises(ValueError):
+            distinct_ints(self.rng, 100, 0, 50)
+
+
+class TestEmployees:
+    def test_deterministic(self):
+        a = employees_table(20, seed=9).rows()
+        b = employees_table(20, seed=9).rows()
+        assert a == b
+
+    def test_distinct_eids(self):
+        rows = employees_table(200, seed=9).rows()
+        assert len({r["eid"] for r in rows}) == 200
+
+    def test_managers_reference_employees(self):
+        employees = employees_table(50, seed=9)
+        managers = managers_table(employees, fraction=0.2, seed=9)
+        eids = {r["eid"] for r in employees}
+        assert all(m["eid"] in eids for m in managers)
+        assert len(managers) == 10
+
+    def test_manager_fraction_validation(self):
+        employees = employees_table(10, seed=9)
+        with pytest.raises(ValueError):
+            managers_table(employees, fraction=0.0)
+
+    def test_paper_salary_table(self):
+        table = paper_salary_table()
+        assert [r["salary"] for r in table] == [10, 20, 40, 60, 80]
+
+
+class TestDocuments:
+    def test_paper_sizes(self):
+        site_a, site_b = paper_corpora(seed=1)
+        assert len(site_a) == PAPER_SITE_A_DOCS
+        assert len(site_b) == PAPER_SITE_B_DOCS
+        assert all(len(d) == PAPER_WORDS_PER_DOC for d in site_a)
+
+    def test_distinct_words_per_document(self):
+        corpus = generate_corpus(5, words_per_doc=200, seed=2)
+        for document in corpus:
+            assert len(document.words) == 200
+
+    def test_sites_differ(self):
+        a = generate_corpus(3, 50, seed=3, site="A")
+        b = generate_corpus(3, 50, seed=3, site="B")
+        assert a[0].words != b[0].words
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_corpus(0)
+        with pytest.raises(ValueError):
+            generate_corpus(1, words_per_doc=100, vocabulary_size=50)
+
+    def test_flatten(self):
+        corpus = generate_corpus(3, 50, seed=4)
+        words = flatten_words(corpus)
+        assert words == sorted(set(words))
+
+
+class TestMedical:
+    def test_table_shape(self):
+        table = medical_table(100, seed=5)
+        assert len(table) == 100
+        assert len({r["pid"] for r in table}) == 100
+
+    def test_overlap_control(self):
+        a, b = overlapping_patient_ids(100, 200, overlap=0.5, seed=6)
+        assert len(a) == 100 and len(b) == 200
+        shared = set(a) & set(b)
+        assert len(shared) == 50
+
+    def test_zero_overlap(self):
+        a, b = overlapping_patient_ids(50, 50, overlap=0.0, seed=7)
+        assert not (set(a) & set(b))
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            overlapping_patient_ids(10, 10, overlap=1.5)
