@@ -1,0 +1,270 @@
+"""Hot-path kernel benchmark: split / reconstruct / select throughput.
+
+Measures the batched share-arithmetic kernels of
+:mod:`repro.core.kernels` against the naive per-value reference paths
+they replaced:
+
+* **split** — sharing M values: per-value Horner evaluation of a fresh
+  random polynomial vs. the cached power-table kernel
+  (:meth:`ShamirScheme.split_batch`).
+* **reconstruct** — a 10k-row × 4-column result set: per-cell
+  :func:`lagrange_constant_term` (rebuilds the Lagrange basis and pays a
+  modular inversion per cell) vs. column-major
+  :func:`repro.core.kernels.batch_reconstruct` with cached weights.
+* **select** — an end-to-end ``SELECT`` through the provider cluster,
+  reporting modelled network latency under sequential dispatch (sum of
+  round trips) vs. the parallel ``first_k`` fan-out (k-th fastest).
+
+Results are written to ``BENCH_hotpath.json`` at the repo root so later
+PRs can track the perf trajectory.  Run modes::
+
+    python benchmarks/bench_hotpath.py           # full sizes + JSON
+    python benchmarks/bench_hotpath.py --check   # tiny smoke: batch == naive
+
+The ``--check`` mode is also exercised by the tier-1 suite
+(``tests/integration/test_hotpath_bench.py``), so CI validates the
+kernels' bit-exactness without paying full benchmark cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import kernels
+from repro.core.polynomial import lagrange_constant_term, random_field_polynomial
+from repro.core.secrets import generate_client_secrets
+from repro.core.shamir import ShamirScheme
+from repro.providers.cluster import ProviderCluster
+from repro.client.datasource import DataSource
+from repro.sim.rng import DeterministicRNG
+from repro.sqlengine.query import Select
+from repro.sqlengine.expression import Comparison, ComparisonOp
+from repro.workloads.employees import employees_table
+
+SEED = 2009
+RESULT_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+
+# ---------------------------------------------------------------------------
+# naive reference paths (kept here so the baseline survives the refactor)
+# ---------------------------------------------------------------------------
+
+
+def naive_split_batch(scheme: ShamirScheme, values, rng) -> list:
+    """Pre-kernel split: fresh polynomial + Horner per value."""
+    out = []
+    for value in values:
+        poly = random_field_polynomial(
+            scheme.field, value, scheme.threshold - 1, rng
+        )
+        out.append(poly.evaluate_many(scheme.secrets.evaluation_points))
+    return out
+
+
+def naive_reconstruct_cells(scheme: ShamirScheme, cells) -> list:
+    """Pre-kernel reconstruction: full Lagrange basis rebuild per cell.
+
+    ``cells`` holds (provider_index → share) maps; this is what
+    ``ShamirScheme.reconstruct`` did before the weight cache.
+    """
+    out = []
+    for shares in cells:
+        chosen = sorted(shares.items())[: scheme.threshold]
+        points = [(scheme.secrets.point_for(i), v) for i, v in chosen]
+        out.append(lagrange_constant_term(scheme.field, points))
+    return out
+
+
+def kernel_reconstruct_cells(scheme: ShamirScheme, cells) -> list:
+    return scheme.reconstruct_batch(cells)
+
+
+# ---------------------------------------------------------------------------
+# measurement harness
+# ---------------------------------------------------------------------------
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def bench_split(n_values: int, n_providers: int = 5, threshold: int = 3):
+    secrets = generate_client_secrets(n_providers, seed=SEED)
+    scheme = ShamirScheme(secrets, threshold)
+    values = [
+        DeterministicRNG(SEED, "values").field_element(scheme.field.modulus)
+        for _ in range(n_values)
+    ]
+    # identical RNG streams so both paths share the exact polynomials
+    baseline, base_s = _timed(
+        naive_split_batch, scheme, values, DeterministicRNG(SEED, "split")
+    )
+    kernel, kern_s = _timed(
+        scheme.split_batch, values, DeterministicRNG(SEED, "split")
+    )
+    assert kernel == baseline, "split kernel diverged from the naive path"
+    return {
+        "values": n_values,
+        "n": n_providers,
+        "k": threshold,
+        "baseline_seconds": round(base_s, 6),
+        "kernel_seconds": round(kern_s, 6),
+        "baseline_values_per_s": round(n_values / base_s, 1),
+        "kernel_values_per_s": round(n_values / kern_s, 1),
+        "speedup": round(base_s / kern_s, 2),
+    }
+
+
+def bench_reconstruct(
+    n_rows: int, n_columns: int = 4, n_providers: int = 5, threshold: int = 3
+):
+    secrets = generate_client_secrets(n_providers, seed=SEED)
+    scheme = ShamirScheme(secrets, threshold)
+    rng = DeterministicRNG(SEED, "recon")
+    n_cells = n_rows * n_columns
+    values = [rng.field_element(scheme.field.modulus) for _ in range(n_cells)]
+    share_rows = scheme.split_batch(values, rng)
+    # quorum responses: the first k providers answered, as in a real read
+    cells = [
+        {i: shares[i] for i in range(threshold)} for shares in share_rows
+    ]
+    baseline, base_s = _timed(naive_reconstruct_cells, scheme, cells)
+    kernels.clear_kernel_caches()
+    kernel, kern_s = _timed(kernel_reconstruct_cells, scheme, cells)
+    assert baseline == values and kernel == values, "reconstruction mismatch"
+    stats = kernels.kernel_stats()
+    return {
+        "rows": n_rows,
+        "columns": n_columns,
+        "cells": n_cells,
+        "n": n_providers,
+        "k": threshold,
+        "baseline_seconds": round(base_s, 6),
+        "kernel_seconds": round(kern_s, 6),
+        "baseline_cells_per_s": round(n_cells / base_s, 1),
+        "kernel_cells_per_s": round(n_cells / kern_s, 1),
+        "speedup": round(base_s / kern_s, 2),
+        "weight_cache": {
+            "misses": stats.weight_misses,
+            "hits": stats.weight_hits,
+        },
+    }
+
+
+def bench_select(n_rows: int, n_providers: int = 5, threshold: int = 3):
+    """End-to-end SELECT: modelled latency sequential vs parallel first_k."""
+    out = {}
+    query = Select(
+        table="Employees",
+        where=Comparison("salary", ComparisonOp.GE, 20_000),
+    )
+    for mode in ("sequential", "parallel"):
+        cluster = ProviderCluster(n_providers, threshold, dispatch=mode)
+        source = DataSource(cluster, seed=SEED)
+        source.outsource_table(employees_table(n_rows, seed=SEED))
+        cluster.network.reset()
+        rows, wall = _timed(source.select, query)
+        out[mode] = {
+            "rows_returned": len(rows),
+            "wall_seconds": round(wall, 6),
+            "rows_per_s": round(len(rows) / wall, 1) if rows else 0.0,
+            "modelled_network_seconds": round(
+                cluster.network.modelled_seconds, 6
+            ),
+            "network_bytes": cluster.network.total_bytes,
+        }
+    assert (
+        out["sequential"]["rows_returned"] == out["parallel"]["rows_returned"]
+    ), "dispatch modes returned different result sets"
+    assert (
+        out["sequential"]["network_bytes"] == out["parallel"]["network_bytes"]
+    ), "dispatch modes disagree on byte accounting"
+    out["modelled_latency_speedup"] = round(
+        out["sequential"]["modelled_network_seconds"]
+        / out["parallel"]["modelled_network_seconds"],
+        2,
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def run_check() -> None:
+    """Tiny smoke mode: assert kernels are bit-identical to naive paths.
+
+    Covers several (n, k) shapes including over-determined quorums; raises
+    AssertionError on any divergence.  Called from the tier-1 suite.
+    """
+    for n, k in ((3, 2), (5, 3), (7, 5), (4, 4)):
+        secrets = generate_client_secrets(n, seed=SEED + n + k)
+        scheme = ShamirScheme(secrets, k)
+        rng_values = DeterministicRNG(SEED, f"check/{n}/{k}")
+        values = [
+            rng_values.field_element(scheme.field.modulus) for _ in range(40)
+        ]
+        baseline = naive_split_batch(
+            scheme, values, DeterministicRNG(SEED, "chk")
+        )
+        batched = scheme.split_batch(values, DeterministicRNG(SEED, "chk"))
+        assert batched == baseline, f"split mismatch at (n={n}, k={k})"
+        # over-determined: all n shares supplied, only k used — both paths
+        cells = [dict(enumerate(shares)) for shares in batched]
+        assert naive_reconstruct_cells(scheme, cells) == values
+        assert kernel_reconstruct_cells(scheme, cells) == values
+    bench_select(40, n_providers=4, threshold=3)
+
+
+def run_full(args) -> dict:
+    report = {
+        "seed": SEED,
+        "split": bench_split(args.values),
+        "reconstruct": bench_reconstruct(args.rows, args.columns),
+        "select": bench_select(args.select_rows),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="tiny smoke mode: assert batch == naive, no timing/JSON",
+    )
+    parser.add_argument("--values", type=int, default=10_000,
+                        help="values to split (default 10000)")
+    parser.add_argument("--rows", type=int, default=10_000,
+                        help="result-set rows to reconstruct (default 10000)")
+    parser.add_argument("--columns", type=int, default=4,
+                        help="result-set columns (default 4)")
+    parser.add_argument("--select-rows", type=int, default=2_000,
+                        help="table size for the end-to-end select (default 2000)")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.check:
+        run_check()
+        print("bench_hotpath --check: kernels bit-identical to naive paths")
+        return 0
+    report = run_full(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -468,6 +468,7 @@ class DataSource:
             lambda i: {"table": table_name, "conditions": [], "projection": []},
             minimum=self.threshold,
             provider_indexes=self.cluster.read_quorum(),
+            quorum="first_k",
         )
         aligned = align_by_row_id(rows_from_responses(responses))
         row_ids = [
@@ -520,6 +521,7 @@ class DataSource:
             lambda i: {"table": table_name, "projection": None},
             minimum=self.threshold,
             provider_indexes=quorum,
+            quorum="first_k",
         )
         from .reconstruct import align_by_row_id, rows_from_responses
 
@@ -708,6 +710,7 @@ class DataSource:
             },
             minimum=self.threshold,
             provider_indexes=quorum,
+            quorum="first_k",
         )
         lengths = {len(response["groups"]) for response in responses.values()}
         if len(lengths) != 1:
@@ -833,6 +836,7 @@ class DataSource:
             },
             minimum=self.threshold,
             provider_indexes=live,
+            quorum="first_k",
         )
         aligned = align_by_row_id(rows_from_responses(responses))
         rows: List[Row] = []
@@ -883,6 +887,7 @@ class DataSource:
                 lambda i: {"table": name, "projection": None},
                 minimum=self.threshold,
                 provider_indexes=quorum,
+                quorum="first_k",
             )
             aligned = align_by_row_id(rows_from_responses(responses))
             snapshots[name] = [
@@ -1025,6 +1030,7 @@ class DataSource:
             },
             minimum=self.threshold,
             provider_indexes=quorum,
+            quorum="first_k",
         )
         self._record_rewrite_cost(rewritten, len(quorum))
         if func is AggregateFunc.COUNT:
@@ -1077,6 +1083,7 @@ class DataSource:
             request,
             minimum=self.threshold,
             provider_indexes=quorum,
+            quorum="first_k",
         )
 
     def _record_rewrite_cost(
@@ -1133,6 +1140,7 @@ class DataSource:
             },
             minimum=self.threshold,
             provider_indexes=quorum,
+            quorum="first_k",
         )
         # align joined pairs across providers by (left_id, right_id)
         aligned: Dict[Tuple[int, int], Dict[int, Tuple[ShareRow, ShareRow]]] = {}

@@ -64,7 +64,7 @@ def reconstruct_rows(
     threshold = sharing.threshold
     residual = residual or TruePredicate()
     needs_residual = not isinstance(residual, TruePredicate)
-    out: List[Dict[str, object]] = []
+    eligible: List[Dict[int, ShareRow]] = []
     for row_id, share_rows in aligned.items():
         if strict and len(share_rows) < len(responses):
             raise IntegrityError(
@@ -73,9 +73,12 @@ def reconstruct_rows(
             )
         if len(share_rows) < threshold:
             continue
-        # residual predicates may reference columns outside the projection,
-        # so reconstruct everything first, filter, then project
-        row = sharing.reconstruct_row(share_rows)
+        eligible.append(share_rows)
+    # residual predicates may reference columns outside the projection, so
+    # reconstruct everything first (batched, column-major), filter, project
+    rows = sharing.reconstruct_rows(eligible)
+    out: List[Dict[str, object]] = []
+    for row in rows:
         if cost is not None:
             cost.record("interpolate", len(row))
         if needs_residual and not residual.matches(row):
@@ -129,8 +132,15 @@ def consistent_scalar(responses: Dict[int, Dict], key: str):
     """A scalar every provider must agree on (e.g. COUNT).
 
     Disagreement means a faulty provider; the client cannot tell *which*
-    without the trust layer, so it raises rather than guessing.
+    without the trust layer, so it raises rather than guessing.  An empty
+    response set means no quorum ever answered — surfaced as a
+    :class:`ReconstructionError` rather than an opaque ``StopIteration``.
     """
+    if not responses:
+        raise ReconstructionError(
+            f"no provider responses to agree on {key!r}; the quorum "
+            "returned nothing"
+        )
     values = {response[key] for response in responses.values()}
     if len(values) != 1:
         raise IntegrityError(

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
-from ..errors import ConfigurationError, DomainError
+from ..errors import ConfigurationError, DomainError, ShareError
 
 #: Default field modulus, the Mersenne prime 2^61 - 1.
 MERSENNE_61 = (1 << 61) - 1
@@ -152,10 +152,18 @@ class PrimeField:
 
         Montgomery's trick: prefix products, one inverse, unwind.  Used by
         Lagrange interpolation over many points.
+
+        Raises :class:`ShareError` (not a bare ``ZeroDivisionError``) when
+        any input is zero, so interpolation callers surface a library
+        error like the rest of :mod:`repro.core`.
         """
         values = [v % self.modulus for v in values]
-        if any(v == 0 for v in values):
-            raise ZeroDivisionError("0 has no inverse in a field")
+        zero_positions = [i for i, v in enumerate(values) if v == 0]
+        if zero_positions:
+            raise ShareError(
+                f"batch_inv: 0 has no inverse in GF({self.modulus}); zero "
+                f"elements at positions {zero_positions}"
+            )
         prefix: List[int] = []
         running = 1
         for v in values:

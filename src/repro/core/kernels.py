@@ -1,0 +1,345 @@
+"""Batched share-arithmetic kernels — the hot-path layer.
+
+The naive paths of :mod:`repro.core.polynomial` rebuild the entire
+Lagrange basis (O(k²) products plus a modular inversion) for *every*
+reconstructed cell, and :meth:`ShamirScheme.split` re-raises every
+evaluation point to every power for *every* shared value.  For a result
+set of M rows × C columns that is M·C basis rebuilds — yet within one
+query every cell is interpolated at the *same* frozen subset of
+evaluation points, and every split evaluates at the *same* client points.
+
+This module amortises both:
+
+* :func:`lagrange_weights` — the λ_i basis weights for recovering q(0)
+  over GF(p), computed once per (field, point-subset) with a single
+  Montgomery batch inversion and cached process-wide.  Reconstruction of
+  a cell becomes a k-term dot product.
+* :func:`rational_lagrange_weights` — the exact-rational analogue used by
+  the order-preserving scheme (Sec. IV interpolates integer polynomials
+  without modular reduction).
+* :class:`SplitKernel` — precomputed power tables x_i^0 … x_i^{k−1} of
+  the client's evaluation points, so sharing M values is M·n dot products
+  instead of M·n Horner evaluations with freshly recomputed powers.
+* :func:`batch_reconstruct` — column-major reconstruction of whole result
+  sets against one cached weight vector.
+
+All kernels are bit-identical to the naive reference paths (property
+tests in ``tests/property/test_prop_kernels.py`` enforce this); they
+change constant factors, never values.  Caches are keyed on immutable
+tuples and only ever *add* entries, so concurrent readers (the parallel
+provider fan-out) are safe under the GIL: the worst race recomputes a
+weight vector that was already correct.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReconstructionError
+from .field import PrimeField
+
+
+class KernelStats:
+    """Hit/miss counters for the kernel caches.
+
+    Exposed so tests (and the hot-path benchmark) can assert that weights
+    are *reused* across the rows of a single query rather than rebuilt —
+    the whole point of the layer.
+    """
+
+    __slots__ = (
+        "weight_hits",
+        "weight_misses",
+        "rational_hits",
+        "rational_misses",
+        "split_hits",
+        "split_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.weight_hits = 0
+        self.weight_misses = 0
+        self.rational_hits = 0
+        self.rational_misses = 0
+        self.split_hits = 0
+        self.split_misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KernelStats({self.snapshot()})"
+
+
+_STATS = KernelStats()
+
+_WEIGHTS: Dict[Tuple[int, Tuple[int, ...]], Tuple[int, ...]] = {}
+_RATIONAL_WEIGHTS: Dict[Tuple[int, ...], Tuple[Fraction, ...]] = {}
+_SPLIT_KERNELS: Dict[Tuple[Tuple[int, ...], int, Optional[int]], "SplitKernel"] = {}
+
+
+def kernel_stats() -> KernelStats:
+    """The process-wide cache counters."""
+    return _STATS
+
+
+def reset_kernel_stats() -> None:
+    """Zero the counters without dropping cached weights."""
+    _STATS.reset()
+
+
+def clear_kernel_caches() -> None:
+    """Drop every cached weight/power table and zero the counters.
+
+    Tests use this to measure cache behaviour from a clean slate; nothing
+    in the library needs it for correctness (entries are immutable).
+    """
+    _WEIGHTS.clear()
+    _RATIONAL_WEIGHTS.clear()
+    _SPLIT_KERNELS.clear()
+    _STATS.reset()
+
+
+def _validated_points(xs: Sequence[int], modulus: Optional[int]) -> List[int]:
+    """Shared validation for interpolation points (matches the naive path)."""
+    points = [x % modulus for x in xs] if modulus is not None else list(xs)
+    if not points:
+        raise ReconstructionError("no shares supplied for reconstruction")
+    if len(set(points)) != len(points):
+        raise ReconstructionError(
+            f"duplicate evaluation points in shares: {sorted(points)}"
+        )
+    if any(x == 0 for x in points):
+        raise ReconstructionError(
+            "evaluation point 0 would reveal the secret directly"
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Modular Lagrange weights (random Shamir scheme, Sec. III)
+# ---------------------------------------------------------------------------
+
+
+def lagrange_weights(field: PrimeField, xs: Sequence[int]) -> Tuple[int, ...]:
+    """λ_i weights with q(0) = Σ λ_i · q(x_i) mod p, cached per point set.
+
+    One Montgomery batch inversion per distinct (field, subset) shape; all
+    subsequent reconstructions at the same points are k-term dot products.
+    """
+    key = (field.modulus, tuple(xs))
+    cached = _WEIGHTS.get(key)
+    if cached is not None:
+        _STATS.weight_hits += 1
+        return cached
+    _STATS.weight_misses += 1
+    p = field.modulus
+    points = _validated_points(xs, p)
+    denominators: List[int] = []
+    numerators: List[int] = []
+    for i, xi in enumerate(points):
+        d = 1
+        n = 1
+        for j, xj in enumerate(points):
+            if i != j:
+                d = (d * ((xi - xj) % p)) % p
+                n = (n * ((-xj) % p)) % p
+        denominators.append(d)
+        numerators.append(n)
+    inverses = field.batch_inv(denominators)
+    weights = tuple(
+        (n * inv) % p for n, inv in zip(numerators, inverses)
+    )
+    _WEIGHTS[key] = weights
+    return weights
+
+
+def reconstruct_constant(
+    field: PrimeField, xs: Sequence[int], ys: Sequence[int]
+) -> int:
+    """q(0) from aligned points/shares via the cached weight vector."""
+    weights = lagrange_weights(field, xs)
+    total = 0
+    for w, y in zip(weights, ys):
+        total += w * y
+    return total % field.modulus
+
+
+def batch_reconstruct(
+    field: PrimeField,
+    xs: Sequence[int],
+    share_vectors: Sequence[Sequence[int]],
+) -> List[int]:
+    """Reconstruct many secrets shared at the *same* evaluation points.
+
+    ``share_vectors[r]`` holds the shares of secret r aligned with ``xs``.
+    This is the column-major kernel: one weight lookup covers the whole
+    column of a result set.
+    """
+    weights = lagrange_weights(field, xs)
+    p = field.modulus
+    out: List[int] = []
+    for ys in share_vectors:
+        total = 0
+        for w, y in zip(weights, ys):
+            total += w * y
+        out.append(total % p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rational Lagrange weights (order-preserving scheme, Sec. IV)
+# ---------------------------------------------------------------------------
+
+
+def rational_lagrange_weights(xs: Sequence[int]) -> Tuple[Fraction, ...]:
+    """Exact-rational λ_i with q(0) = Σ λ_i · q(x_i), cached per point set.
+
+    The order-preserving scheme interpolates integer polynomials *without*
+    modular reduction, so its weights are fractions; they too depend only
+    on the point subset and are reused across every cell of a query.
+    """
+    key = tuple(xs)
+    cached = _RATIONAL_WEIGHTS.get(key)
+    if cached is not None:
+        _STATS.rational_hits += 1
+        return cached
+    _STATS.rational_misses += 1
+    points = _validated_points(xs, None)
+    weights: List[Fraction] = []
+    for i, xi in enumerate(points):
+        w = Fraction(1)
+        for j, xj in enumerate(points):
+            if i != j:
+                w *= Fraction(-xj, xi - xj)
+        weights.append(w)
+    frozen = tuple(weights)
+    _RATIONAL_WEIGHTS[key] = frozen
+    return frozen
+
+
+def reconstruct_rational(xs: Sequence[int], ys: Sequence[int]) -> Fraction:
+    """q(0) over the rationals from aligned integer points/shares."""
+    weights = rational_lagrange_weights(xs)
+    total = Fraction(0)
+    for w, y in zip(weights, ys):
+        total += w * y
+    return total
+
+
+def reconstruct_integer(xs: Sequence[int], ys: Sequence[int]) -> int:
+    """Like :func:`reconstruct_rational` but insists on an integer result.
+
+    Mirrors :func:`repro.core.polynomial.interpolate_integer_constant`: a
+    fractional constant term is the signature of tampered or mismatched
+    shares.
+    """
+    value = reconstruct_rational(xs, ys)
+    if value.denominator != 1:
+        raise ReconstructionError(
+            f"interpolated constant term {value} is not an integer; "
+            "shares are inconsistent or tampered"
+        )
+    return int(value)
+
+
+# ---------------------------------------------------------------------------
+# Split kernel (power tables for share evaluation)
+# ---------------------------------------------------------------------------
+
+
+class SplitKernel:
+    """Precomputed power tables of the client's evaluation points.
+
+    ``powers[i][j] = x_i^j`` (mod p for the random scheme; exact integers
+    for the order-preserving scheme, whose polynomials must not wrap).
+    Evaluating a degree-(k−1) polynomial at every point is then n k-term
+    dot products — no per-value power recomputation.
+    """
+
+    __slots__ = ("points", "width", "modulus", "powers")
+
+    def __init__(
+        self,
+        points: Sequence[int],
+        width: int,
+        modulus: Optional[int] = None,
+    ) -> None:
+        if width < 1:
+            raise ReconstructionError(
+                f"split kernel needs at least one coefficient, got width={width}"
+            )
+        self.points = tuple(points)
+        self.width = width
+        self.modulus = modulus
+        table: List[Tuple[int, ...]] = []
+        for x in self.points:
+            row: List[int] = []
+            value = 1
+            for _ in range(width):
+                row.append(value)
+                value = value * x % modulus if modulus is not None else value * x
+            table.append(tuple(row))
+        self.powers = tuple(table)
+
+    def evaluate(self, coeffs: Sequence[int]) -> List[int]:
+        """One share per evaluation point for a coefficient vector.
+
+        ``coeffs`` is lowest-degree-first, exactly like the polynomial
+        classes; results equal Horner evaluation bit-for-bit.
+        """
+        if len(coeffs) > self.width:
+            raise ReconstructionError(
+                f"coefficient vector of length {len(coeffs)} exceeds kernel "
+                f"width {self.width}"
+            )
+        modulus = self.modulus
+        out: List[int] = []
+        for row in self.powers:
+            total = 0
+            for c, power in zip(coeffs, row):
+                total += c * power
+            out.append(total % modulus if modulus is not None else total)
+        return out
+
+    def evaluate_batch(
+        self, coeff_vectors: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Shares for many coefficient vectors; result[r][i] is value r's
+        share at provider i."""
+        modulus = self.modulus
+        powers = self.powers
+        out: List[List[int]] = []
+        for coeffs in coeff_vectors:
+            if len(coeffs) > self.width:
+                raise ReconstructionError(
+                    f"coefficient vector of length {len(coeffs)} exceeds "
+                    f"kernel width {self.width}"
+                )
+            shares: List[int] = []
+            for row in powers:
+                total = 0
+                for c, power in zip(coeffs, row):
+                    total += c * power
+                shares.append(total % modulus if modulus is not None else total)
+            out.append(shares)
+        return out
+
+
+def split_kernel(
+    points: Sequence[int], width: int, modulus: Optional[int] = None
+) -> SplitKernel:
+    """The cached :class:`SplitKernel` for (points, width, modulus)."""
+    key = (tuple(points), width, modulus)
+    cached = _SPLIT_KERNELS.get(key)
+    if cached is not None:
+        _STATS.split_hits += 1
+        return cached
+    _STATS.split_misses += 1
+    kernel = SplitKernel(points, width, modulus)
+    _SPLIT_KERNELS[key] = kernel
+    return kernel

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ConfigurationError, DomainError, ReconstructionError
+from .kernels import reconstruct_integer, split_kernel
 from .polynomial import IntegerPolynomial, interpolate_integer_constant
 from .secrets import ClientSecrets
 
@@ -168,14 +169,19 @@ class OrderPreservingScheme:
             self.secrets.point_for(provider_index)
         )
 
+    def _kernel(self):
+        """Cached *exact-integer* power table (no modulus: order must hold)."""
+        return split_kernel(self.secrets.evaluation_points, self.threshold, None)
+
     def split(self, value: int) -> List[int]:
         """All n shares of ``value``, provider-index order."""
-        poly = self.polynomial_for(value)
-        return poly.evaluate_many(self.secrets.evaluation_points)
+        return self._kernel().evaluate(self.polynomial_for(value).coeffs)
 
     def split_batch(self, values: Sequence[int]) -> List[List[int]]:
         """Share many values; result[j][i] is value j's share at provider i."""
-        return [self.split(v) for v in values]
+        return self._kernel().evaluate_batch(
+            [self.polynomial_for(v).coeffs for v in values]
+        )
 
     # -- query rewriting helpers (Sec. V-A) -----------------------------------
 
@@ -210,8 +216,8 @@ class OrderPreservingScheme:
                 f"need at least k={self.threshold} shares, got {len(shares)}"
             )
         chosen = sorted(shares.items())[: self.threshold]
-        points = [(self.secrets.point_for(i), s) for i, s in chosen]
-        value = interpolate_integer_constant(points)
+        xs = tuple(self.secrets.point_for(i) for i, _ in chosen)
+        value = reconstruct_integer(xs, [s for _, s in chosen])
         if not self.domain.contains(value):
             raise ReconstructionError(
                 f"reconstructed value {value} outside domain "

@@ -16,11 +16,12 @@ It owns encoding (via each column's codec), splitting a plaintext row into
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError, ReconstructionError, UnsupportedQueryError
 from ..sim.rng import DeterministicRNG
 from ..sqlengine.schema import Column, TableSchema
+from .kernels import batch_reconstruct, reconstruct_integer
 from .order_preserving import IntegerDomain, OrderPreservingScheme
 from .secrets import ClientSecrets
 from .shamir import ShamirScheme
@@ -247,6 +248,70 @@ class TableSharing:
             )
         return out
 
+    def reconstruct_rows(
+        self,
+        share_rows_list: Sequence[Dict[int, ShareRow]],
+        columns: Optional[List[str]] = None,
+    ) -> List[Dict[str, object]]:
+        """Batched :meth:`reconstruct_row` over a whole result set.
+
+        Column-major kernel path: each column's cells are grouped by the
+        responding provider subset, so the Lagrange weights (modular for
+        random columns, rational for order-preserving ones) are looked up
+        once per subset shape and every cell is a k-term dot product.
+        Semantics — NULL handling, quorum checks, error messages — are
+        identical to calling :meth:`reconstruct_row` per row.
+        """
+        for share_rows in share_rows_list:
+            if len(share_rows) < self.threshold:
+                raise ReconstructionError(
+                    f"need shares from at least k={self.threshold} providers, "
+                    f"got {len(share_rows)}"
+                )
+        names = columns if columns is not None else self.schema.column_names
+        out: List[Dict[str, object]] = [{} for _ in share_rows_list]
+        field = self.random_scheme.field
+        for column in names:
+            op_scheme = self._op.get(column)
+            codec = self.codec(column)
+            # random-shared cells batched per provider subset
+            grouped: Dict[Tuple[int, ...], List[Tuple[int, List[int]]]] = {}
+            for position, share_rows in enumerate(share_rows_list):
+                shares = {
+                    index: row.get(column)
+                    for index, row in share_rows.items()
+                }
+                non_null = {i: s for i, s in shares.items() if s is not None}
+                if not non_null:
+                    out[position][column] = None
+                    continue
+                if len(non_null) != len(shares):
+                    raise ReconstructionError(
+                        f"column {column}: NULL-presence disagreement across "
+                        f"providers {sorted(set(shares) - set(non_null))}"
+                    )
+                chosen = sorted(non_null.items())[: self.threshold]
+                xs = tuple(self.secrets.point_for(i) for i, _ in chosen)
+                ys = [s for _, s in chosen]
+                if op_scheme is not None:
+                    encoded = reconstruct_integer(xs, ys)
+                    if not op_scheme.domain.contains(encoded):
+                        raise ReconstructionError(
+                            f"reconstructed value {encoded} outside domain "
+                            f"[{op_scheme.domain.lo}, {op_scheme.domain.hi}]; "
+                            "shares are corrupt"
+                        )
+                    out[position][column] = codec.decode(encoded)
+                else:
+                    grouped.setdefault(xs, []).append((position, ys))
+            for xs, cells in grouped.items():
+                elements = batch_reconstruct(field, xs, [ys for _, ys in cells])
+                for (position, _), element in zip(cells, elements):
+                    out[position][column] = codec.decode(
+                        field.decode_signed(element)
+                    )
+        return out
+
     # -- aggregate reconstruction -------------------------------------------------------
 
     def combine_sum(
@@ -266,11 +331,9 @@ class TableSharing:
                 f"SUM needs partials from k={self.threshold} providers"
             )
         if column in self._op:
-            from .polynomial import interpolate_integer_constant
-
             chosen = sorted(partials.items())[: self.threshold]
-            points = [(self.secrets.point_for(i), s) for i, s in chosen]
-            encoded_total = interpolate_integer_constant(points)
+            xs = tuple(self.secrets.point_for(i) for i, _ in chosen)
+            encoded_total = reconstruct_integer(xs, [s for _, s in chosen])
         else:
             field = self.random_scheme.field
             reduced = {i: s % field.modulus for i, s in partials.items()}

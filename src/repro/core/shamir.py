@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from ..errors import ConfigurationError, ReconstructionError
 from ..sim.rng import DeterministicRNG
 from .field import DEFAULT_FIELD, PrimeField
+from .kernels import batch_reconstruct, reconstruct_constant, split_kernel
 from .polynomial import (
     FieldPolynomial,
     lagrange_constant_term,
@@ -57,12 +58,27 @@ class ShamirScheme:
 
     # -- splitting ----------------------------------------------------------
 
-    def split(self, secret: int, rng: DeterministicRNG) -> List[int]:
-        """Share ``secret``; returns one share per provider, index order."""
-        poly = random_field_polynomial(
-            self.field, secret, self.threshold - 1, rng
+    def _kernel(self):
+        """The cached power-table kernel for this scheme's shape."""
+        return split_kernel(
+            self.secrets.evaluation_points, self.threshold, self.field.modulus
         )
-        return poly.evaluate_many(self.secrets.evaluation_points)
+
+    def _draw_coefficients(self, secret: int, rng: DeterministicRNG) -> List[int]:
+        """Random polynomial coefficients, identical draws to the naive path."""
+        self.field.check_secret(secret)
+        return [secret] + [
+            rng.field_element(self.field.modulus)
+            for _ in range(self.threshold - 1)
+        ]
+
+    def split(self, secret: int, rng: DeterministicRNG) -> List[int]:
+        """Share ``secret``; returns one share per provider, index order.
+
+        Evaluates against the cached power table (bit-identical to Horner
+        evaluation of the same random polynomial).
+        """
+        return self._kernel().evaluate(self._draw_coefficients(secret, rng))
 
     def split_with_polynomial(
         self, secret: int, rng: DeterministicRNG
@@ -82,8 +98,14 @@ class ShamirScheme:
         self, values: Sequence[int], rng: DeterministicRNG
     ) -> List[List[int]]:
         """Share a sequence of secrets; result[j][i] is value j's share at
-        provider i."""
-        return [self.split(v, rng) for v in values]
+        provider i.
+
+        Coefficients are drawn per value in the same order as repeated
+        :meth:`split` calls (the RNG stream is unchanged), then evaluated
+        in one batch against the cached power table.
+        """
+        coefficient_rows = [self._draw_coefficients(v, rng) for v in values]
+        return self._kernel().evaluate_batch(coefficient_rows)
 
     # -- reconstruction -----------------------------------------------------
 
@@ -100,10 +122,32 @@ class ShamirScheme:
                 f"need at least k={self.threshold} shares, got {len(shares)}"
             )
         chosen = sorted(shares.items())[: self.threshold]
-        points = [
-            (self.secrets.point_for(idx), value) for idx, value in chosen
-        ]
-        return lagrange_constant_term(self.field, points)
+        xs = tuple(self.secrets.point_for(idx) for idx, _ in chosen)
+        return reconstruct_constant(
+            self.field, xs, [value for _, value in chosen]
+        )
+
+    def reconstruct_batch(self, share_maps: Sequence[Dict[int, int]]) -> List[int]:
+        """Reconstruct many secrets; one cached weight vector per distinct
+        provider subset (column-major kernel, see :mod:`repro.core.kernels`).
+        """
+        grouped: Dict[Tuple[int, ...], List[Tuple[int, List[int]]]] = {}
+        for position, shares in enumerate(share_maps):
+            if len(shares) < self.threshold:
+                raise ReconstructionError(
+                    f"need at least k={self.threshold} shares, got {len(shares)}"
+                )
+            chosen = sorted(shares.items())[: self.threshold]
+            xs = tuple(self.secrets.point_for(idx) for idx, _ in chosen)
+            grouped.setdefault(xs, []).append(
+                (position, [value for _, value in chosen])
+            )
+        out: List[int] = [0] * len(share_maps)
+        for xs, cells in grouped.items():
+            values = batch_reconstruct(self.field, xs, [ys for _, ys in cells])
+            for (position, _), value in zip(cells, values):
+                out[position] = value
+        return out
 
     def reconstruct_checked(self, shares: Dict[int, int]) -> int:
         """Reconstruct and cross-validate using *all* supplied shares.

@@ -10,11 +10,29 @@ The data source talks to ``n`` providers through one
   threshold), writes are best-effort to all live providers (a provider
   that was down during a write is stale — handled by the availability
   experiments, EXP-T7).
+
+Dispatch modes
+--------------
+
+``dispatch="parallel"`` (the default) fans each broadcast out through a
+shared thread pool: every addressed provider executes concurrently, and
+the modelled latency of the round is the slowest round trip the client
+had to wait for — ``max`` over providers for writes, the k-th fastest
+round trip for reads issued with ``quorum="first_k"`` (the client can
+start reconstructing the moment a quorum has answered; Sec. III needs
+*any* k shares).  ``dispatch="sequential"`` preserves the original
+one-at-a-time model whose latency is the *sum* of round trips.
+
+Byte accounting is identical — and deterministic — in both modes: all
+network counters are recorded on the calling thread in provider-index
+order, never from pool workers, so the same seed produces the same
+per-link byte counts regardless of thread scheduling.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ProviderUnavailableError, QuorumError
 from ..sim.costmodel import CostRecorder
@@ -23,6 +41,28 @@ from .failures import Fault
 from .provider import ShareProvider
 
 CLIENT_NAME = "client"
+
+#: Valid dispatch modes.
+DISPATCH_MODES = ("parallel", "sequential")
+
+#: Valid quorum modes for :meth:`ProviderCluster.call_all`.
+QUORUM_MODES = ("all", "first_k")
+
+#: One pool shared by every cluster in the process.  Providers are
+#: independent objects (no shared mutable state between them), handlers
+#: never re-enter the cluster, and all accounting happens on the calling
+#: thread — so a small shared pool is safe and avoids spawning threads
+#: per cluster in test suites that build hundreds of them.
+_POOL: Optional[ThreadPoolExecutor] = None
+
+
+def _pool() -> ThreadPoolExecutor:
+    global _POOL
+    if _POOL is None:
+        _POOL = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="repro-provider"
+        )
+    return _POOL
 
 
 class ProviderCluster:
@@ -33,6 +73,7 @@ class ProviderCluster:
         n_providers: int,
         threshold: int,
         network: Optional[SimulatedNetwork] = None,
+        dispatch: str = "parallel",
     ) -> None:
         if n_providers < 1:
             raise QuorumError(f"need at least one provider, got {n_providers}")
@@ -40,7 +81,13 @@ class ProviderCluster:
             raise QuorumError(
                 f"threshold k={threshold} must satisfy 1 <= k <= n={n_providers}"
             )
+        if dispatch not in DISPATCH_MODES:
+            raise QuorumError(
+                f"unknown dispatch mode {dispatch!r}; expected one of "
+                f"{DISPATCH_MODES}"
+            )
         self.threshold = threshold
+        self.dispatch = dispatch
         self.network = network or SimulatedNetwork()
         self.providers: List[ShareProvider] = [
             ShareProvider(f"DAS{i + 1}") for i in range(n_providers)
@@ -85,13 +132,27 @@ class ProviderCluster:
         method: str,
         requests: Dict[int, Dict],
         minimum: Optional[int] = None,
+        quorum: str = "all",
     ) -> Dict[int, Dict]:
         """Fan a per-provider request map out; collect responses.
 
         ``minimum=None`` means "need every *addressed* provider" (writes to
         the live set); an integer demands at least that many successes and
         raises :class:`QuorumError` below it, naming the failed providers.
+
+        ``quorum`` shapes the *modelled latency* of a parallel round:
+        ``"all"`` waits for every response (max round trip), ``"first_k"``
+        models a read that proceeds as soon as ``minimum`` providers have
+        answered (the minimum-th fastest round trip).  Responses and byte
+        accounting are identical in both modes — straggler responses still
+        arrive and are still counted; only the waiting time differs.
         """
+        if quorum not in QUORUM_MODES:
+            raise QuorumError(
+                f"unknown quorum mode {quorum!r}; expected one of {QUORUM_MODES}"
+            )
+        if self.dispatch == "parallel" and len(requests) > 1:
+            return self._call_all_parallel(method, requests, minimum, quorum)
         responses: Dict[int, Dict] = {}
         failures: Dict[int, str] = {}
         for index, request in sorted(requests.items()):
@@ -107,12 +168,90 @@ class ProviderCluster:
             )
         return responses
 
+    def _call_all_parallel(
+        self,
+        method: str,
+        requests: Dict[int, Dict],
+        minimum: Optional[int],
+        quorum: str,
+    ) -> Dict[int, Dict]:
+        """Thread-pool fan-out with deterministic, index-ordered accounting.
+
+        All network sends happen here on the calling thread (requests in
+        index order, then responses in index order); pool workers run only
+        ``provider.handle``, which touches nothing but that provider's own
+        storage and counters.
+        """
+        ordered = sorted(requests.items())
+        request_seconds: Dict[int, float] = {}
+        for index, request in ordered:
+            provider = self.providers[index]
+            _, seconds = self.network.send_unclocked(
+                CLIENT_NAME, provider.name, {"method": method, **request}
+            )
+            request_seconds[index] = seconds
+        futures: Dict[int, Future] = {
+            index: _pool().submit(self.providers[index].handle, method, request)
+            for index, request in ordered
+        }
+        responses: Dict[int, Dict] = {}
+        failures: Dict[int, str] = {}
+        round_trips: Dict[int, float] = {}
+        error: Optional[BaseException] = None
+        for index, _ in ordered:
+            try:
+                response = futures[index].result()
+            except ProviderUnavailableError as exc:
+                failures[index] = str(exc)
+                continue
+            except Exception as exc:  # provider-side error: surface after drain
+                if error is None:
+                    error = exc
+                continue
+            _, seconds = self.network.send_unclocked(
+                self.providers[index].name, CLIENT_NAME, response
+            )
+            responses[index] = response
+            round_trips[index] = request_seconds[index] + seconds
+        if error is not None:
+            raise error
+        self.network.advance_clock(
+            self._round_elapsed(request_seconds, round_trips, minimum, quorum)
+        )
+        required = len(requests) if minimum is None else minimum
+        if len(responses) < required:
+            raise QuorumError(
+                f"{method}: only {len(responses)}/{len(requests)} providers "
+                f"responded (need {required}); failures: {failures}"
+            )
+        return responses
+
+    @staticmethod
+    def _round_elapsed(
+        request_seconds: Dict[int, float],
+        round_trips: Dict[int, float],
+        minimum: Optional[int],
+        quorum: str,
+    ) -> float:
+        """Modelled elapsed time of one parallel fan-out round."""
+        # sending the n requests overlaps; the client is busy until the
+        # slowest request has left, even if that provider never answers
+        send_wave = max(request_seconds.values(), default=0.0)
+        if not round_trips:
+            return send_wave
+        if quorum == "first_k" and minimum is not None:
+            waited = sorted(round_trips.values())
+            position = min(minimum, len(waited)) - 1
+            return max(send_wave, waited[max(position, 0)])
+        return max(send_wave, max(round_trips.values()))
+
     def broadcast(
         self,
         method: str,
         request_builder: Callable[[int], Dict],
         minimum: Optional[int] = None,
         provider_indexes: Optional[List[int]] = None,
+        quorum: str = "all",
     ) -> Dict[int, Dict]:
         """Like :meth:`call_all` with per-provider requests built on demand."""
         indexes = (
@@ -121,7 +260,10 @@ class ProviderCluster:
             else list(range(self.n_providers))
         )
         return self.call_all(
-            method, {i: request_builder(i) for i in indexes}, minimum
+            method,
+            {i: request_builder(i) for i in indexes},
+            minimum,
+            quorum=quorum,
         )
 
     # -- quorum helpers ------------------------------------------------------------------

@@ -134,6 +134,28 @@ class SimulatedNetwork:
         self.modelled_seconds += self.latency.transfer_seconds(size)
         return size
 
+    def send_unclocked(self, src: str, dst: str, payload: object) -> Tuple[int, float]:
+        """Account a message's bytes without advancing the modelled clock.
+
+        Used by the parallel fan-out: messages to the n providers overlap
+        in time, so the caller accumulates per-provider elapsed times and
+        advances the clock once via :meth:`advance_clock` (max for writes,
+        k-th order statistic for ``first_k`` reads) instead of summing all
+        round trips.  Byte/message counters are recorded exactly as
+        :meth:`send` would.
+
+        Returns ``(wire_bytes, one_way_seconds)``.
+        """
+        size = measure_bytes(payload)
+        self.stats.record(src, dst, size)
+        return size, self.latency.transfer_seconds(size)
+
+    def advance_clock(self, seconds: float) -> None:
+        """Advance the modelled clock by one parallel round's elapsed time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds}s")
+        self.modelled_seconds += seconds
+
     def reset(self) -> None:
         """Zero all counters (between benchmark iterations)."""
         self.stats = NetworkStats()

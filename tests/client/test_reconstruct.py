@@ -127,3 +127,11 @@ class TestConsistentScalar:
         responses = {0: {"count": 5}, 1: {"count": 6}}
         with pytest.raises(IntegrityError):
             consistent_scalar(responses, "count")
+
+    def test_empty_responses_raise_reconstruction_error(self):
+        """An empty quorum surfaces as ReconstructionError, not a bare
+        StopIteration escaping from ``next(iter(...))``."""
+        with pytest.raises(
+            ReconstructionError, match="no provider responses to agree on"
+        ):
+            consistent_scalar({}, "count")

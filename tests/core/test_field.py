@@ -96,8 +96,10 @@ class TestArithmetic:
         batch = self.field.batch_inv(values)
         assert batch == [self.field.inv(v) for v in values]
 
-    def test_batch_inv_zero_raises(self):
-        with pytest.raises(ZeroDivisionError):
+    def test_batch_inv_zero_raises_share_error(self):
+        from repro.errors import ShareError
+
+        with pytest.raises(ShareError, match="positions \\[1\\]"):
             self.field.batch_inv([3, 0, 7])
 
 

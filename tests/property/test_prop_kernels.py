@@ -1,0 +1,124 @@
+"""Property tests: batched kernels are bit-identical to the naive paths.
+
+The kernel layer (:mod:`repro.core.kernels`) replaces per-value polynomial
+construction and per-cell Lagrange interpolation with cached power tables
+and cached basis weights.  These tests pin the contract that made the swap
+safe: for random ``(n, k)`` shapes and random data, the batched paths
+produce *exactly* the bytes the naive reference paths produce — including
+over-determined reconstruction where more than ``k`` shares are supplied.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kernels
+from repro.core.field import DEFAULT_FIELD
+from repro.core.polynomial import lagrange_constant_term, random_field_polynomial
+from repro.core.secrets import generate_client_secrets
+from repro.core.shamir import ShamirScheme
+from repro.sim.rng import DeterministicRNG
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=7),  # n
+    st.integers(min_value=1, max_value=7),  # k (clamped to n below)
+)
+value_lists = st.lists(
+    st.integers(min_value=0, max_value=DEFAULT_FIELD.modulus - 1),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _scheme(n: int, k: int, seed: int) -> ShamirScheme:
+    return ShamirScheme(generate_client_secrets(n, seed=seed), min(k, n))
+
+
+def _naive_split(scheme, values, rng):
+    """Pre-kernel reference: fresh polynomial + Horner per value."""
+    return [
+        random_field_polynomial(
+            scheme.field, v, scheme.threshold - 1, rng
+        ).evaluate_many(scheme.secrets.evaluation_points)
+        for v in values
+    ]
+
+
+def _naive_reconstruct(scheme, shares):
+    """Pre-kernel reference: Lagrange basis rebuilt for this one cell."""
+    chosen = sorted(shares.items())[: scheme.threshold]
+    points = [(scheme.secrets.point_for(i), y) for i, y in chosen]
+    return lagrange_constant_term(scheme.field, points)
+
+
+@given(shape=shapes, values=value_lists, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_split_batch_matches_naive(shape, values, seed):
+    """Kernel split_batch emits the byte-identical shares, same RNG stream."""
+    n, k = shape
+    scheme = _scheme(n, k, seed % 1000)
+    naive = _naive_split(scheme, values, DeterministicRNG(seed, "ker"))
+    batched = scheme.split_batch(values, DeterministicRNG(seed, "ker"))
+    assert batched == naive
+
+
+@given(shape=shapes, values=value_lists, seed=seeds)
+@settings(max_examples=100, deadline=None)
+def test_batch_reconstruct_matches_naive(shape, values, seed):
+    """Batched reconstruction equals per-cell naive interpolation exactly."""
+    n, k = shape
+    scheme = _scheme(n, k, seed % 1000)
+    share_rows = scheme.split_batch(values, DeterministicRNG(seed, "r"))
+    cells = [
+        {i: row[i] for i in range(scheme.threshold)} for row in share_rows
+    ]
+    naive = [_naive_reconstruct(scheme, c) for c in cells]
+    assert scheme.reconstruct_batch(cells) == naive == values
+
+
+@given(shape=shapes, values=value_lists, seed=seeds, extra=st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_overdetermined_reconstruction(shape, values, seed, extra):
+    """Supplying more than k shares changes nothing: both paths pick the
+    same lowest-index quorum and agree with the secrets."""
+    n, k = shape
+    scheme = _scheme(n, k, seed % 1000)
+    width = min(scheme.threshold + extra, n)
+    share_rows = scheme.split_batch(values, DeterministicRNG(seed, "o"))
+    cells = [{i: row[i] for i in range(width)} for row in share_rows]
+    naive = [_naive_reconstruct(scheme, c) for c in cells]
+    assert scheme.reconstruct_batch(cells) == naive == values
+    for cell, value in zip(cells, values):
+        assert scheme.reconstruct(cell) == value
+
+
+@given(values=value_lists, seed=seeds)
+@settings(max_examples=50, deadline=None)
+def test_mixed_quorum_shapes_in_one_batch(values, seed):
+    """A single batch may mix quorum subsets (different providers answered
+    different rows); grouping by evaluation-point tuple must not reorder
+    or cross-contaminate results."""
+    scheme = _scheme(5, 3, seed % 1000)
+    share_rows = scheme.split_batch(values, DeterministicRNG(seed, "m"))
+    quorums = ((0, 1, 2), (1, 3, 4), (0, 2, 4))
+    cells = [
+        {i: row[i] for i in quorums[idx % len(quorums)]}
+        for idx, row in enumerate(share_rows)
+    ]
+    assert scheme.reconstruct_batch(cells) == values
+
+
+def test_weight_cache_hit_across_batch():
+    """One weight-table build serves every subsequent cell of a batch."""
+    scheme = _scheme(5, 3, 7)
+    values = list(range(50))
+    share_rows = scheme.split_batch(values, DeterministicRNG(7, "c"))
+    cells = [{i: row[i] for i in range(3)} for row in share_rows]
+    kernels.clear_kernel_caches()
+    assert scheme.reconstruct_batch(cells) == values
+    stats = kernels.kernel_stats()
+    assert stats.weight_misses == 1
+    # per-cell path reuses the same cached weights
+    for cell, value in zip(cells, values):
+        assert scheme.reconstruct(cell) == value
+    assert kernels.kernel_stats().weight_misses == 1
+    assert kernels.kernel_stats().weight_hits >= len(cells)

@@ -1,0 +1,114 @@
+"""Regression tests for the parallel quorum fan-out.
+
+The parallel dispatcher changes *when* the modelled clock advances, but it
+must never change *what* crossed the wire: on the same seed, the per-link
+byte/message counters and the reconstructed result set have to be
+bit-identical to sequential dispatch.  These tests pin that, plus the
+latency win (``first_k`` reads wait for the k-th fastest provider, not the
+sum of all round trips) and the Lagrange weight cache behaviour across the
+rows of one ``select()``.
+"""
+
+import pytest
+
+from repro.client.datasource import DataSource
+from repro.core import kernels
+from repro.errors import QuorumError
+from repro.providers.cluster import CLIENT_NAME, ProviderCluster
+from repro.sqlengine.expression import Comparison, ComparisonOp
+from repro.sqlengine.query import Select
+from repro.workloads.employees import employees_table
+
+N, K, ROWS, SEED = 5, 3, 60, 11
+
+QUERY = Select(
+    table="Employees",
+    where=Comparison("salary", ComparisonOp.GE, 40_000),
+)
+
+
+def _source(dispatch: str):
+    cluster = ProviderCluster(N, K, dispatch=dispatch)
+    source = DataSource(cluster, seed=SEED)
+    source.outsource_table(employees_table(ROWS, seed=SEED))
+    return cluster, source
+
+
+class TestDispatchParity:
+    def test_select_results_identical(self):
+        _, seq = _source("sequential")
+        _, par = _source("parallel")
+        rows_seq = seq.select(QUERY)
+        rows_par = par.select(QUERY)
+        assert rows_seq and rows_seq == rows_par
+
+    def test_per_provider_byte_counts_identical(self):
+        seq_cluster, seq = _source("sequential")
+        par_cluster, par = _source("parallel")
+        seq_cluster.network.reset()
+        par_cluster.network.reset()
+        seq.select(QUERY)
+        par.select(QUERY)
+        for provider in seq_cluster.providers:
+            for src, dst in (
+                (CLIENT_NAME, provider.name),
+                (provider.name, CLIENT_NAME),
+            ):
+                assert seq_cluster.network.stats.bytes_between(
+                    src, dst
+                ) == par_cluster.network.stats.bytes_between(src, dst), (
+                    f"byte accounting diverged on link {src}->{dst}"
+                )
+        assert (
+            seq_cluster.network.total_messages
+            == par_cluster.network.total_messages
+        )
+
+    def test_first_k_latency_beats_sequential(self):
+        """Sequential reads pay the sum of n round trips; a parallel
+        first_k read pays the k-th fastest — strictly less for n > 1."""
+        seq_cluster, seq = _source("sequential")
+        par_cluster, par = _source("parallel")
+        seq_cluster.network.reset()
+        par_cluster.network.reset()
+        seq.select(QUERY)
+        par.select(QUERY)
+        assert (
+            par_cluster.network.modelled_seconds
+            < seq_cluster.network.modelled_seconds
+        )
+
+    def test_unknown_modes_rejected(self):
+        with pytest.raises(QuorumError, match="unknown dispatch mode"):
+            ProviderCluster(3, 2, dispatch="osmosis")
+        cluster = ProviderCluster(3, 2)
+        with pytest.raises(QuorumError, match="unknown quorum mode"):
+            cluster.call_all("ping", {0: {}, 1: {}}, quorum="psychic")
+
+
+class TestWeightCache:
+    def test_weights_cached_across_rows_of_one_select(self):
+        """The Lagrange weight tables are built once per quorum shape and
+        *hit* — not rebuilt — for every further cell of the result set."""
+        _, source = _source("parallel")
+        kernels.clear_kernel_caches()
+        kernels.reset_kernel_stats()
+        rows = source.select(QUERY)
+        assert len(rows) > 1
+        stats = kernels.kernel_stats()
+        builds = stats.weight_misses + stats.rational_misses
+        hits = stats.weight_hits + stats.rational_hits
+        # one quorum shape answered the whole select: at most one build per
+        # weight flavour (modular / rational), everything else is a hit
+        assert builds <= 2
+        assert hits >= len(rows)
+
+    def test_second_select_rebuilds_nothing(self):
+        _, source = _source("parallel")
+        source.select(QUERY)
+        kernels.reset_kernel_stats()
+        rows = source.select(QUERY)
+        stats = kernels.kernel_stats()
+        assert len(rows) > 1
+        assert stats.weight_misses == 0 and stats.rational_misses == 0
+        assert stats.weight_hits + stats.rational_hits >= len(rows)
