@@ -7,7 +7,6 @@ constructions.  Expected: 100% secret recovery against the strawman,
 ~0% against the keyed slot construction.
 """
 
-import pytest
 
 from repro.attacks.monotone import attack_slot_scheme, attack_strawman_scheme
 from repro.bench.reporting import record_experiment

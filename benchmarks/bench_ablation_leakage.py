@@ -15,7 +15,6 @@ columns that are never filtered on should be declared non-searchable
 (random shares), which the control row shows leak nothing.
 """
 
-import pytest
 
 from repro.attacks.approximation import (
     attack_op_scheme,

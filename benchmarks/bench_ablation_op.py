@@ -7,7 +7,6 @@ once with searchable (OP) columns and once with every column randomly
 shared, and measure the same range query on both.
 """
 
-import pytest
 
 from repro import DataSource, ProviderCluster, Select
 from repro.bench.reporting import record_experiment

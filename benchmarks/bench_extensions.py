@@ -7,9 +7,8 @@ capability saves over the client-side fallback that correctness alone
 would allow.
 """
 
-import pytest
 
-from repro import DataSource, ProviderCluster, Select
+from repro import DataSource, ProviderCluster
 from repro.bench.reporting import record_experiment
 from repro.sqlengine.expression import Comparison, ComparisonOp
 from repro.workloads.ecommerce import clicklog_table

@@ -8,7 +8,6 @@ availability, plus the communication overhead paid for the redundancy.
 
 import itertools
 
-import pytest
 
 from repro import DataSource, ProviderCluster
 from repro.bench.reporting import record_experiment

@@ -38,6 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import telemetry
 from repro.core import kernels
 from repro.core.polynomial import lagrange_constant_term, random_field_polynomial
 from repro.core.secrets import generate_client_secrets
@@ -162,7 +163,12 @@ def bench_reconstruct(
 
 
 def bench_select(n_rows: int, n_providers: int = 5, threshold: int = 3):
-    """End-to-end SELECT: modelled latency sequential vs parallel first_k."""
+    """End-to-end SELECT: modelled latency sequential vs parallel first_k.
+
+    Each mode runs under an enabled telemetry session timed by the sim's
+    modelled clock; the export is embedded in the report and its per-link
+    byte counters are asserted to match the network's own accounting.
+    """
     out = {}
     query = Select(
         table="Employees",
@@ -172,16 +178,28 @@ def bench_select(n_rows: int, n_providers: int = 5, threshold: int = 3):
         cluster = ProviderCluster(n_providers, threshold, dispatch=mode)
         source = DataSource(cluster, seed=SEED)
         source.outsource_table(employees_table(n_rows, seed=SEED))
-        cluster.network.reset()
-        rows, wall = _timed(source.select, query)
+        network = cluster.network
+        network.reset()
+        with telemetry.session(
+            clock=lambda net=network: net.modelled_seconds
+        ) as hub:
+            rows, wall = _timed(source.select, query)
+            export = hub.export()
+            assert hub.registry.counter_total("net.bytes") == (
+                network.total_bytes
+            ), "telemetry byte counters diverged from network accounting"
+            assert hub.registry.counter_total("net.messages") == (
+                network.total_messages
+            ), "telemetry message counters diverged from network accounting"
         out[mode] = {
             "rows_returned": len(rows),
             "wall_seconds": round(wall, 6),
             "rows_per_s": round(len(rows) / wall, 1) if rows else 0.0,
             "modelled_network_seconds": round(
-                cluster.network.modelled_seconds, 6
+                network.modelled_seconds, 6
             ),
-            "network_bytes": cluster.network.total_bytes,
+            "network_bytes": network.total_bytes,
+            "telemetry": export,
         }
     assert (
         out["sequential"]["rows_returned"] == out["parallel"]["rows_returned"]

@@ -11,7 +11,6 @@ Expected shape: crypto costs *hours* at paper scale, sharing costs
 *seconds* — the orders-of-magnitude contrast the proposal rests on.
 """
 
-import pytest
 
 from repro.baselines.intersection import (
     CommutativeIntersection,
@@ -20,7 +19,6 @@ from repro.baselines.intersection import (
 )
 from repro.bench.reporting import record_experiment
 from repro.core.order_preserving import IntegerDomain
-from repro.sim.costmodel import CostModel
 from repro.workloads.documents import paper_corpora
 from repro.workloads.medical import overlapping_patient_ids
 

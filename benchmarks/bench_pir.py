@@ -8,14 +8,9 @@ Two charts the background section asserts:
    is orders of magnitude slower than trivially downloading the database.
 """
 
-import pytest
 
 from repro.bench.reporting import record_experiment
-from repro.pir.analysis import (
-    PIRTimeModel,
-    kserver_communication_bytes,
-    trivial_communication_bytes,
-)
+from repro.pir.analysis import PIRTimeModel, kserver_communication_bytes
 from repro.pir.multiserver import build_cube_cluster
 from repro.pir.trivial import TrivialPIRClient, TrivialPIRServer
 from repro.pir.xor2 import XorPIRServer, Xor2ServerPIRClient

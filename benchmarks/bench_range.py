@@ -16,7 +16,6 @@ from repro import Select, parse_sql
 from repro.bench.metrics import measure_encrypted_query, measure_share_query
 from repro.bench.reporting import record_experiment
 from repro.sqlengine.expression import Between
-from repro.workloads.employees import SALARY_HI
 
 # salary ranges tuned to the clamped-normal salary distribution
 SELECTIVITY_RANGES = {

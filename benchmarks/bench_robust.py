@@ -8,7 +8,6 @@ reports whether each read path returns correct rows, errors, and what the
 robustness costs in bytes.
 """
 
-import pytest
 
 from repro import DataSource, ProviderCluster, Select
 from repro.bench.reporting import record_experiment

@@ -10,9 +10,8 @@ models".  Two sweeps:
   query and at load time.
 """
 
-import pytest
 
-from repro import DataSource, ProviderCluster, Select, parse_sql
+from repro import DataSource, ProviderCluster, Select
 from repro.bench.metrics import measure_encrypted_query, measure_share_query
 from repro.bench.reporting import record_experiment
 from repro.sqlengine.expression import Between

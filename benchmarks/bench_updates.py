@@ -5,7 +5,6 @@ the number of UPDATE statements per batch and compare messages/bytes of
 per-statement eager application against one buffered flush.
 """
 
-import pytest
 
 from repro import DataSource, ProviderCluster, Update
 from repro.bench.reporting import record_experiment

@@ -24,6 +24,7 @@ See DESIGN.md for the module map and EXPERIMENTS.md for the reproduced
 evaluation.
 """
 
+from . import telemetry
 from .client.datasource import DataSource
 from .client.updates import LazyUpdateBuffer
 from .core.encoding import (
@@ -172,4 +173,5 @@ __all__ = [
     "salaries_from_figure1",
     "secrets_with_points",
     "string_column",
+    "telemetry",
 ]

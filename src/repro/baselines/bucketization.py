@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..core.order_preserving import IntegerDomain
 from ..errors import ConfigurationError, DomainError

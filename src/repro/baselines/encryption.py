@@ -36,7 +36,7 @@ from ..sqlengine.expression import (
     classify_pushdown,
     conjunction,
 )
-from ..sqlengine.query import Aggregate, AggregateFunc, JoinSelect, Select
+from ..sqlengine.query import JoinSelect, Select
 from ..sqlengine.schema import TableSchema
 from ..sqlengine.table import Table
 from .bucketization import BucketIndex

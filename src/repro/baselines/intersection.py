@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set
 
 from ..core.order_preserving import IntegerDomain, OrderPreservingScheme
-from ..core.secrets import ClientSecrets, generate_client_secrets
+from ..core.secrets import generate_client_secrets
 from ..errors import ConfigurationError
 from ..sim.costmodel import CostRecorder
 from ..sim.network import SimulatedNetwork

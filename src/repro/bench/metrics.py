@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..client.datasource import DataSource
-from ..sim.costmodel import CostModel, CostRecorder
+from ..sim.costmodel import CostModel
 
 
 @dataclass

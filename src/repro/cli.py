@@ -1,6 +1,6 @@
 """Command-line interface for the secret-sharing DBaaS.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.cli demo  [--rows N] [--providers N] [--threshold K]
         outsource a payroll workload and run a short guided tour
@@ -10,6 +10,11 @@ Three subcommands::
         an interactive SQL shell over an outsourced workload (or a saved
         deployment); meta-commands: \\explain <sql>, \\stats, \\tables,
         \\save <dir>, \\quit
+
+    python -m repro.cli trace [--json] SQL
+        run one statement with telemetry enabled and print the span tree
+        plus metric counters (timed by the simulated network's modelled
+        clock, so output is byte-for-byte reproducible per seed)
 
     python -m repro.cli figure1
         print the paper's Figure 1 share table and its reconstruction
@@ -21,12 +26,14 @@ All state is in-process (providers are simulated); ``--save``/
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from . import __version__
+from . import __version__, telemetry
 from .bench.reporting import format_table
 from .client.datasource import DataSource
+from .core.kernels import kernel_stats, reset_kernel_stats
 from .errors import ReproError
 from .persistence import load_deployment, save_deployment
 from .providers.cluster import ProviderCluster
@@ -191,6 +198,61 @@ def _stdin_lines():
             return
 
 
+def format_span(span: telemetry.Span, depth: int = 0) -> List[str]:
+    """Indented one-line-per-span rendering of a trace tree."""
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+    line = f"{'  ' * depth}{span.name} [{span.start:.6f}s → {span.end:.6f}s]"
+    if attrs:
+        line += f"  {attrs}"
+    lines = [line]
+    for child in span.children:
+        lines.extend(format_span(child, depth + 1))
+    return lines
+
+
+def cmd_trace(args, out) -> int:
+    source = build_source(
+        args.workload, args.rows, args.providers, args.threshold, args.seed
+    )
+    network = source.cluster.network
+    # drop outsourcing traffic and clock so the trace covers only the query
+    network.reset()
+    reset_kernel_stats()
+    with telemetry.session(clock=lambda: network.modelled_seconds):
+        hub = telemetry.hub()
+        result = source.sql(args.sql)
+        trace = hub.tracer.last_trace()
+        export = hub.export()
+    export["kernels"] = kernel_stats().snapshot()
+    export["network"] = {
+        "messages": network.total_messages,
+        "bytes": network.total_bytes,
+        "modelled_seconds": network.modelled_seconds,
+    }
+    if args.json:
+        json.dump(export, out, indent=2, sort_keys=True)
+        print(file=out)
+        return 0
+    print(render_result(result), file=out)
+    print(file=out)
+    if trace is not None:
+        print("trace (modelled clock):", file=out)
+        for line in format_span(trace):
+            print(f"  {line}", file=out)
+    counters = export["metrics"]["counters"]
+    if counters:
+        print("\ncounters:", file=out)
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}", file=out)
+    print(
+        f"\nnetwork: {network.total_messages} messages, "
+        f"{network.total_bytes:,} bytes, "
+        f"{network.modelled_seconds:.6f}s modelled",
+        file=out,
+    )
+    return 0
+
+
 def cmd_figure1(args, out) -> int:
     from .core.shamir import figure1_shares, salaries_from_figure1
 
@@ -241,6 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run this statement and exit (repeatable)",
     )
 
+    trace = sub.add_parser(
+        "trace", help="run one statement with telemetry and print the trace"
+    )
+    common(trace)
+    trace.add_argument(
+        "--workload", choices=("employees", "ecommerce"), default="employees"
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the full telemetry export (metrics + spans) as JSON",
+    )
+    trace.add_argument("sql", help="the SQL statement to trace")
+
     sub.add_parser("figure1", help="print the paper's Figure 1 reproduction")
     return parser
 
@@ -253,6 +328,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_demo(args, out)
         if args.command == "sql":
             return cmd_sql(args, out)
+        if args.command == "trace":
+            return cmd_trace(args, out)
         if args.command == "figure1":
             return cmd_figure1(args, out)
     except ReproError as exc:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import telemetry
 from ..core.order_preserving import OrderPreservingScheme
 from ..core.scheme import ShareRow, TableSharing
 from ..core.secrets import ClientSecrets, generate_client_secrets
@@ -33,7 +34,7 @@ from ..sim.costmodel import CostRecorder
 from ..sim.rng import DeterministicRNG
 from ..sqlengine.catalog import Catalog
 from ..sqlengine.executor import compute_aggregate
-from ..sqlengine.expression import Predicate, TruePredicate
+from ..sqlengine.expression import Predicate
 from ..sqlengine.query import (
     Aggregate,
     AggregateFunc,
@@ -225,6 +226,10 @@ class DataSource:
 
     def insert_many(self, table_name: str, rows: List[Row]) -> List[int]:
         """Share and upload a batch; returns assigned row ids."""
+        with telemetry.span("insert", table=table_name, rows=len(rows)):
+            return self._insert_many(table_name, rows)
+
+    def _insert_many(self, table_name: str, rows: List[Row]) -> List[int]:
         sharing = self.sharing(table_name)
         prepared: List[Tuple[int, List[ShareRow]]] = []
         row_ids: List[int] = []
@@ -256,6 +261,12 @@ class DataSource:
 
     def update(self, query: Update) -> int:
         """Eager update (Sec. V-C): fetch, reconstruct, re-share, write back."""
+        with telemetry.span("update", table=query.table) as sp:
+            updated = self._update(query)
+            sp.set(rows_updated=updated)
+            return updated
+
+    def _update(self, query: Update) -> int:
         sharing = self.sharing(query.table)
         matches = self._fetch_matching_rows(query)
         if not matches:
@@ -306,6 +317,12 @@ class DataSource:
 
     def delete(self, query: Delete) -> int:
         """Delete matching rows at every live provider."""
+        with telemetry.span("delete", table=query.table) as sp:
+            deleted = self._delete(query)
+            sp.set(rows_deleted=deleted)
+            return deleted
+
+    def _delete(self, query: Delete) -> int:
         matches = self._fetch_matching_rows(query)
         if not matches:
             return 0
@@ -596,6 +613,14 @@ class DataSource:
 
     def select(self, query: Select) -> Union[List[Row], object]:
         """Execute a SELECT (projection, aggregate, grouped, or top-k)."""
+        with telemetry.span("select", table=query.table) as sp:
+            result = self._select(query)
+            if telemetry.is_enabled() and isinstance(result, list):
+                sp.set(rows_returned=len(result))
+                telemetry.count("query.rows_returned", len(result))
+            return result
+
+    def _select(self, query: Select) -> Union[List[Row], object]:
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
         rewritten = rewrite_predicate(predicate, sharing)
@@ -1096,6 +1121,14 @@ class DataSource:
 
     def join(self, query: JoinSelect) -> List[Row]:
         """Equi-join on a referential key (Sec. V-A "Join Operations")."""
+        with telemetry.span(
+            "join", left=query.left_table, right=query.right_table
+        ) as sp:
+            rows = self._join(query)
+            sp.set(rows_returned=len(rows))
+            return rows
+
+    def _join(self, query: JoinSelect) -> List[Row]:
         left = self.sharing(query.left_table)
         right = self.sharing(query.right_table)
         left.schema.column(query.left_column)
@@ -1236,7 +1269,8 @@ class DataSource:
 
     def sql(self, text: str) -> Union[List[Row], object, int]:
         """Parse and execute one SQL statement."""
-        return self.execute(parse_sql(text))
+        with telemetry.span("query", sql=text):
+            return self.execute(parse_sql(text))
 
     def explain(self, query) -> Dict[str, object]:
         """Describe how a query would execute, without executing it.

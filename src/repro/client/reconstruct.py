@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..core.scheme import ShareRow, TableSharing
 from ..errors import IntegrityError, ReconstructionError
 from ..sim.costmodel import CostRecorder
@@ -59,34 +60,47 @@ def reconstruct_rows(
     on the matching row set (used by verified reads); the default silently
     keeps rows with a full quorum, modelling the unverified client.
     """
-    provider_rows = rows_from_responses(responses)
-    aligned = align_by_row_id(provider_rows)
-    threshold = sharing.threshold
-    residual = residual or TruePredicate()
-    needs_residual = not isinstance(residual, TruePredicate)
-    eligible: List[Dict[int, ShareRow]] = []
-    for row_id, share_rows in aligned.items():
-        if strict and len(share_rows) < len(responses):
-            raise IntegrityError(
-                f"row {row_id} returned by only {len(share_rows)} of "
-                f"{len(responses)} providers — a provider omitted results"
+    with telemetry.span("reconstruct", table=sharing.schema.name) as sp:
+        provider_rows = rows_from_responses(responses)
+        aligned = align_by_row_id(provider_rows)
+        threshold = sharing.threshold
+        residual = residual or TruePredicate()
+        needs_residual = not isinstance(residual, TruePredicate)
+        eligible: List[Dict[int, ShareRow]] = []
+        for row_id, share_rows in aligned.items():
+            if strict and len(share_rows) < len(responses):
+                telemetry.count("faults.detected", kind="omission")
+                raise IntegrityError(
+                    f"row {row_id} returned by only {len(share_rows)} of "
+                    f"{len(responses)} providers — a provider omitted results"
+                )
+            if len(share_rows) < threshold:
+                continue
+            eligible.append(share_rows)
+        # residual predicates may reference columns outside the projection, so
+        # reconstruct everything first (batched, column-major), filter, project
+        rows = sharing.reconstruct_rows(eligible)
+        out: List[Dict[str, object]] = []
+        for row in rows:
+            if cost is not None:
+                cost.record("interpolate", len(row))
+            if needs_residual and not residual.matches(row):
+                continue
+            if columns:
+                row = {name: row[name] for name in columns}
+            out.append(row)
+        if telemetry.is_enabled():
+            n_columns = len(sharing.schema.columns)
+            sp.set(
+                rows_aligned=len(aligned),
+                rows_reconstructed=len(rows),
+                rows_out=len(out),
+                cells=len(rows) * n_columns,
             )
-        if len(share_rows) < threshold:
-            continue
-        eligible.append(share_rows)
-    # residual predicates may reference columns outside the projection, so
-    # reconstruct everything first (batched, column-major), filter, project
-    rows = sharing.reconstruct_rows(eligible)
-    out: List[Dict[str, object]] = []
-    for row in rows:
-        if cost is not None:
-            cost.record("interpolate", len(row))
-        if needs_residual and not residual.matches(row):
-            continue
-        if columns:
-            row = {name: row[name] for name in columns}
-        out.append(row)
-    return out
+            telemetry.count("reconstruct.rows", len(rows))
+            telemetry.count("reconstruct.cells", len(rows) * n_columns)
+            telemetry.count("reconstruct.residual_filtered", len(rows) - len(out))
+        return out
 
 
 def reconstruct_single_rows(
@@ -107,11 +121,13 @@ def reconstruct_single_rows(
     if not non_empty:
         return None
     if len(non_empty) != len(nominations):
+        telemetry.count("faults.detected", kind="empty_disagreement")
         raise IntegrityError(
             "providers disagree on whether the aggregate input is empty"
         )
     row_ids = {row_id for row_id, _ in non_empty.values()}
     if len(row_ids) != 1:
+        telemetry.count("faults.detected", kind="nomination_disagreement")
         raise IntegrityError(
             f"providers nominated different rows {sorted(row_ids)} for an "
             "order-based aggregate; order-preserving shares guarantee "
@@ -143,6 +159,7 @@ def consistent_scalar(responses: Dict[int, Dict], key: str):
         )
     values = {response[key] for response in responses.values()}
     if len(values) != 1:
+        telemetry.count("faults.detected", kind="scalar_disagreement")
         raise IntegrityError(
             f"providers disagree on {key}: {sorted(values)}"
         )

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..core.scheme import TableSharing
 from ..errors import EncodingError, QueryError
 from ..sqlengine.expression import (
@@ -97,28 +98,39 @@ def rewrite_predicate(
     """Split and encode a (bound) predicate for provider execution."""
     from ..sqlengine.expression import normalize_predicate
 
-    predicate = normalize_predicate(predicate, sharing.schema)
-    pushdown, residual_parts = classify_pushdown(predicate, sharing.schema)
-    intervals: List[EncodedInterval] = []
-    empty = False
-    for part in pushdown:
-        interval = _to_interval(part, sharing)
-        if interval is None:
-            # the literal could not be encoded (e.g. malformed string);
-            # fall back to client-side evaluation of this conjunct
-            residual_parts.append(part)
-            continue
-        if interval.is_empty:
+    with telemetry.span("rewrite", table=sharing.schema.name) as sp:
+        predicate = normalize_predicate(predicate, sharing.schema)
+        pushdown, residual_parts = classify_pushdown(predicate, sharing.schema)
+        intervals: List[EncodedInterval] = []
+        empty = False
+        for part in pushdown:
+            interval = _to_interval(part, sharing)
+            if interval is None:
+                # the literal could not be encoded (e.g. malformed string);
+                # fall back to client-side evaluation of this conjunct
+                residual_parts.append(part)
+                continue
+            if interval.is_empty:
+                empty = True
+            intervals.append(interval)
+        merged = _merge_intervals(intervals)
+        if any(i.is_empty for i in merged):
             empty = True
-        intervals.append(interval)
-    merged = _merge_intervals(intervals)
-    if any(i.is_empty for i in merged):
-        empty = True
-    return RewrittenPredicate(
-        intervals=[] if empty else merged,
-        residual=conjunction(residual_parts),
-        provably_empty=empty,
-    )
+        rewritten = RewrittenPredicate(
+            intervals=[] if empty else merged,
+            residual=conjunction(residual_parts),
+            provably_empty=empty,
+        )
+        if telemetry.is_enabled():
+            sp.set(
+                intervals=len(rewritten.intervals),
+                residual_conjuncts=len(residual_parts),
+                provably_empty=empty,
+            )
+            telemetry.count("rewrite.calls")
+            telemetry.count("rewrite.pushdown_intervals", len(rewritten.intervals))
+            telemetry.count("rewrite.residual_conjuncts", len(residual_parts))
+        return rewritten
 
 
 def _to_interval(

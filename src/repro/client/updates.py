@@ -17,8 +17,8 @@ trade-offs are exactly the classical ones, measured by EXP-T8:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..errors import QueryError
 from ..sqlengine.expression import Predicate

@@ -36,6 +36,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import ReconstructionError
 from .field import PrimeField
 
@@ -180,6 +181,7 @@ def batch_reconstruct(
     This is the column-major kernel: one weight lookup covers the whole
     column of a result set.
     """
+    telemetry.observe("kernels.batch_reconstruct_cells", len(share_vectors))
     weights = lagrange_weights(field, xs)
     p = field.modulus
     out: List[int] = []
@@ -311,6 +313,7 @@ class SplitKernel:
     ) -> List[List[int]]:
         """Shares for many coefficient vectors; result[r][i] is value r's
         share at provider i."""
+        telemetry.observe("kernels.split_batch_values", len(coeff_vectors))
         modulus = self.modulus
         powers = self.powers
         out: List[List[int]] = []

@@ -22,7 +22,7 @@ from ..errors import QueryError, ReconstructionError, UnsupportedQueryError
 from ..sim.rng import DeterministicRNG
 from ..sqlengine.schema import Column, TableSchema
 from .kernels import batch_reconstruct, reconstruct_integer
-from .order_preserving import IntegerDomain, OrderPreservingScheme
+from .order_preserving import OrderPreservingScheme
 from .secrets import ClientSecrets
 from .shamir import ShamirScheme
 

@@ -20,7 +20,7 @@ the total from k partial sums.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ConfigurationError, ReconstructionError
 from ..sim.rng import DeterministicRNG

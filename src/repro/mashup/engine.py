@@ -16,7 +16,7 @@ leakage/communication ledger the EXP benchmarks chart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..client.datasource import DataSource

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .client.datasource import DataSource
 from .core.field import PrimeField
 from .core.secrets import ClientSecrets
-from .errors import ConfigurationError, SchemaError
+from .errors import ConfigurationError
 from .providers.cluster import ProviderCluster
 from .providers.provider import ShareProvider
 from .sqlengine.schema import Column, ColumnType, ForeignKey, TableSchema

@@ -32,11 +32,12 @@ per-link byte counts regardless of thread scheduling.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
+from .. import telemetry
 from ..errors import ProviderUnavailableError, QuorumError
 from ..sim.costmodel import CostRecorder
-from ..sim.network import LatencyModel, SimulatedNetwork
+from ..sim.network import SimulatedNetwork
 from .failures import Fault
 from .provider import ShareProvider
 
@@ -63,6 +64,18 @@ def _pool() -> ThreadPoolExecutor:
             max_workers=16, thread_name_prefix="repro-provider"
         )
     return _POOL
+
+
+def _record_link(src: str, dst: str, size: int) -> None:
+    """Mirror one network message into the telemetry registry.
+
+    Called at the exact sites where :class:`SimulatedNetwork` records a
+    message, with the size the network reported — so the telemetry
+    counters are *definitionally* equal to the cluster's existing byte
+    accounting (asserted by ``tests/telemetry/test_instrumentation.py``).
+    """
+    telemetry.count("net.messages", src=src, dst=dst)
+    telemetry.count("net.bytes", size, src=src, dst=dst)
 
 
 class ProviderCluster:
@@ -100,6 +113,11 @@ class ProviderCluster:
     # -- fault management ---------------------------------------------------------
 
     def inject_fault(self, provider_index: int, fault: Fault) -> None:
+        telemetry.count(
+            "faults.injected",
+            mode=fault.mode.value,
+            provider=self.providers[provider_index].name,
+        )
         self.providers[provider_index].inject_fault(fault)
 
     def clear_faults(self) -> None:
@@ -122,9 +140,24 @@ class ProviderCluster:
         after the request bytes were spent, as in a real timeout.
         """
         provider = self.providers[provider_index]
-        self.network.send(CLIENT_NAME, provider.name, {"method": method, **request})
-        response = provider.handle(method, request)
-        self.network.send(provider.name, CLIENT_NAME, response)
+        with telemetry.span("rpc", provider=provider.name, method=method) as sp:
+            request_bytes = self.network.send(
+                CLIENT_NAME, provider.name, {"method": method, **request}
+            )
+            _record_link(CLIENT_NAME, provider.name, request_bytes)
+            try:
+                response = provider.handle(method, request)
+            except ProviderUnavailableError:
+                telemetry.count("fanout.unavailable", provider=provider.name)
+                sp.set(outcome="unavailable", request_bytes=request_bytes)
+                raise
+            response_bytes = self.network.send(provider.name, CLIENT_NAME, response)
+            _record_link(provider.name, CLIENT_NAME, response_bytes)
+            sp.set(
+                outcome="ok",
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+            )
         return response
 
     def call_all(
@@ -146,27 +179,48 @@ class ProviderCluster:
         answered (the minimum-th fastest round trip).  Responses and byte
         accounting are identical in both modes — straggler responses still
         arrive and are still counted; only the waiting time differs.
+
+        Provider-side errors (anything other than unavailability) surface
+        only after the whole round has been drained, in BOTH dispatch
+        modes: every addressed provider's request — and every successful
+        response — is accounted before the first error is re-raised, so
+        the two modes agree byte-for-byte even on failing rounds.
         """
         if quorum not in QUORUM_MODES:
             raise QuorumError(
                 f"unknown quorum mode {quorum!r}; expected one of {QUORUM_MODES}"
             )
-        if self.dispatch == "parallel" and len(requests) > 1:
-            return self._call_all_parallel(method, requests, minimum, quorum)
-        responses: Dict[int, Dict] = {}
-        failures: Dict[int, str] = {}
-        for index, request in sorted(requests.items()):
-            try:
-                responses[index] = self.call_one(index, method, request)
-            except ProviderUnavailableError as exc:
-                failures[index] = str(exc)
-        required = len(requests) if minimum is None else minimum
-        if len(responses) < required:
-            raise QuorumError(
-                f"{method}: only {len(responses)}/{len(requests)} providers "
-                f"responded (need {required}); failures: {failures}"
-            )
-        return responses
+        with telemetry.span(
+            "fan_out",
+            method=method,
+            addressed=len(requests),
+            quorum=quorum,
+            dispatch=self.dispatch,
+            minimum=len(requests) if minimum is None else minimum,
+        ) as sp:
+            if self.dispatch == "parallel" and len(requests) > 1:
+                return self._call_all_parallel(method, requests, minimum, quorum, sp)
+            responses: Dict[int, Dict] = {}
+            failures: Dict[int, str] = {}
+            error: Optional[BaseException] = None
+            for index, request in sorted(requests.items()):
+                try:
+                    responses[index] = self.call_one(index, method, request)
+                except ProviderUnavailableError as exc:
+                    failures[index] = str(exc)
+                except Exception as exc:  # drain the round before surfacing
+                    if error is None:
+                        error = exc
+            sp.set(responded=len(responses), unavailable=len(failures))
+            if error is not None:
+                raise error
+            required = len(requests) if minimum is None else minimum
+            if len(responses) < required:
+                raise QuorumError(
+                    f"{method}: only {len(responses)}/{len(requests)} providers "
+                    f"responded (need {required}); failures: {failures}"
+                )
+            return responses
 
     def _call_all_parallel(
         self,
@@ -174,6 +228,7 @@ class ProviderCluster:
         requests: Dict[int, Dict],
         minimum: Optional[int],
         quorum: str,
+        fan_span=telemetry.NULL_SPAN,
     ) -> Dict[int, Dict]:
         """Thread-pool fan-out with deterministic, index-ordered accounting.
 
@@ -181,15 +236,23 @@ class ProviderCluster:
         index order, then responses in index order); pool workers run only
         ``provider.handle``, which touches nothing but that provider's own
         storage and counters.
+
+        The modelled clock advances by the round's elapsed time even when
+        a provider-side error is drained — the bytes were spent, so the
+        time was too (keeps byte and clock accounting consistent; the
+        sequential path has the same drain-then-raise semantics).
         """
         ordered = sorted(requests.items())
         request_seconds: Dict[int, float] = {}
+        request_bytes: Dict[int, int] = {}
         for index, request in ordered:
             provider = self.providers[index]
-            _, seconds = self.network.send_unclocked(
+            size, seconds = self.network.send_unclocked(
                 CLIENT_NAME, provider.name, {"method": method, **request}
             )
+            _record_link(CLIENT_NAME, provider.name, size)
             request_seconds[index] = seconds
+            request_bytes[index] = size
         futures: Dict[int, Future] = {
             index: _pool().submit(self.providers[index].handle, method, request)
             for index, request in ordered
@@ -199,25 +262,48 @@ class ProviderCluster:
         round_trips: Dict[int, float] = {}
         error: Optional[BaseException] = None
         for index, _ in ordered:
-            try:
-                response = futures[index].result()
-            except ProviderUnavailableError as exc:
-                failures[index] = str(exc)
-                continue
-            except Exception as exc:  # provider-side error: surface after drain
-                if error is None:
-                    error = exc
-                continue
-            _, seconds = self.network.send_unclocked(
-                self.providers[index].name, CLIENT_NAME, response
+            provider = self.providers[index]
+            with telemetry.span(
+                "rpc", provider=provider.name, method=method
+            ) as sp:
+                sp.set(request_bytes=request_bytes[index])
+                try:
+                    response = futures[index].result()
+                except ProviderUnavailableError as exc:
+                    failures[index] = str(exc)
+                    telemetry.count("fanout.unavailable", provider=provider.name)
+                    sp.set(outcome="unavailable")
+                    continue
+                except Exception as exc:  # provider-side error: surface after drain
+                    if error is None:
+                        error = exc
+                    sp.set(outcome="error", error=type(exc).__name__)
+                    continue
+                size, seconds = self.network.send_unclocked(
+                    provider.name, CLIENT_NAME, response
+                )
+                _record_link(provider.name, CLIENT_NAME, size)
+                responses[index] = response
+                round_trips[index] = request_seconds[index] + seconds
+                sp.set(
+                    outcome="ok",
+                    response_bytes=size,
+                    rtt_seconds=round_trips[index],
+                )
+        elapsed = self._round_elapsed(request_seconds, round_trips, minimum, quorum)
+        self.network.advance_clock(elapsed)
+        if telemetry.is_enabled():
+            telemetry.observe(
+                "fanout.round_seconds", elapsed, method=method, quorum=quorum
             )
-            responses[index] = response
-            round_trips[index] = request_seconds[index] + seconds
+            fan_span.set(round_seconds=elapsed)
+            if quorum == "first_k" and minimum is not None:
+                stragglers = max(0, len(round_trips) - minimum)
+                telemetry.count("fanout.stragglers", stragglers)
+                fan_span.set(stragglers=stragglers)
         if error is not None:
             raise error
-        self.network.advance_clock(
-            self._round_elapsed(request_seconds, round_trips, minimum, quorum)
-        )
+        fan_span.set(responded=len(responses), unavailable=len(failures))
         required = len(requests) if minimum is None else minimum
         if len(responses) < required:
             raise QuorumError(

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..sim.rng import DeterministicRNG
 
 
@@ -64,6 +65,7 @@ class Fault:
         if share is None or self.mode is not FailureMode.TAMPER:
             return share
         if self.rng.random() < self.rate:
+            telemetry.count("faults.tampered_shares")
             return share + self.rng.randint(1, 1_000)
         return share
 
@@ -82,4 +84,7 @@ class Fault:
         """OMIT: silently drop each result row with probability ``rate``."""
         if self.mode is not FailureMode.OMIT:
             return rows
-        return [row for row in rows if self.rng.random() >= self.rate]
+        kept = [row for row in rows if self.rng.random() >= self.rate]
+        if len(kept) != len(rows):
+            telemetry.count("faults.omitted_rows", len(rows) - len(kept))
+        return kept

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import ProviderError, ProviderUnavailableError, QueryError
 from ..sim.costmodel import CostRecorder
 from .failures import Fault
@@ -55,17 +56,24 @@ class ShareProvider:
 
     def _check_available(self) -> None:
         if self.fault is not None and self.fault.is_crash:
+            telemetry.count("faults.crash_refusals", provider=self.name)
             raise ProviderUnavailableError(f"provider {self.name} is down")
 
     # -- RPC dispatch -------------------------------------------------------------
 
     def handle(self, method: str, request: Dict) -> Dict:
-        """Execute one RPC; payloads in and out are wire-primitive dicts."""
+        """Execute one RPC; payloads in and out are wire-primitive dicts.
+
+        Telemetry counters recorded here run on the cluster's fan-out
+        pool threads; they are commutative increments, so totals stay
+        deterministic per seed regardless of pool scheduling.
+        """
         self._check_available()
         handler = getattr(self, f"_rpc_{method}", None)
         if handler is None:
             raise ProviderError(f"provider {self.name}: unknown method {method!r}")
         self.requests_served += 1
+        telemetry.count("provider.requests", provider=self.name, method=method)
         return handler(request)
 
     # -- DDL / writes -----------------------------------------------------------

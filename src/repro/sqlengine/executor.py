@@ -9,13 +9,11 @@ encryption baselines) and asserts identical results.  It is also the
 
 from __future__ import annotations
 
-import statistics
 from decimal import Decimal
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
-from ..errors import QueryError, SchemaError
+from ..errors import QueryError
 from .catalog import Catalog
-from .expression import Predicate
 from .query import (
     Aggregate,
     AggregateFunc,

@@ -17,10 +17,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from ..errors import QueryError
-from .schema import Column, TableSchema, coerce_literal
+from .schema import TableSchema, coerce_literal
 
 
 class ComparisonOp(enum.Enum):

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import datetime
 from decimal import Decimal
-from typing import List
 
 from ..errors import QueryError
 from .expression import (
@@ -23,15 +22,7 @@ from .expression import (
     StartsWith,
     TruePredicate,
 )
-from .query import (
-    Aggregate,
-    AggregateFunc,
-    Delete,
-    Insert,
-    JoinSelect,
-    Select,
-    Update,
-)
+from .query import Aggregate, Delete, Insert, JoinSelect, Select, Update
 
 
 def render_literal(value) -> str:

@@ -34,7 +34,7 @@ import enum
 import re
 from dataclasses import dataclass
 from decimal import Decimal
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from ..errors import ParseError
 from .expression import (

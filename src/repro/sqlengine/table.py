@@ -9,7 +9,7 @@ impossible.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import SchemaError
 from .expression import Predicate

@@ -1,0 +1,233 @@
+"""Dependency-free metrics instruments: counters, gauges, histograms.
+
+The registry is the paper-shaped half of the telemetry layer: OBSCURE
+(Gupta et al.) and fVSS (Attasena et al.) evaluate secret-shared
+outsourcing through per-provider communication/computation breakdowns,
+so the instruments here are keyed by **name + labels** (e.g.
+``net.bytes{src=client, dst=DAS1}``) and the snapshot format is the
+flat, sorted, JSON-able form the benchmarks embed in their reports.
+
+Design constraints:
+
+* stdlib only — the library itself has no runtime dependencies and the
+  telemetry layer must not be the first;
+* thread-safe writes — provider handlers run on the cluster's fan-out
+  pool, so every mutation takes the registry's lock (counters commute,
+  so totals are deterministic regardless of pool scheduling);
+* deterministic snapshots — keys are sorted, values are plain ints and
+  floats, so the same seed produces byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds: spans both modelled-latency
+#: seconds (sub-millisecond to tens of seconds) and small count-ish
+#: observations (batch sizes land in the wide top buckets).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 100.0, 1_000.0, 10_000.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer/float total."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey, lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, value: float = 1) -> None:
+        if value < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc by {value})"
+            )
+        with self._lock:
+            self.value += value
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey, lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-bucket latency/size histogram.
+
+    Buckets are inclusive upper bounds plus an implicit +Inf overflow
+    bucket; ``counts[i]`` is the number of observations ``<= bounds[i]``
+    exclusive of lower buckets (plain per-bucket counts, not cumulative).
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "total", "count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        lock: threading.RLock,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name} buckets must be ascending: {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +1: overflow
+        self.total = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            slot = len(self.bounds)  # overflow unless a bound catches it
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    slot = i
+                    break
+            self.counts[slot] += 1
+            self.total += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create registry over all three instrument kinds.
+
+    Instruments are keyed by ``(kind, name, labels)``; requesting the
+    same key twice returns the same object, and requesting a name under
+    a different kind raises (one name, one meaning).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._instruments: Dict[Tuple[str, str, LabelKey], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, object], factory):
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing_kind}, not a {kind}"
+                )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(name, key[2], self._lock)
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
+            return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        return self._get(
+            "histogram",
+            name,
+            labels,
+            lambda n, lk, lock: Histogram(n, lk, lock, buckets),
+        )
+
+    # -- read side -----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of a counter, 0 if it was never touched."""
+        key = ("counter", name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        return instrument.value if instrument is not None else 0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across every label combination."""
+        with self._lock:
+            return sum(
+                inst.value
+                for (kind, n, _), inst in self._instruments.items()
+                if kind == "counter" and n == name
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Flat, sorted, JSON-able view of every instrument."""
+        with self._lock:
+            counters: Dict[str, object] = {}
+            gauges: Dict[str, object] = {}
+            histograms: Dict[str, object] = {}
+            for (kind, name, labels), inst in self._instruments.items():
+                rendered = _render_key(name, labels)
+                if kind == "counter":
+                    counters[rendered] = inst.value
+                elif kind == "gauge":
+                    gauges[rendered] = inst.value
+                else:
+                    histograms[rendered] = {
+                        "count": inst.count,
+                        "sum": inst.total,
+                        "mean": inst.mean,
+                        "buckets": {
+                            (
+                                f"le_{bound:g}" if i < len(inst.bounds) else "overflow"
+                            ): count
+                            for i, (bound, count) in enumerate(
+                                zip(list(inst.bounds) + [float("inf")], inst.counts)
+                            )
+                            if count
+                        },
+                    }
+            return {
+                "counters": dict(sorted(counters.items())),
+                "gauges": dict(sorted(gauges.items())),
+                "histograms": dict(sorted(histograms.items())),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()

@@ -15,7 +15,7 @@ EXP-T9 measures the overhead of each and the tamper-detection rate.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..errors import IntegrityError
 from ..providers.cluster import ProviderCluster

@@ -40,7 +40,7 @@ from ..client.datasource import DataSource
 from ..errors import CompletenessError, ConfigurationError, SchemaError
 from ..sqlengine.expression import Between
 from ..sqlengine.query import Select
-from ..sqlengine.schema import Column, ColumnType, TableSchema, integer_column
+from ..sqlengine.schema import TableSchema, integer_column
 from ..sqlengine.table import Table
 
 #: Encoded-domain bound such that aux integers fit the share field.

@@ -11,7 +11,6 @@ grouped/top-k analytics queries the extension features support.
 from __future__ import annotations
 
 import datetime
-from typing import List
 
 from ..core.encoding import EXTENDED_ALPHABET
 from ..sim.rng import DeterministicRNG, zipf_sampler

@@ -12,7 +12,6 @@ paper's join-compatibility condition.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..sim.rng import DeterministicRNG
 from ..sqlengine.schema import (

@@ -2,13 +2,9 @@
 
 import pytest
 
-from repro.attacks.frequency import (
-    FrequencyOutcome,
-    attack_column,
-    frequency_match,
-)
+from repro.attacks.frequency import attack_column, frequency_match
 from repro.core.encoding import StringCodec
-from repro.core.order_preserving import IntegerDomain, OrderPreservingScheme
+from repro.core.order_preserving import OrderPreservingScheme
 from repro.core.secrets import generate_client_secrets
 from repro.errors import ShareError
 from repro.sim.rng import DeterministicRNG

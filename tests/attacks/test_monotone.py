@@ -3,7 +3,6 @@
 import pytest
 
 from repro.attacks.monotone import (
-    AffineMap,
     attack_slot_scheme,
     attack_strawman_scheme,
     break_strawman,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import JoinSelect, Select, parse_sql
+from repro import JoinSelect, parse_sql
 from repro.baselines.encryption import (
     BucketizationClient,
     OPEClient,

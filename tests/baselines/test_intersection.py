@@ -5,7 +5,6 @@ import pytest
 from repro.baselines.intersection import (
     SAFE_PRIME_256,
     CommutativeIntersection,
-    IntersectionResult,
     plaintext_intersection,
     share_based_intersection,
 )

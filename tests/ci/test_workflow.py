@@ -1,0 +1,119 @@
+"""Structural validation of .github/workflows/ci.yml.
+
+actionlint isn't vendorable here, so this is the executable equivalent:
+the workflow must parse as YAML, reference only jobs that exist, pin
+action versions, and run the same tier-1 command ROADMAP.md documents —
+so a CI regression is caught by the suite CI itself runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+
+EXPECTED_JOBS = {"lint", "tests", "bench-smoke", "editable-install", "coverage"}
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+@pytest.fixture(scope="module")
+def jobs(workflow):
+    return workflow["jobs"]
+
+
+class TestWorkflowShape:
+    def test_parses_and_has_required_top_level_keys(self, workflow):
+        assert workflow["name"] == "CI"
+        # YAML 1.1 reads the bare `on:` key as boolean True
+        triggers = workflow.get("on", workflow.get(True))
+        assert "push" in triggers and "pull_request" in triggers
+        assert triggers["push"]["branches"] == ["main"]
+
+    def test_expected_jobs_present(self, jobs):
+        assert set(jobs) == EXPECTED_JOBS
+
+    def test_every_job_runs_on_pinned_ubuntu(self, jobs):
+        for name, job in jobs.items():
+            assert job["runs-on"] == "ubuntu-latest", name
+            assert job["steps"], f"job {name} has no steps"
+
+    def test_needs_reference_existing_jobs(self, jobs):
+        for name, job in jobs.items():
+            for dependency in job.get("needs", []):
+                assert dependency in jobs, (
+                    f"job {name} needs unknown job {dependency}"
+                )
+
+    def test_actions_are_version_pinned(self, jobs):
+        for name, job in jobs.items():
+            for step in job["steps"]:
+                uses = step.get("uses")
+                if uses is not None:
+                    assert "@" in uses, (
+                        f"unpinned action {uses!r} in job {name}"
+                    )
+
+    def test_steps_are_well_formed(self, jobs):
+        for name, job in jobs.items():
+            for step in job["steps"]:
+                assert "run" in step or "uses" in step, (
+                    f"step in {name} does neither run nor use: {step}"
+                )
+                if "run" in step:
+                    assert step["run"].strip(), f"empty run step in {name}"
+
+
+class TestTier1Gate:
+    def test_matrix_covers_supported_pythons(self, jobs):
+        matrix = jobs["tests"]["strategy"]["matrix"]
+        assert matrix["python-version"] == ["3.9", "3.11", "3.13"]
+        assert jobs["tests"]["strategy"]["fail-fast"] is False
+
+    def test_tests_job_runs_tier1_command_with_pythonpath(self, jobs):
+        steps = jobs["tests"]["steps"]
+        run_steps = [s for s in steps if "run" in s]
+        tier1 = [s for s in run_steps if "pytest -x -q" in s["run"]]
+        assert tier1, "tests job never runs the tier-1 suite"
+        assert tier1[0]["env"]["PYTHONPATH"] == "src"
+
+    def test_bench_smoke_runs_check_mode(self, jobs):
+        runs = " ".join(
+            s["run"] for s in jobs["bench-smoke"]["steps"] if "run" in s
+        )
+        assert "bench_hotpath.py --check" in runs
+        assert "repro.cli trace" in runs
+
+    def test_editable_install_exercises_package_metadata(self, jobs):
+        runs = " ".join(
+            s["run"] for s in jobs["editable-install"]["steps"] if "run" in s
+        )
+        assert "pip install -e .[dev]" in runs
+        assert "pytest" in runs
+
+    def test_coverage_job_gates_and_uploads(self, jobs):
+        steps = jobs["coverage"]["steps"]
+        runs = " ".join(s["run"] for s in steps if "run" in s)
+        assert "--cov=repro" in runs
+        uploads = [
+            s for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "coverage.xml"
+
+
+class TestRatchetConfigured:
+    def test_pyproject_records_coverage_ratchet(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.coverage.report]" in text
+        assert "fail_under" in text
+
+    def test_pyproject_configures_ruff(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.ruff]" in text

@@ -1,10 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import build_parser, build_source, cmd_sql, execute_line, main, render_result
+from repro.cli import build_parser, build_source, cmd_sql, main, render_result
 from repro.errors import ReproError
 
 
@@ -123,6 +124,70 @@ class TestInteractiveShell:
         directory = str(tmp_path / "metasnap")
         text = self.drive([f"\\save {directory}", "\\quit"])
         assert "saved" in text
+
+
+class TestTrace:
+    STATEMENT = (
+        "SELECT name, salary FROM Employees "
+        "WHERE salary BETWEEN 10000 AND 50000 ORDER BY salary LIMIT 5"
+    )
+
+    def test_prints_span_tree_and_counters(self):
+        code, text = run(["trace", "--rows", "40", self.STATEMENT])
+        assert code == 0
+        for span_name in ("query", "select", "rewrite", "fan_out", "rpc",
+                          "reconstruct"):
+            assert span_name in text
+        assert "counters:" in text
+        assert "net.bytes{dst=DAS1,src=client}" in text
+        assert "modelled" in text
+
+    def test_trace_is_deterministic(self):
+        outputs = [run(["trace", "--rows", "40", self.STATEMENT])
+                   for _ in range(2)]
+        assert outputs[0] == outputs[1]
+
+    def test_json_export_parses_and_matches_network(self):
+        code, text = run(["trace", "--rows", "40", "--json", self.STATEMENT])
+        assert code == 0
+        export = json.loads(text)
+        assert sorted(export) == [
+            "dropped_traces", "kernels", "metrics", "network", "traces"
+        ]
+        counters = export["metrics"]["counters"]
+        telemetry_bytes = sum(
+            value for key, value in counters.items()
+            if key.startswith("net.bytes{")
+        )
+        assert telemetry_bytes == export["network"]["bytes"]
+        telemetry_messages = sum(
+            value for key, value in counters.items()
+            if key.startswith("net.messages{")
+        )
+        assert telemetry_messages == export["network"]["messages"]
+        (trace,) = export["traces"]
+        assert trace["name"] == "query"
+        assert trace["end"] == export["network"]["modelled_seconds"]
+
+    def test_trace_restores_prior_telemetry_state(self):
+        from repro import telemetry
+
+        before = telemetry.hub()
+        run(["trace", "--rows", "20", "SELECT COUNT(*) FROM Employees"])
+        assert telemetry.hub() is before
+
+    def test_trace_query_error_is_reported(self):
+        code, text = run(["trace", "--rows", "10", "SELEKT broken"])
+        assert code == 1
+        assert "error:" in text
+
+    def test_trace_ecommerce_workload(self):
+        code, text = run([
+            "trace", "--workload", "ecommerce", "--rows", "30",
+            "SELECT COUNT(*) FROM Events",
+        ])
+        assert code == 0
+        assert "fan_out" in text
 
 
 class TestHelpers:

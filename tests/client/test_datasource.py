@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     DataSource,
-    ProviderCluster,
     Select,
     JoinSelect,
     Insert,
@@ -20,16 +19,7 @@ from repro.errors import (
 )
 from repro.providers.failures import Fault, FailureMode
 from repro.sqlengine.executor import rows_equal_unordered
-from repro.sqlengine.expression import (
-    Between,
-    Comparison,
-    ComparisonOp,
-    Or,
-    StartsWith,
-)
-from repro.sqlengine.schema import TableSchema, integer_column, string_column
-from repro.sqlengine.table import Table
-from repro.workloads.employees import employees_table
+from repro.sqlengine.expression import Between, Comparison, ComparisonOp
 
 
 class TestOutsourcing:

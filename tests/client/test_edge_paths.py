@@ -12,12 +12,7 @@ from repro import (
     integer_column,
     string_column,
 )
-from repro.errors import (
-    IntegrityError,
-    ProviderError,
-    QueryError,
-    ReconstructionError,
-)
+from repro.errors import ProviderError, QueryError, ReconstructionError
 from repro.sqlengine.expression import Comparison, ComparisonOp, StartsWith
 from repro.workloads.employees import employees_table
 

@@ -1,7 +1,6 @@
 """Tests for deployment snapshots (save/restore)."""
 
 import json
-import os
 
 import pytest
 

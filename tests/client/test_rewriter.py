@@ -3,11 +3,7 @@
 import pytest
 from decimal import Decimal
 
-from repro.client.rewriter import (
-    EncodedInterval,
-    rewrite_predicate,
-    split_join_predicate,
-)
+from repro.client.rewriter import rewrite_predicate, split_join_predicate
 from repro.core.scheme import TableSharing
 from repro.core.secrets import generate_client_secrets
 from repro.sim.rng import DeterministicRNG

@@ -1,7 +1,6 @@
 """Unit tests for field and integer polynomials and interpolation."""
 
 import pytest
-from fractions import Fraction
 
 from repro.core.field import PrimeField
 from repro.core.polynomial import (

@@ -3,7 +3,6 @@ outsource → query (all classes) → join → update (eager + lazy) → delete 
 verify, mirroring the README quickstart and the paper's Sec. III workload.
 """
 
-import pytest
 
 from repro import (
     DataSource,

@@ -6,7 +6,6 @@ from repro import DataSource, ProviderCluster, Select, Table, TableSchema
 from repro.errors import QueryError, SchemaError
 from repro.mashup.engine import MashupEngine, PIRBackedPublicIndex
 from repro.mashup.public_catalog import PublicCatalog
-from repro.sqlengine.expression import Comparison, ComparisonOp
 from repro.sqlengine.schema import integer_column, string_column
 
 

@@ -1,6 +1,5 @@
 """Property test: parse_sql(render_sql(query)) == query for random ASTs."""
 
-import datetime
 from decimal import Decimal
 
 from hypothesis import given, settings, strategies as st

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ProviderUnavailableError, QuorumError
+from repro.errors import QuorumError
 from repro.providers.cluster import ProviderCluster
 from repro.providers.failures import Fault, FailureMode
 

@@ -1,16 +1,11 @@
 """Tests for the benchmark measurement/reporting infrastructure."""
 
-import os
 
 import pytest
 
-from repro import DataSource, ProviderCluster, Select, parse_sql
+from repro import DataSource, ProviderCluster, parse_sql
 from repro.baselines.encryption import OPEClient
-from repro.bench.metrics import (
-    Measurement,
-    measure_encrypted_query,
-    measure_share_query,
-)
+from repro.bench.metrics import measure_encrypted_query, measure_share_query
 from repro.bench.reporting import format_table, print_experiment, record_experiment
 from repro.workloads.employees import employees_table
 

@@ -1,6 +1,5 @@
 """Unit tests for predicate expressions and pushdown classification."""
 
-import pytest
 
 from repro.sqlengine.expression import (
     And,

@@ -1,6 +1,5 @@
 """Tests for NULL-aware predicate normalization (NOT elimination)."""
 
-import pytest
 
 from repro.sqlengine.expression import (
     And,

@@ -7,7 +7,7 @@ from repro.core.encoding import EXTENDED_ALPHABET, StringCodec
 from repro.errors import EncodingError, ParseError
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import PlaintextExecutor, compute_group_aggregate
-from repro.sqlengine.query import Aggregate, AggregateFunc, Select
+from repro.sqlengine.query import Aggregate, AggregateFunc
 from repro.sqlengine.schema import TableSchema, integer_column, string_column
 from repro.sqlengine.sqlparser import parse_sql
 from repro.sqlengine.table import Table

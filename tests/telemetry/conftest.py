@@ -1,0 +1,21 @@
+"""Telemetry test fixtures."""
+
+import pytest
+
+import repro.telemetry as telemetry_module
+
+
+@pytest.fixture
+def no_telemetry():
+    """Force telemetry off for one test, restoring the prior hub after.
+
+    Lets disabled-path tests hold even when an outer harness runs the
+    whole suite under a globally enabled hub (the "suite passes with
+    telemetry enabled" acceptance check).
+    """
+    previous = telemetry_module._HUB
+    telemetry_module._HUB = None
+    try:
+        yield
+    finally:
+        telemetry_module._HUB = previous

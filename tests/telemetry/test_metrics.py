@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", x="1") is registry.counter("c", x="1")
+
+    def test_label_sets_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("net.bytes", src="client", dst="DAS1").inc(10)
+        registry.counter("net.bytes", src="client", dst="DAS2").inc(20)
+        assert registry.counter_value("net.bytes", src="client", dst="DAS1") == 10
+        assert registry.counter_value("net.bytes", src="client", dst="DAS2") == 20
+        assert registry.counter_total("net.bytes") == 30
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        assert registry.counter_value("c", b="2", a="1") == 1
+
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("ghost") == 0
+
+    def test_counters_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(ValueError):
+            registry.gauge("dual")
+        with pytest.raises(ValueError):
+            registry.histogram("dual")
+
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauges:
+    def test_set_moves_both_directions(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+
+
+class TestHistograms:
+    def test_observations_land_in_correct_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        # counts are per-bucket (not cumulative): <=1.0, <=10.0, overflow
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(106.5)
+        assert histogram.mean == pytest.approx(106.5 / 4)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("lat").mean == 0.0
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=())
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_able(self):
+        registry = MetricsRegistry()
+        registry.counter("b.metric", z="2").inc(2)
+        registry.counter("b.metric", a="1").inc(1)
+        registry.counter("a.metric").inc(9)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.002)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must be serialisable as-is
+        keys = list(snap["counters"])
+        assert keys == sorted(keys)
+        assert snap["counters"]["a.metric"] == 9
+        assert snap["counters"]["b.metric{a=1}"] == 1
+        assert snap["counters"]["b.metric{z=2}"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["buckets"] == {"le_0.005": 1}
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.counter_value("c") == 0
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

@@ -1,0 +1,183 @@
+"""Unit tests for tracing spans, clocks, and the module-level switch."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracing import NULL_SPAN, Span, StepClock, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("query") as query:
+            with tracer.span("rewrite"):
+                pass
+            with tracer.span("fan_out"):
+                with tracer.span("rpc", provider="DAS1"):
+                    pass
+                with tracer.span("rpc", provider="DAS2"):
+                    pass
+        assert [child.name for child in query.children] == ["rewrite", "fan_out"]
+        assert [s.name for s in query.walk()] == [
+            "query", "rewrite", "fan_out", "rpc", "rpc"
+        ]
+        assert len(query.find("rpc")) == 2
+        assert query.find("rpc")[1].attributes["provider"] == "DAS2"
+
+    def test_step_clock_orders_starts_and_ends(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start < inner.start < inner.end < outer.end
+        assert outer.duration == outer.end - outer.start
+
+    def test_finished_roots_are_collected(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [t.name for t in tracer.traces] == ["a", "b"]
+        assert tracer.last_trace().name == "b"
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(max_traces=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [t.name for t in tracer.traces] == ["b", "c"]
+        assert tracer.dropped_traces == 1
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        root = tracer.last_trace()
+        assert root.error == "ValueError"
+        assert root.end is not None  # span closed despite the raise
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+        assert tracer.current() is None
+
+    def test_to_dict_is_json_able_and_sorted(self):
+        tracer = Tracer()
+        with tracer.span("query", z=1, a=2) as span:
+            span.set(m=3)
+        data = tracer.last_trace().to_dict()
+        json.dumps(data)
+        assert list(data["attributes"]) == ["a", "m", "z"]
+        assert data["duration"] == data["end"] - data["start"]
+
+    def test_custom_clock_times_spans(self):
+        readings = iter([10.0, 20.0])
+        tracer = Tracer(clock=lambda: next(readings))
+        with tracer.span("s") as span:
+            pass
+        assert (span.start, span.end) == (10.0, 20.0)
+
+    def test_reset_clears_traces(self):
+        tracer = Tracer(max_traces=1)
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        tracer.reset()
+        assert tracer.traces == [] and tracer.dropped_traces == 0
+
+    def test_bad_max_traces_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+
+class TestStepClock:
+    def test_monotonically_increases(self):
+        clock = StepClock()
+        assert [clock() for _ in range(3)] == [1.0, 2.0, 3.0]
+
+
+class TestSwitch:
+    def test_disabled_by_default_outside_session(self, no_telemetry):
+        assert not telemetry.is_enabled()
+        assert telemetry.hub() is None
+
+    def test_disabled_helpers_are_no_ops(self, no_telemetry):
+        telemetry.count("ghost")
+        telemetry.observe("ghost.lat", 1.0)
+        telemetry.set_gauge("ghost.depth", 2)
+        telemetry.annotate(anything="goes")
+        with telemetry.span("ghost") as span:
+            assert span is NULL_SPAN
+            span.set(still="fine")
+        assert telemetry.hub() is None
+
+    def test_session_enables_and_restores(self):
+        before = telemetry.hub()
+        with telemetry.session() as hub:
+            assert telemetry.is_enabled()
+            assert telemetry.hub() is hub
+            telemetry.count("c", 3)
+            assert hub.registry.counter_value("c") == 3
+        assert telemetry.hub() is before
+
+    def test_session_restores_on_error(self):
+        before = telemetry.hub()
+        with pytest.raises(RuntimeError):
+            with telemetry.session():
+                raise RuntimeError
+        assert telemetry.hub() is before
+
+    def test_nested_session_is_last_wins(self):
+        with telemetry.session() as outer:
+            telemetry.count("c")
+            with telemetry.session() as inner:
+                telemetry.count("c")
+                assert telemetry.hub() is inner
+            assert telemetry.hub() is outer
+            assert outer.registry.counter_value("c") == 1
+            assert inner.registry.counter_value("c") == 1
+
+    def test_enable_disable(self, no_telemetry):
+        hub = telemetry.enable()
+        try:
+            assert telemetry.hub() is hub
+        finally:
+            telemetry.disable()
+        assert not telemetry.is_enabled()
+
+    def test_annotate_hits_innermost_span(self):
+        with telemetry.session() as hub:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    telemetry.annotate(tag="here")
+            root = hub.tracer.last_trace()
+        assert root.children[0].attributes == {"tag": "here"}
+        assert "tag" not in root.attributes
+
+    def test_export_shape(self):
+        with telemetry.session() as hub:
+            telemetry.count("c", 2, lane="a")
+            telemetry.observe("h", 0.5)
+            with telemetry.span("root"):
+                pass
+            export = hub.export()
+        json.dumps(export)
+        assert export["metrics"]["counters"] == {"c{lane=a}": 2}
+        assert export["traces"][0]["name"] == "root"
+        assert export["dropped_traces"] == 0
+
+
+class TestNullSpan:
+    def test_set_is_noop(self):
+        NULL_SPAN.set(a=1)  # must not raise or store anything
+
+    def test_real_span_duration_before_close(self):
+        span = Span("open", {}, start=1.0)
+        assert span.duration == 0.0

@@ -6,7 +6,7 @@ from repro import DataSource, ProviderCluster, Select
 from repro.errors import IntegrityError, QueryError
 from repro.providers.failures import Fault, FailureMode
 from repro.sim.rng import DeterministicRNG
-from repro.sqlengine.expression import Between, Comparison, ComparisonOp
+from repro.sqlengine.expression import Between
 from repro.sqlengine.query import Aggregate, AggregateFunc
 from repro.trust.auditing import AuditRegistry
 from repro.workloads.employees import employees_table

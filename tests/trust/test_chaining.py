@@ -6,7 +6,7 @@ from repro import DataSource, ProviderCluster
 from repro.errors import CompletenessError, ConfigurationError, SchemaError
 from repro.providers.failures import Fault, FailureMode
 from repro.sim.rng import DeterministicRNG
-from repro.sqlengine.schema import TableSchema, integer_column, string_column
+from repro.sqlengine.schema import TableSchema, integer_column
 from repro.sqlengine.table import Table
 from repro.trust.chaining import CompletenessGuard
 from repro.workloads.employees import employees_table
