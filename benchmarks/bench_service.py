@@ -1,0 +1,285 @@
+"""Service-layer benchmark: sequential vs batched concurrent fan-out.
+
+Sweeps concurrency 1 → 64 point queries over the Employees workload and
+compares two executions of the *same* statement list:
+
+* **sequential** — each query runs alone through ``DataSource.sql``:
+  one fan-out per query, so N queries pay N provider rounds of modelled
+  WAN latency;
+* **batched** — all N queries are admitted concurrently through
+  :class:`repro.service.QueryService` and coalesced by the fan-out
+  batcher into combined rounds: ~1 round per provider per query phase,
+  regardless of N.
+
+Modelled-latency throughput (queries per modelled network second) is the
+headline number; both modes also assert that the telemetry byte counters
+equal the simulated network's own accounting exactly, so batching cannot
+silently drop or double-count traffic.  A separate section measures the
+plan cache on a repeated query shape.
+
+Results go to ``BENCH_service.json`` at the repo root.  Run modes::
+
+    python benchmarks/bench_service.py           # full sweep + JSON
+    python benchmarks/bench_service.py --check   # small invariants-only run
+
+``--check`` (used by CI's bench-smoke job and the tier-1 suite) asserts
+on a small table that batched results == sequential results == the
+plaintext oracle, byte accounting matches, and the 16-way batched run
+beats sequential by ≥2× modelled-latency throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry
+from repro.client.datasource import DataSource
+from repro.providers.cluster import ProviderCluster
+from repro.service import QueryService
+from repro.workloads.employees import employees_table
+
+SEED = 2009
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+CONCURRENCY_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+
+
+def build_source(rows: int, providers: int, threshold: int):
+    """One outsourced Employees deployment plus its plaintext table."""
+    table = employees_table(rows, seed=SEED)
+    source = DataSource(ProviderCluster(providers, threshold), seed=SEED)
+    source.outsource_table(table)
+    return source, table
+
+
+def point_statements(table, count: int):
+    """``count`` point SELECTs over existing eids (wraps if count > rows)."""
+    eids = sorted(row["eid"] for row in table.rows())
+    return [
+        f"SELECT name, salary FROM Employees WHERE eid = {eids[i % len(eids)]}"
+        for i in range(count)
+    ]
+
+
+def plaintext_oracle(table, statements):
+    """What each point SELECT should return, from the plaintext table."""
+    results = []
+    for text in statements:
+        eid = int(text.rsplit("=", 1)[1])
+        results.append(
+            [
+                {"name": row["name"], "salary": row["salary"]}
+                for row in table.rows()
+                if row["eid"] == eid
+            ]
+        )
+    return results
+
+
+def _assert_accounting(hub, network) -> None:
+    assert hub.registry.counter_total("net.bytes") == network.total_bytes, (
+        "telemetry byte counters diverged from network accounting"
+    )
+    assert hub.registry.counter_total("net.messages") == (
+        network.total_messages
+    ), "telemetry message counters diverged from network accounting"
+
+
+def run_sequential(source, statements):
+    """Each statement alone: per-query fan-out, summed modelled latency."""
+    network = source.cluster.network
+    source.reset_accounting()
+    with telemetry.session(
+        clock=lambda net=network: net.modelled_seconds
+    ) as hub:
+        wall_start = time.perf_counter()
+        results = [source.sql(text) for text in statements]
+        wall = time.perf_counter() - wall_start
+        _assert_accounting(hub, network)
+    return results, {
+        "modelled_network_seconds": round(network.modelled_seconds, 6),
+        "network_bytes": network.total_bytes,
+        "network_messages": network.total_messages,
+        "wall_seconds": round(wall, 6),
+    }
+
+
+def run_batched(source, statements, service=None):
+    """All statements admitted concurrently; fan-outs coalesced."""
+    network = source.cluster.network
+    own_service = service is None
+    if service is None:
+        service = QueryService(
+            source, max_in_flight=max(len(statements), 1), queue_limit=0
+        )
+    source.reset_accounting()
+    with telemetry.session(
+        clock=lambda net=network: net.modelled_seconds
+    ) as hub:
+        wall_start = time.perf_counter()
+        results = service.run_wave(statements)
+        wall = time.perf_counter() - wall_start
+        _assert_accounting(hub, network)
+    stats = {
+        "modelled_network_seconds": round(network.modelled_seconds, 6),
+        "network_bytes": network.total_bytes,
+        "network_messages": network.total_messages,
+        "wall_seconds": round(wall, 6),
+        "batcher": service.batcher.snapshot(),
+    }
+    if own_service:
+        service.close()
+    return results, stats
+
+
+def bench_concurrency_sweep(rows: int, providers: int, threshold: int):
+    """The headline table: throughput at each concurrency level."""
+    seq_source, table = build_source(rows, providers, threshold)
+    bat_source, _ = build_source(rows, providers, threshold)
+    service = QueryService(
+        bat_source, max_in_flight=max(CONCURRENCY_SWEEP), queue_limit=0
+    )
+    levels = []
+    for concurrency in CONCURRENCY_SWEEP:
+        statements = point_statements(table, concurrency)
+        seq_results, seq = run_sequential(seq_source, statements)
+        bat_results, bat = run_batched(bat_source, statements, service)
+        assert bat_results == seq_results, (
+            f"batched results diverged at concurrency {concurrency}"
+        )
+        seq_qps = concurrency / seq["modelled_network_seconds"]
+        bat_qps = concurrency / bat["modelled_network_seconds"]
+        levels.append(
+            {
+                "concurrency": concurrency,
+                "sequential": seq,
+                "batched": bat,
+                "sequential_modelled_qps": round(seq_qps, 1),
+                "batched_modelled_qps": round(bat_qps, 1),
+                "modelled_throughput_speedup": round(bat_qps / seq_qps, 2),
+            }
+        )
+    service.close()
+    return {
+        "rows": rows,
+        "providers": providers,
+        "threshold": threshold,
+        "levels": levels,
+    }
+
+
+def bench_plan_cache(rows: int, providers: int, threshold: int, repeats: int):
+    """Client-side wall time of a repeated shape, cold vs cached rewrite."""
+    source, table = build_source(rows, providers, threshold)
+    eid = sorted(row["eid"] for row in table.rows())[0]
+    text = f"SELECT name, salary FROM Employees WHERE eid = {eid}"
+    wall_start = time.perf_counter()
+    for _ in range(repeats):
+        source.sql(text)
+    uncached = time.perf_counter() - wall_start
+    service = QueryService(source, max_in_flight=1, queue_limit=0)
+    service.execute(text)  # warm the plan
+    wall_start = time.perf_counter()
+    for _ in range(repeats):
+        service.execute(text)
+    cached = time.perf_counter() - wall_start
+    stats = service.plan_cache.stats()
+    service.close()
+    return {
+        "repeats": repeats,
+        "uncached_wall_seconds": round(uncached, 6),
+        "cached_wall_seconds": round(cached, 6),
+        "wall_speedup": round(uncached / cached, 2) if cached else None,
+        "plan_cache": stats,
+    }
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def run_check() -> None:
+    """Small invariants-only run (CI bench-smoke + tier-1 suite).
+
+    Asserts, at 16 concurrent point queries over a small deployment:
+
+    * batched results == sequential results == the plaintext oracle,
+    * telemetry byte/message counters == network counters in both modes
+      (checked inside the run helpers),
+    * batched modelled-latency throughput ≥ 2× sequential.
+    """
+    concurrency = 16
+    seq_source, table = build_source(40, providers=4, threshold=2)
+    bat_source, _ = build_source(40, providers=4, threshold=2)
+    statements = point_statements(table, concurrency)
+    oracle = plaintext_oracle(table, statements)
+    seq_results, seq = run_sequential(seq_source, statements)
+    bat_results, bat = run_batched(bat_source, statements)
+    assert seq_results == oracle, "sequential diverged from plaintext oracle"
+    assert bat_results == oracle, "batched diverged from plaintext oracle"
+    speedup = (
+        seq["modelled_network_seconds"] / bat["modelled_network_seconds"]
+    )
+    assert speedup >= 2.0, (
+        f"batched fan-out only {speedup:.2f}x faster than sequential "
+        f"at {concurrency} concurrent point queries (need >= 2x)"
+    )
+    assert bat["batcher"]["max_batch"] == concurrency, (
+        "the wave did not coalesce into a single combined round"
+    )
+
+
+def run_full(args) -> dict:
+    return {
+        "seed": SEED,
+        "sweep": bench_concurrency_sweep(
+            args.rows, args.providers, args.threshold
+        ),
+        "plan_cache": bench_plan_cache(
+            args.rows, args.providers, args.threshold, args.repeats
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="small smoke mode: assert service invariants, no timing/JSON",
+    )
+    parser.add_argument("--rows", type=int, default=500,
+                        help="Employees table size (default 500)")
+    parser.add_argument("--providers", type=int, default=5,
+                        help="providers n (default 5)")
+    parser.add_argument("--threshold", type=int, default=3,
+                        help="reconstruction threshold k (default 3)")
+    parser.add_argument("--repeats", type=int, default=200,
+                        help="repetitions for the plan-cache timing")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.check:
+        run_check()
+        print(
+            "bench_service --check: batched == sequential == oracle, "
+            "accounting exact, speedup >= 2x at 16 concurrent queries"
+        )
+        return 0
+    report = run_full(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,16 @@ Four subcommands::
         deployment); meta-commands: \\explain <sql>, \\stats, \\tables,
         \\save <dir>, \\quit
 
-    python -m repro.cli trace [--json] SQL
+    python -m repro.cli trace [--json] [--snapshot DIR] [--output FILE] SQL
         run one statement with telemetry enabled and print the span tree
         plus metric counters (timed by the simulated network's modelled
-        clock, so output is byte-for-byte reproducible per seed)
+        clock, so output is byte-for-byte reproducible per seed); bad
+        snapshot or output paths exit non-zero with a one-line error
+
+    python -m repro.cli serve-sim [--clients N] [--statements N] ...
+        replay a deterministic multi-client workload through the
+        concurrent query service (sessions, admission control, batched
+        fan-outs, plan cache) and print a throughput/latency report
 
     python -m repro.cli figure1
         print the paper's Figure 1 share table and its reconstruction
@@ -211,9 +217,12 @@ def format_span(span: telemetry.Span, depth: int = 0) -> List[str]:
 
 
 def cmd_trace(args, out) -> int:
-    source = build_source(
-        args.workload, args.rows, args.providers, args.threshold, args.seed
-    )
+    if args.snapshot:
+        source = load_deployment(args.snapshot)
+    else:
+        source = build_source(
+            args.workload, args.rows, args.providers, args.threshold, args.seed
+        )
     network = source.cluster.network
     # drop outsourcing traffic and clock so the trace covers only the query
     network.reset()
@@ -229,16 +238,33 @@ def cmd_trace(args, out) -> int:
         "bytes": network.total_bytes,
         "modelled_seconds": network.modelled_seconds,
     }
+    if trace is None:
+        # nothing was recorded (e.g. tracing disabled by configuration):
+        # an empty trace is a failed trace, not a silent success
+        print(
+            "error: no trace was recorded for this statement; "
+            "the telemetry session produced no spans",
+            file=out,
+        )
+        return 1
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(export, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"error: cannot write trace export: {exc}", file=out)
+            return 1
+        print(f"wrote trace export to {args.output}", file=out)
+        return 0
     if args.json:
         json.dump(export, out, indent=2, sort_keys=True)
         print(file=out)
         return 0
     print(render_result(result), file=out)
     print(file=out)
-    if trace is not None:
-        print("trace (modelled clock):", file=out)
-        for line in format_span(trace):
-            print(f"  {line}", file=out)
+    print("trace (modelled clock):", file=out)
+    for line in format_span(trace):
+        print(f"  {line}", file=out)
     counters = export["metrics"]["counters"]
     if counters:
         print("\ncounters:", file=out)
@@ -248,6 +274,92 @@ def cmd_trace(args, out) -> int:
         f"\nnetwork: {network.total_messages} messages, "
         f"{network.total_bytes:,} bytes, "
         f"{network.modelled_seconds:.6f}s modelled",
+        file=out,
+    )
+    return 0
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def cmd_serve_sim(args, out) -> int:
+    from .service import run_simulation
+
+    source = build_source(
+        "employees", args.rows, args.providers, args.threshold, args.seed
+    )
+    network = source.cluster.network
+    network.reset()
+    with telemetry.session(clock=lambda: network.modelled_seconds):
+        report = run_simulation(
+            source,
+            clients=args.clients,
+            statements_per_client=args.statements,
+            seed=args.seed,
+            max_in_flight=args.max_in_flight,
+            queue_limit=args.queue_limit,
+        )
+    if args.json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        print(file=out)
+        return 0
+    workload = report["workload"]
+    admission = report["admission"]
+    batcher = report["batcher"]
+    cache = report["plan_cache"]
+    latency = report["latency_wall_seconds"]
+    print(
+        f"serve-sim: {workload['clients']} clients x "
+        f"{workload['statements_per_client']} statements over "
+        f"Employees({args.rows}), {args.providers} providers "
+        f"(threshold {args.threshold})",
+        file=out,
+    )
+    print(
+        f"  completed: {report['completed']} statements, "
+        f"{report['failed']} failed "
+        f"({report['rejected_retries']} overload retries)",
+        file=out,
+    )
+    for failure in report["failures"]:
+        print(f"    failed: {failure}", file=out)
+    print(
+        f"  throughput: {report['throughput_wall_qps']:.1f} q/s wall, "
+        f"{report['throughput_modelled_qps']:.1f} q/s over "
+        f"{report['modelled_network_seconds']:.3f}s modelled network time",
+        file=out,
+    )
+    print(
+        f"  latency (wall): mean {_fmt_ms(latency['mean'])}, "
+        f"p50 {_fmt_ms(latency['p50'])}, p95 {_fmt_ms(latency['p95'])}, "
+        f"max {_fmt_ms(latency['max'])}",
+        file=out,
+    )
+    print(
+        f"  admission: {admission['admitted_total']} admitted, "
+        f"{admission['rejected_total']} rejected, "
+        f"peak queue {admission['queued_peak']}/{admission['queue_limit']}, "
+        f"max in-flight {admission['max_in_flight']}",
+        file=out,
+    )
+    print(
+        f"  batching: {batcher['rounds_total']} provider rounds, "
+        f"{batcher['combined_rounds_total']} combined, "
+        f"largest batch {batcher['max_batch']} "
+        f"({batcher['tickets_total']} fan-outs total)",
+        file=out,
+    )
+    print(
+        f"  plan cache: {cache['plan_hits']} hits / {cache['plan_misses']} "
+        f"misses (plans), {cache['statement_hits']}/"
+        f"{cache['statement_misses']} (statements), "
+        f"{cache['invalidations']} invalidated",
+        file=out,
+    )
+    print(
+        f"  network: {report['network_messages']} messages, "
+        f"{report['network_bytes']:,} bytes",
         file=out,
     )
     return 0
@@ -314,7 +426,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full telemetry export (metrics + spans) as JSON",
     )
+    trace.add_argument(
+        "--snapshot", help="trace against a saved deployment directory"
+    )
+    trace.add_argument(
+        "--output", help="write the JSON telemetry export to this file"
+    )
     trace.add_argument("sql", help="the SQL statement to trace")
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="replay a multi-client workload through the query service",
+    )
+    common(serve)
+    serve.add_argument(
+        "--clients", type=int, default=8, help="concurrent client sessions"
+    )
+    serve.add_argument(
+        "--statements", type=int, default=12, help="statements per client"
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="admission bound on concurrently executing queries",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="admission bound on queries waiting for a slot",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
 
     sub.add_parser("figure1", help="print the paper's Figure 1 reproduction")
     return parser
@@ -330,9 +471,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_sql(args, out)
         if args.command == "trace":
             return cmd_trace(args, out)
+        if args.command == "serve-sim":
+            return cmd_serve_sim(args, out)
         if args.command == "figure1":
             return cmd_figure1(args, out)
     except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except OSError as exc:
+        # bad --snapshot/--save/--output paths must not traceback
         print(f"error: {exc}", file=out)
         return 1
     return 2  # pragma: no cover - argparse enforces the choices

@@ -18,6 +18,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple, Union
 
 from .. import telemetry
@@ -119,6 +120,15 @@ class DataSource:
         self._sharings: Dict[str, TableSharing] = {}
         self._op_registry: Dict[str, OrderPreservingScheme] = {}
         self._next_row_id: Dict[str, int] = {}
+        #: per-table mutation epochs: every write path bumps its table's
+        #: epoch (and secret rotation bumps all), so cached query plans —
+        #: keyed on (statement, epoch) by :mod:`repro.service.plancache` —
+        #: can never be replayed against state they were not rewritten for
+        self._table_epochs: Dict[str, int] = {}
+        #: optional :class:`~repro.service.plancache.PlanCache`; installed
+        #: by the service layer, consulted by :meth:`_rewrite`
+        self.plan_cache: Optional[object] = None
+        self._row_id_lock = threading.Lock()
         if audit is not None and getattr(audit, "namespace", "") == "":
             audit.namespace = namespace
 
@@ -218,25 +228,85 @@ class DataSource:
     def table_names(self) -> List[str]:
         return sorted(self._sharings)
 
+    # ------------------------------------------------------- epochs & plans --
+
+    def table_epoch(self, table_name: str) -> int:
+        """The table's mutation epoch (bumped by every write path)."""
+        return self._table_epochs.get(table_name, 0)
+
+    def bump_table_epoch(self, table_name: str) -> int:
+        """Advance a table's epoch, invalidating cached plans for it."""
+        epoch = self._table_epochs.get(table_name, 0) + 1
+        self._table_epochs[table_name] = epoch
+        cache = self.plan_cache
+        if cache is not None:
+            cache.invalidate(table_name)
+        return epoch
+
+    def _rewrite(self, predicate: Predicate, sharing: TableSharing):
+        """Rewrite a bound predicate, through the plan cache when installed."""
+        cache = self.plan_cache
+        if cache is None:
+            return rewrite_predicate(predicate, sharing)
+        return cache.rewritten(self, sharing, predicate)
+
+    # ------------------------------------------------------- row-id hand-out --
+
+    def reserve_row_ids(self, table_name: str, count: int) -> int:
+        """Atomically reserve ``count`` consecutive row ids; returns the first.
+
+        Sessions draw private blocks through this, so concurrent writers
+        never interleave inside a block and each session's ids are
+        deterministic regardless of thread scheduling.
+        """
+        if count < 1:
+            raise QueryError(f"cannot reserve {count} row ids")
+        self.sharing(table_name)  # validates the table exists
+        with self._row_id_lock:
+            start = self._next_row_id[table_name]
+            self._next_row_id[table_name] = start + count
+        return start
+
     # --------------------------------------------------------------- writes --
 
     def insert(self, table_name: str, row: Row) -> int:
         """Insert one row; returns its client-assigned row id."""
         return self.insert_many(table_name, [row])[0]
 
-    def insert_many(self, table_name: str, rows: List[Row]) -> List[int]:
-        """Share and upload a batch; returns assigned row ids."""
-        with telemetry.span("insert", table=table_name, rows=len(rows)):
-            return self._insert_many(table_name, rows)
+    def insert_many(
+        self,
+        table_name: str,
+        rows: List[Row],
+        row_ids: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Share and upload a batch; returns assigned row ids.
 
-    def _insert_many(self, table_name: str, rows: List[Row]) -> List[int]:
+        ``row_ids`` lets a caller that pre-reserved ids (a service
+        session's private block, :meth:`reserve_row_ids`) supply them
+        explicitly; when omitted a contiguous block is reserved here.
+        """
+        with telemetry.span("insert", table=table_name, rows=len(rows)):
+            return self._insert_many(table_name, rows, row_ids)
+
+    def _insert_many(
+        self,
+        table_name: str,
+        rows: List[Row],
+        explicit_ids: Optional[List[int]] = None,
+    ) -> List[int]:
         sharing = self.sharing(table_name)
+        if explicit_ids is not None and len(explicit_ids) != len(rows):
+            raise QueryError(
+                f"{len(explicit_ids)} row ids supplied for {len(rows)} rows"
+            )
+        if explicit_ids is None and rows:
+            start = self.reserve_row_ids(table_name, len(rows))
+            explicit_ids = list(range(start, start + len(rows)))
         prepared: List[Tuple[int, List[ShareRow]]] = []
         row_ids: List[int] = []
-        for row in rows:
+        for position, row in enumerate(rows):
             normalised = sharing.schema.validate_row(row)
-            row_id = self._next_row_id[table_name]
-            self._next_row_id[table_name] += 1
+            row_id = explicit_ids[position]
             share_rows = sharing.share_row(normalised)
             self.cost.record(
                 "poly_eval", len(sharing.schema.columns) * self.cluster.n_providers
@@ -257,6 +327,7 @@ class DataSource:
                 for rid, shares in prepared:
                     for index in targets:
                         self.audit.on_insert(table_name, index, rid, shares[index])
+            self.bump_table_epoch(table_name)
         return row_ids
 
     def update(self, query: Update) -> int:
@@ -313,6 +384,7 @@ class DataSource:
             for index in targets:
                 for row_id, assignments in updates_per_provider[index]:
                     self.audit.on_update(query.table, index, row_id, assignments)
+        self.bump_table_epoch(query.table)
         return len(matches)
 
     def delete(self, query: Delete) -> int:
@@ -335,6 +407,7 @@ class DataSource:
         if self.audit is not None:
             for row_id in row_ids:
                 self.audit.on_delete(query.table, row_id)
+        self.bump_table_epoch(query.table)
         return len(row_ids)
 
     def increment(
@@ -385,7 +458,7 @@ class DataSource:
                 f"{column_schema.ctype.value}"
             )
         bound = where.bind(sharing.schema)
-        rewritten = rewrite_predicate(bound, sharing)
+        rewritten = self._rewrite(bound, sharing)
         if rewritten.provably_empty:
             return 0
         if rewritten.has_residual:
@@ -439,6 +512,7 @@ class DataSource:
             raise IntegrityError(
                 f"providers disagree on incremented row count: {sorted(counts)}"
             )
+        self.bump_table_epoch(table_name)
         return counts.pop()
 
     def random_field(self):
@@ -519,6 +593,7 @@ class DataSource:
             },
             provider_indexes=self.cluster.write_targets(),
         )
+        self.bump_table_epoch(table_name)
         return len(row_ids)
 
     def resync_table(self, table_name: str) -> int:
@@ -586,6 +661,7 @@ class DataSource:
             for rid, shares in prepared:
                 for index in targets:
                     self.audit.on_insert(table_name, index, rid, shares[index])
+        self.bump_table_epoch(table_name)
         return len(prepared)
 
     def _fetch_matching_rows(
@@ -594,7 +670,7 @@ class DataSource:
         """Row ids + plaintext of rows matching a write query's predicate."""
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
-        rewritten = rewrite_predicate(predicate, sharing)
+        rewritten = self._rewrite(predicate, sharing)
         if rewritten.provably_empty:
             return []
         responses = self._select_rpc(query.table, rewritten, projection=None)
@@ -623,7 +699,7 @@ class DataSource:
     def _select(self, query: Select) -> Union[List[Row], object]:
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
-        rewritten = rewrite_predicate(predicate, sharing)
+        rewritten = self._rewrite(predicate, sharing)
         if query.is_grouped:
             return self._select_grouped(sharing, query, rewritten)
         if query.is_aggregate:
@@ -802,7 +878,7 @@ class DataSource:
             raise QueryError("select_with_ids does not support aggregates")
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
-        rewritten = rewrite_predicate(predicate, sharing)
+        rewritten = self._rewrite(predicate, sharing)
         if rewritten.provably_empty:
             return []
         responses = self._select_rpc(query.table, rewritten, projection=None)
@@ -841,7 +917,7 @@ class DataSource:
             )
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
-        rewritten = rewrite_predicate(predicate, sharing)
+        rewritten = self._rewrite(predicate, sharing)
         if rewritten.provably_empty:
             return []
         live = self.cluster.live_provider_indexes()
@@ -974,6 +1050,10 @@ class DataSource:
                     for index in targets:
                         self.audit.on_insert(name, index, rid, shares[index])
             counts[name] = len(prepared)
+            # rotation rebuilds the sharing machinery, so any cached plan's
+            # share-space conditions are garbage — the epoch bump is what
+            # keeps a plan cache correct across re-keying
+            self.bump_table_epoch(name)
         return counts
 
     def select_verified(self, query: Select) -> List[Row]:
@@ -996,7 +1076,7 @@ class DataSource:
             )
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
-        rewritten = rewrite_predicate(predicate, sharing)
+        rewritten = self._rewrite(predicate, sharing)
         if rewritten.provably_empty:
             return []
         responses = self._select_rpc(query.table, rewritten, projection=None)
@@ -1136,8 +1216,8 @@ class DataSource:
         left_pred, right_pred, residual = split_join_predicate(
             query.where, query.left_table, query.right_table
         )
-        left_rw = rewrite_predicate(left_pred.bind(left.schema), left)
-        right_rw = rewrite_predicate(right_pred.bind(right.schema), right)
+        left_rw = self._rewrite(left_pred.bind(left.schema), left)
+        right_rw = self._rewrite(right_pred.bind(right.schema), right)
         if left_rw.provably_empty or right_rw.provably_empty:
             return []
         compatible = (
@@ -1288,7 +1368,7 @@ class DataSource:
         table = query.table
         sharing = self.sharing(table)
         predicate = query.where.bind(sharing.schema)
-        rewritten = rewrite_predicate(predicate, sharing)
+        rewritten = self._rewrite(predicate, sharing)
         plan: Dict[str, object] = {
             "table": table,
             "pushdown": [

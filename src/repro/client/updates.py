@@ -155,6 +155,10 @@ class LazyUpdateBuffer:
             for index in targets:
                 for row_id, assignments in updates_per_provider[index]:
                     source.audit.on_update(table_name, index, row_id, assignments)
+        # this write bypasses DataSource.update, so the plan-cache epoch
+        # must be bumped here — a cached plan is only valid for the epoch
+        # it was rewritten against
+        source.bump_table_epoch(table_name)
         return len(changed)
 
     # -- read path ----------------------------------------------------------------

@@ -84,3 +84,17 @@ class CompletenessError(IntegrityError):
 
 class SchemaError(ReproError):
     """Table/column definitions are inconsistent or violated by a row."""
+
+
+class ServiceError(ReproError):
+    """The concurrent query service layer could not process a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a query: in-flight and queue bounds full.
+
+    Explicit backpressure is the service-layer contract (ISSUE-3): the
+    caller sees a loud rejection it can retry, instead of the service
+    growing threads without bound.  The message names both limits so the
+    operator knows which knob to turn.
+    """

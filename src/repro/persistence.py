@@ -21,8 +21,10 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import tempfile
 from typing import Dict, List
 
 from .client.datasource import DataSource
@@ -214,41 +216,131 @@ def client_from_dict(data: Dict, cluster: ProviderCluster) -> DataSource:
 # ---------------------------------------------------------------------------
 
 
+MANIFEST_NAME = "manifest.json"
+
+
+def _atomic_write_json(path: str, payload: Dict) -> bytes:
+    """Write JSON via a same-directory temp file + ``os.replace``.
+
+    A crash mid-write leaves either the old file or no file — never a
+    truncated one.  Returns the serialised bytes so the caller can hash
+    them for the manifest without re-reading.
+    """
+    data = json.dumps(payload).encode("utf-8")
+    directory = os.path.dirname(path) or "."
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return data
+
+
 def save_deployment(source: DataSource, directory: str) -> List[str]:
     """Write client + every provider snapshot into ``directory``.
 
     Returns the written file paths.  Each provider gets its own file —
     in a real deployment each provider persists its own storage; the
     client file holds only metadata and secrets (protect it accordingly).
+
+    The write is crash-safe: every file goes through a temp path and an
+    atomic ``os.replace``, and a manifest naming (and hashing) every
+    snapshot file is written **last** — so :func:`load_deployment` can
+    reject a directory whose save was interrupted (no manifest) or that
+    mixes files from different saves (hash mismatch) instead of silently
+    restoring a torn deployment.
     """
     os.makedirs(directory, exist_ok=True)
     paths = []
+    digests: Dict[str, str] = {}
     client_path = os.path.join(directory, "client.json")
-    with open(client_path, "w", encoding="utf-8") as handle:
-        json.dump(client_to_dict(source), handle)
+    data = _atomic_write_json(client_path, client_to_dict(source))
+    digests["client.json"] = hashlib.sha256(data).hexdigest()
     paths.append(client_path)
     for index, provider in enumerate(source.cluster.providers):
-        path = os.path.join(directory, f"provider_{index}.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(provider_to_dict(provider), handle)
+        name = f"provider_{index}.json"
+        path = os.path.join(directory, name)
+        data = _atomic_write_json(path, provider_to_dict(provider))
+        digests[name] = hashlib.sha256(data).hexdigest()
         paths.append(path)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    _atomic_write_json(
+        manifest_path, {"version": _FORMAT_VERSION, "files": digests}
+    )
+    paths.append(manifest_path)
     return paths
 
 
+def _read_snapshot_file(directory: str, name: str, digests: Dict[str, str]) -> Dict:
+    """One manifest-verified JSON snapshot file."""
+    path = os.path.join(directory, name)
+    if name not in digests:
+        raise ConfigurationError(
+            f"snapshot manifest in {directory!r} does not list {name!r}"
+        )
+    if not os.path.exists(path):
+        raise ConfigurationError(f"missing provider snapshot {path!r}")
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if hashlib.sha256(raw).hexdigest() != digests[name]:
+        raise ConfigurationError(
+            f"snapshot file {path!r} does not match its manifest digest — "
+            f"the snapshot is torn or mixes files from different saves"
+        )
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"snapshot file {path!r} is not valid JSON: {exc}"
+        ) from exc
+
+
 def load_deployment(directory: str) -> DataSource:
-    """Restore a full deployment saved by :func:`save_deployment`."""
+    """Restore a full deployment saved by :func:`save_deployment`.
+
+    Raises :class:`ConfigurationError` for anything short of a complete,
+    internally consistent snapshot: missing manifest (interrupted save),
+    missing files, digest mismatches, or undecodable JSON.
+    """
     client_path = os.path.join(directory, "client.json")
     if not os.path.exists(client_path):
         raise ConfigurationError(f"no client snapshot in {directory!r}")
-    with open(client_path, encoding="utf-8") as handle:
-        client_data = json.load(handle)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise ConfigurationError(
+            f"no manifest in {directory!r}: the save was interrupted before "
+            f"completion, or predates the manifest format — re-save the "
+            f"deployment"
+        )
+    with open(manifest_path, "rb") as handle:
+        try:
+            manifest = json.loads(handle.read().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"snapshot manifest {manifest_path!r} is not valid JSON: {exc}"
+            ) from exc
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot manifest version {manifest.get('version')!r}"
+        )
+    digests = manifest.get("files", {})
+    client_data = _read_snapshot_file(directory, "client.json", digests)
     cluster = ProviderCluster(
         client_data["n_providers"], client_data["threshold"]
     )
     for index in range(client_data["n_providers"]):
-        path = os.path.join(directory, f"provider_{index}.json")
-        if not os.path.exists(path):
-            raise ConfigurationError(f"missing provider snapshot {path!r}")
-        with open(path, encoding="utf-8") as handle:
-            cluster.providers[index] = provider_from_dict(json.load(handle))
+        data = _read_snapshot_file(
+            directory, f"provider_{index}.json", digests
+        )
+        cluster.providers[index] = provider_from_dict(data)
     return client_from_dict(client_data, cluster)

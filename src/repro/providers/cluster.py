@@ -54,16 +54,41 @@ QUORUM_MODES = ("all", "first_k")
 #: never re-enter the cluster, and all accounting happens on the calling
 #: thread — so a small shared pool is safe and avoids spawning threads
 #: per cluster in test suites that build hundreds of them.
-_POOL: Optional[ThreadPoolExecutor] = None
+_SHARED_EXECUTOR: Optional[ThreadPoolExecutor] = None
+
+#: Worker-thread name prefix (the thread-leak regression test keys on it).
+EXECUTOR_THREAD_PREFIX = "repro-provider"
+
+#: Size of the shared pool; also the per-round fan-out ceiling.
+EXECUTOR_MAX_WORKERS = 16
 
 
-def _pool() -> ThreadPoolExecutor:
-    global _POOL
-    if _POOL is None:
-        _POOL = ThreadPoolExecutor(
-            max_workers=16, thread_name_prefix="repro-provider"
+def shared_executor() -> ThreadPoolExecutor:
+    """The process-wide provider fan-out pool (created once, on demand).
+
+    Clusters use this pool unless one was injected at construction, so
+    the service scheduler's combined rounds and plain per-query fan-outs
+    run on the same threads — no per-call pool construction anywhere.
+    """
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is None:
+        _SHARED_EXECUTOR = ThreadPoolExecutor(
+            max_workers=EXECUTOR_MAX_WORKERS,
+            thread_name_prefix=EXECUTOR_THREAD_PREFIX,
         )
-    return _POOL
+    return _SHARED_EXECUTOR
+
+
+def shutdown_shared_executor(wait: bool = True) -> None:
+    """Explicitly shut the shared pool down (tests, embedders, atexit).
+
+    The next fan-out after a shutdown lazily creates a fresh pool, so
+    this is safe to call between test modules.
+    """
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is not None:
+        _SHARED_EXECUTOR.shutdown(wait=wait)
+        _SHARED_EXECUTOR = None
 
 
 def _record_link(src: str, dst: str, size: int) -> None:
@@ -87,6 +112,7 @@ class ProviderCluster:
         threshold: int,
         network: Optional[SimulatedNetwork] = None,
         dispatch: str = "parallel",
+        executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
         if n_providers < 1:
             raise QuorumError(f"need at least one provider, got {n_providers}")
@@ -102,6 +128,7 @@ class ProviderCluster:
         self.threshold = threshold
         self.dispatch = dispatch
         self.network = network or SimulatedNetwork()
+        self._executor = executor
         self.providers: List[ShareProvider] = [
             ShareProvider(f"DAS{i + 1}") for i in range(n_providers)
         ]
@@ -109,6 +136,11 @@ class ProviderCluster:
     @property
     def n_providers(self) -> int:
         return len(self.providers)
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The fan-out pool: the injected one, else the shared singleton."""
+        return self._executor if self._executor is not None else shared_executor()
 
     # -- fault management ---------------------------------------------------------
 
@@ -253,8 +285,9 @@ class ProviderCluster:
             _record_link(CLIENT_NAME, provider.name, size)
             request_seconds[index] = seconds
             request_bytes[index] = size
+        pool = self.executor
         futures: Dict[int, Future] = {
-            index: _pool().submit(self.providers[index].handle, method, request)
+            index: pool.submit(self.providers[index].handle, method, request)
             for index, request in ordered
         }
         responses: Dict[int, Dict] = {}

@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry
-from ..errors import ProviderError, ProviderUnavailableError, QueryError
+from ..errors import (
+    ProviderError,
+    ProviderUnavailableError,
+    QueryError,
+    ReproError,
+)
 from ..sim.costmodel import CostRecorder
 from .failures import Fault
 from .storage import ShareRow, ShareStore, ShareTable
@@ -75,6 +80,40 @@ class ShareProvider:
         self.requests_served += 1
         telemetry.count("provider.requests", provider=self.name, method=method)
         return handler(request)
+
+    # -- batched execution --------------------------------------------------------
+
+    def _rpc_batch(self, request: Dict) -> Dict:
+        """Execute several sub-requests in one accounted round trip.
+
+        The service scheduler coalesces concurrently admitted queries and
+        ships their per-provider requests as one ``batch`` RPC, so N
+        concurrent point queries cost ~1 round trip per provider instead
+        of N.  Sub-responses align positionally with sub-requests; a
+        sub-request failure is captured per entry (``["err", type, msg]``)
+        rather than aborting the whole batch, mirroring the cluster's
+        drain-then-raise fan-out semantics.
+        """
+        responses: List[List] = []
+        for method, sub_request in request["requests"]:
+            if method == "batch":
+                raise ProviderError(
+                    f"provider {self.name}: nested batch requests are not allowed"
+                )
+            handler = getattr(self, f"_rpc_{method}", None)
+            if handler is None:
+                responses.append(
+                    ["err", "ProviderError", f"unknown method {method!r}"]
+                )
+                continue
+            telemetry.count(
+                "provider.batched_requests", provider=self.name, method=method
+            )
+            try:
+                responses.append(["ok", handler(sub_request)])
+            except ReproError as exc:
+                responses.append(["err", type(exc).__name__, str(exc)])
+        return {"responses": responses}
 
     # -- DDL / writes -----------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""Concurrent query service layer (sessions, admission, batching, plans).
+
+The paper frames database-as-a-service as one organisation's *many*
+clients querying shared providers; this package supplies the service
+front end the single-client :class:`~repro.client.datasource.DataSource`
+lacks: per-client sessions, bounded admission with backpressure,
+cross-query share-RPC batching, and a plan cache.  See DESIGN.md §8.
+"""
+
+from ..errors import ServiceError, ServiceOverloadedError
+from .admission import AdmissionController
+from .plancache import CachedPlan, PlanCache, normalise_sql
+from .replay import generate_workload, run_simulation
+from .scheduler import BatchingCluster, FanoutBatcher
+from .service import QueryService, ServiceStats
+from .session import Session, SessionManager, SessionStats
+
+__all__ = [
+    "AdmissionController",
+    "BatchingCluster",
+    "CachedPlan",
+    "FanoutBatcher",
+    "PlanCache",
+    "QueryService",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "Session",
+    "SessionManager",
+    "SessionStats",
+    "generate_workload",
+    "normalise_sql",
+    "run_simulation",
+]

@@ -1,0 +1,126 @@
+"""Admission control: bounded concurrency with explicit backpressure.
+
+A DBSP serves many tenants from shared providers (paper Sec. I); without
+admission control a traffic spike turns into unbounded thread growth and
+collapsing provider queues.  :class:`AdmissionController` enforces two
+bounds:
+
+* ``max_in_flight`` — queries executing concurrently;
+* ``queue_limit`` — queries allowed to *wait* for an execution slot.
+
+A query arriving with both full is **rejected loudly** with
+:class:`~repro.errors.ServiceOverloadedError` — the classical
+load-shedding contract: tell the client to back off instead of degrading
+everyone.  Queue depth is exported as a telemetry gauge and every
+admit/reject as a counter, so the serve-sim report can show saturation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from .. import telemetry
+from ..errors import ConfigurationError, ServiceOverloadedError
+
+
+class AdmissionController:
+    """Counting-semaphore-with-a-bounded-queue, instrumented."""
+
+    def __init__(self, max_in_flight: int, queue_limit: int) -> None:
+        if max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {queue_limit}"
+            )
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.queued_peak = 0
+
+    # ------------------------------------------------------------- lifecycle --
+
+    def acquire(self, timeout: Optional[float] = None) -> None:
+        """Take an execution slot, queueing if necessary.
+
+        Raises :class:`ServiceOverloadedError` immediately when both the
+        in-flight and queue bounds are full (no blocking — rejection is
+        the backpressure signal), or :class:`ServiceOverloadedError` on
+        queue-wait timeout when ``timeout`` is given.
+        """
+        with self._cond:
+            if self._in_flight < self.max_in_flight:
+                self._admit_locked()
+                return
+            if self._queued >= self.queue_limit:
+                self.rejected_total += 1
+                telemetry.count("service.rejected")
+                raise ServiceOverloadedError(
+                    f"service overloaded: {self._in_flight} queries in flight "
+                    f"(max {self.max_in_flight}) and {self._queued} queued "
+                    f"(limit {self.queue_limit}); retry later"
+                )
+            self._queued += 1
+            self.queued_peak = max(self.queued_peak, self._queued)
+            telemetry.set_gauge("service.queue_depth", self._queued)
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    if not self._cond.wait(timeout):
+                        self.rejected_total += 1
+                        telemetry.count("service.rejected")
+                        raise ServiceOverloadedError(
+                            f"service overloaded: no slot freed within "
+                            f"{timeout}s (max_in_flight={self.max_in_flight})"
+                        )
+            finally:
+                self._queued -= 1
+                telemetry.set_gauge("service.queue_depth", self._queued)
+            self._admit_locked()
+
+    def _admit_locked(self) -> None:
+        self._in_flight += 1
+        self.admitted_total += 1
+        telemetry.count("service.admitted")
+        telemetry.set_gauge("service.in_flight", self._in_flight)
+
+    def release(self) -> None:
+        """Return an execution slot, waking one queued query."""
+        with self._cond:
+            if self._in_flight < 1:
+                raise ConfigurationError(
+                    "release() without a matching acquire()"
+                )
+            self._in_flight -= 1
+            telemetry.set_gauge("service.in_flight", self._in_flight)
+            self._cond.notify()
+
+    # ------------------------------------------------------------ inspection --
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "in_flight": self._in_flight,
+                "queued": self._queued,
+                "admitted_total": self.admitted_total,
+                "rejected_total": self.rejected_total,
+                "queued_peak": self.queued_peak,
+                "max_in_flight": self.max_in_flight,
+                "queue_limit": self.queue_limit,
+            }

@@ -1,0 +1,219 @@
+"""Plan cache: skip re-rewriting repeated query shapes.
+
+Rewriting (Sec. V-A) is the per-query client-side hot path: classify the
+predicate, encode interval endpoints, and — per addressed provider —
+evaluate the order-preserving polynomials that turn plaintext endpoints
+into share-space conditions.  A service replaying the same query shapes
+for many clients pays that price over and over for identical output.
+
+:class:`PlanCache` memoises two layers:
+
+* **statements** — normalised SQL text → parsed AST (read-only
+  statements only; DML carries mutable payloads and is never cached);
+* **plans** — ``(table, predicate, table epoch)`` →
+  :class:`CachedPlan`, a rewritten predicate that additionally memoises
+  each provider's share-space conditions.
+
+The **table epoch** in the key is the correctness mechanism.  Cached
+conditions are functions of the client's secret material (the OP
+polynomials), so a plan cached before :meth:`DataSource.rotate_secrets`
+would query garbage share ranges afterwards — silently returning wrong
+rows.  Every write path (INSERT/UPDATE/DELETE/increment, the lazy update
+buffer, resync, rotation) bumps its table's epoch, which both retires
+cached keys and future-proofs data-dependent planning (e.g. statistics-
+driven pushdown choices).  ``tests/service/test_plancache.py`` includes
+the wrong-rows demonstration with invalidation disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from .. import telemetry
+from ..client.rewriter import RewrittenPredicate, rewrite_predicate
+from ..core.scheme import TableSharing
+from ..errors import ConfigurationError
+from ..sqlengine.expression import Predicate
+from ..sqlengine.query import JoinSelect, Select
+from ..sqlengine.sqlparser import parse_sql
+
+
+def normalise_sql(text: str) -> str:
+    """Whitespace-collapsed form of a statement, the statement-cache key.
+
+    Literal values stay significant (``eid = 5`` and ``eid = 6`` are
+    different plans); only spacing differences are folded together.
+    """
+    return " ".join(text.split())
+
+
+class CachedPlan:
+    """A rewritten predicate plus memoised per-provider conditions.
+
+    Duck-types the :class:`RewrittenPredicate` surface the client uses
+    (``intervals``/``residual``/``provably_empty``/``has_residual``/
+    ``conditions_for``), so call sites are oblivious to cache hits.  The
+    conditions memo is what makes epoch invalidation *load-bearing*: the
+    cached dicts embed share-space endpoint values computed from the
+    sharing that was current at rewrite time.
+    """
+
+    __slots__ = ("_rewritten", "_conditions", "_lock")
+
+    def __init__(self, rewritten: RewrittenPredicate) -> None:
+        self._rewritten = rewritten
+        self._conditions: Dict[int, List[Dict]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def intervals(self):
+        return self._rewritten.intervals
+
+    @property
+    def residual(self) -> Predicate:
+        return self._rewritten.residual
+
+    @property
+    def provably_empty(self) -> bool:
+        return self._rewritten.provably_empty
+
+    @property
+    def has_residual(self) -> bool:
+        return self._rewritten.has_residual
+
+    def conditions_for(
+        self, sharing: TableSharing, provider_index: int
+    ) -> List[Dict]:
+        with self._lock:
+            cached = self._conditions.get(provider_index)
+        if cached is None:
+            cached = self._rewritten.conditions_for(sharing, provider_index)
+            with self._lock:
+                self._conditions[provider_index] = cached
+        return cached
+
+
+class PlanCacheStats:
+    """Monotonic counters; read them via :meth:`PlanCache.stats`."""
+
+    __slots__ = (
+        "plan_hits",
+        "plan_misses",
+        "statement_hits",
+        "statement_misses",
+        "invalidations",
+        "evictions",
+    )
+
+    def __init__(self) -> None:
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.statement_hits = 0
+        self.statement_misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PlanCache:
+    """LRU cache of parsed statements and rewritten predicates."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"plan cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._plans: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._statements: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = PlanCacheStats()
+
+    # ---------------------------------------------------------- statements --
+
+    def parse(self, text: str):
+        """Parse SQL, reusing the AST for repeated read-only statements."""
+        key = normalise_sql(text)
+        with self._lock:
+            cached = self._statements.get(key)
+            if cached is not None:
+                self._statements.move_to_end(key)
+                self._stats.statement_hits += 1
+                telemetry.count("plancache.statement_hits")
+                return cached
+        parsed = parse_sql(text)
+        # DML ASTs carry mutable row/assignment payloads — never shared
+        if isinstance(parsed, (Select, JoinSelect)):
+            with self._lock:
+                self._stats.statement_misses += 1
+                self._statements[key] = parsed
+                if len(self._statements) > self.capacity:
+                    self._statements.popitem(last=False)
+        telemetry.count("plancache.statement_misses")
+        return parsed
+
+    # --------------------------------------------------------------- plans --
+
+    def rewritten(
+        self, source, sharing: TableSharing, predicate: Predicate
+    ) -> CachedPlan:
+        """The cached (or freshly computed) rewrite of a bound predicate.
+
+        Keyed on ``(table, repr(predicate), table epoch)`` — the epoch
+        makes every write retire its table's entries (see module docs).
+        """
+        table = sharing.schema.name
+        key = (table, repr(predicate), source.table_epoch(table))
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._stats.plan_hits += 1
+                telemetry.count("plancache.hits", table=table)
+                return plan
+        plan = CachedPlan(rewrite_predicate(predicate, sharing))
+        with self._lock:
+            self._stats.plan_misses += 1
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self._stats.evictions += 1
+        telemetry.count("plancache.misses", table=table)
+        return plan
+
+    def invalidate(self, table_name: Optional[str] = None) -> int:
+        """Drop cached plans for one table (or all); returns count dropped.
+
+        Epoch-keyed entries would already never be *hit* after a bump —
+        invalidation reclaims their memory immediately and is what
+        :meth:`DataSource.bump_table_epoch` calls.
+        """
+        with self._lock:
+            if table_name is None:
+                dropped = len(self._plans)
+                self._plans.clear()
+            else:
+                stale = [k for k in self._plans if k[0] == table_name]
+                for k in stale:
+                    del self._plans[k]
+                dropped = len(stale)
+            if dropped:
+                self._stats.invalidations += dropped
+        if dropped:
+            telemetry.count("plancache.invalidated", dropped)
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            out = self._stats.snapshot()
+            out["plans_cached"] = len(self._plans)
+            out["statements_cached"] = len(self._statements)
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)

@@ -1,0 +1,219 @@
+"""Multi-client workload replay: the engine behind ``repro.cli serve-sim``.
+
+Generates a deterministic per-client statement mix (point selects, salary
+range scans, updates, inserts) over the Employees workload, runs one
+thread per client through :class:`~repro.service.service.QueryService`
+sessions, and reports throughput and latency alongside the counters of
+every service layer.
+
+Two clocks appear in the report and they answer different questions:
+
+* **modelled network seconds** — the simulated WAN time of
+  :class:`~repro.sim.network.LatencyModel`; this is where cross-query
+  batching shows up, because a combined round advances the clock once
+  instead of once per rider;
+* **wall seconds** — real host time; this is where admission queueing
+  and lock contention show up.
+
+Overloaded statements (admission rejections) are retried with a short
+backoff and counted, so the report separates offered load from goodput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..client.datasource import DataSource
+from ..errors import ReproError, ServiceOverloadedError
+from ..sim.rng import DeterministicRNG
+from ..workloads.employees import EID_HI, SALARY_HI, SALARY_LO
+from .service import QueryService
+
+_NAMES = ["ALICE", "BOB", "CARLA", "DEVI", "EMIL", "FARAH", "GUS", "HANA"]
+_DEPTS = ["SALES", "ENG", "HR", "OPS"]
+
+#: Statement-mix weights (point select, range select, update, insert).
+DEFAULT_MIX = (0.6, 0.2, 0.15, 0.05)
+
+
+def generate_workload(
+    eids: List[int],
+    clients: int,
+    statements_per_client: int,
+    seed: int = 7,
+    mix=DEFAULT_MIX,
+    table: str = "Employees",
+) -> List[List[str]]:
+    """Deterministic per-client statement lists.
+
+    Inserted eids are drawn from above :data:`~repro.workloads.employees.
+    EID_HI`'s populated range per (seed, client, position), so concurrent
+    clients never insert the same key.
+    """
+    if not eids:
+        raise ValueError("cannot generate a workload over an empty table")
+    point_w, range_w, update_w, insert_w = mix
+    total_w = point_w + range_w + update_w + insert_w
+    workload: List[List[str]] = []
+    for client in range(clients):
+        rng = DeterministicRNG(seed, f"serve-sim/client-{client}")
+        statements: List[str] = []
+        for position in range(statements_per_client):
+            roll = rng.randint(0, 9_999) / 10_000.0 * total_w
+            if roll < point_w:
+                eid = rng.choice(eids)
+                statements.append(
+                    f"SELECT name, salary FROM {table} WHERE eid = {eid}"
+                )
+            elif roll < point_w + range_w:
+                lo = rng.randint(SALARY_LO, SALARY_HI - 10_000)
+                statements.append(
+                    f"SELECT eid FROM {table} "
+                    f"WHERE salary BETWEEN {lo} AND {lo + 10_000}"
+                )
+            elif roll < point_w + range_w + update_w:
+                eid = rng.choice(eids)
+                salary = rng.randint(SALARY_LO, SALARY_HI)
+                statements.append(
+                    f"UPDATE {table} SET salary = {salary} WHERE eid = {eid}"
+                )
+            else:
+                # a fresh eid per (client, position), allocated downward
+                # from the top of the domain: distinct across clients by
+                # construction (workload generators draw uniformly, so a
+                # collision with an existing row is vanishingly unlikely
+                # and harmless — it would just shadow a point query)
+                eid = EID_HI - (client * statements_per_client + position)
+                name = _NAMES[position % len(_NAMES)]
+                dept = _DEPTS[client % len(_DEPTS)]
+                salary = rng.randint(SALARY_LO, SALARY_HI)
+                statements.append(
+                    f"INSERT INTO {table} "
+                    f"(eid, name, lastname, department, salary) VALUES "
+                    f"({eid}, '{name}', 'SERVED', '{dept}', {salary})"
+                )
+        workload.append(statements)
+    return workload
+
+
+def run_simulation(
+    source: DataSource,
+    clients: int = 8,
+    statements_per_client: int = 12,
+    seed: int = 7,
+    max_in_flight: int = 8,
+    queue_limit: int = 16,
+    max_retries: int = 50,
+    service: Optional[QueryService] = None,
+    workload: Optional[List[List[str]]] = None,
+) -> Dict[str, object]:
+    """Replay a generated workload through concurrent sessions; report.
+
+    A caller may supply a prebuilt ``service`` (to control batching or
+    capacities) and/or an explicit ``workload``; by default both are
+    derived from the arguments.
+    """
+    eids = sorted(
+        row["eid"] for row in source.sql("SELECT eid FROM Employees")
+    )
+    if workload is None:
+        workload = generate_workload(
+            eids, clients, statements_per_client, seed
+        )
+    own_service = service is None
+    if service is None:
+        service = QueryService(
+            source, max_in_flight=max_in_flight, queue_limit=queue_limit
+        )
+    network = source.cluster.network
+    start_modelled = network.modelled_seconds
+    start_bytes = network.total_bytes
+    start_messages = network.total_messages
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+    rejected_retries = [0]
+    failures: List[str] = []
+
+    def run_client(client_index: int) -> None:
+        session = service.open_session(f"sim-client-{client_index}")
+        try:
+            for text in workload[client_index]:
+                attempts = 0
+                while True:
+                    began = time.monotonic()
+                    try:
+                        session.execute(text)
+                    except ServiceOverloadedError:
+                        attempts += 1
+                        with latency_lock:
+                            rejected_retries[0] += 1
+                        if attempts > max_retries:
+                            with latency_lock:
+                                failures.append(f"{text}: gave up after "
+                                                f"{max_retries} overload retries")
+                            break
+                        time.sleep(0.001 * attempts)
+                        continue
+                    except ReproError as exc:
+                        # a failing statement is part of the report, not a
+                        # reason to kill the client thread
+                        with latency_lock:
+                            failures.append(f"{text}: {exc}")
+                        break
+                    with latency_lock:
+                        latencies.append(time.monotonic() - began)
+                    break
+        finally:
+            service.close_session(session)
+
+    threads = [
+        threading.Thread(
+            target=run_client, args=(i,), name=f"repro-sim-client-{i}"
+        )
+        for i in range(len(workload))
+    ]
+    wall_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.monotonic() - wall_start
+    report = service.report()
+    if own_service:
+        service.close()
+    completed = len(latencies)
+    latencies.sort()
+
+    def percentile(fraction: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+
+    modelled = network.modelled_seconds - start_modelled
+    return {
+        "workload": {
+            "clients": len(workload),
+            "statements_per_client": statements_per_client,
+            "statements_total": sum(len(s) for s in workload),
+            "seed": seed,
+        },
+        "completed": completed,
+        "failed": len(failures),
+        "failures": failures,
+        "rejected_retries": rejected_retries[0],
+        "wall_seconds": wall_seconds,
+        "modelled_network_seconds": modelled,
+        "network_bytes": network.total_bytes - start_bytes,
+        "network_messages": network.total_messages - start_messages,
+        "throughput_wall_qps": completed / wall_seconds if wall_seconds else 0.0,
+        "throughput_modelled_qps": completed / modelled if modelled else 0.0,
+        "latency_wall_seconds": {
+            "mean": sum(latencies) / completed if completed else 0.0,
+            "p50": percentile(0.50),
+            "p95": percentile(0.95),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        **report,
+    }

@@ -1,0 +1,302 @@
+"""The query service: admission → session → batched execution.
+
+:class:`QueryService` turns a single-client :class:`DataSource` into a
+multi-client front end, composing the pieces of this package:
+
+* :class:`~repro.service.admission.AdmissionController` bounds
+  concurrency and sheds load loudly;
+* :class:`~repro.service.session.SessionManager` hands out per-client
+  sessions with isolated row-id allocation;
+* :class:`~repro.service.scheduler.FanoutBatcher` coalesces the
+  concurrent queries' provider rounds into combined fan-outs (installed
+  by swapping the source's cluster for a
+  :class:`~repro.service.scheduler.BatchingCluster`);
+* :class:`~repro.service.plancache.PlanCache` skips re-parsing and
+  re-rewriting repeated statements (installed on ``source.plan_cache``,
+  invalidated through the table-epoch mechanism).
+
+Consistency model: statement-level.  Reads share a table lock; writes
+take it exclusively, so a read never observes a half-applied write
+(reconstruction from mixed old/new shares would yield garbage values,
+not just stale ones).  The lock is acquired **before** registering with
+the batcher — a registered query must never block on another query's
+resources, or the combining barrier could wait forever (see the
+scheduler's invariants).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from .. import telemetry
+from ..client.datasource import DataSource
+from ..errors import ServiceError, ServiceOverloadedError
+from ..sqlengine.query import Insert, JoinSelect, Select
+from .admission import AdmissionController
+from .plancache import PlanCache
+from .scheduler import BatchingCluster, FanoutBatcher
+from .session import Session, SessionManager
+
+
+class _TableLock:
+    """Readers-writer lock with writer preference.
+
+    Writer preference keeps a steady read stream from starving writes;
+    reads queued behind a waiting writer see its result — the freshest
+    outcome, and the only ordering under which the concurrent-vs-oracle
+    tests can be deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class ServiceStats:
+    """Service-wide outcome counters (admission keeps its own)."""
+
+    __slots__ = ("completed", "failed", "rows_returned", "rows_written")
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.failed = 0
+        self.rows_returned = 0
+        self.rows_written = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class QueryService:
+    """Multi-client concurrent query front end over one data source."""
+
+    def __init__(
+        self,
+        source: DataSource,
+        max_in_flight: int = 16,
+        queue_limit: int = 32,
+        plan_cache_capacity: int = 256,
+        batching: bool = True,
+    ) -> None:
+        self.source = source
+        self.batching = batching
+        self._inner_cluster = source.cluster
+        self.batcher = FanoutBatcher(self._inner_cluster)
+        if batching:
+            source.cluster = BatchingCluster(self._inner_cluster, self.batcher)
+        self._previous_plan_cache = source.plan_cache
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        source.plan_cache = self.plan_cache
+        self.admission = AdmissionController(max_in_flight, queue_limit)
+        self.sessions = SessionManager(self)
+        self.stats = ServiceStats()
+        self._table_lock = _TableLock()
+        self._stats_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- sessions --
+
+    def open_session(
+        self, client_id: Optional[str] = None, **kwargs
+    ) -> Session:
+        self._check_open()
+        return self.sessions.open(client_id, **kwargs)
+
+    def close_session(self, session: Session) -> None:
+        self.sessions.close(session)
+
+    # ------------------------------------------------------------ execution --
+
+    def execute(self, text: str, session: Optional[Session] = None):
+        """Admit, lock, register, run one SQL statement.
+
+        Raises :class:`ServiceOverloadedError` when admission rejects —
+        callers are expected to back off and retry.
+        """
+        self._check_open()
+        statement = self.plan_cache.parse(text)
+        is_read = isinstance(statement, (Select, JoinSelect))
+        try:
+            self.admission.acquire()
+        except ServiceOverloadedError:
+            if session is not None:
+                session.record(error=True, rejected=True)
+            raise
+        try:
+            # lock BEFORE register: a registered query must never block on
+            # another query's resources (scheduler invariant)
+            if is_read:
+                self._table_lock.acquire_read()
+            else:
+                self._table_lock.acquire_write()
+            try:
+                self.batcher.register()
+                try:
+                    with telemetry.span(
+                        "service.query",
+                        write=not is_read,
+                        client=None if session is None else session.client_id,
+                    ):
+                        result = self._run(statement, session)
+                except BaseException:
+                    if session is not None:
+                        session.record(error=True)
+                    with self._stats_lock:
+                        self.stats.failed += 1
+                    raise
+                finally:
+                    self.batcher.finish()
+            finally:
+                if is_read:
+                    self._table_lock.release_read()
+                else:
+                    self._table_lock.release_write()
+        finally:
+            self.admission.release()
+        returned = len(result) if isinstance(result, list) else 0
+        written = result if isinstance(result, int) and not is_read else 0
+        if session is not None:
+            session.record(rows_returned=returned, rows_written=written)
+        with self._stats_lock:
+            self.stats.completed += 1
+            self.stats.rows_returned += returned
+            self.stats.rows_written += written
+        return result
+
+    def _run(self, statement, session: Optional[Session]):
+        if isinstance(statement, Insert) and session is not None:
+            # route the insert through the session's private id block so
+            # concurrent sessions can never collide on a row id
+            row_ids = session.allocate_row_ids(statement.table, 1)
+            self.source.insert_many(statement.table, [statement.row], row_ids)
+            return 1
+        return self.source.execute(statement)
+
+    def run_wave(self, statements: List[str]) -> List[object]:
+        """Execute a read-only wave with maximal coalescing.
+
+        All statements are admitted and registered *before* any executes,
+        so the batcher combines the whole wave into one round per
+        provider per query phase — the deterministic configuration the
+        service benchmark measures.  Results are in statement order.
+        """
+        self._check_open()
+        if not statements:
+            return []
+        parsed = [self.plan_cache.parse(text) for text in statements]
+        for text, statement in zip(statements, parsed):
+            if not isinstance(statement, (Select, JoinSelect)):
+                raise ServiceError(
+                    f"run_wave() is read-only; got a "
+                    f"{type(statement).__name__}: {text!r}"
+                )
+        if len(statements) > self.admission.max_in_flight:
+            raise ServiceError(
+                f"wave of {len(statements)} exceeds max_in_flight="
+                f"{self.admission.max_in_flight}; size the service to the wave"
+            )
+        admitted = 0
+        try:
+            for _ in statements:
+                self.admission.acquire()
+                admitted += 1
+            self._table_lock.acquire_read()
+            try:
+                self.batcher.register(len(parsed))
+                results: List[object] = [None] * len(parsed)
+                errors: List[Optional[BaseException]] = [None] * len(parsed)
+
+                def run_one(position: int) -> None:
+                    try:
+                        results[position] = self.source.execute(parsed[position])
+                    except BaseException as exc:
+                        errors[position] = exc
+                    finally:
+                        self.batcher.finish()
+
+                threads = [
+                    threading.Thread(
+                        target=run_one, args=(i,), name=f"repro-wave-{i}"
+                    )
+                    for i in range(len(parsed))
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            finally:
+                self._table_lock.release_read()
+        finally:
+            for _ in range(admitted):
+                self.admission.release()
+        for error in errors:
+            if error is not None:
+                raise error
+        with self._stats_lock:
+            self.stats.completed += len(parsed)
+            self.stats.rows_returned += sum(
+                len(r) for r in results if isinstance(r, list)
+            )
+        return results
+
+    # ------------------------------------------------------------ reporting --
+
+    def report(self) -> Dict[str, object]:
+        """One dict with every layer's counters (the serve-sim report body)."""
+        return {
+            "service": self.stats.snapshot(),
+            "admission": self.admission.snapshot(),
+            "batcher": self.batcher.snapshot(),
+            "plan_cache": self.plan_cache.stats(),
+            "sessions": self.sessions.snapshot(),
+        }
+
+    # ------------------------------------------------------------- lifecycle --
+
+    def close(self) -> None:
+        """Detach from the source, restoring its original cluster and cache."""
+        if self._closed:
+            return
+        self._closed = True
+        self.source.cluster = self._inner_cluster
+        self.source.plan_cache = self._previous_plan_cache
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the query service has been closed")

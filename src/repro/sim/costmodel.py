@@ -27,6 +27,7 @@ operation counts, which the benchmark tables always print alongside.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -71,11 +72,15 @@ class CostRecorder:
         self.name = name
         self.model = model or CostModel()
         self.counts: Dict[str, int] = {}
+        # the service layer records client costs from concurrent query
+        # threads; a read-modify-write on a plain dict would lose counts
+        self._lock = threading.Lock()
 
     def record(self, op: str, count: int = 1) -> None:
         if count < 0:
             raise ValueError(f"negative operation count {count} for {op}")
-        self.counts[op] = self.counts.get(op, 0) + count
+        with self._lock:
+            self.counts[op] = self.counts.get(op, 0) + count
 
     def count(self, op: str) -> int:
         return self.counts.get(op, 0)

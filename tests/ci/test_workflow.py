@@ -88,6 +88,7 @@ class TestTier1Gate:
             s["run"] for s in jobs["bench-smoke"]["steps"] if "run" in s
         )
         assert "bench_hotpath.py --check" in runs
+        assert "bench_service.py --check" in runs
         assert "repro.cli trace" in runs
 
     def test_editable_install_exercises_package_metadata(self, jobs):

@@ -189,6 +189,88 @@ class TestTrace:
         assert code == 0
         assert "fan_out" in text
 
+    def test_trace_against_snapshot(self, tmp_path):
+        directory = str(tmp_path / "snap")
+        code, _ = run([
+            "sql", "--rows", "15", "--save", directory,
+            "-e", "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 0
+        code, text = run([
+            "trace", "--snapshot", directory,
+            "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 0
+        assert "15" in text and "fan_out" in text
+
+    def test_trace_bad_snapshot_path_exits_nonzero(self, tmp_path):
+        """A missing deployment is a one-line error, never a traceback."""
+        code, text = run([
+            "trace", "--snapshot", str(tmp_path / "no-such-dir"),
+            "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 1
+        assert text.startswith("error:")
+        assert "Traceback" not in text
+
+    def test_trace_output_writes_export(self, tmp_path):
+        target = tmp_path / "trace.json"
+        code, text = run([
+            "trace", "--rows", "20", "--output", str(target),
+            "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 0
+        assert "wrote trace export" in text
+        export = json.loads(target.read_text())
+        assert export["network"]["messages"] > 0
+
+    def test_trace_unwritable_output_exits_nonzero(self, tmp_path):
+        code, text = run([
+            "trace", "--rows", "20",
+            "--output", str(tmp_path / "missing-dir" / "trace.json"),
+            "SELECT COUNT(*) FROM Employees",
+        ])
+        assert code == 1
+        assert text.startswith("error: cannot write trace export")
+
+
+class TestServeSim:
+    def test_pretty_report(self):
+        code, text = run([
+            "serve-sim", "--rows", "30", "--clients", "3",
+            "--statements", "4",
+        ])
+        assert code == 0
+        assert "serve-sim: 3 clients x 4 statements" in text
+        assert "completed:" in text
+        assert "throughput" in text
+        assert "admission:" in text
+        assert "batching:" in text
+        assert "plan cache:" in text
+
+    def test_json_report_parses(self):
+        code, text = run([
+            "serve-sim", "--rows", "30", "--clients", "3",
+            "--statements", "4", "--json",
+        ])
+        assert code == 0
+        report = json.loads(text)
+        assert report["completed"] == 3 * 4
+        assert report["failed"] == 0
+        assert report["admission"]["rejected_total"] >= 0
+
+    def test_deterministic_per_seed(self):
+        args = [
+            "serve-sim", "--rows", "30", "--clients", "2",
+            "--statements", "3", "--seed", "5", "--json",
+        ]
+        a = json.loads(run(args)[1])
+        b = json.loads(run(args)[1])
+        # wall-clock timings (and thread-schedule-dependent batching) vary;
+        # the generated workload and its outcome must not
+        for key in ("workload", "completed", "failed"):
+            assert a[key] == b[key]
+
 
 class TestHelpers:
     def test_render_scalar(self):

@@ -77,7 +77,7 @@ class TestDeploymentRoundtrip:
         )
         expected_sum = source.sql("SELECT SUM(salary) FROM Employees")
         paths = save_deployment(source, directory)
-        assert len(paths) == 5  # client + 4 providers
+        assert len(paths) == 6  # client + 4 providers + manifest
         restored = load_deployment(directory)
         assert rows_equal_unordered(
             restored.sql(
@@ -144,6 +144,80 @@ class TestDeploymentRoundtrip:
     def test_missing_files_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_deployment(str(tmp_path))
+
+
+class TestTornSnapshots:
+    """Crash-safety: load must reject anything but a complete, coherent save."""
+
+    def test_save_is_atomic_no_temp_files_left(self, deployment, tmp_path):
+        source, directory = deployment
+        save_deployment(source, directory)
+        import os
+
+        leftovers = [n for n in os.listdir(directory) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_missing_manifest_rejected(self, deployment):
+        """A save interrupted before the manifest (written last) is torn."""
+        import os
+
+        source, directory = deployment
+        save_deployment(source, directory)
+        os.unlink(os.path.join(directory, "manifest.json"))
+        with pytest.raises(ConfigurationError, match="manifest"):
+            load_deployment(directory)
+
+    def test_missing_provider_file_rejected(self, deployment):
+        import os
+
+        source, directory = deployment
+        save_deployment(source, directory)
+        os.unlink(os.path.join(directory, "provider_2.json"))
+        with pytest.raises(ConfigurationError, match="provider_2"):
+            load_deployment(directory)
+
+    def test_truncated_provider_file_rejected(self, deployment):
+        """A torn write (partial JSON) fails the digest check, not json.load."""
+        import os
+
+        source, directory = deployment
+        save_deployment(source, directory)
+        path = os.path.join(directory, "provider_1.json")
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.truncate(100)
+        with pytest.raises(ConfigurationError, match="digest"):
+            load_deployment(directory)
+
+    def test_mixed_generation_snapshot_rejected(self, deployment, tmp_path):
+        """A provider file from a *different* save must not restore silently
+        (shares from different generations reconstruct garbage)."""
+        import os
+        import shutil
+
+        source, directory = deployment
+        save_deployment(source, directory)
+        other = DataSource(ProviderCluster(4, 2), seed=99)
+        other.outsource_table(employees_table(40, seed=99))
+        other_dir = str(tmp_path / "other")
+        save_deployment(other, other_dir)
+        shutil.copy(
+            os.path.join(other_dir, "provider_0.json"),
+            os.path.join(directory, "provider_0.json"),
+        )
+        with pytest.raises(ConfigurationError, match="digest"):
+            load_deployment(directory)
+
+    def test_corrupt_manifest_rejected(self, deployment):
+        import os
+
+        source, directory = deployment
+        save_deployment(source, directory)
+        with open(
+            os.path.join(directory, "manifest.json"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("{not json")
+        with pytest.raises(ConfigurationError, match="JSON"):
+            load_deployment(directory)
 
     def test_cluster_mismatch_rejected(self, deployment):
         source, _ = deployment

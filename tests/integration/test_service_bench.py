@@ -1,0 +1,41 @@
+"""Tier-1 wiring for ``benchmarks/bench_service.py --check``.
+
+The service benchmark's smoke mode asserts, at 16 concurrent point
+queries, that batched results match the sequential run and the plaintext
+oracle, that telemetry byte accounting equals the network counters
+exactly, and that batched modelled-latency throughput is at least 2x
+sequential.  Running it here keeps the bench honest in CI without
+paying full benchmark cost.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_service.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_service", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_check_mode_passes():
+    """run_check() raises AssertionError on any service-layer regression."""
+    _load_bench().run_check()
+
+
+def test_cli_check_flag():
+    """The --check CLI entry point exits 0 and reports success."""
+    result = subprocess.run(
+        [sys.executable, str(BENCH_PATH), "--check"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "speedup >= 2x" in result.stdout

@@ -1,0 +1,75 @@
+"""The fan-out thread pool: shared, injectable, and leak-free."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import DataSource, ProviderCluster
+from repro.providers.cluster import (
+    EXECUTOR_MAX_WORKERS,
+    EXECUTOR_THREAD_PREFIX,
+    shared_executor,
+    shutdown_shared_executor,
+)
+from repro.workloads.employees import employees_table
+
+
+def _pool_threads():
+    return [
+        t
+        for t in threading.enumerate()
+        if t.name.startswith(EXECUTOR_THREAD_PREFIX)
+    ]
+
+
+def _build_source(executor=None):
+    source = DataSource(
+        ProviderCluster(4, 2, executor=executor), seed=29
+    )
+    source.outsource_table(employees_table(25, seed=29))
+    return source
+
+
+class TestSharedPool:
+    def test_repeated_queries_do_not_leak_threads(self):
+        """The regression the satellite names: query load must not grow
+        the thread population — one bounded pool serves everything."""
+        source = _build_source()
+        eids = sorted(r["eid"] for r in source.sql("SELECT eid FROM Employees"))
+        for eid in eids:
+            source.sql(f"SELECT salary FROM Employees WHERE eid = {eid}")
+        after_warmup = len(_pool_threads())
+        assert after_warmup <= EXECUTOR_MAX_WORKERS
+        for _ in range(3):
+            for eid in eids:
+                source.sql(f"SELECT name FROM Employees WHERE eid = {eid}")
+        assert len(_pool_threads()) <= after_warmup
+
+    def test_clusters_share_one_pool(self):
+        a = ProviderCluster(3, 2)
+        b = ProviderCluster(5, 3)
+        assert a.executor is b.executor is shared_executor()
+
+    def test_shutdown_then_fresh_pool(self):
+        before = shared_executor()
+        shutdown_shared_executor()
+        source = _build_source()
+        assert source.sql("SELECT COUNT(*) FROM Employees") == 25
+        assert shared_executor() is not before
+
+
+class TestInjection:
+    def test_injected_executor_is_used(self):
+        """A caller-supplied pool carries the fan-out work and the shared
+        singleton never spins up on its behalf."""
+        with ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="custom-fanout"
+        ) as pool:
+            cluster = ProviderCluster(4, 2, executor=pool)
+            assert cluster.executor is pool
+            source = DataSource(cluster, seed=29)
+            source.outsource_table(employees_table(25, seed=29))
+            assert source.sql("SELECT COUNT(*) FROM Employees") == 25
+            assert any(
+                t.name.startswith("custom-fanout")
+                for t in threading.enumerate()
+            )

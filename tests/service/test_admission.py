@@ -1,0 +1,113 @@
+"""Admission control: bounds, backpressure, and the reject counter."""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError, ServiceOverloadedError
+from repro.service import AdmissionController
+
+
+def fill_queue(controller, count):
+    """Spawn ``count`` threads that block in acquire(); wait until queued."""
+    started = []
+    threads = []
+    for _ in range(count):
+        thread = threading.Thread(target=lambda: (controller.acquire(), started.append(1)))
+        thread.start()
+        threads.append(thread)
+    deadline = threading.Event()
+    for _ in range(500):
+        if controller.queued == count:
+            break
+        deadline.wait(0.005)
+    assert controller.queued == count
+    return threads
+
+
+class TestBounds:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(0, 1)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(1, -1)
+
+    def test_admits_up_to_max_in_flight(self):
+        controller = AdmissionController(max_in_flight=3, queue_limit=0)
+        for _ in range(3):
+            controller.acquire()
+        assert controller.in_flight == 3
+        assert controller.admitted_total == 3
+
+    def test_release_requires_acquire(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(1, 0).release()
+
+
+class TestRejection:
+    def test_m_plus_q_plus_first_query_rejected(self):
+        """The acceptance-criteria shape: M in flight, Q queued, the
+        (M+Q+1)-th concurrent query is rejected and the counter moves."""
+        M, Q = 3, 2
+        controller = AdmissionController(max_in_flight=M, queue_limit=Q)
+        with telemetry.session() as hub:
+            for _ in range(M):
+                controller.acquire()
+            queued_threads = fill_queue(controller, Q)
+            assert controller.in_flight == M
+            assert controller.queued == Q
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                controller.acquire()
+            assert controller.rejected_total == 1
+            assert hub.registry.counter_total("service.rejected") == 1
+            # the error names both limits so callers can size retry policy
+            assert str(M) in str(excinfo.value)
+            assert str(Q) in str(excinfo.value)
+            # drain: each release wakes one queued thread, which admits
+            for _ in range(M):
+                controller.release()
+            for thread in queued_threads:
+                thread.join(timeout=2.0)
+            assert controller.in_flight == Q  # the woken queued queries
+            for _ in range(Q):
+                controller.release()
+        assert controller.in_flight == 0
+        assert controller.queued == 0
+        assert controller.admitted_total == M + Q
+
+    def test_zero_queue_rejects_immediately(self):
+        controller = AdmissionController(max_in_flight=1, queue_limit=0)
+        controller.acquire()
+        with pytest.raises(ServiceOverloadedError):
+            controller.acquire()
+        controller.release()
+        controller.acquire()  # slot free again
+
+    def test_queue_wait_timeout_rejects(self):
+        controller = AdmissionController(max_in_flight=1, queue_limit=1)
+        controller.acquire()
+        with pytest.raises(ServiceOverloadedError):
+            controller.acquire(timeout=0.01)
+        assert controller.rejected_total == 1
+        assert controller.queued == 0  # the waiter cleaned up after itself
+
+    def test_queued_query_runs_after_release(self):
+        controller = AdmissionController(max_in_flight=1, queue_limit=1)
+        controller.acquire()
+        (thread,) = fill_queue(controller, 1)
+        controller.release()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert controller.in_flight == 1
+        assert controller.rejected_total == 0
+
+    def test_snapshot_shape(self):
+        controller = AdmissionController(2, 4)
+        controller.acquire()
+        snap = controller.snapshot()
+        assert snap["in_flight"] == 1
+        assert snap["max_in_flight"] == 2
+        assert snap["queue_limit"] == 4
+        assert snap["admitted_total"] == 1
+        assert snap["rejected_total"] == 0

@@ -1,0 +1,141 @@
+"""Sessions: row-id isolation, per-session stats, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro import DataSource, ProviderCluster
+from repro.errors import ServiceError
+from repro.service import QueryService
+from repro.workloads.employees import EID_HI, employees_table
+
+
+@pytest.fixture
+def service():
+    source = DataSource(ProviderCluster(4, 2), seed=3)
+    source.outsource_table(employees_table(30, seed=3))
+    svc = QueryService(source, max_in_flight=8, queue_limit=8)
+    yield svc
+    svc.close()
+
+
+class TestLifecycle:
+    def test_open_and_close(self, service):
+        session = service.open_session("alice")
+        assert session.client_id == "alice"
+        assert service.sessions.open_count == 1
+        service.close_session(session)
+        assert service.sessions.open_count == 0
+
+    def test_closed_session_rejects_queries(self, service):
+        session = service.open_session()
+        service.close_session(session)
+        with pytest.raises(ServiceError, match="closed"):
+            session.execute("SELECT eid FROM Employees")
+
+    def test_default_client_ids_unique(self, service):
+        a = service.open_session()
+        b = service.open_session()
+        assert a.session_id != b.session_id
+        assert a.client_id != b.client_id
+
+    def test_block_size_validation(self, service):
+        with pytest.raises(ServiceError):
+            service.open_session(id_block_size=0)
+
+
+class TestStats:
+    def test_reads_and_writes_counted(self, service):
+        session = service.open_session("metered")
+        rows = session.execute("SELECT eid, salary FROM Employees")
+        eid = rows[0]["eid"]
+        session.execute(f"UPDATE Employees SET salary = 1 WHERE eid = {eid}")
+        session.execute(
+            "INSERT INTO Employees (eid, name, lastname, department, salary) "
+            f"VALUES ({EID_HI}, 'NEW', 'ROW', 'ENG', 2)"
+        )
+        snap = session.stats.snapshot()
+        assert snap["queries"] == 3
+        assert snap["rows_returned"] == len(rows)
+        assert snap["rows_written"] == 2  # one update + one insert
+        assert snap["errors"] == 0
+
+    def test_errors_counted(self, service):
+        session = service.open_session()
+        with pytest.raises(Exception):
+            session.execute("SELECT nope FROM Employees")
+        assert session.stats.errors == 1
+
+    def test_manager_snapshot_carries_stats(self, service):
+        session = service.open_session("snap")
+        session.execute("SELECT eid FROM Employees")
+        (entry,) = [
+            s for s in service.sessions.snapshot() if s["client_id"] == "snap"
+        ]
+        assert entry["queries"] == 1
+        assert entry["rows_returned"] == 30
+
+
+class TestRowIdIsolation:
+    def test_blocks_never_overlap(self, service):
+        """Concurrent allocation from many sessions yields disjoint ids."""
+        sessions = [service.open_session(id_block_size=8) for _ in range(4)]
+        allocated = {s.session_id: [] for s in sessions}
+
+        def grab(session):
+            for _ in range(50):
+                allocated[session.session_id].extend(
+                    session.allocate_row_ids("Employees", 3)
+                )
+
+        threads = [
+            threading.Thread(target=grab, args=(s,)) for s in sessions
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        all_ids = [i for ids in allocated.values() for i in ids]
+        assert len(all_ids) == len(set(all_ids)) == 4 * 50 * 3
+
+    def test_oversized_request_served_in_one_block(self, service):
+        session = service.open_session(id_block_size=4)
+        ids = session.allocate_row_ids("Employees", 10)
+        assert ids == list(range(ids[0], ids[0] + 10))
+
+    def test_concurrent_inserts_do_not_collide(self, service):
+        """The acceptance shape: parallel sessions insert, every row lands."""
+        per_session = 5
+        sessions = [service.open_session(f"w{i}") for i in range(3)]
+        errors = []
+
+        def insert_all(index, session):
+            try:
+                for j in range(per_session):
+                    eid = EID_HI - (index * per_session + j)
+                    session.execute(
+                        "INSERT INTO Employees "
+                        "(eid, name, lastname, department, salary) "
+                        f"VALUES ({eid}, 'BULK', 'ROW', 'ENG', {index + 1})"
+                    )
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=insert_all, args=(i, s))
+            for i, s in enumerate(sessions)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        count = service.source.sql("SELECT COUNT(*) FROM Employees")
+        assert count == 30 + 3 * per_session
+        for i in range(3):
+            assert (
+                service.source.sql(
+                    f"SELECT COUNT(*) FROM Employees WHERE salary = {i + 1}"
+                )
+                == per_session
+            )
