@@ -1,0 +1,754 @@
+"""Provider storage engine benchmark: columnar engine vs the naive row-store.
+
+PR 4 rebuilt provider-side storage into a columnar engine (per-column
+share arrays + slot map, bulk sort-and-merge index builds, version-cached
+row order).  This benchmark keeps that overhaul honest by carrying a
+faithful copy of the **pre-overhaul naive engine** — dict-copy-per-row
+storage, one ``bisect.insort`` per row per index, ``sorted(rows)`` per
+scan — and comparing the two on the provider hot paths:
+
+* **bulk load** — ``insert_many`` into an indexed table (the O(n²) →
+  O(n log n) fix);
+* **range scan** — share-space range predicate + projection;
+* **filtered SUM** — the partial-aggregation path the paper argues makes
+  secret sharing cheaper than encryption (Sec. V-A);
+* **hash join** — build/probe on deterministic share equality;
+* **Merkle proofs** — proofs for every row (position map vs repeated
+  ``list.index``).
+
+Every timed section first asserts the two engines return **identical
+results**, so the speedup numbers can never come from computing something
+different.  Results go to ``BENCH_provider.json`` at the repo root::
+
+    python benchmarks/bench_provider.py           # full sweep + JSON
+    python benchmarks/bench_provider.py --check   # CI gate
+
+``--check`` (CI bench-smoke + tier-1) runs the result-equality battery,
+asserts cost-counter equality between bulk- and incrementally-loaded
+providers, and gates ≥5× bulk-load and ≥2× filtered-SUM speedup at
+50 000 rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import gc
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.providers.provider import ShareProvider
+from repro.providers.storage import ShareTable
+from repro.trust.merkle import tree_for_rows
+
+SEED = 2009
+RESULT_PATH = REPO_ROOT / "BENCH_provider.json"
+SIZES = (1_000, 5_000, 20_000, 50_000)
+GATE_ROWS = 50_000
+BULK_LOAD_GATE = 5.0
+FILTERED_SUM_GATE = 2.0
+
+#: an Employees-style share table: four order-preserving (searchable)
+#: columns — dup-heavy key, small group domain, near-unique id, moderate
+#: dups — plus two randomly-shared payload columns, one nullable
+COLUMNS = ["k", "g", "u", "m", "v", "w"]
+SEARCHABLE = ["k", "g", "u", "m"]
+
+
+# ---------------------------------------------------------------------------
+# the pre-overhaul naive engine (faithful copy of the old row-store paths)
+# ---------------------------------------------------------------------------
+
+
+class NaiveSortedIndex:
+    """The old incremental-only index: one ``insort`` per insert."""
+
+    def __init__(self) -> None:
+        self.entries = []  # (share, row_id), sorted
+
+    def insert(self, share, row_id):
+        bisect.insort(self.entries, (share, row_id))
+
+    def range_row_ids(self, low, high, low_inclusive=True, high_inclusive=True):
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self.entries, (low, -1))
+        else:
+            start = bisect.bisect_right(self.entries, (low, float("inf")))
+        if high is None:
+            stop = len(self.entries)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self.entries, (high, float("inf")))
+        else:
+            stop = bisect.bisect_left(self.entries, (high, -1))
+        return [row_id for _, row_id in self.entries[start:stop]]
+
+
+class NaiveShareTable:
+    """The old row-store: dict of row dicts, indexes fed row by row.
+
+    ``insert`` is a verbatim copy of the pre-overhaul ``ShareTable.insert``
+    (validation, dict materialization, per-index ``insort``, version bump)
+    so the bulk-load comparison measures exactly the path this PR replaced.
+    """
+
+    def __init__(self, columns, searchable):
+        self.columns = list(columns)
+        self.searchable = set(searchable)
+        self.rows = {}
+        self.indexes = {column: NaiveSortedIndex() for column in searchable}
+        self.version = 0
+
+    def insert(self, row_id, values):
+        if row_id in self.rows:
+            raise ValueError(f"duplicate row id {row_id}")
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)}")
+        row = {column: values.get(column) for column in self.columns}
+        self.rows[row_id] = row
+        for column, index in self.indexes.items():
+            share = row[column]
+            if share is not None:
+                index.insert(share, row_id)
+        self.version += 1
+
+    def get(self, row_id):
+        return dict(self.rows[row_id])
+
+    def all_row_ids(self):
+        return sorted(self.rows)
+
+
+def naive_load(rows):
+    table = NaiveShareTable(COLUMNS, SEARCHABLE)
+    for row_id, values in rows:
+        table.insert(row_id, values)
+    return table
+
+
+def naive_matching_row_ids(table, conditions):
+    if not conditions:
+        return table.all_row_ids()
+    result = None
+    for condition in conditions:
+        op, column = condition["op"], condition["column"]
+        index = table.indexes[column]
+        if op == "eq":
+            matched = index.range_row_ids(condition["low"], condition["low"])
+        elif op == "range":
+            matched = index.range_row_ids(condition["low"], condition["high"])
+        elif op == "lt":
+            matched = index.range_row_ids(None, condition["low"], high_inclusive=False)
+        elif op == "le":
+            matched = index.range_row_ids(None, condition["low"])
+        elif op == "gt":
+            matched = index.range_row_ids(condition["low"], None, low_inclusive=False)
+        else:  # ge
+            matched = index.range_row_ids(condition["low"], None)
+        matched = set(matched)
+        result = matched if result is None else (result & matched)
+        if not result:
+            return []
+    return sorted(result)
+
+
+def naive_project(table, row_id, projection):
+    row = table.get(row_id)
+    if projection is None:
+        return row
+    return {column: row[column] for column in projection}
+
+
+def naive_select(table, conditions=None, order_by=None, descending=False,
+                 limit=None, projection=None):
+    row_ids = naive_matching_row_ids(table, conditions or [])
+    if order_by is not None:
+        null_ids = [
+            rid for rid in row_ids if table.get(rid).get(order_by) is None
+        ]
+        keyed = [
+            (table.get(rid)[order_by], rid)
+            for rid in row_ids
+            if table.get(rid).get(order_by) is not None
+        ]
+        if descending:
+            keyed.sort(key=lambda pair: (-pair[0], pair[1]))
+            row_ids = [rid for _, rid in keyed] + null_ids
+        else:
+            keyed.sort()
+            row_ids = null_ids + [rid for _, rid in keyed]
+    if limit is not None:
+        row_ids = row_ids[:limit]
+    return [(rid, naive_project(table, rid, projection)) for rid in row_ids]
+
+
+def naive_order_by_share(table, row_ids, column):
+    keyed = [
+        (table.get(rid)[column], rid)
+        for rid in row_ids
+        if table.get(rid).get(column) is not None
+    ]
+    keyed.sort()
+    return [rid for _, rid in keyed]
+
+
+def naive_aggregate(table, func, column, conditions=None):
+    row_ids = naive_matching_row_ids(table, conditions or [])
+    if func == "count":
+        if column is None:
+            return {"count": len(row_ids)}
+        present = sum(
+            1 for rid in row_ids if table.get(rid).get(column) is not None
+        )
+        return {"count": present}
+    if func == "sum":
+        total = 0
+        count = 0
+        for rid in row_ids:
+            share = table.get(rid).get(column)
+            if share is not None:
+                total += share
+                count += 1
+        return {"partial_sum": total, "count": count}
+    ordered = naive_order_by_share(table, row_ids, column)
+    if not ordered:
+        return {"row": None, "count": 0}
+    if func == "min":
+        chosen = ordered[0]
+    elif func == "max":
+        chosen = ordered[-1]
+    else:  # median
+        chosen = ordered[(len(ordered) - 1) // 2]
+    return {
+        "row": (chosen, naive_project(table, chosen, None)),
+        "count": len(ordered),
+    }
+
+
+def naive_aggregate_group(table, group_column, func, column, conditions=None):
+    row_ids = naive_matching_row_ids(table, conditions or [])
+    groups = {}
+    for rid in row_ids:
+        share = table.get(rid).get(group_column)
+        if share is None:
+            continue
+        groups.setdefault(share, []).append(rid)
+    out = []
+    for group_share in sorted(groups):
+        members = groups[group_share]
+        if func == "count":
+            if column is None:
+                payload = {"count": len(members)}
+            else:
+                payload = {
+                    "count": sum(
+                        1
+                        for rid in members
+                        if table.get(rid).get(column) is not None
+                    )
+                }
+        elif func == "sum":
+            total = 0
+            count = 0
+            for rid in members:
+                share = table.get(rid).get(column)
+                if share is not None:
+                    total += share
+                    count += 1
+            payload = {"partial_sum": total, "count": count}
+        else:
+            ordered = naive_order_by_share(table, members, column)
+            if not ordered:
+                payload = {"row": None, "count": 0}
+            else:
+                if func == "min":
+                    chosen = ordered[0]
+                elif func == "max":
+                    chosen = ordered[-1]
+                else:
+                    chosen = ordered[(len(ordered) - 1) // 2]
+                payload = {
+                    "row": [chosen, naive_project(table, chosen, None)],
+                    "count": len(ordered),
+                }
+        out.append([group_share, payload])
+    return {"groups": out}
+
+
+def naive_join(left, right, left_column, right_column,
+               left_conditions=None, right_conditions=None):
+    left_ids = naive_matching_row_ids(left, left_conditions or [])
+    right_ids = naive_matching_row_ids(right, right_conditions or [])
+    build = {}
+    for rid in right_ids:
+        share = right.get(rid).get(right_column)
+        if share is not None:
+            build.setdefault(share, []).append(rid)
+    joined = []
+    for lid in left_ids:
+        share = left.get(lid).get(left_column)
+        if share is None:
+            continue
+        for rid in build.get(share, ()):
+            joined.append(
+                (lid, rid, naive_project(left, lid, None),
+                 naive_project(right, rid, None))
+            )
+    return joined
+
+
+class NaiveMerkle:
+    """The old proof path: cached tree, but a fresh ``sorted`` + O(n)
+    ``list.index`` position scan on every proof."""
+
+    def __init__(self, table, name="T"):
+        self.table = table
+        self.name = name
+        self._tree = None
+
+    def tree(self):
+        if self._tree is None:
+            self._tree = tree_for_rows(self.name, self.table.rows)
+        return self._tree
+
+    def proof(self, row_id):
+        ordered = self.table.all_row_ids()
+        index = ordered.index(row_id)
+        return {
+            "row": [row_id, self.table.get(row_id)],
+            "proof": [
+                [side, sibling] for side, sibling in self.tree().proof(index)
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# synthetic share data
+# ---------------------------------------------------------------------------
+
+
+def make_rows(n, seed=SEED):
+    """Deterministic share rows over the schema above."""
+    rng = random.Random(seed)
+    rows = []
+    for rid in range(n):
+        k = rng.randrange(max(n // 4, 1)) * 7 + 3
+        if rng.random() < 0.02:
+            k = None  # NULL in a searchable column: never indexed
+        g = rng.randrange(8) * 1_000 + 17
+        u = rng.randrange(1 << 40)
+        m = rng.randrange(max(n // 32, 1)) * 13 + 5
+        v = rng.randrange(1 << 30) if rng.random() >= 0.05 else None
+        w = rng.randrange(1 << 30)
+        rows.append(
+            (rid, {"k": k, "g": g, "u": u, "m": m, "v": v, "w": w})
+        )
+    return rows
+
+
+def build_provider(rows, name="DAS", table="T", bulk=True):
+    provider = ShareProvider(name)
+    provider.handle(
+        "create_table",
+        {"table": table, "columns": COLUMNS, "searchable": SEARCHABLE},
+    )
+    if bulk:
+        provider.handle("insert_many", {"table": table, "rows": rows})
+    else:
+        for row_id, values in rows:
+            provider.store.table(table).insert(row_id, values)
+    return provider
+
+
+def k_range(rows, fraction=0.9):
+    """A share-space range over column k covering ~``fraction`` of the
+    distinct share domain."""
+    shares = sorted(
+        values["k"] for _, values in rows if values["k"] is not None
+    )
+    low = shares[int(len(shares) * (1 - fraction) / 2)]
+    high = shares[int(len(shares) * (1 + fraction) / 2) - 1]
+    return {"column": "k", "op": "range", "low": low, "high": high}
+
+
+def best_of(fn, repeats=3):
+    """Best wall time of ``repeats`` runs; returns (seconds, last result).
+
+    GC is paused around the runs (the ``timeit`` convention) so collection
+    pauses owed to earlier allocations don't land inside a timed section.
+    """
+    best = float("inf")
+    result = None
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# result-equality battery
+# ---------------------------------------------------------------------------
+
+
+def assert_equal_results(provider, naive, rows, table="T"):
+    """Every provider read RPC must return exactly what the naive engine
+    computes for the same shares."""
+    cond_range = [k_range(rows, 0.5)]
+    some_k = next(v["k"] for _, v in rows if v["k"] is not None)
+    cond_eq = [{"column": "k", "op": "eq", "low": some_k}]
+    cond_pair = [
+        {"column": "k", "op": "ge", "low": some_k},
+        {"column": "g", "op": "le", "low": 5_017},
+    ]
+    selects = [
+        dict(),
+        dict(conditions=cond_eq),
+        dict(conditions=cond_range, projection=["v", "k"]),
+        dict(conditions=cond_pair),
+        dict(order_by="k", limit=25),
+        dict(order_by="k", descending=True, limit=25),
+        dict(conditions=[{"column": "g", "op": "lt", "low": 4_000}],
+             order_by="g"),
+    ]
+    for kwargs in selects:
+        request = {"table": table, "conditions": kwargs.get("conditions") or []}
+        for key in ("order_by", "descending", "limit", "projection"):
+            if key in kwargs:
+                request[key] = kwargs[key]
+        got = provider.handle("select", request)["rows"]
+        want = naive_select(naive, **kwargs)
+        assert got == want, f"select diverged for {kwargs}"
+    aggregates = [
+        ("count", None, None),
+        ("count", "v", cond_range),
+        ("sum", "v", None),
+        ("sum", "v", cond_range),
+        ("sum", "w", cond_eq),
+        ("min", "k", None),
+        ("max", "k", cond_range),
+        ("median", "k", cond_range),
+    ]
+    for func, column, conditions in aggregates:
+        got = provider.handle(
+            "aggregate",
+            {"table": table, "func": func, "column": column,
+             "conditions": conditions or []},
+        )
+        want = naive_aggregate(naive, func, column, conditions)
+        assert got == want, f"aggregate {func}({column}) diverged"
+    for func, column in [("sum", "v"), ("count", None), ("median", "k")]:
+        got = provider.handle(
+            "aggregate_group",
+            {"table": table, "group_column": "g", "func": func,
+             "column": column, "conditions": []},
+        )
+        want = naive_aggregate_group(naive, "g", func, column)
+        assert got == want, f"aggregate_group {func}({column}) diverged"
+    sample_ids = [rid for rid, _ in rows[:: max(len(rows) // 40, 1)]]
+    got = provider.handle("get_rows", {"table": table, "row_ids": sample_ids})
+    want = [(rid, naive_project(naive, rid, None)) for rid in sample_ids]
+    assert got["rows"] == want, "get_rows diverged"
+    got = provider.handle("scan", {"table": table, "projection": ["w"]})
+    want = naive_select(naive, projection=["w"])
+    assert got["rows"] == want, "scan diverged"
+    root = provider.handle("merkle_root", {"table": table})["root"]
+    naive_merkle = NaiveMerkle(naive, table)
+    assert root == naive_merkle.tree().root, "merkle root diverged"
+    for rid in sample_ids[:10]:
+        got = provider.handle("merkle_proof", {"table": table, "row_id": rid})
+        want = naive_merkle.proof(rid)
+        assert got["row"] == want["row"] and got["proof"] == want["proof"], (
+            f"merkle proof diverged for row {rid}"
+        )
+
+
+def assert_cost_parity(rows, table="T"):
+    """A bulk-loaded and an incrementally-loaded provider must record the
+    same operation counts for the same RPC battery."""
+    bulk = build_provider(rows, "bulk", table, bulk=True)
+    incremental = build_provider(rows, "incr", table, bulk=False)
+    battery = [
+        ("select", {"table": table, "conditions": [k_range(rows, 0.5)]}),
+        ("aggregate", {"table": table, "func": "sum", "column": "v",
+                       "conditions": [k_range(rows, 0.5)]}),
+        ("aggregate", {"table": table, "func": "count", "column": "v",
+                       "conditions": []}),
+        ("aggregate_group", {"table": table, "group_column": "g",
+                             "func": "sum", "column": "v", "conditions": []}),
+        ("merkle_proof", {"table": table, "row_id": rows[0][0]}),
+    ]
+    for method, request in battery:
+        a = bulk.handle(method, request)
+        b = incremental.handle(method, request)
+        assert a == b, f"{method} diverged between bulk and incremental load"
+    assert bulk.cost.snapshot() == incremental.cost.snapshot(), (
+        "cost counters diverged between bulk and incremental load: "
+        f"{bulk.cost.snapshot()} != {incremental.cost.snapshot()}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# timed sections
+# ---------------------------------------------------------------------------
+
+
+def bench_bulk_load(rows):
+    # Naive gets one shot (scheduler noise only slows it down, which is
+    # the conservative direction for the speedup gate); the columnar side
+    # takes best-of-3 so a single bad scheduling window can't flake CI.
+    naive_seconds, naive_table = best_of(lambda: naive_load(rows), repeats=1)
+
+    def columnar():
+        table = ShareTable("T", COLUMNS, SEARCHABLE)
+        table.insert_many(rows)
+        return table
+
+    columnar_seconds, columnar_table = best_of(columnar, repeats=3)
+    for column in SEARCHABLE:
+        assert (
+            columnar_table.index_for(column).entries_in_order()
+            == naive_table.indexes[column].entries
+        ), f"bulk-built index {column} diverged from incremental build"
+    return {
+        "rows": len(rows),
+        "naive_seconds": round(naive_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": round(naive_seconds / columnar_seconds, 2),
+    }
+
+
+def bench_filtered_sum(provider, naive, rows, repeats=3):
+    request = {
+        "table": "T",
+        "func": "sum",
+        "column": "v",
+        "conditions": [k_range(rows, 0.9)],
+    }
+    columnar_seconds, got = best_of(
+        lambda: provider.handle("aggregate", request), repeats
+    )
+    naive_seconds, want = best_of(
+        lambda: naive_aggregate(naive, "sum", "v", request["conditions"]),
+        repeats,
+    )
+    assert got == want, "filtered SUM diverged"
+    return {
+        "rows": len(rows),
+        "matched": got["count"],
+        "naive_seconds": round(naive_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": round(naive_seconds / columnar_seconds, 2),
+    }
+
+
+def bench_range_scan(provider, naive, rows, repeats=3):
+    condition = k_range(rows, 0.5)
+    request = {
+        "table": "T",
+        "conditions": [condition],
+        "projection": ["v", "w"],
+    }
+    columnar_seconds, got = best_of(
+        lambda: provider.handle("select", request), repeats
+    )
+    naive_seconds, want = best_of(
+        lambda: naive_select(naive, conditions=[condition],
+                             projection=["v", "w"]),
+        repeats,
+    )
+    assert got["rows"] == want, "range scan diverged"
+    return {
+        "rows": len(rows),
+        "matched": len(want),
+        "naive_seconds": round(naive_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": round(naive_seconds / columnar_seconds, 2),
+    }
+
+
+def bench_join(provider, naive_left, rows, repeats=3):
+    right_rows = [
+        (rid, {"k": values["k"], "g": values["g"], "v": values["w"],
+               "w": values["v"]})
+        for rid, values in rows[:: 10]
+    ]
+    provider.handle(
+        "create_table",
+        {"table": "R", "columns": COLUMNS, "searchable": SEARCHABLE},
+    )
+    provider.handle("insert_many", {"table": "R", "rows": right_rows})
+    naive_right = naive_load(right_rows)
+    request = {
+        "left": "T",
+        "right": "R",
+        "left_column": "k",
+        "right_column": "k",
+    }
+    columnar_seconds, got = best_of(
+        lambda: provider.handle("join", request), repeats
+    )
+    naive_seconds, want = best_of(
+        lambda: naive_join(naive_left, naive_right, "k", "k"), repeats
+    )
+    assert got["rows"] == want, "join diverged"
+    return {
+        "left_rows": len(rows),
+        "right_rows": len(right_rows),
+        "joined": len(want),
+        "naive_seconds": round(naive_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": round(naive_seconds / columnar_seconds, 2),
+    }
+
+
+def bench_merkle_proofs(provider, naive, rows):
+    """Proofs for every row: position map + cached tree vs sort-and-scan."""
+    row_ids = [rid for rid, _ in rows]
+    naive_merkle = NaiveMerkle(naive)
+    naive_merkle.tree()  # warm, like the provider's version cache
+
+    def columnar():
+        return [
+            provider.handle("merkle_proof", {"table": "T", "row_id": rid})
+            for rid in row_ids
+        ]
+
+    columnar_seconds, got = best_of(columnar, repeats=1)
+    naive_seconds, want = best_of(
+        lambda: [naive_merkle.proof(rid) for rid in row_ids], repeats=1
+    )
+    assert [g["proof"] for g in got] == [w["proof"] for w in want], (
+        "merkle proofs diverged"
+    )
+    return {
+        "table_rows": len(naive.rows),
+        "proofs": len(rows),
+        "naive_seconds": round(naive_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": round(naive_seconds / columnar_seconds, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def run_check() -> None:
+    """CI gate (bench-smoke + tier-1).
+
+    * result-equality battery vs the naive engine at 3 000 rows,
+    * cost-counter parity between bulk and incremental load,
+    * ≥5× bulk load and ≥2× filtered SUM at 50 000 rows (results
+      asserted equal inside each timed section).
+    """
+    small = make_rows(3_000)
+    provider = build_provider(small)
+    naive = naive_load(small)
+    assert_equal_results(provider, naive, small)
+    assert_cost_parity(make_rows(400, seed=7))
+
+    gate_rows = make_rows(GATE_ROWS)
+    load = bench_bulk_load(gate_rows)
+    assert load["speedup"] >= BULK_LOAD_GATE, (
+        f"bulk load only {load['speedup']}x faster than the naive "
+        f"insort-per-row path at {GATE_ROWS} rows (need >= {BULK_LOAD_GATE}x)"
+    )
+    provider = build_provider(gate_rows)
+    naive = naive_load(gate_rows)
+    agg = bench_filtered_sum(provider, naive, gate_rows)
+    assert agg["speedup"] >= FILTERED_SUM_GATE, (
+        f"filtered SUM only {agg['speedup']}x faster than the naive "
+        f"row-store path at {GATE_ROWS} rows (need >= {FILTERED_SUM_GATE}x)"
+    )
+    print(
+        "bench_provider --check: columnar == naive on all read RPCs, "
+        "cost parity bulk vs incremental, "
+        f"bulk load {load['speedup']}x (gate {BULK_LOAD_GATE}x), "
+        f"filtered SUM {agg['speedup']}x (gate {FILTERED_SUM_GATE}x) "
+        f"at {GATE_ROWS} rows"
+    )
+
+
+def run_full(args) -> dict:
+    report = {
+        "seed": SEED,
+        "columns": COLUMNS,
+        "searchable": SEARCHABLE,
+        "gates": {
+            "bulk_load_speedup_at_50k": BULK_LOAD_GATE,
+            "filtered_sum_speedup_at_50k": FILTERED_SUM_GATE,
+        },
+        "bulk_load": [],
+        "range_scan": [],
+        "filtered_sum": [],
+        "join": [],
+        "merkle_proofs": [],
+    }
+    for size in SIZES:
+        # drop the previous size's engines before timing this one, so a
+        # load isn't measured against a heap full of someone else's rows
+        provider = naive = None
+        gc.collect()
+        rows = make_rows(size)
+        report["bulk_load"].append(bench_bulk_load(rows))
+        provider = build_provider(rows)
+        naive = naive_load(rows)
+        if size == min(SIZES):
+            assert_equal_results(provider, naive, rows)
+        report["range_scan"].append(
+            bench_range_scan(provider, naive, rows, args.repeats)
+        )
+        report["filtered_sum"].append(
+            bench_filtered_sum(provider, naive, rows, args.repeats)
+        )
+        report["join"].append(
+            bench_join(provider, naive, rows, args.repeats)
+        )
+        proof_rows = rows if size <= 5_000 else rows[:5_000]
+        report["merkle_proofs"].append(
+            bench_merkle_proofs(provider, naive, proof_rows)
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: equality battery + speedup thresholds, no JSON",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repetitions per timed section")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.check:
+        run_check()
+        return 0
+    report = run_full(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,15 @@ The RPC surface is a single :meth:`handle` dispatching on a method name
 with primitive-typed payloads, so the cluster can serialise every request
 and response through the simulated network for byte accounting.
 
+Read handlers run against the columnar storage engine
+(:mod:`repro.providers.storage`): scans, aggregation, grouped
+aggregation, and join probes read per-column share arrays by slot and
+materialize a row dict only for rows that actually leave the provider.
+Cost accounting for aggregates records the **actual share reads** — one
+``compare`` per column cell examined — so a request whose filter matched
+nothing (or whose aggregate column the table does not store) charges
+nothing beyond its index probes.
+
 Conditions arrive as dicts::
 
     {"column": str, "op": "eq|lt|le|gt|ge|range", "low": int, "high": int?}
@@ -129,9 +138,8 @@ class ShareProvider:
 
     def _rpc_insert_many(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
-        for row_id, values in request["rows"]:
-            table.insert(row_id, values)
-        return {"inserted": len(request["rows"])}
+        inserted = table.insert_many(request["rows"])
+        return {"inserted": inserted}
 
     def _rpc_update_rows(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
@@ -194,13 +202,15 @@ class ShareProvider:
             # keep ascending row ids in BOTH directions, and NULLs sit
             # first ascending / last descending.
             table.index_for(order_by)  # require searchable
+            column = table.column_array(order_by)
+            slots = table.slots_for(row_ids)
             null_ids = [
-                rid for rid in row_ids if table.get(rid).get(order_by) is None
+                rid for rid, slot in zip(row_ids, slots) if column[slot] is None
             ]
             keyed = [
-                (table.get(rid)[order_by], rid)
-                for rid in row_ids
-                if table.get(rid).get(order_by) is not None
+                (column[slot], rid)
+                for rid, slot in zip(row_ids, slots)
+                if column[slot] is not None
             ]
             self.cost.record(
                 "compare", len(keyed) * max(1, len(keyed).bit_length())
@@ -214,29 +224,22 @@ class ShareProvider:
         limit = request.get("limit")
         if limit is not None:
             row_ids = row_ids[:limit]
-        projection = request.get("projection")
-        rows = [(rid, self._project(table, rid, projection)) for rid in row_ids]
+        rows = self._project_many(table, row_ids, request.get("projection"))
         rows = self._apply_result_faults(rows)
         return {"rows": rows}
 
     def _rpc_get_rows(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
-        projection = request.get("projection")
-        rows = [
-            (rid, self._project(table, rid, projection))
-            for rid in request["row_ids"]
-            if table.has_row(rid)
-        ]
+        present = [rid for rid in request["row_ids"] if table.has_row(rid)]
+        rows = self._project_many(table, present, request.get("projection"))
         rows = self._apply_result_faults(rows)
         return {"rows": rows}
 
     def _rpc_scan(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
-        projection = request.get("projection")
-        rows = [
-            (rid, self._project(table, rid, projection))
-            for rid in table.all_row_ids()
-        ]
+        rows = self._project_many(
+            table, table.all_row_ids(), request.get("projection")
+        )
         rows = self._apply_result_faults(rows)
         return {"rows": rows}
 
@@ -248,33 +251,33 @@ class ShareProvider:
         func = request["func"]
         if func not in _AGGREGATE_FUNCS:
             raise QueryError(f"provider cannot aggregate with {func!r}")
-        row_ids = self._matching_row_ids(table, request.get("conditions") or [])
+        conditions = request.get("conditions") or []
         column = request.get("column")
         if func == "count":
             if column is None:
-                return {"count": len(row_ids)}
-            present = sum(
-                1 for rid in row_ids if table.get(rid).get(column) is not None
-            )
-            self.cost.record("compare", len(row_ids))
-            return {"count": present}
+                return {
+                    "count": len(
+                        self._matching_row_ids_unordered(table, conditions)
+                    )
+                }
+            values = self._filtered_column_values(table, conditions, column)
+            self.cost.record("compare", len(values))
+            return {"count": len(values) - values.count(None)}
         if column is None:
             raise QueryError(f"aggregate {func} requires a column")
         if func == "sum":
-            total = 0
-            count = 0
-            for rid in row_ids:
-                share = table.get(rid).get(column)
-                if share is not None:
-                    total += share
-                    count += 1
-            self.cost.record("compare", len(row_ids))
+            values = self._filtered_column_values(table, conditions, column)
+            self.cost.record("compare", len(values))
+            present = [share for share in values if share is not None]
+            total = sum(present)
+            count = len(present)
             if self.fault is not None:
                 corrupted = self.fault.maybe_corrupt_share(total)
                 total = corrupted if corrupted is not None else total
             return {"partial_sum": total, "count": count}
         # min / max / median: pick the extreme/middle row by share order of
         # the aggregate column (valid because OP shares preserve value order)
+        row_ids = self._matching_row_ids_unordered(table, conditions)
         ordered = self._order_by_share(table, row_ids, column)
         if not ordered:
             return {"row": None, "count": 0}
@@ -308,36 +311,50 @@ class ShareProvider:
         if func not in _AGGREGATE_FUNCS:
             raise QueryError(f"provider cannot aggregate with {func!r}")
         column = request.get("column")
-        row_ids = self._matching_row_ids(table, request.get("conditions") or [])
+        row_ids = self._matching_row_ids_unordered(
+            table, request.get("conditions") or []
+        )
+        group_array = table.column_array(group_column)
         groups: Dict[int, List[int]] = {}
-        for rid in row_ids:
-            share = table.get(rid).get(group_column)
+        for rid, slot in zip(row_ids, table.slots_for(row_ids)):
+            share = group_array[slot]
             if share is None:
                 continue
             groups.setdefault(share, []).append(rid)
         self.cost.record("compare", len(row_ids))
+        agg_array = (
+            table.column_array(column)
+            if column is not None and table.has_column(column)
+            else None
+        )
+        agg_reads = 0
         out = []
         for group_share in sorted(groups):
             members = groups[group_share]
             if func == "count":
                 if column is None:
                     payload = {"count": len(members)}
+                elif agg_array is None:
+                    payload = {"count": 0}
                 else:
+                    agg_reads += len(members)
                     payload = {
                         "count": sum(
                             1
-                            for rid in members
-                            if table.get(rid).get(column) is not None
+                            for slot in table.slots_for(members)
+                            if agg_array[slot] is not None
                         )
                     }
             elif func == "sum":
                 total = 0
                 count = 0
-                for rid in members:
-                    share = table.get(rid).get(column)
-                    if share is not None:
-                        total += share
-                        count += 1
+                if agg_array is not None:
+                    agg_reads += len(members)
+                    for slot in table.slots_for(members):
+                        share = agg_array[slot]
+                        if share is not None:
+                            total += share
+                            count += 1
                 payload = {"partial_sum": total, "count": count}
             else:  # min / max / median by share order of the agg column
                 ordered = self._order_by_share(table, members, column)
@@ -355,6 +372,9 @@ class ShareProvider:
                         "count": len(ordered),
                     }
             out.append([group_share, payload])
+        if agg_reads:
+            # per-group aggregate-column reads (previously unaccounted)
+            self.cost.record("compare", agg_reads)
         if self.fault is not None:
             out = self.fault.filter_rows(out)
             corrupted = []
@@ -383,27 +403,36 @@ class ShareProvider:
         right_ids = self._matching_row_ids(
             right, request.get("right_conditions") or []
         )
-        # hash join on deterministic share equality (Sec. V-A)
+        # hash join on deterministic share equality (Sec. V-A): build and
+        # probe straight off the join-column arrays, materializing row
+        # dicts only for matched pairs
+        right_array = right.column_array(right_column)
         build: Dict[int, List[int]] = {}
-        for rid in right_ids:
-            share = right.get(rid).get(right_column)
+        for rid, slot in zip(right_ids, right.slots_for(right_ids)):
+            share = right_array[slot]
             if share is not None:
                 build.setdefault(share, []).append(rid)
         self.cost.record("compare", len(right_ids) + len(left_ids))
-        joined: List[Tuple[int, int, ShareRow, ShareRow]] = []
-        for lid in left_ids:
-            share = left.get(lid).get(left_column)
+        left_array = left.column_array(left_column)
+        pairs: List[Tuple[int, int]] = []
+        for lid, slot in zip(left_ids, left.slots_for(left_ids)):
+            share = left_array[slot]
             if share is None:
                 continue
             for rid in build.get(share, ()):
-                joined.append(
-                    (
-                        lid,
-                        rid,
-                        self._project(left, lid, request.get("projection_left")),
-                        self._project(right, rid, request.get("projection_right")),
-                    )
-                )
+                pairs.append((lid, rid))
+        joined: List[Tuple[int, int, ShareRow, ShareRow]] = []
+        if pairs:
+            left_rows = self._rows_by_id(
+                left, [lid for lid, _ in pairs], request.get("projection_left")
+            )
+            right_rows = self._rows_by_id(
+                right, [rid for _, rid in pairs], request.get("projection_right")
+            )
+            joined = [
+                (lid, rid, left_rows[lid], right_rows[rid])
+                for lid, rid in pairs
+            ]
         if self.fault is not None:
             joined = self.fault.filter_rows(joined)
             joined = [
@@ -426,7 +455,7 @@ class ShareProvider:
         if cached is not None and cached[0] == table.version:
             return cached[1]
         tree = tree_for_rows(table.name, table.rows)
-        self.cost.record("hash", max(1, 2 * len(table.rows)))
+        self.cost.record("hash", max(1, 2 * len(table)))
         self._merkle_cache[table.name] = (table.version, tree)
         return tree
 
@@ -442,12 +471,9 @@ class ShareProvider:
     def _rpc_merkle_proof(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
         row_id = request["row_id"]
-        ordered = table.all_row_ids()
-        if row_id not in table.rows:
-            raise ProviderError(
-                f"table {table.name}: no row with id {row_id}"
-            )
-        index = ordered.index(row_id)
+        # version-cached position map: O(1) per proof instead of an O(n)
+        # list scan per call
+        index = table.row_position(row_id)
         tree = self._merkle_tree(table)
         values = table.get(row_id)
         if self.fault is not None:
@@ -470,13 +496,31 @@ class ShareProvider:
         """
         if not conditions:
             return table.all_row_ids()
+        return sorted(self._matching_row_ids_unordered(table, conditions))
+
+    def _matching_row_ids_unordered(
+        self, table: ShareTable, conditions: List[Dict]
+    ) -> List[int]:
+        """Same match set as :meth:`_matching_row_ids`, in no fixed order.
+
+        Aggregation handlers use this directly: integer share sums are
+        exact in any order and min/max/median re-sort by share anyway, so
+        they skip the O(m log m) ascending-row-id sort that select/scan
+        result rows need.  Cost recording is identical to the ordered
+        path (one range probe per condition, stopping at an empty
+        intersection).
+        """
+        if not conditions:
+            return table.all_row_ids()
+        if len(conditions) == 1:
+            return self._condition_row_ids(table, conditions[0])
         result: Optional[set] = None
         for condition in conditions:
             matched = set(self._condition_row_ids(table, condition))
             result = matched if result is None else (result & matched)
             if not result:
                 return []
-        return sorted(result)
+        return list(result)
 
     def _condition_row_ids(self, table: ShareTable, condition: Dict) -> List[int]:
         op = condition.get("op")
@@ -502,27 +546,162 @@ class ShareProvider:
     ) -> List[int]:
         """Row ids sorted by the column's share value (NULLs excluded)."""
         table.index_for(column)  # require searchable
-        keyed = [
-            (table.get(rid)[column], rid)
-            for rid in row_ids
-            if table.get(rid).get(column) is not None
-        ]
+        array = table.column_array(column)
+        keyed = []
+        for rid, slot in zip(row_ids, table.slots_for(row_ids)):
+            share = array[slot]
+            if share is not None:
+                keyed.append((share, rid))
         self.cost.record(
             "compare", len(keyed) * max(1, len(keyed).bit_length())
         )
         keyed.sort()
         return [rid for _, rid in keyed]
 
+    def _column_values(
+        self, table: ShareTable, column: str, row_ids: List[int]
+    ) -> List[Optional[int]]:
+        """One column's shares for the given rows, straight off the array.
+
+        A column the table does not store reads as no shares at all —
+        aggregates over it see only NULLs and its read count is zero
+        (that absence is what the fixed cost accounting records).
+        """
+        if not table.has_column(column):
+            return []
+        return table.values_for_rows(column, row_ids)
+
+    @staticmethod
+    def _closed_bounds(
+        conditions: List[Dict],
+    ) -> Optional[Tuple[str, int, int]]:
+        """``(column, low, high)`` for a lone simple comparison.
+
+        Shares are integers, so every condition op is a closed interval
+        (``lt h`` ≡ ``≤ h-1``).  Returns None when the condition list is
+        not a single well-formed comparison — the generic
+        probe-and-intersect path handles (and error-checks) those.
+        """
+        if len(conditions) != 1:
+            return None
+        condition = conditions[0]
+        op = condition.get("op")
+        if op not in _CONDITION_OPS:
+            return None
+        column = condition["column"]
+        low = condition.get("low")
+        if op == "range":
+            high = condition.get("high")
+            return (
+                column,
+                float("-inf") if low is None else low,
+                float("inf") if high is None else high,
+            )
+        if low is None:
+            return None
+        if op == "eq":
+            return column, low, low
+        if op == "lt":
+            return column, float("-inf"), low - 1
+        if op == "le":
+            return column, float("-inf"), low
+        if op == "gt":
+            return column, low + 1, float("inf")
+        return column, low, float("inf")  # ge
+
+    def _filtered_column_values(
+        self, table: ShareTable, conditions: List[Dict], column: str
+    ) -> List[Optional[int]]:
+        """Shares of ``column`` for every row matching ``conditions``.
+
+        Access-path selection for order-insensitive aggregates.  A lone
+        comparison is first sized with two index bisects; when it matches
+        a wide slice of the table the predicate is evaluated straight
+        over the condition and aggregate column vectors (sequential
+        scan, no row-id materialization), otherwise the index probe is
+        translated through the slot map.  Both paths read the same share
+        multiset and record the same costs: one range probe per
+        condition plus one ``compare`` per share read (recorded by the
+        caller as ``len(values)``).
+        """
+        if not conditions:
+            if not table.has_column(column):
+                return []
+            return list(table.column_array(column))
+        bounds = self._closed_bounds(conditions)
+        if bounds is not None:
+            cond_column, low, high = bounds
+            index = table.index_for(cond_column)
+            self.cost.record("compare", index.comparisons_for_range())
+            if 4 * index.count_in_range(low, high) >= len(table):
+                if not table.has_column(column):
+                    return []
+                cond_array = table.column_array(cond_column)
+                agg_array = table.column_array(column)
+                return [
+                    share
+                    for key, share in zip(cond_array, agg_array)
+                    if key is not None and low <= key <= high
+                ]
+            row_ids = index.range_row_ids(low, high)
+        else:
+            row_ids = self._matching_row_ids_unordered(table, conditions)
+        return self._column_values(table, column, row_ids)
+
     def _project(
         self, table: ShareTable, row_id: int, projection: Optional[List[str]]
     ) -> ShareRow:
-        row = table.get(row_id)
         if projection is None:
-            return row
+            return table.get(row_id)
         unknown = set(projection) - set(table.columns)
         if unknown:
             raise QueryError(f"unknown projection columns {sorted(unknown)}")
-        return {column: row[column] for column in projection}
+        slot = table.slot_of(row_id)
+        return {
+            column: table.column_array(column)[slot] for column in projection
+        }
+
+    def _project_many(
+        self,
+        table: ShareTable,
+        row_ids: List[int],
+        projection: Optional[List[str]],
+    ) -> List[Tuple[int, ShareRow]]:
+        """Materialize result rows from the column arrays in one pass."""
+        if not row_ids:
+            return []
+        if projection is None:
+            columns = None
+        else:
+            unknown = set(projection) - set(table.columns)
+            if unknown:
+                raise QueryError(f"unknown projection columns {sorted(unknown)}")
+            columns = list(projection)
+        slots = table.slots_for(row_ids)
+        return list(zip(row_ids, table.materialize_rows(slots, columns)))
+
+    def _rows_by_id(
+        self,
+        table: ShareTable,
+        row_ids: List[int],
+        projection: Optional[List[str]],
+    ) -> Dict[int, ShareRow]:
+        """Materialized rows for each *distinct* id in ``row_ids``.
+
+        Join pair assembly: a row matched by many pairs is built once and
+        the same dict is shared across pairs (results are read-only —
+        fault tampering builds fresh dicts).
+        """
+        if projection is None:
+            columns = None
+        else:
+            unknown = set(projection) - set(table.columns)
+            if unknown:
+                raise QueryError(f"unknown projection columns {sorted(unknown)}")
+            columns = list(projection)
+        distinct = list(dict.fromkeys(row_ids))
+        rows = table.materialize_rows(table.slots_for(distinct), columns)
+        return dict(zip(distinct, rows))
 
     def _apply_result_faults(self, rows: List[Tuple[int, ShareRow]]):
         if self.fault is None:

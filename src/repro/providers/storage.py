@@ -1,4 +1,4 @@
-"""Provider-side share storage.
+"""Provider-side share storage — the columnar storage engine.
 
 A provider stores, per table, rows of **share integers** keyed by a
 client-assigned row id (the same logical row carries the same row id at
@@ -8,6 +8,33 @@ order-preserving scheme — additionally maintain a sorted index over share
 values, which is what lets the provider answer exact-match and range
 predicates without learning anything beyond share order (Sec. IV).
 
+Layout.  Shares live in **per-column arrays** indexed by a dense slot
+number, with a row-id↔slot map on the side::
+
+    _column_data["salary"][slot]   # one share, no row materialization
+    _row_ids[slot]   -> row_id     # slot → row id
+    _slots[row_id]   -> slot       # row id → slot
+
+Scans, aggregation, and join probes read the column arrays directly; a
+row dict is materialized only when a result row actually leaves the
+provider.  Deletes swap the last slot into the hole, so slots stay dense
+and column arrays never carry tombstones.
+
+Index maintenance has two paths:
+
+* **incremental** — single-row ``insert``/``update``/``delete`` keep each
+  :class:`SortedShareIndex` current with one ``bisect``-positioned
+  splice, as before;
+* **bulk** — ``insert_many`` stages the batch's ``(share, row_id)`` pairs
+  per index and applies them with one sort-and-merge
+  (:meth:`SortedShareIndex.bulk_load`), turning an n-row load from
+  O(n²) repeated ``insort`` into O(n log n).
+
+Derived read-path state — the ascending row-id order and each row's
+position in it (the Merkle leaf order) — is cached and keyed on the
+table's ``version`` counter, which every mutation bumps; readers get the
+cached structures instead of re-sorting per call.
+
 NULLs are stored as ``None`` and never indexed; comparisons against NULL
 are false, matching SQL WHERE semantics on the plaintext side.
 """
@@ -15,11 +42,40 @@ are false, matching SQL WHERE semantics on the plaintext side.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from heapq import merge as _sorted_merge
+from operator import itemgetter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ProviderError
 
 ShareRow = Dict[str, Optional[int]]
+
+_ROW_ID_OF = itemgetter(1)
+
+
+def _compile_materializer(columns: Tuple[str, ...]):
+    """Compile a batch row materializer specialized to one column list.
+
+    Per-key dict assembly in a generic loop can never match the old
+    row-store's C-level ``dict(row)`` clone, so — as compiling query
+    engines do — we generate the loop for the exact schema: a single
+    list comprehension whose body is a constant-key dict display reading
+    straight out of the column arrays.  Column names are embedded with
+    ``repr``, so arbitrary strings are safe.
+    """
+    if not columns:
+        return lambda slots: [{} for _ in slots]
+    args = ", ".join(f"_a{i}" for i in range(len(columns)))
+    entries = ", ".join(
+        f"{column!r}: _a{i}[s]" for i, column in enumerate(columns)
+    )
+    source = (
+        f"def _materialize(slots, {args}):\n"
+        f"    return [{{{entries}}} for s in slots]\n"
+    )
+    namespace: Dict[str, object] = {}
+    exec(source, namespace)  # noqa: S102 - schema-derived, repr-escaped
+    return namespace["_materialize"]
 
 
 class SortedShareIndex:
@@ -39,6 +95,21 @@ class SortedShareIndex:
 
     def insert(self, share: int, row_id: int) -> None:
         bisect.insort(self._entries, (share, row_id))
+
+    def bulk_load(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Fold a batch of (share, row_id) pairs in with one sort-and-merge.
+
+        Sorting the batch and merging two sorted runs is O(m log m + n),
+        versus O(m·n) for m repeated :meth:`insert` splices — the
+        difference between loading a table in seconds and in linear time.
+        """
+        staged = sorted(pairs)
+        if not staged:
+            return
+        if not self._entries:
+            self._entries = staged
+        else:
+            self._entries = list(_sorted_merge(self._entries, staged))
 
     def remove(self, share: int, row_id: int) -> None:
         index = bisect.bisect_left(self._entries, (share, row_id))
@@ -73,10 +144,18 @@ class SortedShareIndex:
             stop = bisect.bisect_right(self._entries, (high, float("inf")))
         else:
             stop = bisect.bisect_left(self._entries, (high, -1))
-        return [row_id for _, row_id in self._entries[start:stop]]
+        return list(map(_ROW_ID_OF, self._entries[start:stop]))
 
     def equal_row_ids(self, share: int) -> List[int]:
         return self.range_row_ids(share, share)
+
+    def count_in_range(self, low, high) -> int:
+        """Cardinality of a closed share interval — two bisects, no
+        extraction.  Used for access-path selection before paying for
+        row-id materialization."""
+        start = bisect.bisect_left(self._entries, (low, -1))
+        stop = bisect.bisect_right(self._entries, (high, float("inf")))
+        return max(0, stop - start)
 
     def min_entry(self) -> Optional[Tuple[int, int]]:
         return self._entries[0] if self._entries else None
@@ -95,7 +174,7 @@ class SortedShareIndex:
 
 
 class ShareTable:
-    """One table's shares at one provider."""
+    """One table's shares at one provider (columnar layout)."""
 
     def __init__(
         self,
@@ -111,79 +190,281 @@ class ShareTable:
             )
         self.name = name
         self.columns = list(columns)
+        self._column_set: Set[str] = set(self.columns)
         self.searchable: Set[str] = searchable
-        self.rows: Dict[int, ShareRow] = {}
+        #: column → share array, indexed by slot (dense, no tombstones)
+        self._column_data: Dict[str, List[Optional[int]]] = {
+            column: [] for column in self.columns
+        }
+        self._row_ids: List[int] = []  # slot → row id
+        self._slots: Dict[int, int] = {}  # row id → slot
         self.indexes: Dict[str, SortedShareIndex] = {
             column: SortedShareIndex(column) for column in searchable
         }
-        #: bumped on every mutation; used to invalidate cached Merkle trees
+        #: bumped on every mutation; keys the Merkle cache and the
+        #: derived-state cache below
         self.version = 0
+        # version-cached derived state: ascending row-id order (= Merkle
+        # leaf order) and each row id's position in it
+        self._derived_version = -1
+        self._ordered_ids: List[int] = []
+        self._leaf_positions: Dict[int, int] = {}
+        #: number of derived-state rebuilds (regression hook: stays O(1)
+        #: per mutation batch, never O(1) per read)
+        self.derived_rebuilds = 0
+        # compiled batch materializers, keyed by column tuple (full rows
+        # plus whatever projections this table actually serves)
+        self._materializers: Dict[Tuple[str, ...], object] = {}
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._row_ids)
 
     # -- mutation -----------------------------------------------------------
 
-    def insert(self, row_id: int, values: ShareRow) -> None:
-        if row_id in self.rows:
+    def _append_row(self, row_id: int, values: ShareRow) -> int:
+        """Validate + append one row to the column arrays; returns its slot."""
+        if row_id in self._slots:
             raise ProviderError(f"table {self.name}: duplicate row id {row_id}")
-        unknown = set(values) - set(self.columns)
-        if unknown:
+        if not values.keys() <= self._column_set:
+            unknown = set(values) - self._column_set
             raise ProviderError(
                 f"table {self.name}: unknown columns {sorted(unknown)}"
             )
-        row = {column: values.get(column) for column in self.columns}
-        self.rows[row_id] = row
+        slot = len(self._row_ids)
+        self._row_ids.append(row_id)
+        self._slots[row_id] = slot
+        for column in self.columns:
+            self._column_data[column].append(values.get(column))
+        return slot
+
+    def insert(self, row_id: int, values: ShareRow) -> None:
+        slot = self._append_row(row_id, values)
         for column, index in self.indexes.items():
-            share = row[column]
+            share = self._column_data[column][slot]
             if share is not None:
                 index.insert(share, row_id)
         self.version += 1
 
+    def insert_many(self, rows: Iterable[Tuple[int, ShareRow]]) -> int:
+        """Bulk insert with deferred, batch-built index maintenance.
+
+        Happy path: validate the whole batch with set operations, grow
+        each column array with one ``extend``, and fold each index's
+        ``(share, row_id)`` pairs in with one sort-and-merge
+        (:meth:`SortedShareIndex.bulk_load`) — O(n log n) where n
+        incremental splices were O(n²).  A batch containing any invalid
+        row is replayed through sequential :meth:`insert` calls instead,
+        so the error surfaces at the same row, with the same message and
+        the same partially-inserted state, as single-row DML would
+        produce.
+        """
+        batch = rows if isinstance(rows, list) else list(rows)
+        slots = self._slots
+        column_set = self._column_set
+        ids = [row_id for row_id, _ in batch]
+        clean = (
+            len(set(ids)) == len(ids)
+            and slots.keys().isdisjoint(ids)
+            and all(values.keys() <= column_set for _, values in batch)
+        )
+        if not clean:
+            # a row in the batch is invalid: replay sequentially so the
+            # error surfaces at the same row, with the same message, and
+            # the same partially-inserted state, as n single inserts
+            for row_id, values in batch:
+                self.insert(row_id, values)
+            return len(batch)
+        base = len(self._row_ids)
+        self._row_ids.extend(ids)
+        slots.update(zip(ids, range(base, base + len(ids))))
+        value_dicts = [values for _, values in batch]
+        for column in self.columns:
+            self._column_data[column].extend(
+                [values.get(column) for values in value_dicts]
+            )
+        for column, index in self.indexes.items():
+            # pair the freshly-extended column tail with the new row ids;
+            # zip yields the (share, row_id) tuples directly
+            index.bulk_load(
+                [
+                    pair
+                    for pair in zip(self._column_data[column][base:], ids)
+                    if pair[0] is not None
+                ]
+            )
+        self.version += len(batch)
+        return len(batch)
+
     def update(self, row_id: int, assignments: ShareRow) -> None:
-        row = self._row(row_id)
-        unknown = set(assignments) - set(self.columns)
+        slot = self._slot(row_id)
+        unknown = set(assignments) - self._column_set
         if unknown:
             raise ProviderError(
                 f"table {self.name}: unknown columns {sorted(unknown)}"
             )
         for column, new_share in assignments.items():
-            old_share = row[column]
+            array = self._column_data[column]
+            old_share = array[slot]
             if column in self.indexes:
                 if old_share is not None:
                     self.indexes[column].remove(old_share, row_id)
                 if new_share is not None:
                     self.indexes[column].insert(new_share, row_id)
-            row[column] = new_share
+            array[slot] = new_share
         self.version += 1
 
     def delete(self, row_id: int) -> None:
-        row = self._row(row_id)
+        slot = self._slot(row_id)
         for column, index in self.indexes.items():
-            share = row[column]
+            share = self._column_data[column][slot]
             if share is not None:
                 index.remove(share, row_id)
-        del self.rows[row_id]
+        last = len(self._row_ids) - 1
+        if slot != last:
+            # swap-remove: move the last slot into the hole so the column
+            # arrays stay dense
+            moved = self._row_ids[last]
+            self._row_ids[slot] = moved
+            self._slots[moved] = slot
+            for array in self._column_data.values():
+                array[slot] = array[last]
+        self._row_ids.pop()
+        for array in self._column_data.values():
+            array.pop()
+        del self._slots[row_id]
         self.version += 1
 
     # -- access --------------------------------------------------------------
 
-    def _row(self, row_id: int) -> ShareRow:
+    def _slot(self, row_id: int) -> int:
         try:
-            return self.rows[row_id]
+            return self._slots[row_id]
         except KeyError:
             raise ProviderError(
                 f"table {self.name}: no row with id {row_id}"
             ) from None
 
     def get(self, row_id: int) -> ShareRow:
-        return dict(self._row(row_id))
+        """One row materialized as a dict (result assembly, not scans)."""
+        slot = self._slot(row_id)
+        return {
+            column: self._column_data[column][slot] for column in self.columns
+        }
+
+    def value(self, row_id: int, column: str) -> Optional[int]:
+        """One cell, no row materialization."""
+        return self._column_data[column][self._slot(row_id)]
 
     def has_row(self, row_id: int) -> bool:
-        return row_id in self.rows
+        return row_id in self._slots
+
+    def has_column(self, column: str) -> bool:
+        return column in self._column_set
+
+    def column_array(self, column: str) -> Sequence[Optional[int]]:
+        """The live share array for ``column``, indexed by slot.
+
+        Zero-copy: callers must treat it as read-only and must not hold it
+        across mutations (slots move on delete).
+        """
+        try:
+            return self._column_data[column]
+        except KeyError:
+            raise ProviderError(
+                f"table {self.name}: unknown column {column!r}"
+            ) from None
+
+    def slot_of(self, row_id: int) -> int:
+        return self._slot(row_id)
+
+    def slots_for(self, row_ids: Iterable[int]) -> List[int]:
+        """Slots for many row ids (raises on any missing id)."""
+        try:
+            return list(map(self._slots.__getitem__, row_ids))
+        except KeyError as exc:
+            raise ProviderError(
+                f"table {self.name}: no row with id {exc.args[0]}"
+            ) from None
+
+    def values_for_rows(
+        self, column: str, row_ids: Iterable[int]
+    ) -> List[Optional[int]]:
+        """One column's shares for many rows: the fused scan kernel.
+
+        Chains the row-id→slot map into the column array with C-level
+        ``map`` — no per-row Python frame, no row dict — which is what
+        keeps provider-side SUM/COUNT at array-read speed.
+        """
+        array = self.column_array(column)
+        try:
+            return list(
+                map(array.__getitem__, map(self._slots.__getitem__, row_ids))
+            )
+        except KeyError as exc:
+            raise ProviderError(
+                f"table {self.name}: no row with id {exc.args[0]}"
+            ) from None
+
+    # -- version-cached derived state ----------------------------------------
+
+    def _refresh_derived(self) -> None:
+        if self._derived_version != self.version:
+            self._ordered_ids = sorted(self._slots)
+            self._leaf_positions = {
+                row_id: position
+                for position, row_id in enumerate(self._ordered_ids)
+            }
+            self._derived_version = self.version
+            self.derived_rebuilds += 1
 
     def all_row_ids(self) -> List[int]:
-        return sorted(self.rows)
+        """All row ids ascending (version-cached; treat as read-only)."""
+        self._refresh_derived()
+        return self._ordered_ids
+
+    def row_position(self, row_id: int) -> int:
+        """Position of a row id in ascending row-id order (= Merkle leaf
+        index), via the version-cached position map — O(1) per lookup
+        instead of an O(n) ``list.index`` scan per call."""
+        self._refresh_derived()
+        try:
+            return self._leaf_positions[row_id]
+        except KeyError:
+            raise ProviderError(
+                f"table {self.name}: no row with id {row_id}"
+            ) from None
+
+    def materialize_rows(
+        self, slots: List[int], columns: Optional[List[str]] = None
+    ) -> List[ShareRow]:
+        """Row dicts for the given slots, via the compiled materializer.
+
+        ``columns`` (default: the full schema) must name existing columns
+        — callers validate projections.  One materializer is compiled per
+        distinct column tuple and cached on the table.
+        """
+        key = tuple(self.columns if columns is None else columns)
+        materialize = self._materializers.get(key)
+        if materialize is None:
+            if len(self._materializers) >= 32:
+                self._materializers.clear()
+            materialize = _compile_materializer(key)
+            self._materializers[key] = materialize
+        if not key:
+            return materialize(slots)
+        return materialize(slots, *(self._column_data[column] for column in key))
+
+    @property
+    def rows(self) -> Dict[int, ShareRow]:
+        """Materialized {row_id: row dict} view, ascending row id.
+
+        Compatibility/inspection surface (snapshots, tests, Merkle tree
+        construction on version change) — never a per-RPC hot path.
+        """
+        ordered = self.all_row_ids()
+        return dict(
+            zip(ordered, self.materialize_rows(self.slots_for(ordered)))
+        )
 
     def index_for(self, column: str) -> SortedShareIndex:
         try:

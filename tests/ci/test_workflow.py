@@ -89,6 +89,7 @@ class TestTier1Gate:
         )
         assert "bench_hotpath.py --check" in runs
         assert "bench_service.py --check" in runs
+        assert "bench_provider.py --check" in runs
         assert "repro.cli trace" in runs
 
     def test_editable_install_exercises_package_metadata(self, jobs):

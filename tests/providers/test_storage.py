@@ -1,9 +1,21 @@
 """Unit tests for provider-side share storage."""
 
+import random
+
 import pytest
 
 from repro.errors import ProviderError
 from repro.providers.storage import ShareStore, ShareTable, SortedShareIndex
+
+
+def reference_entries(table, column):
+    """Index entries recomputed from the materialized rows — the ground
+    truth any index state must match."""
+    return sorted(
+        (row[column], rid)
+        for rid, row in table.rows.items()
+        if row[column] is not None
+    )
 
 
 class TestSortedShareIndex:
@@ -127,6 +139,249 @@ class TestShareTable:
         for rid in (5, 1, 3):
             table.insert(rid, {"a": rid})
         assert table.all_row_ids() == [1, 3, 5]
+
+
+class TestMixedDML:
+    """Index maintenance under interleaved insert/update/delete.
+
+    The indexes must never leak a stale ``(share, row_id)`` entry, and
+    value↔NULL transitions must index/deindex exactly."""
+
+    def make(self):
+        table = ShareTable("T", ["a", "b", "v"], searchable=["a", "b"])
+        table.insert_many(
+            [
+                (1, {"a": 10, "b": 5, "v": 100}),
+                (2, {"a": 20, "b": None, "v": 200}),
+                (3, {"a": None, "b": 7, "v": 300}),
+                (4, {"a": 20, "b": 9, "v": 400}),
+            ]
+        )
+        return table
+
+    def assert_indexes_consistent(self, table):
+        for column in sorted(table.searchable):
+            assert (
+                table.index_for(column).entries_in_order()
+                == reference_entries(table, column)
+            ), f"index {column} diverged from stored rows"
+
+    def test_update_searchable_reindexes(self):
+        table = self.make()
+        table.update(1, {"a": 99})
+        assert table.index_for("a").equal_row_ids(10) == []
+        assert table.index_for("a").equal_row_ids(99) == [1]
+        self.assert_indexes_consistent(table)
+
+    def test_null_transitions(self):
+        table = self.make()
+        table.update(1, {"a": None})  # value -> NULL: deindexed
+        assert table.index_for("a").equal_row_ids(10) == []
+        table.update(3, {"a": 55})  # NULL -> value: indexed
+        assert table.index_for("a").equal_row_ids(55) == [3]
+        table.update(2, {"b": 5})  # NULL -> value on second index
+        assert sorted(table.index_for("b").equal_row_ids(5)) == [1, 2]
+        self.assert_indexes_consistent(table)
+
+    def test_insert_update_delete_sequence(self):
+        table = self.make()
+        table.insert(5, {"a": 20, "b": None, "v": 500})
+        table.update(5, {"a": 21, "b": 3})
+        table.update(4, {"a": None})
+        table.delete(2)
+        table.delete(5)
+        self.assert_indexes_consistent(table)
+        # no stale entries: every indexed row id still exists
+        for column in sorted(table.searchable):
+            for _, rid in table.index_for(column).entries_in_order():
+                assert table.has_row(rid)
+
+    def test_delete_after_bulk_load_swaps_slots_correctly(self):
+        table = self.make()
+        table.delete(1)  # swap-remove moves the last slot into the hole
+        assert table.get(4) == {"a": 20, "b": 9, "v": 400}
+        assert table.value(2, "v") == 200
+        self.assert_indexes_consistent(table)
+
+    def test_randomized_dml_never_leaks_entries(self):
+        rng = random.Random(42)
+        table = ShareTable("T", ["a", "b", "v"], searchable=["a", "b"])
+        alive = []
+        next_rid = 0
+        for step in range(300):
+            action = rng.random()
+            if action < 0.45 or not alive:
+                values = {
+                    "a": rng.randrange(50) if rng.random() > 0.2 else None,
+                    "b": rng.randrange(50) if rng.random() > 0.2 else None,
+                    "v": rng.randrange(1000),
+                }
+                table.insert(next_rid, values)
+                alive.append(next_rid)
+                next_rid += 1
+            elif action < 0.8:
+                rid = rng.choice(alive)
+                column = rng.choice(["a", "b"])
+                new = rng.randrange(50) if rng.random() > 0.3 else None
+                table.update(rid, {column: new})
+            else:
+                rid = rng.choice(alive)
+                alive.remove(rid)
+                table.delete(rid)
+        for column in ("a", "b"):
+            assert (
+                table.index_for(column).entries_in_order()
+                == reference_entries(table, column)
+            )
+
+
+class TestBulkLoad:
+    """``insert_many`` fast path vs n single-row inserts."""
+
+    COLUMNS = ["a", "b", "v"]
+
+    def rows(self, n=200, seed=9):
+        rng = random.Random(seed)
+        return [
+            (
+                rid,
+                {
+                    "a": rng.randrange(40) if rng.random() > 0.1 else None,
+                    "b": rng.randrange(40) if rng.random() > 0.1 else None,
+                    "v": rng.randrange(10_000),
+                },
+            )
+            for rid in range(n)
+        ]
+
+    def test_bulk_equals_incremental(self):
+        rows = self.rows()
+        bulk = ShareTable("T", self.COLUMNS, searchable=["a", "b"])
+        assert bulk.insert_many(rows) == len(rows)
+        incremental = ShareTable("T", self.COLUMNS, searchable=["a", "b"])
+        for rid, values in rows:
+            incremental.insert(rid, values)
+        assert bulk.rows == incremental.rows
+        assert bulk.all_row_ids() == incremental.all_row_ids()
+        for column in ("a", "b"):
+            assert (
+                bulk.index_for(column).entries_in_order()
+                == incremental.index_for(column).entries_in_order()
+            )
+
+    def test_bulk_load_into_nonempty_table_merges(self):
+        rows = self.rows()
+        table = ShareTable("T", self.COLUMNS, searchable=["a", "b"])
+        table.insert_many(rows[:50])
+        table.insert_many(rows[50:])
+        assert table.rows == dict(
+            (rid, {c: values.get(c) for c in self.COLUMNS})
+            for rid, values in rows
+        )
+        for column in ("a", "b"):
+            assert (
+                table.index_for(column).entries_in_order()
+                == reference_entries(table, column)
+            )
+
+    def test_invalid_batch_fails_like_single_inserts(self):
+        """An invalid row must surface the same error, at the same row,
+        leaving the same partially-inserted state as n single inserts."""
+        batch = [
+            (1, {"a": 1, "v": 10}),
+            (2, {"zzz": 5}),
+            (3, {"a": 3, "v": 30}),
+        ]
+        bulk = ShareTable("T", self.COLUMNS, searchable=["a"])
+        with pytest.raises(ProviderError) as bulk_error:
+            bulk.insert_many(batch)
+        incremental = ShareTable("T", self.COLUMNS, searchable=["a"])
+        with pytest.raises(ProviderError) as incremental_error:
+            for rid, values in batch:
+                incremental.insert(rid, values)
+        assert str(bulk_error.value) == str(incremental_error.value)
+        assert bulk.rows == incremental.rows
+
+    def test_duplicate_rid_within_batch_rejected(self):
+        table = ShareTable("T", self.COLUMNS, searchable=["a"])
+        with pytest.raises(ProviderError):
+            table.insert_many([(1, {"a": 1}), (1, {"a": 2})])
+        assert table.rows == {1: {"a": 1, "b": None, "v": None}}
+
+    def test_empty_batch(self):
+        table = ShareTable("T", self.COLUMNS, searchable=["a"])
+        assert table.insert_many([]) == 0
+        assert len(table) == 0
+
+
+class TestDerivedStateCache:
+    def make(self):
+        table = ShareTable("T", ["a"], searchable=["a"])
+        table.insert_many([(5, {"a": 1}), (1, {"a": 2}), (3, {"a": 3})])
+        return table
+
+    def test_row_order_cached_across_reads(self):
+        table = self.make()
+        assert table.all_row_ids() == [1, 3, 5]
+        for rid, position in [(1, 0), (3, 1), (5, 2)]:
+            assert table.row_position(rid) == position
+        assert table.derived_rebuilds == 1  # one rebuild for all reads
+
+    def test_mutation_invalidates_cache(self):
+        table = self.make()
+        table.all_row_ids()
+        table.delete(3)
+        assert table.all_row_ids() == [1, 5]
+        assert table.row_position(5) == 1
+        assert table.derived_rebuilds == 2
+
+    def test_missing_row_position(self):
+        table = self.make()
+        with pytest.raises(ProviderError):
+            table.row_position(99)
+
+
+class TestColumnarKernels:
+    def make(self):
+        table = ShareTable("T", ["a", "v"], searchable=["a"])
+        table.insert_many(
+            [(1, {"a": 10, "v": 100}), (2, {"a": 20}), (3, {"v": 300})]
+        )
+        return table
+
+    def test_values_for_rows(self):
+        table = self.make()
+        assert table.values_for_rows("v", [3, 1, 2]) == [300, 100, None]
+        with pytest.raises(ProviderError):
+            table.values_for_rows("v", [1, 99])
+
+    def test_column_array_and_slots(self):
+        table = self.make()
+        array = table.column_array("a")
+        assert [array[table.slot_of(rid)] for rid in (1, 2, 3)] == [
+            10,
+            20,
+            None,
+        ]
+        with pytest.raises(ProviderError):
+            table.column_array("zzz")
+
+    def test_materialize_rows_full_and_projected(self):
+        table = self.make()
+        slots = table.slots_for([2, 3])
+        assert table.materialize_rows(slots) == [
+            {"a": 20, "v": None},
+            {"a": None, "v": 300},
+        ]
+        assert table.materialize_rows(slots, ["v"]) == [{"v": None}, {"v": 300}]
+
+    def test_materializer_safe_for_hostile_column_names(self):
+        # column names are embedded into generated code via repr; quotes
+        # and backslashes must round-trip as data, not as syntax
+        name = "x\"]; import os # '\\"
+        table = ShareTable("T", [name], searchable=[])
+        table.insert(1, {name: 7})
+        assert table.materialize_rows(table.slots_for([1])) == [{name: 7}]
 
 
 class TestShareStore:
