@@ -365,6 +365,54 @@ def cmd_serve_sim(args, out) -> int:
     return 0
 
 
+def cmd_repair(args, out) -> int:
+    from .client.repair import repair_provider, verify_repair
+
+    if args.snapshot:
+        source = load_deployment(args.snapshot)
+        print(f"loaded deployment from {args.snapshot}", file=out)
+    else:
+        source = build_source(
+            args.workload, args.rows, args.providers, args.threshold, args.seed
+        )
+    cluster = source.cluster
+    if not 0 <= args.provider < cluster.n_providers:
+        print(
+            f"error: no provider at index {args.provider} "
+            f"(cluster has {cluster.n_providers})",
+            file=out,
+        )
+        return 1
+    provider = cluster.providers[args.provider]
+    if args.simulate_loss:
+        # model a disk loss: the provider is up but its share tables are gone
+        for name in source.table_names():
+            physical = source.physical_name(name)
+            if provider.store.has_table(physical):
+                provider.store.drop_table(physical)
+        print(f"simulated storage loss at {provider.name}", file=out)
+    counts = repair_provider(source, args.provider)
+    for name in sorted(counts):
+        print(f"  repaired {name}: {counts[name]} rows", file=out)
+    report = verify_repair(source, args.provider)
+    all_consistent = all(entry["consistent"] for entry in report.values())
+    for name in sorted(report):
+        entry = report[name]
+        status = "consistent" if entry["consistent"] else "INCONSISTENT"
+        print(
+            f"  verify {name}: {entry['rows']} rows at {provider.name} vs "
+            f"{entry['quorum_rows']} at the quorum — {status}",
+            file=out,
+        )
+    network = cluster.network
+    print(
+        f"  network: {network.total_messages} messages, "
+        f"{network.total_bytes:,} bytes",
+        file=out,
+    )
+    return 0 if all_consistent else 1
+
+
 def cmd_figure1(args, out) -> int:
     from .core.shamir import figure1_shares, salaries_from_figure1
 
@@ -457,6 +505,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
 
+    repair = sub.add_parser(
+        "repair",
+        help="rebuild one provider's shares from k live peers and verify",
+    )
+    common(repair)
+    repair.add_argument(
+        "--workload", choices=("employees", "ecommerce"), default="employees"
+    )
+    repair.add_argument(
+        "--snapshot", help="repair within a saved deployment directory"
+    )
+    repair.add_argument(
+        "--provider", type=int, required=True,
+        help="index of the provider to rebuild (0-based)",
+    )
+    repair.add_argument(
+        "--simulate-loss", action="store_true",
+        help="drop the provider's share tables first (storage-loss demo)",
+    )
+
     sub.add_parser("figure1", help="print the paper's Figure 1 reproduction")
     return parser
 
@@ -473,6 +541,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_trace(args, out)
         if args.command == "serve-sim":
             return cmd_serve_sim(args, out)
+        if args.command == "repair":
+            return cmd_repair(args, out)
         if args.command == "figure1":
             return cmd_figure1(args, out)
     except ReproError as exc:

@@ -51,6 +51,7 @@ from ..sqlengine.table import Table
 from .reconstruct import (
     consistent_scalar,
     reconstruct_rows,
+    reconstruct_rows_checked,
     reconstruct_single_rows,
     rows_from_responses,
     align_by_row_id,
@@ -82,6 +83,20 @@ class DataSource:
         back to fetching both sides and joining at the client.  Default
         False: such queries raise :class:`UnsupportedQueryError`, matching
         the paper's stated capability boundary.
+    verified_reads:
+        When True, every read requests ``k + read_redundancy`` shares and
+        cross-checks them by redundant interpolation: a provider whose
+        shares (or row set) disagree with the majority is *blamed*,
+        quarantined in the cluster's health tracker, and the query is
+        transparently re-issued without it.  Results are correct with up
+        to ⌊(m−k)/2⌋ tamperers among the m responders.
+    read_redundancy:
+        Extra shares beyond k that verified reads request.  ``None`` (the
+        default) means "every live provider" — maximum detection power.
+    failover:
+        When True (the default), short read rounds re-dispatch their
+        missing sub-requests to spare live providers instead of raising
+        :class:`QuorumError` (see :meth:`ProviderCluster.broadcast`).
     """
 
     def __init__(
@@ -92,6 +107,9 @@ class DataSource:
         client_join_fallback: bool = False,
         audit: Optional[object] = None,
         namespace: str = "",
+        verified_reads: bool = False,
+        read_redundancy: Optional[int] = None,
+        failover: bool = True,
     ) -> None:
         self.cluster = cluster
         self.secrets = secrets or generate_client_secrets(
@@ -104,6 +122,15 @@ class DataSource:
             )
         self.threshold = cluster.threshold
         self.client_join_fallback = client_join_fallback
+        self.verified_reads = verified_reads
+        if read_redundancy is not None and read_redundancy < 1:
+            raise SchemaError(
+                f"read_redundancy must be >= 1 (got {read_redundancy}); "
+                "verified reads need at least one share beyond k to "
+                "cross-check"
+            )
+        self.read_redundancy = read_redundancy
+        self.failover = failover
         #: optional :class:`~repro.trust.auditing.AuditRegistry`; when set,
         #: every write is mirrored into it and verified reads are available
         self.audit = audit
@@ -560,6 +587,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=self.cluster.read_quorum(),
             quorum="first_k",
+            failover=self.failover,
         )
         aligned = align_by_row_id(rows_from_responses(responses))
         row_ids = [
@@ -614,6 +642,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=quorum,
             quorum="first_k",
+            failover=self.failover,
         )
         from .reconstruct import align_by_row_id, rows_from_responses
 
@@ -700,6 +729,8 @@ class DataSource:
         sharing = self.sharing(query.table)
         predicate = query.where.bind(sharing.schema)
         rewritten = self._rewrite(predicate, sharing)
+        if self.verified_reads:
+            return self._select_checked(sharing, query, rewritten)
         if query.is_grouped:
             return self._select_grouped(sharing, query, rewritten)
         if query.is_aggregate:
@@ -812,6 +843,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=quorum,
             quorum="first_k",
+            failover=self.failover,
         )
         lengths = {len(response["groups"]) for response in responses.values()}
         if len(lengths) != 1:
@@ -938,6 +970,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=live,
             quorum="first_k",
+            failover=self.failover,
         )
         aligned = align_by_row_id(rows_from_responses(responses))
         rows: List[Row] = []
@@ -1090,6 +1123,262 @@ class DataSource:
             strict=True,
         )
 
+    # ------------------------------------------------------- verified reads --
+
+    def _verified_extra(self) -> int:
+        """Redundant shares a verified read requests beyond k."""
+        if self.read_redundancy is not None:
+            return self.read_redundancy
+        return self.cluster.n_providers  # read_quorum caps at the cluster
+
+    def _verified_quorum(self, blamed_total: set) -> List[int]:
+        """The provider set for one verified round.
+
+        Quarantined providers (blamed by an earlier query, or repeatedly
+        unavailable) are dropped alongside this query's own blame while
+        more than k candidates remain — at least k+1 shares are needed
+        for the cross-check itself.  When the margin runs out, only the
+        currently-blamed are excluded (while ≥ k others remain); past
+        that point even they re-enter as a last resort (any k shares
+        still reconstruct — robust decoding outvotes a minority tamperer
+        even when it must be addressed).
+        """
+        candidates = set(range(self.cluster.n_providers))
+        quarantined = {
+            i for i in candidates if self.cluster.health.is_quarantined(i)
+        }
+        exclude: Tuple[int, ...] = ()
+        if (quarantined or blamed_total) and (
+            len(candidates - quarantined - blamed_total) > self.threshold
+        ):
+            exclude = tuple(sorted(quarantined | blamed_total))
+        elif blamed_total and len(candidates - blamed_total) >= self.threshold:
+            exclude = tuple(sorted(blamed_total))
+        return self.cluster.read_quorum(
+            extra=self._verified_extra(), exclude=exclude
+        )
+
+    def _quarantine_blamed(self, blamed: List[int]) -> None:
+        for index in blamed:
+            self.cluster.health.quarantine(index, reason="blamed")
+
+    def _select_checked(
+        self,
+        sharing: TableSharing,
+        query: Select,
+        rewritten: RewrittenPredicate,
+    ) -> Union[List[Row], object]:
+        """The verified-read SELECT path (``verified_reads=True``).
+
+        Fetches the matching rows with redundant shares and checked
+        reconstruction (:func:`reconstruct_rows_checked`), then computes
+        aggregates/grouping **client-side** from the verified rows —
+        provider-computed partials cannot carry blame, verified rows can.
+        The price is fetching rows an honest provider would have
+        pre-aggregated; the benchmark quantifies it.
+        """
+        if rewritten.provably_empty:
+            if query.is_aggregate and not query.is_grouped:
+                return compute_aggregate(query.aggregate, [])
+            return []
+        rows = self._fetch_rows_checked(query.table, sharing, rewritten)
+        if query.is_grouped:
+            from ..sqlengine.executor import compute_group_aggregate
+
+            sharing.schema.column(query.group_by)
+            return compute_group_aggregate(
+                query.aggregate, query.group_by, rows
+            )
+        if query.is_aggregate:
+            return compute_aggregate(query.aggregate, rows)
+        for name in query.columns:
+            sharing.schema.column(name)
+        if query.order_by is not None:
+            from ..sqlengine.schema import python_value_sort_key
+
+            order_column = sharing.schema.column(query.order_by)
+            rows.sort(
+                key=lambda r: python_value_sort_key(
+                    order_column, r.get(query.order_by)
+                ),
+                reverse=query.descending,
+            )
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        if query.columns:
+            rows = [{name: row[name] for name in query.columns} for row in rows]
+        return rows
+
+    def _fetch_rows_checked(
+        self,
+        table_name: str,
+        sharing: TableSharing,
+        rewritten: RewrittenPredicate,
+    ) -> List[Row]:
+        """Fetch matching rows with cross-checking, blame, and re-issue.
+
+        Each round requests k + redundancy shares from the health-ordered
+        quorum and waits for the full round (``quorum="all"`` — every
+        response participates in the cross-check).  Blamed providers are
+        quarantined and the query re-issues without them; the loop is
+        bounded by the cluster size, and the last round's rows are
+        returned regardless — robust decoding already masked the
+        minority, re-issuing is about *evicting* it.
+        """
+        blamed_total: set = set()
+        rows: List[Row] = []
+        for round_number in range(max(1, self.cluster.n_providers)):
+            quorum = self._verified_quorum(blamed_total)
+            self._record_rewrite_cost(rewritten, len(quorum))
+            responses = self._broadcast(
+                "select",
+                lambda i: {
+                    "table": table_name,
+                    "conditions": rewritten.conditions_for(sharing, i),
+                    "projection": None,
+                },
+                minimum=self.threshold,
+                provider_indexes=quorum,
+                quorum="all",
+                failover=self.failover,
+            )
+            rows, blamed = reconstruct_rows_checked(
+                sharing,
+                responses,
+                residual=rewritten.residual,
+                cost=self.cost,
+            )
+            if not blamed:
+                return rows
+            self._quarantine_blamed(blamed)
+            blamed_total.update(blamed)
+            telemetry.count("verified.reissued", table=table_name)
+        return rows
+
+    def _join_checked(
+        self,
+        query: JoinSelect,
+        left: TableSharing,
+        right: TableSharing,
+        left_rw: RewrittenPredicate,
+        right_rw: RewrittenPredicate,
+        residual: Predicate,
+    ) -> List[Row]:
+        """Verified provider-side join: checked pair reconstruction."""
+        blamed_total: set = set()
+        results: List[Row] = []
+        for round_number in range(max(1, self.cluster.n_providers)):
+            quorum = self._verified_quorum(blamed_total)
+            self._record_rewrite_cost(left_rw, len(quorum))
+            self._record_rewrite_cost(right_rw, len(quorum))
+            responses = self._broadcast(
+                "join",
+                lambda i: {
+                    "left": query.left_table,
+                    "right": query.right_table,
+                    "left_column": query.left_column,
+                    "right_column": query.right_column,
+                    "left_conditions": left_rw.conditions_for(left, i),
+                    "right_conditions": right_rw.conditions_for(right, i),
+                    "projection_left": None,
+                    "projection_right": None,
+                },
+                minimum=self.threshold,
+                provider_indexes=quorum,
+                quorum="all",
+                failover=self.failover,
+            )
+            results, blamed = self._check_join_responses(
+                query, left, right, residual, responses
+            )
+            if not blamed:
+                return results
+            self._quarantine_blamed(blamed)
+            blamed_total.update(blamed)
+            telemetry.count("verified.reissued", table=query.left_table)
+        return results
+
+    def _check_join_responses(
+        self,
+        query: JoinSelect,
+        left: TableSharing,
+        right: TableSharing,
+        residual: Predicate,
+        responses: Dict[int, Dict],
+    ) -> Tuple[List[Row], List[int]]:
+        """Cross-check joined pairs; returns ``(rows, blamed_indexes)``.
+
+        Pair presence follows the same strict-majority rule as row
+        presence in :func:`reconstruct_rows_checked`; each side of every
+        surviving pair is decoded with blame.
+        """
+        from ..errors import ReconstructionError
+
+        aligned: Dict[Tuple[int, int], Dict[int, Tuple[ShareRow, ShareRow]]] = {}
+        for index, response in responses.items():
+            for lid, rid, lrow, rrow in response["rows"]:
+                aligned.setdefault((lid, rid), {})[index] = (lrow, rrow)
+        responding = set(responses)
+        blamed: set = set()
+        results: List[Row] = []
+        pairs: List[Dict[int, Tuple[ShareRow, ShareRow]]] = []
+        for (lid, rid), per_provider in sorted(aligned.items()):
+            present = set(per_provider)
+            absent = responding - present
+            if absent:
+                if len(present) * 2 > len(responding):
+                    telemetry.count("faults.detected", kind="omission")
+                    blamed.update(absent)
+                elif len(present) * 2 < len(responding):
+                    telemetry.count("faults.detected", kind="fabrication")
+                    blamed.update(present)
+                    continue
+                else:
+                    raise ReconstructionError(
+                        f"join pair ({lid}, {rid}): presence tie — providers "
+                        f"{sorted(present)} returned it, {sorted(absent)} did "
+                        "not; no majority to decide"
+                    )
+            if len(per_provider) < self.threshold:
+                continue
+            pairs.append(per_provider)
+
+        def _decode_pair(per_provider) -> None:
+            left_row, left_bad = left.reconstruct_row_checked(
+                {i: pair[0] for i, pair in per_provider.items()},
+                suspects=blamed,
+            )
+            right_row, right_bad = right.reconstruct_row_checked(
+                {i: pair[1] for i, pair in per_provider.items()},
+                suspects=blamed,
+            )
+            if left_bad or right_bad:
+                telemetry.count("faults.detected", kind="tamper")
+            blamed.update(left_bad)
+            blamed.update(right_bad)
+            self.cost.record("interpolate", len(left_row) + len(right_row))
+            merged = {
+                f"{query.left_table}.{k}": v for k, v in left_row.items()
+            }
+            merged.update(
+                {f"{query.right_table}.{k}": v for k, v in right_row.items()}
+            )
+            if residual.matches(merged):
+                results.append(merged)
+
+        # ambiguous robust votes (possible at exactly k+1 shares) defer
+        # until blame from the other pairs has accumulated, then re-raise
+        # if the evidence still cannot break the tie
+        deferred = []
+        for per_provider in pairs:
+            try:
+                _decode_pair(per_provider)
+            except ReconstructionError:
+                deferred.append(per_provider)
+        for per_provider in deferred:
+            _decode_pair(per_provider)
+        return _project_qualified(results, query.columns), sorted(blamed)
+
     def _select_aggregate(
         self,
         sharing: TableSharing,
@@ -1136,6 +1425,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=quorum,
             quorum="first_k",
+            failover=self.failover,
         )
         self._record_rewrite_cost(rewritten, len(quorum))
         if func is AggregateFunc.COUNT:
@@ -1189,6 +1479,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=quorum,
             quorum="first_k",
+            failover=self.failover,
         )
 
     def _record_rewrite_cost(
@@ -1236,6 +1527,10 @@ class DataSource:
                     "client_join_fallback to join at the client instead"
                 )
             return self._client_side_join(query, left_rw, right_rw, residual)
+        if self.verified_reads:
+            return self._join_checked(
+                query, left, right, left_rw, right_rw, residual
+            )
         quorum = self.cluster.read_quorum()
         self._record_rewrite_cost(left_rw, len(quorum))
         self._record_rewrite_cost(right_rw, len(quorum))
@@ -1254,6 +1549,7 @@ class DataSource:
             minimum=self.threshold,
             provider_indexes=quorum,
             quorum="first_k",
+            failover=self.failover,
         )
         # align joined pairs across providers by (left_id, right_id)
         aligned: Dict[Tuple[int, int], Dict[int, Tuple[ShareRow, ShareRow]]] = {}

@@ -103,6 +103,105 @@ def reconstruct_rows(
         return out
 
 
+def reconstruct_rows_checked(
+    sharing: TableSharing,
+    responses: Dict[int, Dict],
+    residual: Optional[Predicate] = None,
+    columns: Optional[List[str]] = None,
+    cost: Optional[CostRecorder] = None,
+) -> Tuple[List[Dict[str, object]], List[int]]:
+    """Reconstruct with cross-checking; returns ``(rows, blamed_indexes)``.
+
+    The verified-read primitive: the caller fans out to **more** than k
+    providers, and every column of every row is decoded robustly with
+    blame — a provider whose share does not lie on the winning polynomial
+    (or, for order-preserving columns, does not match the deterministic
+    recomputed share) lands in the blame list.  Row-presence is checked
+    too: a provider that omits a row a strict majority returned (or
+    fabricates one a strict majority did not) is blamed.  An exact
+    presence tie raises — there is no majority to trust.
+
+    The caller decides policy (quarantine + re-issue); this function only
+    reports.
+    """
+    with telemetry.span("reconstruct_checked", table=sharing.schema.name) as sp:
+        provider_rows = rows_from_responses(responses)
+        aligned = align_by_row_id(provider_rows)
+        threshold = sharing.threshold
+        residual = residual or TruePredicate()
+        needs_residual = not isinstance(residual, TruePredicate)
+        responding = set(responses)
+        blamed: set = set()
+        out: List[Optional[Dict[str, object]]] = []
+        # rows whose robust vote tied with no blame evidence yet; retried
+        # below once blame has accumulated from the rest of the result set
+        deferred: List[Tuple[int, Dict[int, ShareRow]]] = []
+
+        def _emit(row: Dict[str, object], position: Optional[int] = None) -> None:
+            if cost is not None:
+                cost.record("interpolate", len(row))
+            final: Optional[Dict[str, object]] = row
+            if needs_residual and not residual.matches(row):
+                final = None
+            elif columns:
+                final = {name: row[name] for name in columns}
+            if position is None:
+                if final is not None:
+                    out.append(final)
+            else:
+                out[position] = final
+
+        for row_id, share_rows in aligned.items():
+            present = set(share_rows)
+            absent = responding - present
+            if absent:
+                if len(present) * 2 > len(responding):
+                    # majority returned the row: the absentees omitted it
+                    for index in sorted(absent):
+                        telemetry.count(
+                            "faults.detected", kind="omission", provider=str(index)
+                        )
+                    blamed.update(absent)
+                elif len(present) * 2 < len(responding):
+                    # majority did not return it: the row is fabricated
+                    telemetry.count("faults.detected", kind="fabrication")
+                    blamed.update(present)
+                    continue
+                else:
+                    raise ReconstructionError(
+                        f"row {row_id}: presence tie — providers "
+                        f"{sorted(present)} returned it, {sorted(absent)} "
+                        "did not; no majority to decide"
+                    )
+            if len(share_rows) < threshold:
+                continue
+            try:
+                row, bad = sharing.reconstruct_row_checked(
+                    share_rows, suspects=blamed
+                )
+            except ReconstructionError:
+                out.append(None)
+                deferred.append((len(out) - 1, share_rows))
+                continue
+            if bad:
+                telemetry.count("faults.detected", kind="tamper")
+            blamed.update(bad)
+            _emit(row)
+        for position, share_rows in deferred:
+            # still ambiguous with all accumulated blame → re-raises here
+            row, bad = sharing.reconstruct_row_checked(
+                share_rows, suspects=blamed
+            )
+            if bad:
+                telemetry.count("faults.detected", kind="tamper")
+            blamed.update(bad)
+            _emit(row, position)
+        if deferred:
+            out = [row for row in out if row is not None]
+        sp.set(rows_out=len(out), blamed=len(blamed))
+        return out, sorted(blamed)
+
+
 def reconstruct_single_rows(
     sharing: TableSharing,
     responses: Dict[int, Dict],

@@ -268,6 +268,23 @@ class OrderPreservingScheme:
             )
         return best_value
 
+    def reconstruct_robust_with_blame(
+        self, shares: Dict[int, int]
+    ) -> Tuple[int, List[int]]:
+        """Robust reconstruction plus the indexes of disagreeing shares.
+
+        Determinism makes blame free: once the robust vote picks a value,
+        every supplied share is checked against the recomputed
+        deterministic share — mismatches are the tamperers.
+        """
+        value = self.reconstruct_robust(shares)
+        blamed = [
+            index
+            for index, share in sorted(shares.items())
+            if not self.verify_share(value, index, share)
+        ]
+        return value, blamed
+
     def verify_share(self, value: int, provider_index: int, share: int) -> bool:
         """Check a claimed share against the deterministic construction.
 

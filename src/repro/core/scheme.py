@@ -198,12 +198,24 @@ class TableSharing:
 
         Tolerates a minority of tampered shares (including shares flipped
         to/from NULL): NULL wins only with a strict majority of None
-        entries; otherwise the non-NULL shares are decoded robustly.
+        entries; otherwise the non-NULL shares are decoded robustly.  An
+        exact tie between NULL and non-NULL providers has no majority to
+        decide it — that is corruption evidence, not a decodable state,
+        and raises a :class:`ReconstructionError` naming both camps
+        (robust decoding of the non-NULL half alone could fall below k
+        shares and die with a misleading low-level error).
         """
         nulls = sum(1 for share in shares.values() if share is None)
         if nulls * 2 > len(shares):
             return None
         non_null = {i: s for i, s in shares.items() if s is not None}
+        if nulls and nulls * 2 == len(shares):
+            raise ReconstructionError(
+                f"column {column}: NULL-presence tie — providers "
+                f"{sorted(set(shares) - set(non_null))} returned NULL while "
+                f"providers {sorted(non_null)} returned shares; no majority "
+                "to decide which camp is corrupt"
+            )
         if column in self._op:
             encoded = self._op[column].reconstruct_robust(non_null)
         else:
@@ -229,6 +241,87 @@ class TableSharing:
             )
             for column in names
         }
+
+    def reconstruct_value_checked(
+        self,
+        column: str,
+        shares: Dict[int, Optional[int]],
+        suspects: Sequence[int] = (),
+    ) -> Tuple[object, List[int]]:
+        """Robust value plus the provider indexes whose shares disagree.
+
+        The verified-read path's primitive: decodes like
+        :meth:`reconstruct_value_robust` but also *blames* — returns the
+        indexes whose supplied share does not lie on the winning
+        polynomial (random columns) or match the deterministic
+        recomputed share (order-preserving columns).  NULL handling: the
+        majority camp wins and the minority camp is blamed; an exact tie
+        raises (no majority to trust).
+
+        ``suspects`` — providers already blamed elsewhere (other columns
+        or rows) — break otherwise-ambiguous robust votes on random
+        columns; at exactly k+1 shares the k-subset vote alone cannot
+        isolate one bad share, but deterministic evidence from the row's
+        order-preserving columns can.
+        """
+        nulls = {i for i, s in shares.items() if s is None}
+        non_null = {i: s for i, s in shares.items() if s is not None}
+        if len(nulls) * 2 > len(shares):
+            return None, sorted(non_null)
+        if nulls and len(nulls) * 2 == len(shares):
+            raise ReconstructionError(
+                f"column {column}: NULL-presence tie — providers "
+                f"{sorted(nulls)} returned NULL while providers "
+                f"{sorted(non_null)} returned shares; no majority to "
+                "decide which camp is corrupt"
+            )
+        if column in self._op:
+            encoded, blamed = self._op[column].reconstruct_robust_with_blame(
+                non_null
+            )
+        else:
+            element, blamed = self.random_scheme.reconstruct_robust_with_blame(
+                non_null, suspects=suspects
+            )
+            encoded = self.random_scheme.field.decode_signed(element)
+        return self.decode(column, encoded), sorted(set(blamed) | nulls)
+
+    def reconstruct_row_checked(
+        self,
+        share_rows: Dict[int, ShareRow],
+        columns: Optional[List[str]] = None,
+        suspects: Sequence[int] = (),
+    ) -> Tuple[Dict[str, object], List[int]]:
+        """Checked variant of :meth:`reconstruct_row_robust` with blame.
+
+        Returns ``(row, blamed_indexes)`` where the blame list is the
+        union over columns of providers whose shares were inconsistent
+        with the robust-decoded value.
+
+        Order-preserving columns are decoded first: their shares are
+        deterministic, so blame from them is unconditional, and it then
+        disambiguates random-column votes that would otherwise tie at
+        exactly k+1 shares (one tampered share there makes every
+        k-subset a majority candidate).  ``suspects`` seeds that blame
+        set with evidence the caller accumulated from other rows.
+        """
+        if len(share_rows) < self.threshold:
+            raise ReconstructionError(
+                f"need shares from at least k={self.threshold} providers, "
+                f"got {len(share_rows)}"
+            )
+        names = columns if columns is not None else self.schema.column_names
+        row: Dict[str, object] = {}
+        row_blamed: set = set()
+        for column in sorted(names, key=lambda c: c not in self._op):
+            value, bad = self.reconstruct_value_checked(
+                column,
+                {index: r.get(column) for index, r in share_rows.items()},
+                suspects=row_blamed | set(suspects),
+            )
+            row[column] = value
+            row_blamed.update(bad)
+        return {column: row[column] for column in names}, sorted(row_blamed)
 
     def reconstruct_row(
         self, share_rows: Dict[int, ShareRow], columns: Optional[List[str]] = None

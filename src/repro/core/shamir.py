@@ -193,6 +193,43 @@ class ShamirScheme:
         Cost is ``C(m, k)`` interpolations — fine for the paper's n ≤ 9
         provider deployments, and only paid on the robust path.
         """
+        return self._robust_decode(shares)[0]
+
+    def reconstruct_robust_with_blame(
+        self, shares: Dict[int, int], suspects: Sequence[int] = ()
+    ) -> Tuple[int, List[int]]:
+        """Robust reconstruction plus the indexes of disagreeing shares.
+
+        The verified-read path uses the blame list to quarantine the
+        provider(s) whose shares did not lie on the winning polynomial.
+        An empty list means every supplied share was consistent.
+
+        ``suspects`` carries outside blame evidence (e.g. from the same
+        row's order-preserving columns, where per-share verification is
+        deterministic) and is only consulted to break ties — see
+        :meth:`_robust_decode`.
+        """
+        secret, poly, items = self._robust_decode(shares, suspects)
+        blamed = [
+            index
+            for index, value in items
+            if poly.evaluate(self.secrets.point_for(index)) != value
+        ]
+        return secret, blamed
+
+    def _robust_decode(self, shares: Dict[int, int], suspects: Sequence[int] = ()):
+        """Shared k-subset vote; returns (secret, winning poly, items).
+
+        At exactly ``m = k + 1`` shares with one bad share, *every*
+        k-subset polynomial explains its own k members — a strict
+        majority each — so the vote alone cannot identify the liar (the
+        Reed–Solomon unique-decoding radius ``⌊(m−k)/2⌋`` is zero).
+        Rather than pick arbitrarily (and possibly blame an honest
+        provider), a top-vote tie between distinct candidates raises —
+        unless exactly one tied candidate's disagreeing shares all come
+        from already-``suspects`` providers, in which case outside
+        evidence disambiguates and that candidate wins.
+        """
         import itertools
 
         if len(shares) < self.threshold:
@@ -202,8 +239,7 @@ class ShamirScheme:
         from .polynomial import interpolate_field_polynomial
 
         items = sorted(shares.items())
-        best_votes = -1
-        best_secret: int = 0
+        candidates = []
         seen_candidates = set()
         for subset in itertools.combinations(items, self.threshold):
             poly = interpolate_field_polynomial(
@@ -219,9 +255,8 @@ class ShamirScheme:
                 for index, value in items
                 if poly.evaluate(self.secrets.point_for(index)) == value
             )
-            if votes > best_votes:
-                best_votes = votes
-                best_secret = candidate
+            candidates.append((votes, candidate, poly))
+        best_votes = max(votes for votes, _, _ in candidates)
         # require the winning polynomial to explain a strict majority —
         # otherwise an adversary controlling half the shares could forge
         if best_votes * 2 <= len(items):
@@ -230,7 +265,56 @@ class ShamirScheme:
                 f"{len(items)} shares (best: {best_votes}); too many shares "
                 "are corrupt to decode"
             )
-        return best_secret
+        winners = [c for c in candidates if c[0] == best_votes]
+        if len(winners) > 1 and suspects:
+            suspect_set = set(suspects)
+            exonerated = [
+                (votes, candidate, poly)
+                for votes, candidate, poly in winners
+                if all(
+                    index in suspect_set
+                    for index, value in items
+                    if poly.evaluate(self.secrets.point_for(index)) != value
+                )
+            ]
+            if len(exonerated) == 1:
+                winners = exonerated
+        if len(winners) > 1:
+            raise ReconstructionError(
+                f"ambiguous robust decode: {len(winners)} distinct candidate "
+                f"polynomials each explain {best_votes} of {len(items)} "
+                "shares; cannot identify the corrupt minority without more "
+                "shares or outside blame evidence"
+            )
+        _, best_secret, best_poly = winners[0]
+        return best_secret, best_poly, items
+
+    # -- share extension (provider repair) -----------------------------------
+
+    def extend_share(self, shares: Dict[int, int], target_index: int) -> int:
+        """Evaluate the sharing polynomial at another provider's point.
+
+        Any k consistent shares determine the degree-(k−1) polynomial
+        ``q``; a recovered/stale provider's correct share is simply
+        ``q(x_target)``.  This is the cheap repair primitive fVSS-style
+        schemes are built around: the target's share column is rebuilt
+        from k live providers and **no other provider's share changes**
+        (the polynomial itself is unchanged, so audit hashes recorded at
+        write time remain valid).
+        """
+        if len(shares) < self.threshold:
+            raise ReconstructionError(
+                f"share extension needs k={self.threshold} source shares, "
+                f"got {len(shares)}"
+            )
+        from .polynomial import interpolate_field_polynomial
+
+        chosen = sorted(shares.items())[: self.threshold]
+        poly = interpolate_field_polynomial(
+            self.field,
+            [(self.secrets.point_for(i), v) for i, v in chosen],
+        )
+        return poly.evaluate(self.secrets.point_for(target_index))
 
     # -- aggregate combination (Sec. V-A) ------------------------------------
 

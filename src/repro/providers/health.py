@@ -1,0 +1,163 @@
+"""Provider health tracking: consecutive-failure quarantine with cooldown.
+
+The resilience layer's memory.  Every fan-out round reports per-provider
+outcomes here; a provider that fails ``quarantine_after`` consecutive
+RPCs is quarantined for ``cooldown_seconds`` of *modelled* network time
+(the cluster passes its simulated clock in, so quarantine expiry is
+deterministic per seed — no wall time anywhere).  The verified-read path
+also quarantines explicitly when redundant interpolation blames a
+provider for inconsistent shares.
+
+:meth:`preferred_order` is what :meth:`ProviderCluster.read_quorum`
+consults: healthy providers first (index order), quarantined providers
+last — still selectable as a last resort when fewer than k healthy
+providers remain, because a degraded answer beats no answer and robust
+decoding can still outvote a tamperer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import telemetry
+from ..errors import ConfigurationError
+
+
+@dataclass
+class _ProviderHealth:
+    """Mutable per-provider state (internal)."""
+
+    consecutive_failures: int = 0
+    quarantined_until: Optional[float] = None
+    quarantine_reason: str = ""
+    times_quarantined: int = 0
+
+
+class HealthTracker:
+    """Consecutive-failure quarantine with a deterministic cooldown.
+
+    Parameters
+    ----------
+    n_providers:
+        Size of the cluster this tracker watches.
+    quarantine_after:
+        Consecutive failed RPCs before a provider is quarantined.
+    cooldown_seconds:
+        How long (modelled seconds) a quarantine lasts; after expiry the
+        provider rejoins the preferred order with a clean failure count.
+    clock:
+        Zero-argument callable returning the current modelled time; the
+        cluster injects its simulated network's clock.
+    """
+
+    def __init__(
+        self,
+        n_providers: int,
+        quarantine_after: int = 2,
+        cooldown_seconds: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if n_providers < 1:
+            raise ConfigurationError(
+                f"health tracker needs at least one provider, got {n_providers}"
+            )
+        if quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        if cooldown_seconds < 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self.quarantine_after = quarantine_after
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._names = list(names) if names is not None else [
+            str(i) for i in range(n_providers)
+        ]
+        self._states = [_ProviderHealth() for _ in range(n_providers)]
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_failure(self, index: int, reason: str = "unavailable") -> None:
+        """One failed RPC; quarantines after ``quarantine_after`` in a row."""
+        state = self._states[index]
+        state.consecutive_failures += 1
+        if (
+            state.consecutive_failures >= self.quarantine_after
+            and not self.is_quarantined(index)
+        ):
+            self.quarantine(index, reason)
+
+    def record_success(self, index: int) -> None:
+        """One successful RPC; resets the consecutive-failure count.
+
+        Transport-level success does **not** lift an active quarantine —
+        a tampering provider answers promptly; only cooldown expiry (or
+        an explicit :meth:`release`, e.g. after repair) readmits it.
+        """
+        self._states[index].consecutive_failures = 0
+
+    # -- quarantine lifecycle ------------------------------------------------
+
+    def quarantine(self, index: int, reason: str = "blamed") -> None:
+        """Quarantine a provider for ``cooldown_seconds`` from now."""
+        state = self._states[index]
+        state.quarantined_until = self._clock() + self.cooldown_seconds
+        state.quarantine_reason = reason
+        state.times_quarantined += 1
+        telemetry.count(
+            "health.quarantined", provider=self._names[index], reason=reason
+        )
+
+    def release(self, index: int) -> None:
+        """Lift a quarantine explicitly (e.g. after a successful repair)."""
+        state = self._states[index]
+        state.quarantined_until = None
+        state.quarantine_reason = ""
+        state.consecutive_failures = 0
+
+    def is_quarantined(self, index: int) -> bool:
+        """Whether a provider is currently quarantined (lazy expiry)."""
+        state = self._states[index]
+        if state.quarantined_until is None:
+            return False
+        if self._clock() >= state.quarantined_until:
+            # cooldown over: readmit with a clean slate
+            self.release(index)
+            return False
+        return True
+
+    # -- selection -----------------------------------------------------------
+
+    def preferred_order(self, indexes: Sequence[int]) -> List[int]:
+        """Order candidates for quorum selection: healthy first.
+
+        Both groups keep ascending index order so selection stays
+        deterministic; quarantined providers trail as a last resort.
+        """
+        healthy = [i for i in indexes if not self.is_quarantined(i)]
+        quarantined = [i for i in indexes if self.is_quarantined(i)]
+        return healthy + quarantined
+
+    # -- introspection ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-provider health summary (CLI/benchmark reports)."""
+        now = self._clock()
+        out: Dict[str, Dict[str, object]] = {}
+        for index, state in enumerate(self._states):
+            out[self._names[index]] = {
+                "consecutive_failures": state.consecutive_failures,
+                "quarantined": self.is_quarantined(index),
+                "quarantine_reason": state.quarantine_reason,
+                "times_quarantined": state.times_quarantined,
+                "cooldown_remaining": (
+                    round(max(0.0, state.quarantined_until - now), 6)
+                    if state.quarantined_until is not None
+                    else 0.0
+                ),
+            }
+        return out

@@ -63,14 +63,22 @@ class ShareProvider:
     # -- fault management ------------------------------------------------------
 
     def inject_fault(self, fault: Fault) -> None:
-        self.fault = fault
+        # binding derives the fault's RNG stream from this provider's name,
+        # so identically-configured faults misbehave independently
+        self.fault = fault.bind(self.name)
 
     def clear_fault(self) -> None:
         self.fault = None
 
     def _check_available(self) -> None:
-        if self.fault is not None and self.fault.is_crash:
-            telemetry.count("faults.crash_refusals", provider=self.name)
+        fault = self.fault
+        if fault is None:
+            return
+        if fault.on_request():
+            if fault.is_crash:
+                telemetry.count("faults.crash_refusals", provider=self.name)
+            else:
+                telemetry.count("faults.flaky_refusals", provider=self.name)
             raise ProviderUnavailableError(f"provider {self.name} is down")
 
     # -- RPC dispatch -------------------------------------------------------------

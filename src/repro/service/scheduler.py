@@ -202,9 +202,27 @@ class FanoutBatcher:
             responses = self.cluster.call_all(
                 "batch", combined, minimum, quorum=quorum
             )
+        except _errors.QuorumError as exc:
+            # quorum loss in the combined round: demultiplex the partial
+            # responses per ticket so each rider's QuorumError carries its
+            # own resumable partial round (the shared exception would carry
+            # batch envelopes, which are useless to a failover continuation)
+            partial = getattr(exc, "partial_responses", {}) or {}
+            failures = dict(getattr(exc, "failures", {}) or {})
+            for position, ticket in enumerate(tickets):
+                error = _errors.QuorumError(str(exc))
+                ok = {}
+                for index, envelope in partial.items():
+                    entry = envelope["responses"][position]
+                    if entry[0] == "ok":
+                        ok[index] = entry[1]
+                error.partial_responses = ok
+                error.failures = failures
+                ticket.error = error
+                ticket.event.set()
+            return
         except BaseException as exc:
-            # whole-round failure (quorum loss, unavailable providers):
-            # every rider fails the same way
+            # whole-round failure: every rider fails the same way
             for ticket in tickets:
                 ticket.error = exc
                 ticket.event.set()
@@ -234,10 +252,14 @@ class FanoutBatcher:
             _, name, message = failed[0]
             ticket.error = _rebuild_error(name, message)
         elif len(ok) < required:
-            ticket.error = _errors.QuorumError(
+            error = _errors.QuorumError(
                 f"{ticket.method}: only {len(ok)}/{len(ticket.requests)} "
                 f"providers answered in combined round (need {required})"
             )
+            # let a failover-capable caller resume from the partial round
+            error.partial_responses = ok
+            error.failures = {index: message for index, _, message in failed}
+            ticket.error = error
         else:
             ticket.result = ok
 
@@ -289,6 +311,7 @@ class BatchingCluster:
         minimum: Optional[int] = None,
         provider_indexes: Optional[List[int]] = None,
         quorum: str = "all",
+        failover: bool = False,
     ) -> Dict[int, Dict]:
         indexes = (
             provider_indexes
@@ -296,7 +319,26 @@ class BatchingCluster:
             else list(range(self._cluster.n_providers))
         )
         requests = {i: request_builder(i) for i in indexes}
-        return self.batcher.broadcast(method, requests, minimum, quorum)
+        try:
+            return self.batcher.broadcast(method, requests, minimum, quorum)
+        except _errors.QuorumError as exc:
+            if not failover or minimum is None:
+                raise
+            # resume from the partial responses the batched round carried;
+            # the continuation is an ordinary (serialised) spare round on
+            # the wrapped cluster, outside the combining barrier
+            partial = dict(getattr(exc, "partial_responses", {}) or {})
+            failures = dict(getattr(exc, "failures", {}) or {})
+            with self.batcher.dispatch_lock:
+                return self._cluster.failover_spares(
+                    method,
+                    request_builder,
+                    partial,
+                    set(requests) | set(partial),
+                    minimum,
+                    quorum,
+                    failures,
+                )
 
     def call_one(self, provider_index: int, method: str, request: Dict) -> Dict:
         # single-provider traffic is not batched, but still serialised

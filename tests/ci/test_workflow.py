@@ -15,7 +15,14 @@ yaml = pytest.importorskip("yaml")
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
 
-EXPECTED_JOBS = {"lint", "tests", "bench-smoke", "editable-install", "coverage"}
+EXPECTED_JOBS = {
+    "lint",
+    "tests",
+    "bench-smoke",
+    "chaos-smoke",
+    "editable-install",
+    "coverage",
+}
 
 
 @pytest.fixture(scope="module")
@@ -90,7 +97,16 @@ class TestTier1Gate:
         assert "bench_hotpath.py --check" in runs
         assert "bench_service.py --check" in runs
         assert "bench_provider.py --check" in runs
+        assert "bench_resilience.py --check" in runs
         assert "repro.cli trace" in runs
+
+    def test_chaos_smoke_runs_fault_matrix_and_gates(self, jobs):
+        runs = " ".join(
+            s["run"] for s in jobs["chaos-smoke"]["steps"] if "run" in s
+        )
+        assert "tests/integration/test_fault_matrix.py" in runs
+        assert "bench_resilience.py --check" in runs
+        assert "repro.cli repair" in runs
 
     def test_editable_install_exercises_package_metadata(self, jobs):
         runs = " ".join(

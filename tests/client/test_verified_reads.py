@@ -1,0 +1,125 @@
+"""End-to-end tests for verified-read mode (blame, quarantine, re-issue)."""
+
+import pytest
+
+from repro import DataSource, ProviderCluster, telemetry
+from repro.errors import SchemaError
+from repro.providers.failures import Fault, FailureMode
+from repro.sqlengine.executor import rows_equal_unordered
+from repro.workloads.employees import employees_table, managers_table
+
+QUERIES = [
+    "SELECT * FROM Employees WHERE eid = 7",
+    "SELECT name, salary FROM Employees WHERE salary BETWEEN 20000 AND 60000",
+    "SELECT SUM(salary) FROM Employees WHERE department = 'Sales'",
+    "SELECT AVG(salary) FROM Employees",
+    "SELECT COUNT(*) FROM Employees WHERE salary >= 30000",
+    "SELECT department, COUNT(*) FROM Employees GROUP BY department",
+]
+
+
+def build_pair(rows=30, seed=11, **kwargs):
+    """An oracle (fault-free) source and a verified source, same data."""
+    oracle = DataSource(ProviderCluster(5, 3), seed=seed)
+    verified = DataSource(
+        ProviderCluster(5, 3), seed=seed, verified_reads=True, **kwargs
+    )
+    employees = employees_table(rows, seed=seed)
+    for source in (oracle, verified):
+        source.outsource_table(employees)
+        source.outsource_table(managers_table(employees, 0.2, seed=seed))
+    return oracle, verified
+
+
+def same_result(expected, actual):
+    if isinstance(expected, list):
+        return rows_equal_unordered(expected, actual)
+    return expected == actual
+
+
+class TestConfig:
+    def test_zero_redundancy_rejected(self):
+        with pytest.raises(SchemaError):
+            DataSource(ProviderCluster(5, 3), seed=1, read_redundancy=0)
+
+
+class TestVerifiedAgainstTamper:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_exact_results_with_one_tamperer(self, sql):
+        oracle, verified = build_pair()
+        verified.cluster.inject_fault(2, Fault(FailureMode.TAMPER, seed=5))
+        assert same_result(oracle.sql(sql), verified.sql(sql))
+
+    def test_blamed_provider_quarantined_and_reissued(self):
+        oracle, verified = build_pair()
+        verified.cluster.inject_fault(2, Fault(FailureMode.TAMPER, seed=5))
+        with telemetry.session() as hub:
+            sql = "SELECT * FROM Employees WHERE salary >= 10000"
+            assert rows_equal_unordered(oracle.sql(sql), verified.sql(sql))
+            assert hub.registry.counter_total("verified.reissued") >= 1
+        assert verified.cluster.health.is_quarantined(2)
+        snapshot = verified.cluster.health.snapshot()["DAS3"]
+        assert snapshot["quarantine_reason"] == "blamed"
+
+    def test_later_queries_avoid_the_quarantined_tamperer(self):
+        oracle, verified = build_pair()
+        verified.cluster.inject_fault(2, Fault(FailureMode.TAMPER, seed=5))
+        verified.sql("SELECT * FROM Employees WHERE salary >= 10000")
+        with telemetry.session() as hub:
+            verified.sql("SELECT * FROM Employees WHERE salary >= 10000")
+            # quarantined tamperer sorts out of the quorum: nothing to blame
+            assert hub.registry.counter_total("verified.reissued") == 0
+
+    def test_verified_join_with_tamperer(self):
+        oracle, verified = build_pair()
+        verified.cluster.inject_fault(1, Fault(FailureMode.TAMPER, seed=6))
+        sql = (
+            "SELECT * FROM Employees JOIN Managers "
+            "ON Employees.eid = Managers.eid"
+        )
+        assert rows_equal_unordered(oracle.sql(sql), verified.sql(sql))
+        assert verified.cluster.health.is_quarantined(1)
+
+    def test_omission_detected_and_masked(self):
+        oracle, verified = build_pair()
+        verified.cluster.inject_fault(
+            3, Fault(FailureMode.OMIT, rate=0.5, seed=8)
+        )
+        sql = "SELECT name FROM Employees WHERE salary >= 10000"
+        with telemetry.session() as hub:
+            assert rows_equal_unordered(oracle.sql(sql), verified.sql(sql))
+            assert (
+                hub.registry.counter_value(
+                    "faults.detected", kind="omission", provider="3"
+                )
+                >= 1
+            )
+
+    def test_crash_plus_tamper_together(self):
+        # n - k failures total, split across both failure classes: the
+        # acceptance scenario the robust vote alone cannot decode
+        oracle, verified = build_pair()
+        verified.cluster.inject_fault(4, Fault(FailureMode.CRASH))
+        verified.cluster.inject_fault(2, Fault(FailureMode.TAMPER, seed=5))
+        for sql in QUERIES:
+            assert same_result(oracle.sql(sql), verified.sql(sql)), sql
+
+    def test_explicit_redundancy_respected(self):
+        oracle, verified = build_pair(read_redundancy=2)
+        verified.cluster.inject_fault(0, Fault(FailureMode.TAMPER, seed=9))
+        sql = "SELECT * FROM Employees WHERE salary >= 10000"
+        assert rows_equal_unordered(oracle.sql(sql), verified.sql(sql))
+
+
+class TestVerifiedCleanPath:
+    def test_clean_cluster_matches_oracle(self):
+        oracle, verified = build_pair()
+        for sql in QUERIES:
+            assert same_result(oracle.sql(sql), verified.sql(sql)), sql
+
+    def test_clean_cluster_never_reissues(self):
+        _, verified = build_pair()
+        with telemetry.session() as hub:
+            for sql in QUERIES:
+                verified.sql(sql)
+            assert hub.registry.counter_total("verified.reissued") == 0

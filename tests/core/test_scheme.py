@@ -193,3 +193,95 @@ class TestSumCombination:
         partials = {i: s for i, s in enumerate(sharing.share_value("name", "A"))}
         with pytest.raises(QueryError):
             sharing.combine_sum("name", partials, 1)
+
+
+ROW = {
+    "id": 7,
+    "name": "ALICE",
+    "secret_num": -123,
+    "price": Decimal("19.99"),
+}
+
+
+class TestRobustNullTie:
+    def test_null_tie_raises_cleanly(self, sharing):
+        """An exact NULL/non-NULL split has no majority to trust.
+
+        Regression: the tie used to fall through to robust decoding of
+        the non-NULL half, which can be fewer than k shares and died
+        with a misleading low-level interpolation error.
+        """
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        del share_rows[4]  # 4 providers left
+        share_rows[0]["secret_num"] = None
+        share_rows[1]["secret_num"] = None
+        with pytest.raises(ReconstructionError, match="tie"):
+            sharing.reconstruct_value_robust(
+                "secret_num",
+                {i: r["secret_num"] for i, r in share_rows.items()},
+            )
+        with pytest.raises(ReconstructionError, match="tie"):
+            sharing.reconstruct_value_checked(
+                "secret_num",
+                {i: r["secret_num"] for i, r in share_rows.items()},
+            )
+
+    def test_null_majority_wins(self, sharing):
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        for index in (0, 1, 2):
+            share_rows[index]["secret_num"] = None
+        assert (
+            sharing.reconstruct_value_robust(
+                "secret_num",
+                {i: r["secret_num"] for i, r in share_rows.items()},
+            )
+            is None
+        )
+
+
+class TestCheckedReconstruction:
+    def test_clean_row_no_blame(self, sharing):
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        row, blamed = sharing.reconstruct_row_checked(share_rows)
+        assert row == ROW and blamed == []
+
+    def test_tampered_provider_blamed_all_columns(self, sharing):
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        for column in share_rows[2]:
+            share_rows[2][column] += 17
+        row, blamed = sharing.reconstruct_row_checked(share_rows)
+        assert row == ROW
+        assert blamed == [2]
+
+    def test_random_column_tie_broken_by_op_evidence(self, sharing):
+        """At k+1 shares, deterministic OP blame resolves the random-column
+        vote tie — the scenario one crash plus one tamperer creates."""
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        del share_rows[4]  # one provider down: m = k + 1
+        for column in share_rows[2]:
+            share_rows[2][column] += 17  # one tamperer
+        row, blamed = sharing.reconstruct_row_checked(share_rows)
+        assert row == ROW
+        assert blamed == [2]
+
+    def test_random_only_corruption_at_k_plus_one_is_ambiguous(self, sharing):
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        del share_rows[4]
+        share_rows[2]["secret_num"] += 17  # no OP evidence anywhere
+        with pytest.raises(ReconstructionError, match="ambiguous"):
+            sharing.reconstruct_row_checked(share_rows)
+
+    def test_caller_suspects_break_random_tie(self, sharing):
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        del share_rows[4]
+        share_rows[2]["secret_num"] += 17
+        row, blamed = sharing.reconstruct_row_checked(share_rows, suspects=[2])
+        assert row == ROW
+        assert blamed == [2]
+
+    def test_null_flip_blamed(self, sharing):
+        share_rows = dict(enumerate(sharing.share_row(ROW)))
+        share_rows[3]["name"] = None
+        row, blamed = sharing.reconstruct_row_checked(share_rows)
+        assert row == ROW
+        assert blamed == [3]

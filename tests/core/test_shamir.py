@@ -176,3 +176,72 @@ class TestFigure1:
         columns = figure1_shares()
         with pytest.raises(ReconstructionError):
             salaries_from_figure1({"DAS1": columns["DAS1"]})
+
+
+class TestRobustDecodeAmbiguity:
+    """At m = k+1 shares the subset vote cannot isolate one bad share.
+
+    Every k-subset polynomial explains its own k members — a strict
+    majority each — so a silent arbitrary pick could return a corrupt
+    candidate and blame an honest provider.  The decode must raise
+    unless outside blame evidence (``suspects``) breaks the tie.
+    """
+
+    def shares_of(self, scheme, secret, seed=3):
+        return dict(
+            enumerate(scheme.split(secret, DeterministicRNG(seed, "amb")))
+        )
+
+    def test_k_plus_one_with_one_bad_share_is_ambiguous(self, scheme):
+        shares = self.shares_of(scheme, 777)
+        del shares[4]  # m = k + 1 = 4
+        shares[2] += 1234  # one tampered share
+        with pytest.raises(ReconstructionError, match="ambiguous"):
+            scheme.reconstruct_robust(shares)
+        with pytest.raises(ReconstructionError, match="ambiguous"):
+            scheme.reconstruct_robust_with_blame(shares)
+
+    def test_suspect_evidence_breaks_the_tie(self, scheme):
+        shares = self.shares_of(scheme, 777)
+        del shares[4]
+        shares[2] += 1234
+        secret, blamed = scheme.reconstruct_robust_with_blame(
+            shares, suspects=[2]
+        )
+        assert secret == 777
+        assert blamed == [2]
+
+    def test_suspect_evidence_is_trusted(self, scheme):
+        # at m = k+1 every single-liar hypothesis is self-consistent, so
+        # the decode follows the evidence it is given — suspects must come
+        # from a sound source (deterministic order-preserving blame, which
+        # cannot finger an honest provider)
+        shares = self.shares_of(scheme, 777)
+        del shares[4]
+        shares[2] += 1234
+        _, blamed = scheme.reconstruct_robust_with_blame(shares, suspects=[0])
+        assert blamed == [0]
+
+    def test_k_plus_two_decodes_without_evidence(self, scheme):
+        # m = 5, k = 3: radius ⌊(5-3)/2⌋ = 1 bad share decodes uniquely
+        shares = self.shares_of(scheme, 777)
+        shares[2] += 1234
+        secret, blamed = scheme.reconstruct_robust_with_blame(shares)
+        assert secret == 777
+        assert blamed == [2]
+
+
+class TestShareExtension:
+    def test_extended_share_matches_original(self, scheme):
+        shares = dict(
+            enumerate(scheme.split(4242, DeterministicRNG(9, "ext")))
+        )
+        original = shares.pop(4)
+        assert scheme.extend_share(shares, 4) == original
+
+    def test_needs_k_source_shares(self, scheme):
+        shares = dict(
+            enumerate(scheme.split(4242, DeterministicRNG(9, "ext")))
+        )
+        with pytest.raises(ReconstructionError):
+            scheme.extend_share({0: shares[0], 1: shares[1]}, 4)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import QuorumError
+from repro.errors import ConfigurationError, QuorumError
 from repro.providers.cluster import ProviderCluster
 from repro.providers.failures import Fault, FailureMode
 
@@ -19,11 +19,12 @@ def cluster():
 
 class TestConstruction:
     def test_bad_sizes(self):
-        with pytest.raises(QuorumError):
+        # constructor misuse is a configuration bug, not a quorum loss
+        with pytest.raises(ConfigurationError):
             ProviderCluster(0, 1)
-        with pytest.raises(QuorumError):
+        with pytest.raises(ConfigurationError):
             ProviderCluster(3, 4)
-        with pytest.raises(QuorumError):
+        with pytest.raises(ConfigurationError):
             ProviderCluster(3, 0)
 
     def test_provider_names(self, cluster):
@@ -81,14 +82,19 @@ class TestFailureRouting:
 
     def test_read_quorum(self, cluster):
         assert cluster.read_quorum() == [0, 1, 2]
+
+    def test_read_quorum_is_knowledge_based(self, cluster):
+        # selection cannot see an undiscovered crash — the client only
+        # learns about it when an RPC fails, via the health tracker
         cluster.inject_fault(0, Fault(FailureMode.CRASH))
+        assert cluster.read_quorum() == [0, 1, 2]
+        # once quarantined (failures recorded), the provider rotates out
+        cluster.health.quarantine(0, reason="test")
         assert cluster.read_quorum() == [1, 2, 3]
 
     def test_read_quorum_insufficient(self, cluster):
-        for i in range(3):
-            cluster.inject_fault(i, Fault(FailureMode.CRASH))
         with pytest.raises(QuorumError):
-            cluster.read_quorum()
+            cluster.read_quorum(exclude=(0, 1, 2))
 
     def test_write_targets(self, cluster):
         cluster.inject_fault(4, Fault(FailureMode.CRASH))

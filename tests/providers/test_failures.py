@@ -64,3 +64,51 @@ class TestOmit:
     def test_tamper_does_not_filter(self):
         fault = Fault(FailureMode.TAMPER, rate=1.0, rng=DeterministicRNG(2, "y"))
         assert fault.filter_rows([1, 2]) == [1, 2]
+
+
+class TestStreamDerivation:
+    """Default-configured faults must not share one RNG stream (lockstep bug).
+
+    Before the fix, every ``Fault`` built without an explicit ``rng``
+    drew from the same ``DeterministicRNG(0, "fault")`` stream, so two
+    TAMPER providers corrupted in lockstep (correlated errors robust
+    decoding is not meant to survive) and two OMIT providers dropped
+    identical row positions.  The stream label is now derived from the
+    injection site via :meth:`Fault.bind`.
+    """
+
+    def test_default_tamperers_corrupt_independently(self):
+        a = Fault(FailureMode.TAMPER).bind("DAS1")
+        b = Fault(FailureMode.TAMPER).bind("DAS2")
+        offsets_a = [a.maybe_corrupt_share(0) for _ in range(8)]
+        offsets_b = [b.maybe_corrupt_share(0) for _ in range(8)]
+        assert offsets_a != offsets_b
+
+    def test_default_omitters_drop_different_rows(self):
+        a = Fault(FailureMode.OMIT, rate=0.5).bind("DAS1")
+        b = Fault(FailureMode.OMIT, rate=0.5).bind("DAS2")
+        rows = list(range(200))
+        assert a.filter_rows(rows) != b.filter_rows(rows)
+
+    def test_same_site_same_seed_reproducible(self):
+        a = Fault(FailureMode.TAMPER).bind("DAS1")
+        b = Fault(FailureMode.TAMPER).bind("DAS1")
+        assert [a.maybe_corrupt_share(0) for _ in range(4)] == [
+            b.maybe_corrupt_share(0) for _ in range(4)
+        ]
+
+    def test_explicit_rng_wins_over_bind(self):
+        fault = Fault(FailureMode.TAMPER, rng=DeterministicRNG(9, "mine"))
+        fault.bind("DAS3")
+        reference = Fault(FailureMode.TAMPER, rng=DeterministicRNG(9, "mine"))
+        assert fault.maybe_corrupt_share(5) == reference.maybe_corrupt_share(5)
+
+    def test_injection_binds_stream_to_provider_name(self):
+        from repro.providers.cluster import ProviderCluster
+
+        cluster = ProviderCluster(3, 2)
+        cluster.inject_fault(0, Fault(FailureMode.TAMPER))
+        cluster.inject_fault(1, Fault(FailureMode.TAMPER))
+        one = cluster.providers[0].fault.maybe_corrupt_share(0)
+        other = cluster.providers[1].fault.maybe_corrupt_share(0)
+        assert one != other

@@ -1,0 +1,115 @@
+"""Unit tests for the provider health tracker (quarantine state machine)."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.providers.health import HealthTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return HealthTracker(
+        5,
+        quarantine_after=2,
+        cooldown_seconds=30.0,
+        clock=clock,
+        names=[f"DAS{i + 1}" for i in range(5)],
+    )
+
+
+class TestConstruction:
+    def test_bad_parameters(self, clock):
+        with pytest.raises(ConfigurationError):
+            HealthTracker(0)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(3, quarantine_after=0)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(3, cooldown_seconds=-1.0)
+
+
+class TestQuarantineLifecycle:
+    def test_single_failure_not_quarantined(self, tracker):
+        tracker.record_failure(0)
+        assert not tracker.is_quarantined(0)
+
+    def test_consecutive_failures_quarantine(self, tracker):
+        tracker.record_failure(0)
+        tracker.record_failure(0)
+        assert tracker.is_quarantined(0)
+
+    def test_success_resets_failure_streak(self, tracker):
+        tracker.record_failure(0)
+        tracker.record_success(0)
+        tracker.record_failure(0)
+        assert not tracker.is_quarantined(0)
+
+    def test_success_does_not_lift_quarantine(self, tracker):
+        # a tampering provider answers promptly; transport success must
+        # not readmit it — only cooldown expiry or an explicit release
+        tracker.quarantine(1, reason="blamed")
+        tracker.record_success(1)
+        assert tracker.is_quarantined(1)
+
+    def test_cooldown_expiry_readmits(self, tracker, clock):
+        tracker.quarantine(2)
+        clock.now = 29.9
+        assert tracker.is_quarantined(2)
+        clock.now = 30.0
+        assert not tracker.is_quarantined(2)
+        # readmission is a clean slate
+        assert tracker.snapshot()["DAS3"]["consecutive_failures"] == 0
+
+    def test_release_lifts_explicitly(self, tracker):
+        tracker.quarantine(3, reason="blamed")
+        tracker.release(3)
+        assert not tracker.is_quarantined(3)
+
+
+class TestPreferredOrder:
+    def test_healthy_in_index_order(self, tracker):
+        assert tracker.preferred_order([0, 1, 2, 3, 4]) == [0, 1, 2, 3, 4]
+
+    def test_quarantined_sort_last(self, tracker):
+        tracker.quarantine(0)
+        tracker.quarantine(2)
+        assert tracker.preferred_order([0, 1, 2, 3, 4]) == [1, 3, 4, 0, 2]
+
+    def test_subset_preserved(self, tracker):
+        tracker.quarantine(1)
+        assert tracker.preferred_order([1, 3]) == [3, 1]
+
+
+class TestIntrospection:
+    def test_snapshot_fields(self, tracker, clock):
+        tracker.record_failure(0)
+        tracker.record_failure(0, reason="unavailable")
+        clock.now = 10.0
+        entry = tracker.snapshot()["DAS1"]
+        assert entry["quarantined"] is True
+        assert entry["quarantine_reason"] == "unavailable"
+        assert entry["times_quarantined"] == 1
+        assert entry["cooldown_remaining"] == pytest.approx(20.0)
+
+    def test_quarantine_counter_emitted(self, tracker):
+        with telemetry.session() as hub:
+            tracker.quarantine(4, reason="blamed")
+            assert (
+                hub.registry.counter_value(
+                    "health.quarantined", provider="DAS5", reason="blamed"
+                )
+                == 1
+            )

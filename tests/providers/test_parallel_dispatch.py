@@ -13,7 +13,7 @@ import pytest
 
 from repro.client.datasource import DataSource
 from repro.core import kernels
-from repro.errors import QuorumError
+from repro.errors import ConfigurationError
 from repro.providers.cluster import CLIENT_NAME, ProviderCluster
 from repro.sqlengine.expression import Comparison, ComparisonOp
 from repro.sqlengine.query import Select
@@ -79,10 +79,10 @@ class TestDispatchParity:
         )
 
     def test_unknown_modes_rejected(self):
-        with pytest.raises(QuorumError, match="unknown dispatch mode"):
+        with pytest.raises(ConfigurationError, match="unknown dispatch mode"):
             ProviderCluster(3, 2, dispatch="osmosis")
         cluster = ProviderCluster(3, 2)
-        with pytest.raises(QuorumError, match="unknown quorum mode"):
+        with pytest.raises(ConfigurationError, match="unknown quorum mode"):
             cluster.call_all("ping", {0: {}, 1: {}}, quorum="psychic")
 
 
