@@ -61,6 +61,7 @@ from .rewriter import (
     rewrite_predicate,
     split_join_predicate,
 )
+from .rowcache import RowCache
 
 Row = Dict[str, object]
 
@@ -155,6 +156,10 @@ class DataSource:
         #: optional :class:`~repro.service.plancache.PlanCache`; installed
         #: by the service layer, consulted by :meth:`_rewrite`
         self.plan_cache: Optional[object] = None
+        #: epoch-keyed reconstructed-row cache (:mod:`repro.client.rowcache`);
+        #: consulted only by the plain read path — verified and robust reads
+        #: always go to the wire
+        self.row_cache = RowCache()
         self._row_id_lock = threading.Lock()
         if audit is not None and getattr(audit, "namespace", "") == "":
             audit.namespace = namespace
@@ -262,12 +267,20 @@ class DataSource:
         return self._table_epochs.get(table_name, 0)
 
     def bump_table_epoch(self, table_name: str) -> int:
-        """Advance a table's epoch, invalidating cached plans for it."""
+        """Advance a table's epoch, invalidating cached plans and rows.
+
+        Every write path funnels through here (insert/update/delete,
+        increments, lazy-flush, resync, rotation), so this is the single
+        point where *all* epoch-keyed caches — the service plan cache and
+        the reconstructed-row cache — learn that their entries for the
+        table are dead.
+        """
         epoch = self._table_epochs.get(table_name, 0) + 1
         self._table_epochs[table_name] = epoch
         cache = self.plan_cache
         if cache is not None:
             cache.invalidate(table_name)
+        self.row_cache.invalidate(table_name)
         return epoch
 
     def _rewrite(self, predicate: Predicate, sharing: TableSharing):
@@ -753,20 +766,40 @@ class DataSource:
         )
         if push_order is None and query.order_by is not None:
             push_limit = None  # cannot truncate before the client can sort
-        responses = self._select_rpc(
-            query.table,
-            rewritten,
-            projection=None,
-            order_by=push_order,
-            descending=query.descending,
-            limit=push_limit,
+        # query-level replay: an identical SELECT in the same epoch serves
+        # the full rows straight from the row cache — zero provider RPCs.
+        # The signature covers everything that determines the *row set*
+        # (predicate + pushed-down order/limit); client-side sort, limit,
+        # and projection run identically on replayed rows below.
+        epoch = self.table_epoch(query.table)
+        signature = (
+            "select",
+            repr(predicate),
+            push_order,
+            query.descending if push_order is not None else False,
+            push_limit,
         )
-        rows = reconstruct_rows(
-            sharing,
-            responses,
-            residual=rewritten.residual,
-            cost=self.cost,
-        )
+        rows = self.row_cache.lookup_query(query.table, signature, epoch)
+        if rows is None:
+            responses = self._select_rpc(
+                query.table,
+                rewritten,
+                projection=None,
+                order_by=push_order,
+                descending=query.descending,
+                limit=push_limit,
+            )
+            emitted: List[Tuple[int, Row]] = []
+            rows = reconstruct_rows(
+                sharing,
+                responses,
+                residual=rewritten.residual,
+                cost=self.cost,
+                row_cache=self.row_cache,
+                cache_epoch=epoch,
+                emitted=emitted,
+            )
+            self.row_cache.store_query(query.table, signature, epoch, emitted)
         if query.order_by is not None:
             from ..sqlengine.schema import python_value_sort_key
 
@@ -1029,7 +1062,15 @@ class DataSource:
                 for rid, share_rows in aligned.items()
                 if len(share_rows) >= self.threshold
             ]
-        # 2. swap in fresh secrets and rebuild the sharing machinery
+        # 2. swap in fresh secrets and rebuild the sharing machinery.
+        # Every kernel cache is keyed on the old evaluation points and every
+        # cached plaintext row was reconstructed under the old secrets —
+        # both are dead the moment the points change, so drop them here
+        # rather than letting unreachable entries squat on capacity.
+        from ..core.kernels import clear_kernel_caches
+
+        clear_kernel_caches()
+        self.row_cache.clear()
         old_sharings = self._sharings
         self.secrets = generate_client_secrets(
             self.cluster.n_providers, new_seed, self.secrets.field

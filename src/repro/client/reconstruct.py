@@ -23,6 +23,7 @@ from ..core.scheme import ShareRow, TableSharing
 from ..errors import IntegrityError, ReconstructionError
 from ..sim.costmodel import CostRecorder
 from ..sqlengine.expression import Predicate, TruePredicate
+from .rowcache import RowCache
 
 ProviderRows = Dict[int, List[Tuple[int, ShareRow]]]
 
@@ -53,20 +54,36 @@ def reconstruct_rows(
     columns: Optional[List[str]] = None,
     cost: Optional[CostRecorder] = None,
     strict: bool = False,
+    row_cache: Optional[RowCache] = None,
+    cache_epoch: Optional[int] = None,
+    emitted: Optional[List[Tuple[int, Dict[str, object]]]] = None,
 ) -> List[Dict[str, object]]:
     """Reconstruct, residual-filter, and project query results.
 
     ``strict=True`` raises :class:`IntegrityError` when providers disagree
     on the matching row set (used by verified reads); the default silently
     keeps rows with a full quorum, modelling the unverified client.
+
+    When a ``row_cache`` (and its ``cache_epoch``) is supplied, rows the
+    client already reconstructed in this epoch skip interpolation — only
+    the cache-miss subset goes through the batched kernels — and fresh
+    reconstructions are written back.  ``emitted``, when given, is filled
+    with the (row_id, full_row) pairs surviving the residual filter so the
+    caller can index the result set for query-level replay.  Verified
+    reads (``strict=True``) never consult the cache: their purpose is to
+    re-examine what the providers actually returned.
     """
     with telemetry.span("reconstruct", table=sharing.schema.name) as sp:
         provider_rows = rows_from_responses(responses)
         aligned = align_by_row_id(provider_rows)
         threshold = sharing.threshold
+        table_name = sharing.schema.name
         residual = residual or TruePredicate()
         needs_residual = not isinstance(residual, TruePredicate)
-        eligible: List[Dict[int, ShareRow]] = []
+        use_cache = row_cache is not None and cache_epoch is not None and not strict
+        ordered_ids: List[int] = []
+        cached: Dict[int, Dict[str, object]] = {}
+        pending: List[Tuple[int, Dict[int, ShareRow]]] = []
         for row_id, share_rows in aligned.items():
             if strict and len(share_rows) < len(responses):
                 telemetry.count("faults.detected", kind="omission")
@@ -76,16 +93,33 @@ def reconstruct_rows(
                 )
             if len(share_rows) < threshold:
                 continue
-            eligible.append(share_rows)
+            ordered_ids.append(row_id)
+            if use_cache:
+                hit = row_cache.get_row(table_name, row_id, cache_epoch)
+                if hit is not None:
+                    cached[row_id] = hit
+                    continue
+            pending.append((row_id, share_rows))
         # residual predicates may reference columns outside the projection, so
         # reconstruct everything first (batched, column-major), filter, project
-        rows = sharing.reconstruct_rows(eligible)
+        fresh_rows = sharing.reconstruct_rows([sr for _, sr in pending])
+        fresh = {rid: row for (rid, _), row in zip(pending, fresh_rows)}
+        if use_cache:
+            for rid, row in fresh.items():
+                row_cache.put_row(table_name, rid, cache_epoch, row)
         out: List[Dict[str, object]] = []
-        for row in rows:
-            if cost is not None:
-                cost.record("interpolate", len(row))
+        for row_id in ordered_ids:
+            row = cached.get(row_id)
+            if row is None:
+                row = fresh[row_id]
+                if cost is not None:
+                    # cache hits cost nothing: the whole point of the cache
+                    # is that only misses pay for interpolation
+                    cost.record("interpolate", len(row))
             if needs_residual and not residual.matches(row):
                 continue
+            if emitted is not None:
+                emitted.append((row_id, dict(row)))
             if columns:
                 row = {name: row[name] for name in columns}
             out.append(row)
@@ -93,13 +127,16 @@ def reconstruct_rows(
             n_columns = len(sharing.schema.columns)
             sp.set(
                 rows_aligned=len(aligned),
-                rows_reconstructed=len(rows),
+                rows_reconstructed=len(fresh),
+                rows_cached=len(cached),
                 rows_out=len(out),
-                cells=len(rows) * n_columns,
+                cells=len(fresh) * n_columns,
             )
-            telemetry.count("reconstruct.rows", len(rows))
-            telemetry.count("reconstruct.cells", len(rows) * n_columns)
-            telemetry.count("reconstruct.residual_filtered", len(rows) - len(out))
+            telemetry.count("reconstruct.rows", len(fresh))
+            telemetry.count("reconstruct.cells", len(fresh) * n_columns)
+            telemetry.count(
+                "reconstruct.residual_filtered", len(ordered_ids) - len(out)
+            )
         return out
 
 

@@ -8,45 +8,75 @@ set of M rows × C columns that is M·C basis rebuilds — yet within one
 query every cell is interpolated at the *same* frozen subset of
 evaluation points, and every split evaluates at the *same* client points.
 
-This module amortises both:
+This module amortises both, in two tiers:
 
-* :func:`lagrange_weights` — the λ_i basis weights for recovering q(0)
-  over GF(p), computed once per (field, point-subset) with a single
-  Montgomery batch inversion and cached process-wide.  Reconstruction of
-  a cell becomes a k-term dot product.
-* :func:`rational_lagrange_weights` — the exact-rational analogue used by
-  the order-preserving scheme (Sec. IV interpolates integer polynomials
-  without modular reduction).
-* :class:`SplitKernel` — precomputed power tables x_i^0 … x_i^{k−1} of
-  the client's evaluation points, so sharing M values is M·n dot products
-  instead of M·n Horner evaluations with freshly recomputed powers.
-* :func:`batch_reconstruct` — column-major reconstruction of whole result
-  sets against one cached weight vector.
+* **Caching** (always on) — :func:`lagrange_weights` computes the λ_i
+  basis weights once per (field, point-subset) with a single Montgomery
+  batch inversion; :func:`rational_lagrange_weights` is the
+  exact-rational analogue for the order-preserving scheme;
+  :class:`SplitKernel` precomputes power tables of the client's
+  evaluation points.  Reconstruction of a cell becomes a k-term dot
+  product, sharing a value becomes n k-term dot products.
+* **Vectorization** (numpy backend, used when numpy is importable) —
+  whole columns of dot products run as array kernels over GF(p)
+  residues.  For the default Mersenne field p = 2^61−1, modular
+  multiplication is 128-bit-exact in uint64 via 31/30-bit limb
+  splitting and the Mersenne identity 2^61 ≡ 1 (mod p); small moduli
+  (p < 2^31) multiply directly in uint64; any other modulus falls back
+  to ``object``-dtype arrays (exact Python-int arithmetic, vectorized
+  dispatch).  :meth:`SplitKernel.evaluate_batch` becomes batched Horner
+  evaluation over an (M values × n providers) grid.
 
-All kernels are bit-identical to the naive reference paths (property
-tests in ``tests/property/test_prop_kernels.py`` enforce this); they
-change constant factors, never values.  Caches are keyed on immutable
-tuples and only ever *add* entries, so concurrent readers (the parallel
-provider fan-out) are safe under the GIL: the worst race recomputes a
-weight vector that was already correct.
+The **scalar path is the always-on correctness oracle**: it is selected
+when numpy is absent (install ``repro[fast]`` to get the backend), when
+``set_kernel_backend("scalar")`` forces it, for tiny batches where array
+overhead dominates, and for any input shape the vector kernels cannot
+take bit-exactly (ragged rows, out-of-range residues, exact-integer
+order-preserving evaluation).  All kernels are bit-identical to the
+naive reference paths and to each other (property tests in
+``tests/property/test_prop_kernels.py`` and
+``tests/property/test_prop_vectorized.py`` enforce this across random
+moduli, degrees, and batch shapes); they change constant factors, never
+values.  Caches are keyed on immutable tuples and only ever *add*
+entries, so concurrent readers (the parallel provider fan-out) are safe
+under the GIL: the worst race recomputes a weight vector that was
+already correct.
 """
 
 from __future__ import annotations
 
+import os
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
-from ..errors import ReconstructionError
+from ..errors import ConfigurationError, ReconstructionError
 from .field import PrimeField
+
+try:  # optional runtime extra: repro[fast]
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: The Mersenne prime 2^61−1, the library's default modulus — it gets the
+#: dedicated uint64 limb-split kernel below.
+_MERSENNE_61 = (1 << 61) - 1
+
+#: Moduli below 2^31 multiply directly in uint64 (product < 2^62).
+_SMALL_MODULUS_BOUND = 1 << 31
+
+#: Batches smaller than this stay on the scalar path: array construction
+#: overhead exceeds the arithmetic saved.  Bit-identical either way.
+VECTOR_MIN_BATCH = 8
 
 
 class KernelStats:
-    """Hit/miss counters for the kernel caches.
+    """Hit/miss counters for the kernel caches plus backend counters.
 
     Exposed so tests (and the hot-path benchmark) can assert that weights
-    are *reused* across the rows of a single query rather than rebuilt —
-    the whole point of the layer.
+    are *reused* across the rows of a single query rather than rebuilt,
+    and that the vectorized backend actually engaged — the whole point of
+    the layer.
     """
 
     __slots__ = (
@@ -56,6 +86,10 @@ class KernelStats:
         "rational_misses",
         "split_hits",
         "split_misses",
+        "vector_reconstruct_cells",
+        "scalar_reconstruct_cells",
+        "vector_split_values",
+        "scalar_split_values",
     )
 
     def __init__(self) -> None:
@@ -68,6 +102,10 @@ class KernelStats:
         self.rational_misses = 0
         self.split_hits = 0
         self.split_misses = 0
+        self.vector_reconstruct_cells = 0
+        self.scalar_reconstruct_cells = 0
+        self.vector_split_values = 0
+        self.scalar_split_values = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -96,13 +134,74 @@ def reset_kernel_stats() -> None:
 def clear_kernel_caches() -> None:
     """Drop every cached weight/power table and zero the counters.
 
-    Tests use this to measure cache behaviour from a clean slate; nothing
-    in the library needs it for correctness (entries are immutable).
+    Called by :meth:`DataSource.rotate_secrets` — rotation replaces the
+    evaluation points, so every cached table keyed on the old points is
+    dead weight (entries are immutable, so this is hygiene, not
+    correctness) — and by tests measuring cache behaviour from a clean
+    slate.
     """
     _WEIGHTS.clear()
     _RATIONAL_WEIGHTS.clear()
     _SPLIT_KERNELS.clear()
     _STATS.reset()
+
+
+# ---------------------------------------------------------------------------
+# backend selection
+# ---------------------------------------------------------------------------
+
+_BACKENDS = ("numpy", "scalar")
+
+#: None = auto (numpy when importable); "numpy"/"scalar" = forced.
+_FORCED_BACKEND: Optional[str] = None
+
+
+def _env_backend() -> Optional[str]:
+    value = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
+    return value if value in _BACKENDS else None
+
+
+_FORCED_BACKEND = _env_backend()
+if _FORCED_BACKEND == "numpy" and _np is None:  # pragma: no cover - env guard
+    _FORCED_BACKEND = None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends this process can run ("scalar" is always available)."""
+    return _BACKENDS if _np is not None else ("scalar",)
+
+
+def active_backend() -> str:
+    """The backend batch kernels dispatch to right now."""
+    if _FORCED_BACKEND is not None:
+        return _FORCED_BACKEND
+    return "numpy" if _np is not None else "scalar"
+
+
+def set_kernel_backend(name: Optional[str]) -> Optional[str]:
+    """Force a backend ("numpy"/"scalar") or restore auto-detection (None).
+
+    Returns the previous forced value so tests can restore it.  Forcing
+    "numpy" without numpy installed raises :class:`ConfigurationError`
+    rather than silently running scalar.
+    """
+    global _FORCED_BACKEND
+    if name is not None and name not in _BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; choose from {_BACKENDS}"
+        )
+    if name == "numpy" and _np is None:
+        raise ConfigurationError(
+            "numpy backend requested but numpy is not installed; "
+            "install the repro[fast] extra"
+        )
+    previous = _FORCED_BACKEND
+    _FORCED_BACKEND = name
+    return previous
+
+
+def _use_numpy() -> bool:
+    return active_backend() == "numpy"
 
 
 def _validated_points(xs: Sequence[int], modulus: Optional[int]) -> List[int]:
@@ -119,6 +218,141 @@ def _validated_points(xs: Sequence[int], modulus: Optional[int]) -> List[int]:
             "evaluation point 0 would reveal the secret directly"
         )
     return points
+
+
+# ---------------------------------------------------------------------------
+# vectorized GF(p) primitives (numpy backend)
+# ---------------------------------------------------------------------------
+
+
+def _mulmod_m61(a, b):
+    """Exact a·b mod 2^61−1 on uint64 arrays via 31/30-bit limb splitting.
+
+    With a = a1·2^31 + a0 and b = b1·2^31 + b0 (a1, b1 < 2^30; a0, b0 <
+    2^31) and the Mersenne identities 2^61 ≡ 1, 2^62 ≡ 2 (mod p):
+
+        a·b ≡ 2·a1·b1 + m1 + m0·2^31 + a0·b0   where  m = a1·b0 + a0·b1
+                                                      = m1·2^30 + m0.
+
+    Every intermediate fits uint64 (the sum is < 2^63 + 2^32), so the
+    result is bit-exact — no floats anywhere near the share path.
+    """
+    u = _np.uint64
+    mask31 = u((1 << 31) - 1)
+    mask30 = u((1 << 30) - 1)
+    p = u(_MERSENNE_61)
+    a1 = a >> u(31)
+    a0 = a & mask31
+    b1 = b >> u(31)
+    b0 = b & mask31
+    m = a1 * b0 + a0 * b1
+    s = (a1 * b1) * u(2) + (m >> u(30)) + ((m & mask30) << u(31)) + a0 * b0
+    s = (s >> u(61)) + (s & p)
+    s = (s >> u(61)) + (s & p)
+    return _np.where(s >= p, s - p, s)
+
+
+def _reduce_once(acc, p):
+    """One conditional subtraction: values < 2p → canonical residues."""
+    return _np.where(acc >= p, acc - p, acc)
+
+
+def _as_uint64_matrix(rows: Sequence[Sequence[int]], width: int):
+    """Rows → a dense uint64 matrix, or None when they cannot round-trip.
+
+    Returns None for ragged batches or entries outside uint64 (negative /
+    oversized residues, e.g. tampered shares) — the scalar oracle then
+    takes the batch, keeping dispatch bit-exact on *every* input.
+    """
+    try:
+        matrix = _np.array(rows, dtype=_np.uint64)
+    except (ValueError, OverflowError, TypeError):
+        return None
+    if matrix.ndim != 2 or matrix.shape[1] != width:
+        return None
+    return matrix
+
+
+def _batch_reconstruct_numpy(
+    modulus: int, weights: Sequence[int], share_vectors: Sequence[Sequence[int]]
+) -> Optional[List[int]]:
+    """Vectorized Σ λ_i·y_i mod p over a whole column; None → use scalar."""
+    k = len(weights)
+    if modulus == _MERSENNE_61:
+        matrix = _as_uint64_matrix(share_vectors, k)
+        if matrix is None or (matrix >= _np.uint64(modulus)).any():
+            return None
+        p = _np.uint64(modulus)
+        acc = _np.zeros(matrix.shape[0], dtype=_np.uint64)
+        for i, weight in enumerate(weights):
+            w = _np.full(1, weight, dtype=_np.uint64)
+            acc = _reduce_once(acc + _mulmod_m61(w, matrix[:, i]), p)
+        return acc.tolist()
+    if modulus < _SMALL_MODULUS_BOUND:
+        matrix = _as_uint64_matrix(share_vectors, k)
+        if matrix is None or (matrix >= _np.uint64(modulus)).any():
+            return None
+        w = _np.array(weights, dtype=_np.uint64)
+        # per-term products < p² < 2^62 reduce immediately, so the k-term
+        # sum stays far below 2^64 for any realistic k
+        terms = (matrix * w[None, :]) % _np.uint64(modulus)
+        return (terms.sum(axis=1) % _np.uint64(modulus)).tolist()
+    # wide primes (2^89−1 and up): object dtype — exact Python-int
+    # arithmetic driven by numpy's C dispatch loop
+    try:
+        matrix = _np.array(share_vectors, dtype=object)
+    except ValueError:
+        return None
+    if matrix.ndim != 2 or matrix.shape[1] != k:
+        return None
+    w = _np.array(list(weights), dtype=object)
+    return [int(v) % modulus for v in matrix @ w]
+
+
+def _horner_eval_numpy(
+    modulus: int,
+    points: Sequence[int],
+    coefficient_rows: Sequence[Sequence[int]],
+    width: int,
+) -> Optional[List[List[int]]]:
+    """Batched Horner evaluation over an (M values × n points) grid.
+
+    result[r][i] = Σ_j coeffs[r][j]·x_i^j mod p, identical to the scalar
+    power-table dot products (both are exact mod-p arithmetic).  Returns
+    None when the batch cannot take the uint64 path bit-exactly.
+    """
+    if modulus == _MERSENNE_61:
+        coeffs = _as_uint64_matrix(coefficient_rows, width)
+        if coeffs is None or (coeffs >= _np.uint64(modulus)).any():
+            return None
+        p = _np.uint64(modulus)
+        xs = _np.array([x % modulus for x in points], dtype=_np.uint64)
+        acc = _np.zeros((coeffs.shape[0], len(points)), dtype=_np.uint64)
+        for j in range(width - 1, -1, -1):
+            acc = _mulmod_m61(acc, xs[None, :])
+            acc = _reduce_once(acc + coeffs[:, j][:, None], p)
+        return acc.tolist()
+    if modulus < _SMALL_MODULUS_BOUND:
+        coeffs = _as_uint64_matrix(coefficient_rows, width)
+        if coeffs is None or (coeffs >= _np.uint64(modulus)).any():
+            return None
+        p = _np.uint64(modulus)
+        xs = _np.array([x % modulus for x in points], dtype=_np.uint64)
+        acc = _np.zeros((coeffs.shape[0], len(points)), dtype=_np.uint64)
+        for j in range(width - 1, -1, -1):
+            acc = (acc * xs[None, :] + coeffs[:, j][:, None]) % p
+        return acc.tolist()
+    try:
+        coeffs = _np.array(coefficient_rows, dtype=object)
+    except ValueError:
+        return None
+    if coeffs.ndim != 2 or coeffs.shape[1] != width:
+        return None
+    xs = _np.array([x % modulus for x in points], dtype=object)
+    acc = _np.zeros((coeffs.shape[0], len(points)), dtype=object)
+    for j in range(width - 1, -1, -1):
+        acc = (acc * xs[None, :] + coeffs[:, j][:, None]) % modulus
+    return [[int(v) for v in row] for row in acc]
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +404,19 @@ def reconstruct_constant(
     return total % field.modulus
 
 
+def _batch_reconstruct_scalar(
+    modulus: int, weights: Sequence[int], share_vectors: Sequence[Sequence[int]]
+) -> List[int]:
+    """The scalar oracle: per-row k-term dot products in Python ints."""
+    out: List[int] = []
+    for ys in share_vectors:
+        total = 0
+        for w, y in zip(weights, ys):
+            total += w * y
+        out.append(total % modulus)
+    return out
+
+
 def batch_reconstruct(
     field: PrimeField,
     xs: Sequence[int],
@@ -179,18 +426,23 @@ def batch_reconstruct(
 
     ``share_vectors[r]`` holds the shares of secret r aligned with ``xs``.
     This is the column-major kernel: one weight lookup covers the whole
-    column of a result set.
+    column of a result set, and with the numpy backend the column runs as
+    one vectorized GF(p) dot product.
     """
     telemetry.observe("kernels.batch_reconstruct_cells", len(share_vectors))
     weights = lagrange_weights(field, xs)
-    p = field.modulus
-    out: List[int] = []
-    for ys in share_vectors:
-        total = 0
-        for w, y in zip(weights, ys):
-            total += w * y
-        out.append(total % p)
-    return out
+    if (
+        len(share_vectors) >= VECTOR_MIN_BATCH
+        and _use_numpy()
+    ):
+        vectorized = _batch_reconstruct_numpy(
+            field.modulus, weights, share_vectors
+        )
+        if vectorized is not None:
+            _STATS.vector_reconstruct_cells += len(share_vectors)
+            return vectorized
+    _STATS.scalar_reconstruct_cells += len(share_vectors)
+    return _batch_reconstruct_scalar(field.modulus, weights, share_vectors)
 
 
 # ---------------------------------------------------------------------------
@@ -250,7 +502,7 @@ def reconstruct_integer(xs: Sequence[int], ys: Sequence[int]) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Split kernel (power tables for share evaluation)
+# Split kernel (power tables + batched Horner for share evaluation)
 # ---------------------------------------------------------------------------
 
 
@@ -260,7 +512,9 @@ class SplitKernel:
     ``powers[i][j] = x_i^j`` (mod p for the random scheme; exact integers
     for the order-preserving scheme, whose polynomials must not wrap).
     Evaluating a degree-(k−1) polynomial at every point is then n k-term
-    dot products — no per-value power recomputation.
+    dot products — no per-value power recomputation.  With the numpy
+    backend, whole batches evaluate as vectorized Horner over the
+    (values × points) grid instead.
     """
 
     __slots__ = ("points", "width", "modulus", "powers")
@@ -308,12 +562,9 @@ class SplitKernel:
             out.append(total % modulus if modulus is not None else total)
         return out
 
-    def evaluate_batch(
+    def _evaluate_batch_scalar(
         self, coeff_vectors: Sequence[Sequence[int]]
     ) -> List[List[int]]:
-        """Shares for many coefficient vectors; result[r][i] is value r's
-        share at provider i."""
-        telemetry.observe("kernels.split_batch_values", len(coeff_vectors))
         modulus = self.modulus
         powers = self.powers
         out: List[List[int]] = []
@@ -331,6 +582,32 @@ class SplitKernel:
                 shares.append(total % modulus if modulus is not None else total)
             out.append(shares)
         return out
+
+    def evaluate_batch(
+        self, coeff_vectors: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Shares for many coefficient vectors; result[r][i] is value r's
+        share at provider i.
+
+        Dispatches to batched Horner on the numpy backend (modular
+        kernels only — exact-integer order-preserving evaluation stays
+        scalar); ragged or out-of-range batches fall back to the scalar
+        oracle, so the result is bit-identical on every input.
+        """
+        telemetry.observe("kernels.split_batch_values", len(coeff_vectors))
+        if (
+            self.modulus is not None
+            and len(coeff_vectors) >= VECTOR_MIN_BATCH
+            and _use_numpy()
+        ):
+            vectorized = _horner_eval_numpy(
+                self.modulus, self.points, coeff_vectors, self.width
+            )
+            if vectorized is not None:
+                _STATS.vector_split_values += len(coeff_vectors)
+                return vectorized
+        _STATS.scalar_split_values += len(coeff_vectors)
+        return self._evaluate_batch_scalar(coeff_vectors)
 
 
 def split_kernel(

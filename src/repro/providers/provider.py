@@ -254,13 +254,10 @@ class ShareProvider:
     def _rpc_row_count(self, request: Dict) -> Dict:
         return {"count": len(self.store.table(request["table"]))}
 
-    def _rpc_aggregate(self, request: Dict) -> Dict:
-        table = self.store.table(request["table"])
-        func = request["func"]
-        if func not in _AGGREGATE_FUNCS:
-            raise QueryError(f"provider cannot aggregate with {func!r}")
-        conditions = request.get("conditions") or []
-        column = request.get("column")
+    def _compute_scalar_aggregate(
+        self, table, func: str, column, conditions
+    ) -> Dict:
+        """The clean (fault-free) COUNT/SUM partial for one predicate."""
         if func == "count":
             if column is None:
                 return {
@@ -271,20 +268,52 @@ class ShareProvider:
             values = self._filtered_column_values(table, conditions, column)
             self.cost.record("compare", len(values))
             return {"count": len(values) - values.count(None)}
+        values = self._filtered_column_values(table, conditions, column)
+        self.cost.record("compare", len(values))
+        present = [share for share in values if share is not None]
+        return {"partial_sum": sum(present), "count": len(present)}
+
+    def _rpc_aggregate(self, request: Dict) -> Dict:
+        table = self.store.table(request["table"])
+        func = request["func"]
+        if func not in _AGGREGATE_FUNCS:
+            raise QueryError(f"provider cannot aggregate with {func!r}")
+        conditions = request.get("conditions") or []
+        column = request.get("column")
+        # SUM/COUNT partials are materialized per (func, column, predicate)
+        # on the table, keyed by its mutation version: Shamir linearity
+        # makes a cached partial sum of shares exactly the share of the
+        # sum while the rows stand still, and the version key retires it
+        # the moment they do not.  Faults are applied to a fresh copy per
+        # request — the cache only ever holds *clean* payloads.
+        if func in ("count", "sum") and (func != "sum" or column is not None):
+            cache_key = ("aggregate", func, column, repr(conditions))
+            payload = table.cached_aggregate(cache_key)
+            if payload is None:
+                telemetry.count(
+                    "provider.aggcache.misses", provider=self.name, method=func
+                )
+                payload = self._compute_scalar_aggregate(
+                    table, func, column, conditions
+                )
+                table.store_aggregate(cache_key, dict(payload))
+            else:
+                telemetry.count(
+                    "provider.aggcache.hits", provider=self.name, method=func
+                )
+            payload = dict(payload)
+            if func == "sum" and self.fault is not None:
+                corrupted = self.fault.maybe_corrupt_share(payload["partial_sum"])
+                if corrupted is not None:
+                    payload["partial_sum"] = corrupted
+            return payload
         if column is None:
             raise QueryError(f"aggregate {func} requires a column")
-        if func == "sum":
-            values = self._filtered_column_values(table, conditions, column)
-            self.cost.record("compare", len(values))
-            present = [share for share in values if share is not None]
-            total = sum(present)
-            count = len(present)
-            if self.fault is not None:
-                corrupted = self.fault.maybe_corrupt_share(total)
-                total = corrupted if corrupted is not None else total
-            return {"partial_sum": total, "count": count}
         # min / max / median: pick the extreme/middle row by share order of
-        # the aggregate column (valid because OP shares preserve value order)
+        # the aggregate column (valid because OP shares preserve value
+        # order).  Uncached: the payload embeds a projected row, and
+        # result-fault filtering applies to it — not worth the copy
+        # discipline for a nomination that is already O(1) per request.
         row_ids = self._matching_row_ids_unordered(table, conditions)
         ordered = self._order_by_share(table, row_ids, column)
         if not ordered:
@@ -319,9 +348,27 @@ class ShareProvider:
         if func not in _AGGREGATE_FUNCS:
             raise QueryError(f"provider cannot aggregate with {func!r}")
         column = request.get("column")
-        row_ids = self._matching_row_ids_unordered(
-            table, request.get("conditions") or []
+        conditions = request.get("conditions") or []
+        # hot SUM/COUNT groups are materialized whole (the per-group
+        # partial list), version-keyed like the scalar path; order-based
+        # funcs embed projected rows and stay uncached
+        cacheable = func in ("count", "sum")
+        cache_key = (
+            "aggregate_group", func, column, group_column, repr(conditions),
         )
+        if cacheable:
+            cached = table.cached_aggregate(cache_key)
+            if cached is not None:
+                telemetry.count(
+                    "provider.aggcache.hits", provider=self.name, method=func
+                )
+                return self._finish_group_payloads(
+                    [[share, dict(payload)] for share, payload in cached]
+                )
+            telemetry.count(
+                "provider.aggcache.misses", provider=self.name, method=func
+            )
+        row_ids = self._matching_row_ids_unordered(table, conditions)
         group_array = table.column_array(group_column)
         groups: Dict[int, List[int]] = {}
         for rid, slot in zip(row_ids, table.slots_for(row_ids)):
@@ -383,6 +430,14 @@ class ShareProvider:
         if agg_reads:
             # per-group aggregate-column reads (previously unaccounted)
             self.cost.record("compare", agg_reads)
+        if cacheable:
+            table.store_aggregate(
+                cache_key, [[share, dict(payload)] for share, payload in out]
+            )
+        return self._finish_group_payloads(out)
+
+    def _finish_group_payloads(self, out: List) -> Dict:
+        """Apply result faults to (clean) group partials and wrap them."""
         if self.fault is not None:
             out = self.fault.filter_rows(out)
             corrupted = []

@@ -215,6 +215,16 @@ class ShareTable:
         # compiled batch materializers, keyed by column tuple (full rows
         # plus whatever projections this table actually serves)
         self._materializers: Dict[Tuple[str, ...], object] = {}
+        # materialized aggregate payloads (SUM/COUNT partials), version-keyed
+        # like the derived state above: entries are valid only while
+        # ``version`` stands still, so the first lookup after any mutation
+        # drops the lot.  Sound under Shamir linearity — a cached partial
+        # sum of shares IS the share of the sum for the unchanged rows.
+        self._agg_version = -1
+        self._agg_cache: Dict[Tuple, object] = {}
+        #: regression hooks mirroring ``derived_rebuilds``
+        self.agg_cache_hits = 0
+        self.agg_cache_misses = 0
 
     def __len__(self) -> int:
         return len(self._row_ids)
@@ -433,6 +443,32 @@ class ShareTable:
             raise ProviderError(
                 f"table {self.name}: no row with id {row_id}"
             ) from None
+
+    def cached_aggregate(self, key: Tuple) -> Optional[object]:
+        """The materialized aggregate payload for ``key``, or None.
+
+        The first lookup after any mutation finds the version moved and
+        drops every entry — the same invalidation discipline as
+        :meth:`_refresh_derived`, so no stale partial can ever be served.
+        """
+        if self._agg_version != self.version:
+            self._agg_cache.clear()
+            self._agg_version = self.version
+        payload = self._agg_cache.get(key)
+        if payload is None:
+            self.agg_cache_misses += 1
+            return None
+        self.agg_cache_hits += 1
+        return payload
+
+    def store_aggregate(self, key: Tuple, payload: object) -> None:
+        """Materialize an aggregate payload for the current version."""
+        if self._agg_version != self.version:
+            self._agg_cache.clear()
+            self._agg_version = self.version
+        if len(self._agg_cache) >= 64:
+            self._agg_cache.clear()
+        self._agg_cache[key] = payload
 
     def materialize_rows(
         self, slots: List[int], columns: Optional[List[str]] = None

@@ -83,6 +83,25 @@ class TestTier1Gate:
         assert matrix["python-version"] == ["3.9", "3.11", "3.13"]
         assert jobs["tests"]["strategy"]["fail-fast"] is False
 
+    def test_matrix_runs_with_and_without_numpy(self, jobs):
+        """The scalar oracle is a supported runtime, not a dev fallback:
+        every python version runs the suite both with the numpy backend
+        and with numpy absent entirely."""
+        matrix = jobs["tests"]["strategy"]["matrix"]
+        assert matrix["kernels"] == ["numpy", "no-numpy"]
+        steps = jobs["tests"]["steps"]
+        base_install = [
+            s for s in steps
+            if "run" in s and s["run"].startswith("python -m pip install")
+            and "numpy" not in s["run"]
+        ]
+        assert base_install, "base dependency install must not pull numpy"
+        numpy_install = [
+            s for s in steps if "run" in s and "pip install numpy" in s["run"]
+        ]
+        assert numpy_install, "no step installs numpy for the vector leg"
+        assert numpy_install[0]["if"] == "matrix.kernels == 'numpy'"
+
     def test_tests_job_runs_tier1_command_with_pythonpath(self, jobs):
         steps = jobs["tests"]["steps"]
         run_steps = [s for s in steps if "run" in s]
@@ -99,6 +118,9 @@ class TestTier1Gate:
         assert "bench_provider.py --check" in runs
         assert "bench_resilience.py --check" in runs
         assert "repro.cli trace" in runs
+        # the hot-path check gates the >=10x vectorized speedup, which
+        # requires numpy in the bench-smoke environment
+        assert "pip install numpy" in runs
 
     def test_chaos_smoke_runs_fault_matrix_and_gates(self, jobs):
         runs = " ".join(

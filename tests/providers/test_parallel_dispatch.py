@@ -104,8 +104,23 @@ class TestWeightCache:
         assert hits >= len(rows)
 
     def test_second_select_rebuilds_nothing(self):
+        """A repeated select interpolates *nothing*: the row cache replays
+        the result set, so not even cached weights are consulted."""
         _, source = _source("parallel")
         source.select(QUERY)
+        kernels.reset_kernel_stats()
+        rows = source.select(QUERY)
+        stats = kernels.kernel_stats()
+        assert len(rows) > 1
+        assert stats.weight_misses == 0 and stats.rational_misses == 0
+        assert source.row_cache.stats.query_hits >= 1
+
+    def test_second_select_without_row_cache_hits_weight_cache(self):
+        """With query replay out of the picture (fresh epoch entries gone),
+        the weight tables still serve every cell from cache."""
+        _, source = _source("parallel")
+        source.select(QUERY)
+        source.row_cache.clear()
         kernels.reset_kernel_stats()
         rows = source.select(QUERY)
         stats = kernels.kernel_stats()
