@@ -64,7 +64,12 @@ from .errors import (
 )
 from .mashup.engine import MashupEngine
 from .mashup.public_catalog import PublicCatalog
-from .persistence import load_deployment, save_deployment
+from .persistence import (
+    load_deployment,
+    load_sharded_deployment,
+    save_deployment,
+    save_sharded_deployment,
+)
 from .providers.cluster import ProviderCluster
 from .providers.failures import Fault, FailureMode
 from .providers.provider import ShareProvider
@@ -113,7 +118,9 @@ __all__ = [
     "PublicCatalog",
     "STRING_ALPHABET",
     "load_deployment",
+    "load_sharded_deployment",
     "save_deployment",
+    "save_sharded_deployment",
     "Catalog",
     "ClientSecrets",
     "Column",

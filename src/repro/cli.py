@@ -413,6 +413,111 @@ def cmd_repair(args, out) -> int:
     return 0 if all_consistent else 1
 
 
+def _shard_verify(router, employees, out) -> bool:
+    """Compare the sharded deployment against the plaintext oracle."""
+    from .sqlengine.catalog import Catalog
+    from .sqlengine.executor import PlaintextExecutor, rows_equal_unordered
+    from .sqlengine.sqlparser import parse_sql
+    from .sqlengine.table import Table
+
+    catalog = Catalog()
+    catalog.add_table(Table(employees.schema, employees.rows()))
+    oracle = PlaintextExecutor(catalog)
+    probes = [
+        "SELECT COUNT(*) FROM Employees",
+        "SELECT SUM(salary) FROM Employees",
+        "SELECT AVG(salary) FROM Employees WHERE salary >= 50000",
+        "SELECT * FROM Employees WHERE eid < 5000",
+    ]
+    ok = True
+    for text in probes:
+        got = router.sql(text)
+        want = oracle.execute(parse_sql(text))
+        matches = (
+            rows_equal_unordered(got, want)
+            if isinstance(want, list)
+            else got == want
+        )
+        status = "ok" if matches else "MISMATCH"
+        print(f"  verify {text!r}: {status}", file=out)
+        ok = ok and matches
+    held = router.shard_row_ids("Employees")
+    total = sum(len(ids) for ids in held.values())
+    distinct = len({rid for ids in held.values() for rid in ids})
+    if total != len(employees.rows()) or distinct != total:
+        print(
+            f"  verify row placement: MISMATCH ({total} rows held, "
+            f"{distinct} distinct, {len(employees.rows())} expected)",
+            file=out,
+        )
+        ok = False
+    else:
+        print(f"  verify row placement: ok ({total} rows, no duplicates)", file=out)
+    return ok
+
+
+def _print_shard_distribution(router, table: str, out) -> None:
+    for index, ids in sorted(router.shard_row_ids(table).items()):
+        group = router.groups[index]
+        print(f"  {group.name}: {len(ids)} rows", file=out)
+
+
+def cmd_shard_split(args, out) -> int:
+    from .service.sharding import ShardRouter
+
+    router = ShardRouter.build(
+        n_groups=args.groups,
+        providers_per_group=args.providers,
+        threshold=args.threshold,
+        seed=args.seed,
+        mode="range",
+    )
+    employees = employees_table(args.rows, seed=args.seed)
+    router.outsource_table(employees, partition_column="eid")
+    print(f"range-sharded Employees across {args.groups} groups:", file=out)
+    _print_shard_distribution(router, "Employees", out)
+    moved = router.split_shard("Employees", args.at)
+    print(
+        f"split at eid={args.at}: {moved} rows migrated to "
+        f"{router.groups[-1].name} (online, staging cutover)",
+        file=out,
+    )
+    _print_shard_distribution(router, "Employees", out)
+    network_bytes = router.total_network_bytes()
+    print(f"  network: {network_bytes:,} bytes across groups", file=out)
+    return 0 if _shard_verify(router, employees, out) else 1
+
+
+def cmd_shard_rebalance(args, out) -> int:
+    from .service.sharding import ShardRouter
+
+    router = ShardRouter.build(
+        n_groups=args.groups,
+        providers_per_group=args.providers,
+        threshold=args.threshold,
+        seed=args.seed,
+        mode="hash",
+    )
+    employees = employees_table(args.rows, seed=args.seed)
+    router.outsource_table(employees)
+    print(f"hash-sharded Employees across {args.groups} groups:", file=out)
+    _print_shard_distribution(router, "Employees", out)
+    for _ in range(args.add_groups):
+        router.add_group()
+    if args.add_groups:
+        print(f"registered {args.add_groups} new group(s)", file=out)
+    moved = router.rebalance()
+    print(
+        f"rebalanced: {moved} rows migrated across "
+        f"{len(router.active_group_indexes())} active groups",
+        file=out,
+    )
+    _print_shard_distribution(router, "Employees", out)
+    network_bytes = router.total_network_bytes()
+    print(f"  network: {network_bytes:,} bytes across groups", file=out)
+    return 0 if _shard_verify(router, employees, out) else 1
+
+
 def cmd_figure1(args, out) -> int:
     from .core.shamir import figure1_shares, salaries_from_figure1
 
@@ -525,6 +630,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop the provider's share tables first (storage-loss demo)",
     )
 
+    split = sub.add_parser(
+        "shard-split",
+        help="range-shard a workload, split one shard online, verify",
+    )
+    common(split)
+    split.add_argument(
+        "--groups", type=int, default=2, help="initial provider groups"
+    )
+    split.add_argument(
+        "--at", type=int, default=250_000,
+        help="eid split point; keys >= this move to a fresh group",
+    )
+
+    rebalance = sub.add_parser(
+        "shard-rebalance",
+        help="hash-shard a workload, add groups, rebalance buckets, verify",
+    )
+    common(rebalance)
+    rebalance.add_argument(
+        "--groups", type=int, default=2, help="initial provider groups"
+    )
+    rebalance.add_argument(
+        "--add-groups", type=int, default=1,
+        help="fresh groups to register before rebalancing",
+    )
+
     sub.add_parser("figure1", help="print the paper's Figure 1 reproduction")
     return parser
 
@@ -543,6 +674,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_serve_sim(args, out)
         if args.command == "repair":
             return cmd_repair(args, out)
+        if args.command == "shard-split":
+            return cmd_shard_split(args, out)
+        if args.command == "shard-rebalance":
+            return cmd_shard_rebalance(args, out)
         if args.command == "figure1":
             return cmd_figure1(args, out)
     except ReproError as exc:

@@ -177,7 +177,7 @@ class DataSource:
         if not self.namespace:
             return request
         out = dict(request)
-        for key in ("table", "left", "right"):
+        for key in ("table", "left", "right", "into"):
             if key in out:
                 out[key] = self.physical_name(out[key])
         return out
@@ -705,6 +705,113 @@ class DataSource:
                     self.audit.on_insert(table_name, index, rid, shares[index])
         self.bump_table_epoch(table_name)
         return len(prepared)
+
+    # ------------------------------------------------- share-row migration --
+
+    def scan_share_rows(
+        self, table_name: str, extra: int = 0
+    ) -> Dict[int, Dict[int, ShareRow]]:
+        """Aligned share rows of a whole table: ``{row_id: {provider: row}}``.
+
+        The raw material of share-level rebuilds (provider repair, shard
+        migration): rows are fetched through the health-ordered read
+        quorum with failover and returned *as shares* — nothing is
+        reconstructed here.  ``extra`` requests redundant shares beyond k
+        so a tampering quorum member can be blamed by the rebuild.
+        """
+        self.sharing(table_name)
+        responses = self._broadcast(
+            "scan",
+            lambda i: {"table": table_name, "projection": None},
+            minimum=self.threshold,
+            provider_indexes=self.cluster.read_quorum(extra=extra),
+            quorum="first_k",
+            failover=self.failover,
+        )
+        return align_by_row_id(rows_from_responses(responses))
+
+    def create_staging_table(self, table_name: str, staging: str) -> None:
+        """Create an empty staging copy of a table's layout at every live
+        provider.  Staging tables are provider-side only — the client
+        never registers a sharing for them, so queries cannot see them."""
+        sharing = self.sharing(table_name)
+        searchable = [c.name for c in sharing.schema.columns if c.searchable]
+        self._broadcast(
+            "create_table",
+            lambda i: {
+                "table": staging,
+                "columns": sharing.schema.column_names,
+                "searchable": searchable,
+            },
+            provider_indexes=self.cluster.write_targets(),
+        )
+
+    def drop_staging_table(self, staging: str) -> None:
+        """Drop a staging table wherever it exists (abandoned migration)."""
+        physical = self.physical_name(staging)
+        for index in self.cluster.write_targets():
+            if self.cluster.providers[index].store.has_table(physical):
+                self._call_one(index, "drop_table", {"table": staging})
+
+    def insert_share_rows(
+        self,
+        table_name: str,
+        rows: List[Tuple[int, Dict[int, ShareRow]]],
+        into: Optional[str] = None,
+    ) -> int:
+        """Upload pre-built share rows verbatim (no sharing, no encoding).
+
+        ``rows`` is ``[(row_id, {provider_index: share_row})]`` — share
+        rows rebuilt by the repair machinery on this client's evaluation
+        points.  ``into`` redirects the upload to a staging table without
+        bumping the live table's epoch (the rows are not visible yet);
+        without it the live table is written and its epoch advances.
+        """
+        self.sharing(table_name)
+        if not rows:
+            return 0
+        target_table = into if into is not None else table_name
+        self._broadcast(
+            "insert_many",
+            lambda i: {
+                "table": target_table,
+                "rows": [[rid, per_provider[i]] for rid, per_provider in rows],
+            },
+            provider_indexes=self.cluster.write_targets(),
+        )
+        if into is None:
+            self.bump_table_epoch(table_name)
+        return len(rows)
+
+    def merge_staging_table(self, table_name: str, staging: str) -> int:
+        """Make a staging table's rows live: provider-local move + epoch bump.
+
+        Returns the maximum per-provider merged count (a provider that
+        missed the staging upload merges zero and is simply stale).
+        """
+        self.sharing(table_name)
+        responses = self._broadcast(
+            "merge_table",
+            lambda i: {"table": staging, "into": table_name},
+            provider_indexes=self.cluster.write_targets(),
+        )
+        self.bump_table_epoch(table_name)
+        return max(
+            (response["merged"] for response in responses.values()), default=0
+        )
+
+    def delete_row_ids(self, table_name: str, row_ids: List[int]) -> int:
+        """Delete specific rows at every live provider (no predicate fetch)."""
+        self.sharing(table_name)
+        if not row_ids:
+            return 0
+        self._broadcast(
+            "delete_rows",
+            lambda i: {"table": table_name, "row_ids": list(row_ids)},
+            provider_indexes=self.cluster.write_targets(),
+        )
+        self.bump_table_epoch(table_name)
+        return len(row_ids)
 
     def _fetch_matching_rows(
         self, query: Union[Update, Delete]

@@ -83,6 +83,36 @@ def rebuild_share_row(
     return rebuilt
 
 
+def rebuild_rows_for_targets(
+    sharing: TableSharing,
+    aligned: Dict[int, Dict[int, ShareRow]],
+    target_indexes: List[int],
+) -> List[Tuple[int, Dict[int, ShareRow]]]:
+    """Rebuild every quorum-complete row for a set of target points.
+
+    The bulk form of :func:`rebuild_share_row`, used by shard migration:
+    each row is rebuilt once per target evaluation point, so a whole row
+    set can be re-homed onto another provider group that shares the
+    client's secrets — without ever reconstructing the randomly-shared
+    plaintext.  Rows with fewer than k source shares are skipped (they
+    cannot be rebuilt; the caller's quorum failover should prevent this).
+    """
+    out: List[Tuple[int, Dict[int, ShareRow]]] = []
+    for row_id, share_rows in sorted(aligned.items()):
+        if len(share_rows) < sharing.threshold:
+            continue
+        out.append(
+            (
+                row_id,
+                {
+                    target: rebuild_share_row(sharing, share_rows, target)
+                    for target in target_indexes
+                },
+            )
+        )
+    return out
+
+
 def repair_provider(
     source,
     provider_index: int,

@@ -309,6 +309,120 @@ def _read_snapshot_file(directory: str, name: str, digests: Dict[str, str]) -> D
         ) from exc
 
 
+SHARD_MANIFEST_NAME = "shard_manifest.json"
+
+
+def save_sharded_deployment(router, directory: str) -> List[str]:
+    """Write a sharded deployment: one sub-directory per provider group.
+
+    Each group is saved with :func:`save_deployment` (atomic files, its
+    own manifest written last), and the router's state — shard maps,
+    row-id counters, retired flags — goes into a top-level shard
+    manifest written **after** every group completed.  The shard
+    manifest records each group manifest's digest, so a restore rejects
+    a directory where some groups come from a different (or interrupted)
+    save instead of reassembling a torn deployment whose shard maps
+    disagree with the rows actually on disk.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    group_entries: List[Dict] = []
+    for index, group in enumerate(router.groups):
+        group_dir = f"group_{index}"
+        paths.extend(
+            save_deployment(group.source, os.path.join(directory, group_dir))
+        )
+        manifest_path = os.path.join(directory, group_dir, MANIFEST_NAME)
+        with open(manifest_path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        group_entries.append(
+            {
+                "directory": group_dir,
+                "retired": group.retired,
+                "manifest_sha256": digest,
+            }
+        )
+    shard_manifest_path = os.path.join(directory, SHARD_MANIFEST_NAME)
+    _atomic_write_json(
+        shard_manifest_path,
+        {
+            "version": _FORMAT_VERSION,
+            "mode": router.default_mode,
+            "n_buckets": router.n_buckets,
+            "groups": group_entries,
+            "maps": {
+                name: router.shard_map(name).to_dict()
+                for name in router.table_names()
+            },
+            "next_row_ids": {
+                name: router._next_row_id.get(name, 0)
+                for name in router.table_names()
+            },
+        },
+    )
+    paths.append(shard_manifest_path)
+    return paths
+
+
+def load_sharded_deployment(directory: str):
+    """Restore a sharded deployment saved by :func:`save_sharded_deployment`.
+
+    Raises :class:`ConfigurationError` when the shard manifest is
+    missing (interrupted save), any group's manifest digest disagrees
+    with it (groups from different saves), or any group's own snapshot
+    is torn — the per-group :func:`load_deployment` checks apply
+    unchanged underneath.
+    """
+    from .service.sharding import ShardRouter
+
+    shard_manifest_path = os.path.join(directory, SHARD_MANIFEST_NAME)
+    if not os.path.exists(shard_manifest_path):
+        raise ConfigurationError(
+            f"no shard manifest in {directory!r}: the sharded save was "
+            "interrupted before completion — re-save the deployment"
+        )
+    with open(shard_manifest_path, "rb") as handle:
+        try:
+            manifest = json.loads(handle.read().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"shard manifest {shard_manifest_path!r} is not valid "
+                f"JSON: {exc}"
+            ) from exc
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported shard manifest version {manifest.get('version')!r}"
+        )
+    sources = []
+    retired = []
+    for index, entry in enumerate(manifest["groups"]):
+        group_dir = os.path.join(directory, entry["directory"])
+        group_manifest = os.path.join(group_dir, MANIFEST_NAME)
+        if not os.path.exists(group_manifest):
+            raise ConfigurationError(
+                f"missing group snapshot manifest {group_manifest!r}"
+            )
+        with open(group_manifest, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        if digest != entry["manifest_sha256"]:
+            raise ConfigurationError(
+                f"group snapshot {group_dir!r} does not match the shard "
+                "manifest — the directory mixes groups from different "
+                "saves, or a group was re-saved without the router"
+            )
+        sources.append(load_deployment(group_dir))
+        if entry.get("retired"):
+            retired.append(index)
+    return ShardRouter.restore(
+        sources,
+        mode=manifest["mode"],
+        maps=manifest["maps"],
+        next_row_ids=manifest["next_row_ids"],
+        retired=retired,
+        n_buckets=manifest.get("n_buckets", 64),
+    )
+
+
 def load_deployment(directory: str) -> DataSource:
     """Restore a full deployment saved by :func:`save_deployment`.
 

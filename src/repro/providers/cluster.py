@@ -176,6 +176,7 @@ class ProviderCluster:
         executor: Optional[ThreadPoolExecutor] = None,
         retry: Optional[RetryPolicy] = None,
         health: Optional[HealthTracker] = None,
+        name_prefix: str = "",
     ) -> None:
         # constructor misuse is a configuration bug, not a runtime quorum
         # loss — callers legitimately catch QuorumError around reads
@@ -197,8 +198,11 @@ class ProviderCluster:
         self.network = network or SimulatedNetwork()
         self._executor = executor
         self.retry = retry or RetryPolicy()
+        # name_prefix disambiguates clusters sharing one telemetry hub —
+        # a sharded deployment runs several groups whose providers would
+        # otherwise all report as DAS1..DASn
         self.providers: List[ShareProvider] = [
-            ShareProvider(f"DAS{i + 1}") for i in range(n_providers)
+            ShareProvider(f"{name_prefix}DAS{i + 1}") for i in range(n_providers)
         ]
         self.health = health or HealthTracker(
             n_providers,

@@ -161,6 +161,27 @@ class ShareProvider:
             table.delete(row_id)
         return {"deleted": len(request["row_ids"])}
 
+    def _rpc_merge_table(self, request: Dict) -> Dict:
+        """Move every row of a staging table into a live table, then drop it.
+
+        The cutover half of an online shard migration: rebuilt share rows
+        are uploaded to a staging table while queries keep running, and
+        this provider-local move makes them visible in one step — no row
+        payload crosses the network during the blocking window.  A
+        provider that never received the staging table (it was down
+        during the upload) reports zero rows merged; it is stale, exactly
+        as it would be after missing any other write.
+        """
+        if not self.store.has_table(request["table"]):
+            return {"merged": 0}
+        staging = self.store.table(request["table"])
+        target = self.store.table(request["into"])
+        merged = target.insert_many(
+            (row_id, staging.get(row_id)) for row_id in staging.all_row_ids()
+        )
+        self.store.drop_table(request["table"])
+        return {"merged": merged}
+
     def _rpc_increment_rows(self, request: Dict) -> Dict:
         """Add delta shares in place (Sec. V-C incremental updates).
 

@@ -12,23 +12,38 @@ from .admission import AdmissionController
 from .plancache import CachedPlan, PlanCache, normalise_sql
 from .replay import generate_workload, run_simulation
 from .scheduler import BatchingCluster, FanoutBatcher
-from .service import QueryService, ServiceStats
+from .service import QueryService, ServiceStats, TableLock
 from .session import Session, SessionManager, SessionStats
+from .sharding import (
+    HashShardMap,
+    RangeShardMap,
+    ShardGroup,
+    ShardRouter,
+    rebalance_plan,
+    shard_map_from_dict,
+)
 
 __all__ = [
     "AdmissionController",
     "BatchingCluster",
     "CachedPlan",
     "FanoutBatcher",
+    "HashShardMap",
     "PlanCache",
     "QueryService",
+    "RangeShardMap",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceStats",
     "Session",
     "SessionManager",
     "SessionStats",
+    "ShardGroup",
+    "ShardRouter",
+    "TableLock",
     "generate_workload",
     "normalise_sql",
+    "rebalance_plan",
     "run_simulation",
+    "shard_map_from_dict",
 ]

@@ -39,13 +39,14 @@ from .scheduler import BatchingCluster, FanoutBatcher
 from .session import Session, SessionManager
 
 
-class _TableLock:
+class TableLock:
     """Readers-writer lock with writer preference.
 
     Writer preference keeps a steady read stream from starving writes;
     reads queued behind a waiting writer see its result — the freshest
     outcome, and the only ordering under which the concurrent-vs-oracle
-    tests can be deterministic.
+    tests can be deterministic.  Shared with the shard router, whose
+    migrations take the write side for their cutover window.
     """
 
     def __init__(self) -> None:
@@ -120,7 +121,7 @@ class QueryService:
         self.admission = AdmissionController(max_in_flight, queue_limit)
         self.sessions = SessionManager(self)
         self.stats = ServiceStats()
-        self._table_lock = _TableLock()
+        self._table_lock = TableLock()
         self._stats_lock = threading.Lock()
         self._closed = False
 

@@ -1,0 +1,1586 @@
+"""Horizontal sharding across provider groups (scaling out Sec. V).
+
+The paper's deployment is one client in front of one n-provider group;
+every table lives, whole, on that group.  This module scales the design
+*out*: a :class:`ShardRouter` partitions each table's rows across
+several provider groups and fans queries out only to the groups that
+can own matching rows.
+
+Two partitioning modes, chosen per table:
+
+* **hash** — row ids map onto a fixed ring of buckets
+  (``row_id % n_buckets``), each bucket owned by one group.  Uniform
+  spread, no pruning for value predicates.
+* **range** — an order-preserving (searchable) partition column's
+  *encoded* domain is cut into contiguous half-open ranges, one owner
+  each.  The same interval rewrite that pushes range predicates to
+  providers (Sec. V-A) then prunes entire groups: a query whose
+  rewritten intervals miss a group's range never contacts it.
+
+Cross-shard merging stays exact because shares are linear: COUNT and
+SUM partials add, AVG is merged as (sum of SUMs) / (sum of non-null
+COUNTs) — the identical numerator and denominator the unsharded path
+divides — and MIN/MAX take the extremum of extrema.  MEDIAN is the one
+holdout (a median of medians is not a median), so it falls back to
+fetching matching rows and reusing the plaintext executor.
+
+Elastic pool operations build on the share-rebuild machinery of
+:mod:`repro.client.repair`.  All groups are constructed from **one**
+:class:`~repro.core.secrets.ClientSecrets`, so a row can be re-homed by
+rebuilding its shares for the destination's evaluation points — the
+secret polynomial is extended, never reconstructed.  Migration runs
+online behind a staging table:
+
+1. *(no lock)* scan the source group through its read quorum, rebuild
+   the moving rows, upload them into a provider-side staging table at
+   the destination — invisible to queries;
+2. *(write lock)* if the source table's epoch moved, redo the copy
+   inside the blocking window; then ``merge_table`` flips the staging
+   rows live provider-locally (no row payload crosses the network
+   while queries are blocked), ownership flips in the shard map, and
+   the source rows are deleted.  Both sides' epochs bump, retiring any
+   cached plans and rows.
+
+A reader therefore never observes a half-moved row: before the flip the
+rows are only in the source's live table (staging is unqueryable);
+after it, only in the destination's.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..client.datasource import DataSource, _project_qualified
+from ..client.repair import rebuild_rows_for_targets
+from ..client.rewriter import (
+    RewrittenPredicate,
+    rewrite_predicate,
+    split_join_predicate,
+)
+from ..core.scheme import ShareRow, TableSharing
+from ..core.secrets import generate_client_secrets
+from ..errors import (
+    ConfigurationError,
+    QueryError,
+    SchemaError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnsupportedQueryError,
+)
+from ..providers.cluster import ProviderCluster
+from ..sqlengine.executor import compute_aggregate, compute_group_aggregate
+from ..sqlengine.query import (
+    Aggregate,
+    AggregateFunc,
+    Delete,
+    Insert,
+    JoinSelect,
+    Select,
+    Update,
+)
+from ..sqlengine.schema import TableSchema, python_value_sort_key
+from ..sqlengine.sqlparser import parse_sql
+from ..sqlengine.table import Table
+from .admission import AdmissionController
+from .service import QueryService, ServiceStats, TableLock
+from .session import Session, SessionManager
+
+Row = Dict[str, object]
+
+#: Default hash-ring size.  Many more buckets than groups, so rebalancing
+#: moves ~1/n_groups of the data instead of re-hashing everything.
+DEFAULT_HASH_BUCKETS = 64
+
+#: Suffix of the provider-side staging table an online migration uploads
+#: into.  The client never registers a sharing under this name, so the
+#: staged rows are unreachable by any query until ``merge_table`` flips
+#: them live.
+MIGRATION_STAGING_SUFFIX = "__incoming"
+
+
+# ------------------------------------------------------------- shard maps --
+
+
+class HashShardMap:
+    """Row-id hash partitioning over a fixed bucket ring."""
+
+    mode = "hash"
+
+    def __init__(self, buckets: Sequence[int]) -> None:
+        if not buckets:
+            raise ConfigurationError("a hash shard map needs >= 1 bucket")
+        self.buckets: List[int] = list(buckets)
+
+    def group_for_row_id(self, row_id: int) -> int:
+        return self.buckets[row_id % len(self.buckets)]
+
+    def owning_groups(self) -> List[int]:
+        return sorted(set(self.buckets))
+
+    def buckets_of(self, group: int) -> List[int]:
+        return [b for b, owner in enumerate(self.buckets) if owner == group]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"mode": self.mode, "buckets": list(self.buckets)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HashShardMap":
+        return cls([int(b) for b in payload["buckets"]])
+
+
+class RangeShardMap:
+    """Contiguous half-open ranges of a partition column's encoded domain.
+
+    ``ranges`` is ``[(lo, hi, group), ...]`` with ``lo <= key < hi``,
+    sorted, gap-free, and jointly covering ``[domain.lo, domain.hi + 1)``
+    — every encodable key has exactly one owner, which is what makes
+    per-row routing total and disjoint.
+    """
+
+    mode = "range"
+
+    def __init__(
+        self, partition_column: str, ranges: Sequence[Sequence[int]]
+    ) -> None:
+        cleaned = [
+            (int(lo), int(hi), int(group)) for lo, hi, group in ranges
+        ]
+        cleaned = [(lo, hi, g) for lo, hi, g in cleaned if lo < hi]
+        if not cleaned:
+            raise ConfigurationError("a range shard map needs >= 1 range")
+        cleaned.sort()
+        for (_, hi, _), (lo, _, _) in zip(cleaned, cleaned[1:]):
+            if hi != lo:
+                raise ConfigurationError(
+                    f"shard ranges must tile the domain without gaps or "
+                    f"overlaps; found boundary mismatch {hi} != {lo}"
+                )
+        self.partition_column = partition_column
+        self.ranges: List[Tuple[int, int, int]] = cleaned
+
+    @property
+    def lo(self) -> int:
+        return self.ranges[0][0]
+
+    @property
+    def hi(self) -> int:
+        return self.ranges[-1][1] - 1
+
+    def group_for_key(self, key: int) -> int:
+        for lo, hi, group in self.ranges:
+            if lo <= key < hi:
+                return group
+        raise QueryError(
+            f"key {key} outside the sharded domain "
+            f"[{self.lo}, {self.hi}] of column {self.partition_column!r}"
+        )
+
+    def groups_for_interval(self, low: int, high: int) -> List[int]:
+        """Owners of ``[low, high]`` (inclusive, encoded domain)."""
+        return sorted(
+            {
+                group
+                for lo, hi, group in self.ranges
+                if lo <= high and low < hi
+            }
+        )
+
+    def owning_groups(self) -> List[int]:
+        return sorted({group for _, _, group in self.ranges})
+
+    def ranges_of(self, group: int) -> List[Tuple[int, int]]:
+        return [(lo, hi) for lo, hi, g in self.ranges if g == group]
+
+    def split_at(self, key: int, group: int) -> None:
+        """Give ``[key, hi)`` of the range containing ``key`` to ``group``."""
+        for position, (lo, hi, owner) in enumerate(self.ranges):
+            if lo <= key < hi:
+                if key == lo:
+                    self.ranges[position] = (lo, hi, group)
+                else:
+                    self.ranges[position : position + 1] = [
+                        (lo, key, owner),
+                        (key, hi, group),
+                    ]
+                self.normalise()
+                return
+        raise ConfigurationError(f"split key {key} outside the sharded domain")
+
+    def reassign(self, lo: int, group: int) -> None:
+        """Reassign the range starting at ``lo`` to ``group``."""
+        for position, (range_lo, hi, _) in enumerate(self.ranges):
+            if range_lo == lo:
+                self.ranges[position] = (lo, hi, group)
+                self.normalise()
+                return
+        raise ConfigurationError(f"no shard range starts at {lo}")
+
+    def normalise(self) -> None:
+        """Merge adjacent ranges with the same owner."""
+        merged: List[Tuple[int, int, int]] = []
+        for lo, hi, group in self.ranges:
+            if merged and merged[-1][2] == group and merged[-1][1] == lo:
+                merged[-1] = (merged[-1][0], hi, group)
+            else:
+                merged.append((lo, hi, group))
+        self.ranges = merged
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "partition_column": self.partition_column,
+            "ranges": [list(r) for r in self.ranges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RangeShardMap":
+        return cls(str(payload["partition_column"]), payload["ranges"])
+
+
+def shard_map_from_dict(payload: Dict[str, object]):
+    """Inverse of ``to_dict`` for either map kind (snapshot restore)."""
+    mode = payload.get("mode")
+    if mode == "hash":
+        return HashShardMap.from_dict(payload)
+    if mode == "range":
+        return RangeShardMap.from_dict(payload)
+    raise ConfigurationError(f"unknown shard map mode {mode!r}")
+
+
+# ---------------------------------------------------------- partial merges --
+#
+# Pure functions over per-shard partial results.  Soundness arguments sit
+# with each; the property suite checks them against the plaintext
+# executor on randomly partitioned row sets.
+
+
+def merge_counts(partials: Sequence[Optional[int]]) -> int:
+    """COUNT partials add — shards partition the matching rows."""
+    return sum(int(p) for p in partials if p is not None)
+
+
+def merge_sums(partials: Sequence[object]) -> Optional[object]:
+    """SUM partials add; all-NULL shards contribute nothing.
+
+    ``None`` (no non-null value anywhere) stays ``None``, matching the
+    unsharded SQL convention.
+    """
+    present = [p for p in partials if p is not None]
+    if not present:
+        return None
+    total = present[0]
+    for value in present[1:]:
+        total = total + value
+    return total
+
+
+def merge_extremum(
+    partials: Sequence[object], func: AggregateFunc
+) -> Optional[object]:
+    """MIN/MAX of per-shard extrema is the global extremum."""
+    present = [p for p in partials if p is not None]
+    if not present:
+        return None
+    return min(present) if func is AggregateFunc.MIN else max(present)
+
+
+def merge_avg(
+    pairs: Sequence[Tuple[Optional[object], Optional[int]]]
+) -> Optional[object]:
+    """AVG from per-shard (SUM, non-null COUNT) pairs.
+
+    Dividing the merged sum by the merged count reproduces the unsharded
+    ``total / len(values)`` *exactly* — same numerator, same denominator,
+    same single division — so even float results are bit-identical.
+    """
+    total = merge_sums([s for s, _ in pairs])
+    count = merge_counts([c for _, c in pairs])
+    if count == 0 or total is None:
+        return None
+    return total / count
+
+
+def merge_grouped(
+    aggregate: Aggregate,
+    group_column: str,
+    shard_results: Sequence[List[Row]],
+) -> List[Row]:
+    """Merge per-shard grouped COUNT/SUM/MIN/MAX results by group key."""
+    label = aggregate.func.value
+    merged: Dict[object, List[object]] = {}
+    for result in shard_results:
+        for row in result:
+            merged.setdefault(row[group_column], []).append(row[label])
+    out: List[Row] = []
+    for key in sorted(merged):
+        values = merged[key]
+        if aggregate.func is AggregateFunc.COUNT:
+            value: object = merge_counts(values)
+        elif aggregate.func is AggregateFunc.SUM:
+            value = merge_sums(values)
+        else:
+            value = merge_extremum(values, aggregate.func)
+        out.append({group_column: key, label: value})
+    return out
+
+
+def merge_grouped_avg(
+    group_column: str,
+    sum_results: Sequence[List[Row]],
+    count_results: Sequence[List[Row]],
+) -> List[Row]:
+    """Merge grouped AVG from per-shard grouped SUMs and non-null COUNTs."""
+    totals: Dict[object, object] = {}
+    counts: Dict[object, int] = {}
+    for result in sum_results:
+        for row in result:
+            if row["sum"] is not None:
+                key = row[group_column]
+                totals[key] = (
+                    row["sum"] if key not in totals else totals[key] + row["sum"]
+                )
+    for result in count_results:
+        for row in result:
+            key = row[group_column]
+            counts[key] = counts.get(key, 0) + int(row["count"])
+    out: List[Row] = []
+    for key in sorted(counts):
+        count = counts[key]
+        value = None if count == 0 or key not in totals else totals[key] / count
+        out.append({group_column: key, "avg": value})
+    return out
+
+
+def rebalance_plan(
+    buckets: Sequence[int], active: Sequence[int]
+) -> Dict[Tuple[int, int], List[int]]:
+    """Minimal-move plan spreading ``buckets`` evenly over ``active`` groups.
+
+    Returns ``{(src_group, dst_group): [bucket, ...]}``.  Buckets owned
+    by non-active groups always move; active groups shed only their
+    surplus above ``len(buckets) // len(active)`` (+1 for the remainder,
+    granted to the lowest group indexes), so the plan never shuffles a
+    bucket between two under-target groups.
+    """
+    if not active:
+        raise ConfigurationError("rebalance needs >= 1 active group")
+    ordered = sorted(set(active))
+    held: Dict[int, List[int]] = {g: [] for g in ordered}
+    surplus: List[Tuple[int, int]] = []
+    for bucket, owner in enumerate(buckets):
+        if owner in held:
+            held[owner].append(bucket)
+        else:
+            surplus.append((owner, bucket))
+    base, remainder = divmod(len(buckets), len(ordered))
+    desired = {
+        g: base + (1 if position < remainder else 0)
+        for position, g in enumerate(ordered)
+    }
+    for g in ordered:
+        extra = len(held[g]) - desired[g]
+        if extra > 0:
+            surplus.extend((g, bucket) for bucket in held[g][-extra:])
+    plan: Dict[Tuple[int, int], List[int]] = {}
+    for g in ordered:
+        need = desired[g] - min(len(held[g]), desired[g])
+        for _ in range(need):
+            if not surplus:
+                break
+            src, bucket = surplus.pop(0)
+            plan.setdefault((src, g), []).append(bucket)
+    return plan
+
+
+# ------------------------------------------------------------ the router --
+
+
+@dataclass
+class ShardGroup:
+    """One provider group participating in a sharded deployment."""
+
+    name: str
+    source: DataSource
+    retired: bool = False
+    service: Optional[QueryService] = None
+
+    @property
+    def cluster(self):
+        return self.source.cluster
+
+    @property
+    def network(self):
+        return self.source.cluster.network
+
+
+class ShardRouter:
+    """Route, fan out, and merge queries over sharded provider groups.
+
+    Presents the same ``execute``/``sql``/session surface as
+    :class:`~repro.service.service.QueryService`, plus the elastic pool
+    operations (:meth:`add_group`, :meth:`split_shard`,
+    :meth:`rebalance`, :meth:`drain_group`).
+
+    All groups must be built from one shared
+    :class:`~repro.core.secrets.ClientSecrets`: identical evaluation
+    points and hash keys are what make share rows *portable* between
+    groups (cross-group migration rebuilds shares without ever touching
+    plaintext).
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[DataSource],
+        mode: str = "hash",
+        n_buckets: int = DEFAULT_HASH_BUCKETS,
+        seed: int = 0,
+    ) -> None:
+        if not sources:
+            raise ConfigurationError("a shard router needs >= 1 group")
+        if mode not in ("hash", "range"):
+            raise ConfigurationError(
+                f"unknown sharding mode {mode!r} (hash or range)"
+            )
+        if n_buckets < 1:
+            raise ConfigurationError(f"n_buckets must be >= 1, got {n_buckets}")
+        first = sources[0]
+        for source in sources[1:]:
+            if (
+                source.secrets.evaluation_points
+                != first.secrets.evaluation_points
+                or source.secrets.hash_key != first.secrets.hash_key
+            ):
+                raise ConfigurationError(
+                    "shard groups must share one client secret set — "
+                    "cross-group share rebuilds rely on identical "
+                    "evaluation points and hash keys"
+                )
+            if (
+                source.threshold != first.threshold
+                or source.cluster.n_providers != first.cluster.n_providers
+            ):
+                raise ConfigurationError(
+                    "shard groups must agree on (n, k); mixed geometries "
+                    "would make rebuilt rows unreadable"
+                )
+            if source.namespace != first.namespace:
+                raise ConfigurationError(
+                    "shard groups must share a namespace"
+                )
+        self.groups: List[ShardGroup] = [
+            ShardGroup(f"group{index}", source)
+            for index, source in enumerate(sources)
+        ]
+        self.default_mode = mode
+        self.n_buckets = n_buckets
+        self.threshold = first.threshold
+        self.secrets = first.secrets
+        self._seed = seed
+        self._maps: Dict[str, object] = {}
+        self._next_row_id: Dict[str, int] = {}
+        self._row_id_lock = threading.Lock()
+        self._lock = TableLock()
+        self._stats_lock = threading.Lock()
+        self.stats = ServiceStats()
+        self.admission: Optional[AdmissionController] = None
+        self.sessions = SessionManager(self)
+        #: :class:`~repro.service.session.Session` allocates row ids
+        #: through ``service.source.reserve_row_ids`` — the router is its
+        #: own source, so session id blocks come from the router-global
+        #: counter and never collide across groups
+        self.source = self
+        self._service_params: Optional[Tuple[int, int, int, bool]] = None
+        self.migrations = 0
+
+    # ------------------------------------------------------------- building --
+
+    @staticmethod
+    def _group_seed(seed: int, index: int) -> int:
+        # distinct, deterministic per-group RNG streams from one seed
+        return (seed * 1_000_003 + 7_919 * index + 1) % (1 << 62)
+
+    @classmethod
+    def build(
+        cls,
+        n_groups: int = 2,
+        providers_per_group: int = 5,
+        threshold: int = 3,
+        seed: int = 0,
+        mode: str = "hash",
+        n_buckets: int = DEFAULT_HASH_BUCKETS,
+        dispatch: str = "parallel",
+    ) -> "ShardRouter":
+        """Construct ``n_groups`` fresh provider groups sharing one secret."""
+        if n_groups < 1:
+            raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+        secrets = generate_client_secrets(providers_per_group, seed)
+        sources = []
+        for index in range(n_groups):
+            cluster = ProviderCluster(
+                providers_per_group,
+                threshold,
+                dispatch=dispatch,
+                name_prefix=f"g{index}/",
+            )
+            sources.append(
+                DataSource(
+                    cluster,
+                    seed=cls._group_seed(seed, index),
+                    secrets=secrets,
+                )
+            )
+        return cls(sources, mode=mode, n_buckets=n_buckets, seed=seed)
+
+    @classmethod
+    def restore(
+        cls,
+        sources: Sequence[DataSource],
+        mode: str,
+        maps: Dict[str, Dict[str, object]],
+        next_row_ids: Dict[str, int],
+        retired: Sequence[int] = (),
+        n_buckets: int = DEFAULT_HASH_BUCKETS,
+        seed: int = 0,
+    ) -> "ShardRouter":
+        """Reassemble a router from snapshot state (see ``persistence``)."""
+        router = cls(sources, mode=mode, n_buckets=n_buckets, seed=seed)
+        for index in retired:
+            router.groups[index].retired = True
+        router._maps = {
+            name: shard_map_from_dict(payload)
+            for name, payload in maps.items()
+        }
+        router._next_row_id = {
+            name: int(value) for name, value in next_row_ids.items()
+        }
+        return router
+
+    # ---------------------------------------------------------- introspection --
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def active_group_indexes(self) -> List[int]:
+        return [i for i, g in enumerate(self.groups) if not g.retired]
+
+    def shard_map(self, table: str):
+        try:
+            return self._maps[table]
+        except KeyError:
+            raise SchemaError(f"table {table!r} is not sharded here") from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._maps)
+
+    def _sharing(self, table: str) -> TableSharing:
+        # group 0 always carries every table's sharing (schemas are
+        # registered on all groups, retired ones included)
+        return self.groups[0].source.sharing(table)
+
+    def shard_row_ids(self, table: str) -> Dict[int, List[int]]:
+        """``{group_index: sorted row ids}`` actually held per group.
+
+        Ground truth for the "no row lost, no row duplicated" invariants
+        the elastic tests and the benchmark's ``--check`` gate assert.
+        """
+        out: Dict[int, List[int]] = {}
+        for index in self.active_group_indexes():
+            aligned = self.groups[index].source.scan_share_rows(table)
+            out[index] = sorted(
+                rid
+                for rid, share_rows in aligned.items()
+                if len(share_rows) >= self.threshold
+            )
+        return out
+
+    # ----------------------------------------------------------------- DDL --
+
+    def create_table(
+        self,
+        schema: TableSchema,
+        mode: Optional[str] = None,
+        partition_column: Optional[str] = None,
+        boundaries: Optional[Sequence[object]] = None,
+    ) -> None:
+        """Create a table on every group and install its shard map.
+
+        ``boundaries`` (range mode) are plaintext cut values — group i
+        owns ``[boundary[i-1], boundary[i])``; omitted, the encoded
+        domain is cut into equal slices over the active groups.
+        """
+        self._lock.acquire_write()
+        try:
+            self._create_table(schema, mode, partition_column, boundaries)
+        finally:
+            self._lock.release_write()
+
+    def _create_table(
+        self,
+        schema: TableSchema,
+        mode: Optional[str],
+        partition_column: Optional[str],
+        boundaries: Optional[Sequence[object]],
+    ) -> None:
+        mode = mode or self.default_mode
+        if mode not in ("hash", "range"):
+            raise ConfigurationError(f"unknown sharding mode {mode!r}")
+        if schema.name in self._maps:
+            raise SchemaError(f"table {schema.name!r} already sharded")
+        active = self.active_group_indexes()
+        for index, group in enumerate(self.groups):
+            if group.retired:
+                # keep the sharing registered so a later un-drain or
+                # restore can still resolve schemas; no provider RPC
+                group.source.restore_table(schema, 0)
+            else:
+                group.source.create_table(schema)
+        if mode == "hash":
+            buckets = [
+                active[position % len(active)]
+                for position in range(self.n_buckets)
+            ]
+            shard_map: object = HashShardMap(buckets)
+        else:
+            column = partition_column or schema.primary_key
+            if column is None:
+                raise SchemaError(
+                    f"range-sharding {schema.name!r} needs a partition "
+                    "column (none given, no primary key)"
+                )
+            sharing = self._sharing(schema.name)
+            if not sharing.is_searchable(column):
+                raise SchemaError(
+                    f"partition column {column!r} must be searchable "
+                    "(order-preserving shares are what let range "
+                    "predicates prune shards)"
+                )
+            domain = sharing.op_scheme(column).domain
+            if boundaries is not None:
+                cuts = sorted(
+                    self._encode_partition_key(sharing, column, value)
+                    for value in boundaries
+                )
+                if len(cuts) != len(active) - 1:
+                    raise ConfigurationError(
+                        f"{len(active)} active groups need "
+                        f"{len(active) - 1} boundaries, got {len(cuts)}"
+                    )
+            else:
+                cuts = [
+                    domain.lo + (domain.size * (j + 1)) // len(active)
+                    for j in range(len(active) - 1)
+                ]
+            edges = [domain.lo] + cuts + [domain.hi + 1]
+            shard_map = RangeShardMap(
+                column,
+                [
+                    (edges[j], edges[j + 1], active[j])
+                    for j in range(len(active))
+                ],
+            )
+        self._maps[schema.name] = shard_map
+        self._next_row_id[schema.name] = 0
+
+    def outsource_table(
+        self,
+        table: Table,
+        mode: Optional[str] = None,
+        partition_column: Optional[str] = None,
+        boundaries: Optional[Sequence[object]] = None,
+        batch_size: int = 500,
+    ) -> int:
+        """Create + bulk-load a plaintext table across the groups."""
+        self.create_table(table.schema, mode, partition_column, boundaries)
+        rows = table.rows()
+        for start in range(0, len(rows), batch_size):
+            self.insert_many(table.schema.name, rows[start : start + batch_size])
+        return len(rows)
+
+    # --------------------------------------------------------------- routing --
+
+    @staticmethod
+    def _encode_partition_key(
+        sharing: TableSharing, column: str, value: object
+    ) -> int:
+        encoded = sharing.encode(column, value)
+        if encoded is None:
+            raise QueryError(
+                f"cannot encode {value!r} for partition column {column!r}"
+            )
+        return encoded
+
+    def _read_owners(
+        self, shard_map: object, rewritten: RewrittenPredicate
+    ) -> List[int]:
+        """Groups that can hold a matching row, after interval pruning."""
+        if rewritten.provably_empty:
+            return []
+        owners = shard_map.owning_groups()
+        if isinstance(shard_map, RangeShardMap):
+            intervals = [
+                interval
+                for interval in rewritten.intervals
+                if interval.column == shard_map.partition_column
+            ]
+            for interval in intervals:
+                hit = shard_map.groups_for_interval(
+                    interval.low, interval.high
+                )
+                owners = [g for g in owners if g in hit]
+        return owners
+
+    def _owner_for_row(
+        self, shard_map: object, table: str, row_id: int, row: Row
+    ) -> int:
+        if isinstance(shard_map, HashShardMap):
+            return shard_map.group_for_row_id(row_id)
+        value = row.get(shard_map.partition_column)
+        if value is None:
+            raise QueryError(
+                f"cannot route a row with NULL partition column "
+                f"{shard_map.partition_column!r} of {table!r}"
+            )
+        sharing = self._sharing(table)
+        encoded = self._encode_partition_key(
+            sharing, shard_map.partition_column, value
+        )
+        return shard_map.group_for_key(encoded)
+
+    def _partition_key(
+        self, sharing: TableSharing, column: str, share_rows: Dict[int, ShareRow]
+    ) -> Optional[int]:
+        """A row's encoded partition key, robustly from its OP shares."""
+        op = sharing.op_scheme(column)
+        non_null = {
+            index: row.get(column)
+            for index, row in share_rows.items()
+            if row.get(column) is not None
+        }
+        if not non_null:
+            return None
+        return op.reconstruct_robust(non_null)
+
+    # ---------------------------------------------------------------- writes --
+
+    def reserve_row_ids(self, table: str, count: int) -> int:
+        """Router-global row-id block (sessions allocate through this)."""
+        if count < 1:
+            raise QueryError(f"cannot reserve {count} row ids")
+        self.shard_map(table)
+        with self._row_id_lock:
+            start = self._next_row_id.get(table, 0)
+            self._next_row_id[table] = start + count
+        return start
+
+    def insert_many(
+        self,
+        table: str,
+        rows: Sequence[Row],
+        row_ids: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        self._lock.acquire_write()
+        try:
+            return self._insert_many(table, rows, row_ids)
+        finally:
+            self._lock.release_write()
+
+    def _insert_many(
+        self,
+        table: str,
+        rows: Sequence[Row],
+        row_ids: Optional[Sequence[int]],
+    ) -> List[int]:
+        shard_map = self.shard_map(table)
+        if not rows:
+            return []
+        if row_ids is None:
+            start = self.reserve_row_ids(table, len(rows))
+            row_ids = list(range(start, start + len(rows)))
+        elif len(row_ids) != len(rows):
+            raise QueryError(
+                f"{len(rows)} rows but {len(row_ids)} row ids"
+            )
+        per_group: Dict[int, Tuple[List[Row], List[int]]] = {}
+        for row_id, row in zip(row_ids, rows):
+            owner = self._owner_for_row(shard_map, table, row_id, row)
+            bucket = per_group.setdefault(owner, ([], []))
+            bucket[0].append(row)
+            bucket[1].append(row_id)
+        for owner in sorted(per_group):
+            group_rows, group_ids = per_group[owner]
+            self.groups[owner].source.insert_many(table, group_rows, group_ids)
+        return list(row_ids)
+
+    def _update(self, query: Update) -> int:
+        shard_map = self.shard_map(query.table)
+        if (
+            isinstance(shard_map, RangeShardMap)
+            and shard_map.partition_column in query.assignments
+        ):
+            raise UnsupportedQueryError(
+                f"updating range-partition column "
+                f"{shard_map.partition_column!r} would re-home rows across "
+                "shard groups; DELETE + INSERT instead"
+            )
+        sharing = self._sharing(query.table)
+        rewritten = rewrite_predicate(query.where.bind(sharing.schema), sharing)
+        total = 0
+        for owner in self._read_owners(shard_map, rewritten):
+            total += self.groups[owner].source.update(query)
+        return total
+
+    def _delete(self, query: Delete) -> int:
+        shard_map = self.shard_map(query.table)
+        sharing = self._sharing(query.table)
+        rewritten = rewrite_predicate(query.where.bind(sharing.schema), sharing)
+        total = 0
+        for owner in self._read_owners(shard_map, rewritten):
+            total += self.groups[owner].source.delete(query)
+        return total
+
+    def update(self, query: Update) -> int:
+        self._lock.acquire_write()
+        try:
+            return self._update(query)
+        finally:
+            self._lock.release_write()
+
+    def delete(self, query: Delete) -> int:
+        self._lock.acquire_write()
+        try:
+            return self._delete(query)
+        finally:
+            self._lock.release_write()
+
+    # ----------------------------------------------------------------- reads --
+
+    def select(self, query: Select):
+        self._lock.acquire_read()
+        try:
+            return self._select(query)
+        finally:
+            self._lock.release_read()
+
+    def _select(self, query: Select):
+        sharing = self._sharing(query.table)
+        shard_map = self.shard_map(query.table)
+        rewritten = rewrite_predicate(query.where.bind(sharing.schema), sharing)
+        owners = self._read_owners(shard_map, rewritten)
+        telemetry.count(
+            "shard.fanout", max(len(owners), 1), table=query.table
+        )
+        if not owners:
+            if query.is_grouped:
+                return []
+            if query.is_aggregate:
+                return compute_aggregate(query.aggregate, [])
+            return []
+        if len(owners) == 1:
+            return self.groups[owners[0]].source.select(query)
+        if query.is_grouped:
+            return self._grouped_multi(query, owners)
+        if query.is_aggregate:
+            return self._aggregate_multi(query, owners)
+        return self._rows_multi(sharing, query, owners)
+
+    def _rows_multi(
+        self, sharing: TableSharing, query: Select, owners: List[int]
+    ) -> List[Row]:
+        # each shard returns its own top-limit superset; the global
+        # order/limit/projection are reapplied after the concat
+        shard_query = replace(query, columns=())
+        rows: List[Row] = []
+        for owner in owners:
+            rows.extend(self.groups[owner].source.select(shard_query))
+        if query.order_by is not None:
+            column = sharing.schema.column(query.order_by)
+            rows.sort(
+                key=lambda row: python_value_sort_key(
+                    column, row.get(query.order_by)
+                ),
+                reverse=query.descending,
+            )
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        if query.columns:
+            for name in query.columns:
+                sharing.schema.column(name)
+            rows = [
+                {name: row[name] for name in query.columns} for row in rows
+            ]
+        return rows
+
+    def _aggregate_multi(self, query: Select, owners: List[int]):
+        aggregate = query.aggregate
+        if aggregate.func is AggregateFunc.MEDIAN:
+            # a median of shard medians is not the median; fall back to
+            # fetching the matching column values and reusing the
+            # plaintext executor
+            fetch = replace(
+                query, aggregate=None, columns=(aggregate.column,)
+            )
+            rows: List[Row] = []
+            for owner in owners:
+                rows.extend(self.groups[owner].source.select(fetch))
+            return compute_aggregate(aggregate, rows)
+        if aggregate.func is AggregateFunc.AVG:
+            pairs = []
+            for owner in owners:
+                source = self.groups[owner].source
+                shard_sum = source.select(
+                    replace(
+                        query,
+                        aggregate=Aggregate(AggregateFunc.SUM, aggregate.column),
+                    )
+                )
+                shard_count = source.select(
+                    replace(
+                        query,
+                        aggregate=Aggregate(
+                            AggregateFunc.COUNT, aggregate.column
+                        ),
+                    )
+                )
+                pairs.append((shard_sum, shard_count))
+            return merge_avg(pairs)
+        partials = [
+            self.groups[owner].source.select(query) for owner in owners
+        ]
+        if aggregate.func is AggregateFunc.COUNT:
+            return merge_counts(partials)
+        if aggregate.func is AggregateFunc.SUM:
+            return merge_sums(partials)
+        return merge_extremum(partials, aggregate.func)
+
+    def _grouped_multi(self, query: Select, owners: List[int]) -> List[Row]:
+        aggregate = query.aggregate
+        group_column = query.group_by
+        if aggregate.func is AggregateFunc.MEDIAN:
+            fetch = replace(
+                query,
+                aggregate=None,
+                group_by=None,
+                columns=(aggregate.column, group_column),
+            )
+            rows: List[Row] = []
+            for owner in owners:
+                rows.extend(self.groups[owner].source.select(fetch))
+            return compute_group_aggregate(aggregate, group_column, rows)
+        if aggregate.func is AggregateFunc.AVG:
+            sums = []
+            counts = []
+            for owner in owners:
+                source = self.groups[owner].source
+                sums.append(
+                    source.select(
+                        replace(
+                            query,
+                            aggregate=Aggregate(
+                                AggregateFunc.SUM, aggregate.column
+                            ),
+                        )
+                    )
+                )
+                counts.append(
+                    source.select(
+                        replace(
+                            query,
+                            aggregate=Aggregate(
+                                AggregateFunc.COUNT, aggregate.column
+                            ),
+                        )
+                    )
+                )
+            return merge_grouped_avg(group_column, sums, counts)
+        partials = [
+            self.groups[owner].source.select(query) for owner in owners
+        ]
+        return merge_grouped(aggregate, group_column, partials)
+
+    def join(self, query: JoinSelect) -> List[Row]:
+        self._lock.acquire_read()
+        try:
+            return self._join(query)
+        finally:
+            self._lock.release_read()
+
+    def _join(self, query: JoinSelect) -> List[Row]:
+        left_sharing = self._sharing(query.left_table)
+        right_sharing = self._sharing(query.right_table)
+        left_pred, right_pred, residual = split_join_predicate(
+            query.where, query.left_table, query.right_table
+        )
+        left_rewritten = rewrite_predicate(
+            left_pred.bind(left_sharing.schema), left_sharing
+        )
+        right_rewritten = rewrite_predicate(
+            right_pred.bind(right_sharing.schema), right_sharing
+        )
+        left_owners = self._read_owners(
+            self.shard_map(query.left_table), left_rewritten
+        )
+        right_owners = self._read_owners(
+            self.shard_map(query.right_table), right_rewritten
+        )
+        if not left_owners or not right_owners:
+            return []
+        if len(left_owners) == 1 and left_owners == right_owners:
+            # co-located: the one owning group can run its native join
+            # protocol (including the provider-side intersection path)
+            return self.groups[left_owners[0]].source.join(query)
+        left_rows = self._select(
+            Select(query.left_table, where=left_pred)
+        )
+        right_rows = self._select(
+            Select(query.right_table, where=right_pred)
+        )
+        by_key: Dict[object, List[Row]] = {}
+        for row in right_rows:
+            key = row.get(query.right_column)
+            if key is not None:
+                by_key.setdefault(key, []).append(row)
+        joined: List[Row] = []
+        for left_row in left_rows:
+            key = left_row.get(query.left_column)
+            if key is None:
+                continue
+            for right_row in by_key.get(key, ()):
+                combined = {
+                    f"{query.left_table}.{name}": value
+                    for name, value in left_row.items()
+                }
+                combined.update(
+                    {
+                        f"{query.right_table}.{name}": value
+                        for name, value in right_row.items()
+                    }
+                )
+                if residual.matches(combined):
+                    joined.append(combined)
+        return _project_qualified(joined, query.columns)
+
+    # ------------------------------------------------------------- execution --
+
+    def execute(self, query, session: Optional[Session] = None):
+        """Admit, lock, route one statement (SQL text or AST node)."""
+        statement = parse_sql(query) if isinstance(query, str) else query
+        is_read = isinstance(statement, (Select, JoinSelect))
+        if self.admission is not None:
+            try:
+                self.admission.acquire()
+            except ServiceOverloadedError:
+                if session is not None:
+                    session.record(error=True, rejected=True)
+                raise
+        try:
+            if is_read:
+                self._lock.acquire_read()
+            else:
+                self._lock.acquire_write()
+            try:
+                with telemetry.span(
+                    "shard.query",
+                    write=not is_read,
+                    client=None if session is None else session.client_id,
+                ):
+                    result = self._run(statement, session)
+            except BaseException:
+                if session is not None:
+                    session.record(error=True)
+                with self._stats_lock:
+                    self.stats.failed += 1
+                raise
+            finally:
+                if is_read:
+                    self._lock.release_read()
+                else:
+                    self._lock.release_write()
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+        returned = len(result) if isinstance(result, list) else 0
+        written = result if isinstance(result, int) and not is_read else 0
+        if session is not None:
+            session.record(rows_returned=returned, rows_written=written)
+        with self._stats_lock:
+            self.stats.completed += 1
+            self.stats.rows_returned += returned
+            self.stats.rows_written += written
+        return result
+
+    def _run(self, statement, session: Optional[Session]):
+        if isinstance(statement, Insert):
+            row_ids = (
+                session.allocate_row_ids(statement.table, 1)
+                if session is not None
+                else None
+            )
+            self._insert_many(statement.table, [statement.row], row_ids)
+            return 1
+        if isinstance(statement, Select):
+            return self._select(statement)
+        if isinstance(statement, JoinSelect):
+            return self._join(statement)
+        if isinstance(statement, Update):
+            return self._update(statement)
+        if isinstance(statement, Delete):
+            return self._delete(statement)
+        raise QueryError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    def sql(self, text: str):
+        return self.execute(text)
+
+    def _single_owner(self, statement) -> Optional[int]:
+        """The sole owning group of a read, or None if it fans out."""
+        if not isinstance(statement, Select):
+            return None
+        sharing = self._sharing(statement.table)
+        rewritten = rewrite_predicate(
+            statement.where.bind(sharing.schema), sharing
+        )
+        owners = self._read_owners(self.shard_map(statement.table), rewritten)
+        return owners[0] if len(owners) == 1 else None
+
+    def execute_wave(self, statements: List[str]) -> List[object]:
+        """Read-only wave: single-owner reads run per group, in parallel.
+
+        Each group's slice goes through its attached service's
+        :meth:`~repro.service.service.QueryService.run_wave`, so the
+        fan-out batcher coalesces that group's provider rounds exactly as
+        in the unsharded service.  Groups run on parallel threads (they
+        are independent deployments), which is what the benchmark's
+        modelled-latency accounting takes the max over.  Multi-owner
+        reads run inline after the per-group waves.
+        """
+        if not statements:
+            return []
+        parsed = [parse_sql(text) for text in statements]
+        for text, statement in zip(statements, parsed):
+            if not isinstance(statement, (Select, JoinSelect)):
+                raise ServiceError(
+                    f"execute_wave() is read-only; got a "
+                    f"{type(statement).__name__}: {text!r}"
+                )
+        self._lock.acquire_read()
+        try:
+            per_group: Dict[int, List[int]] = {}
+            inline: List[int] = []
+            for position, statement in enumerate(parsed):
+                owner = self._single_owner(statement)
+                if owner is not None and self.groups[owner].service is not None:
+                    per_group.setdefault(owner, []).append(position)
+                else:
+                    inline.append(position)
+            results: List[object] = [None] * len(parsed)
+            errors: List[BaseException] = []
+
+            def run_group(group_index: int, positions: List[int]) -> None:
+                try:
+                    wave = self.groups[group_index].service.run_wave(
+                        [statements[p] for p in positions]
+                    )
+                    for position, result in zip(positions, wave):
+                        results[position] = result
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=run_group,
+                    args=(group_index, positions),
+                    name=f"repro-shard-wave-{group_index}",
+                )
+                for group_index, positions in sorted(per_group.items())
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for position in inline:
+                results[position] = self._run(parsed[position], None)
+        finally:
+            self._lock.release_read()
+        if errors:
+            raise errors[0]
+        with self._stats_lock:
+            self.stats.completed += len(parsed)
+            self.stats.rows_returned += sum(
+                len(r) for r in results if isinstance(r, list)
+            )
+        return results
+
+    # -------------------------------------------------------------- services --
+
+    def attach_services(
+        self,
+        max_in_flight: int = 16,
+        queue_limit: int = 32,
+        plan_cache_capacity: int = 256,
+        batching: bool = True,
+    ) -> None:
+        """Wrap every group in a :class:`QueryService` (batcher + plan cache)."""
+        if any(group.service is not None for group in self.groups):
+            raise ServiceError("services are already attached")
+        self._service_params = (
+            max_in_flight, queue_limit, plan_cache_capacity, batching
+        )
+        for group in self.groups:
+            group.service = QueryService(
+                group.source,
+                max_in_flight,
+                queue_limit,
+                plan_cache_capacity,
+                batching,
+            )
+        scale = max(1, len(self.active_group_indexes()))
+        self.admission = AdmissionController(
+            max_in_flight * scale, queue_limit * scale
+        )
+
+    def detach_services(self) -> None:
+        for group in self.groups:
+            if group.service is not None:
+                group.service.close()
+                group.service = None
+        self.admission = None
+        self._service_params = None
+
+    def open_session(self, client_id: Optional[str] = None, **kwargs) -> Session:
+        return self.sessions.open(client_id, **kwargs)
+
+    def close_session(self, session: Session) -> None:
+        self.sessions.close(session)
+
+    def close(self) -> None:
+        self.detach_services()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ accounting --
+
+    def total_network_bytes(self) -> int:
+        return sum(group.network.total_bytes for group in self.groups)
+
+    def total_network_messages(self) -> int:
+        return sum(group.network.total_messages for group in self.groups)
+
+    def modelled_network_seconds(self) -> float:
+        """Wall-clock under the cost model: groups transfer in parallel."""
+        return max(
+            (group.network.modelled_seconds for group in self.groups),
+            default=0.0,
+        )
+
+    def modelled_network_seconds_total(self) -> float:
+        return sum(group.network.modelled_seconds for group in self.groups)
+
+    def reset_accounting(self) -> None:
+        for group in self.groups:
+            group.source.reset_accounting()
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "router": self.stats.snapshot(),
+            "admission": (
+                None if self.admission is None else self.admission.snapshot()
+            ),
+            "sessions": self.sessions.snapshot(),
+            "migrations": self.migrations,
+            "groups": [
+                {
+                    "name": group.name,
+                    "retired": group.retired,
+                    "network_bytes": group.network.total_bytes,
+                    "network_messages": group.network.total_messages,
+                    "modelled_seconds": group.network.modelled_seconds,
+                }
+                for group in self.groups
+            ],
+        }
+
+    # ------------------------------------------------------------ elasticity --
+
+    def add_group(self, dispatch: str = "parallel") -> int:
+        """Register a fresh provider group (owning nothing yet) under load."""
+        self._lock.acquire_write()
+        try:
+            index = len(self.groups)
+            first = self.groups[0]
+            cluster = ProviderCluster(
+                first.cluster.n_providers,
+                self.threshold,
+                dispatch=dispatch,
+                name_prefix=f"g{index}/",
+            )
+            source = DataSource(
+                cluster,
+                seed=self._group_seed(self._seed, index),
+                secrets=self.secrets,
+            )
+            for name in sorted(self._maps):
+                source.create_table(self._sharing(name).schema)
+            group = ShardGroup(f"group{index}", source)
+            if self._service_params is not None:
+                max_in_flight, queue_limit, capacity, batching = (
+                    self._service_params
+                )
+                group.service = QueryService(
+                    source, max_in_flight, queue_limit, capacity, batching
+                )
+            self.groups.append(group)
+            return index
+        finally:
+            self._lock.release_write()
+
+    def split_shard(
+        self,
+        table: str,
+        at_value: object,
+        to_group: Optional[int] = None,
+        checkpoint: Optional[Callable[[str], None]] = None,
+    ) -> int:
+        """Move keys ``>= at_value`` of their range onto another group.
+
+        ``to_group`` defaults to a freshly added group.  Returns the
+        number of rows migrated.  Runs online (see :meth:`_migrate`).
+        """
+        shard_map = self.shard_map(table)
+        if not isinstance(shard_map, RangeShardMap):
+            raise ConfigurationError(
+                f"{table!r} is hash-sharded; split applies to range "
+                "sharding (use rebalance instead)"
+            )
+        sharing = self._sharing(table)
+        key = self._encode_partition_key(
+            sharing, shard_map.partition_column, at_value
+        )
+        src = shard_map.group_for_key(key)
+        range_lo, range_hi = next(
+            (lo, hi)
+            for lo, hi, group in shard_map.ranges
+            if lo <= key < hi
+        )
+        if key == range_lo:
+            raise ConfigurationError(
+                f"split point {at_value!r} is the lower bound of its "
+                "range; nothing would remain on the source group"
+            )
+        if to_group is None:
+            to_group = self.add_group()
+        self._check_destination(to_group, src)
+        column = shard_map.partition_column
+
+        def row_filter(row_id: int, share_rows: Dict[int, ShareRow]) -> bool:
+            value = self._partition_key(sharing, column, share_rows)
+            return value is not None and key <= value < range_hi
+
+        def flip() -> None:
+            shard_map.split_at(key, to_group)
+
+        return self._migrate(table, src, to_group, row_filter, flip, checkpoint)
+
+    def rebalance(
+        self,
+        table: Optional[str] = None,
+        checkpoint: Optional[Callable[[str], None]] = None,
+    ) -> int:
+        """Even out hash buckets across the active groups, minimally.
+
+        Newly added groups receive their fair share; retired groups shed
+        everything.  Returns total rows moved.
+        """
+        if table is not None:
+            names = [table]
+            if not isinstance(self.shard_map(table), HashShardMap):
+                raise ConfigurationError(
+                    f"{table!r} is range-sharded; rebalance applies to "
+                    "hash sharding (use split_shard instead)"
+                )
+        else:
+            names = [
+                name
+                for name in sorted(self._maps)
+                if isinstance(self._maps[name], HashShardMap)
+            ]
+        active = self.active_group_indexes()
+        moved = 0
+        for name in names:
+            shard_map = self._maps[name]
+            plan = rebalance_plan(shard_map.buckets, active)
+            for (src, dst), buckets in sorted(plan.items()):
+                moved += self._migrate_buckets(
+                    name, shard_map, src, dst, buckets, checkpoint
+                )
+        return moved
+
+    def _migrate_buckets(
+        self,
+        table: str,
+        shard_map: HashShardMap,
+        src: int,
+        dst: int,
+        buckets: List[int],
+        checkpoint: Optional[Callable[[str], None]],
+    ) -> int:
+        self._check_destination(dst, src)
+        bucket_set = set(buckets)
+        ring = len(shard_map.buckets)
+
+        def row_filter(row_id: int, share_rows: Dict[int, ShareRow]) -> bool:
+            return row_id % ring in bucket_set
+
+        def flip() -> None:
+            for bucket in buckets:
+                shard_map.buckets[bucket] = dst
+
+        return self._migrate(table, src, dst, row_filter, flip, checkpoint)
+
+    def drain_group(
+        self,
+        group_index: int,
+        checkpoint: Optional[Callable[[str], None]] = None,
+    ) -> int:
+        """Move everything off a group, then retire it."""
+        if not 0 <= group_index < len(self.groups):
+            raise ConfigurationError(f"no group at index {group_index}")
+        if self.groups[group_index].retired:
+            raise ConfigurationError(
+                f"group {group_index} is already retired"
+            )
+        remaining = [
+            g for g in self.active_group_indexes() if g != group_index
+        ]
+        if not remaining:
+            raise ConfigurationError(
+                "cannot drain the last active group"
+            )
+        moved = 0
+        for name in sorted(self._maps):
+            shard_map = self._maps[name]
+            if isinstance(shard_map, HashShardMap):
+                buckets = shard_map.buckets_of(group_index)
+                per_dst: Dict[int, List[int]] = {}
+                for position, bucket in enumerate(buckets):
+                    per_dst.setdefault(
+                        remaining[position % len(remaining)], []
+                    ).append(bucket)
+                for dst in sorted(per_dst):
+                    moved += self._migrate_buckets(
+                        name, shard_map, group_index, dst,
+                        per_dst[dst], checkpoint,
+                    )
+            else:
+                sharing = self._sharing(name)
+                column = shard_map.partition_column
+                owned = shard_map.ranges_of(group_index)
+                for position, (lo, hi) in enumerate(owned):
+                    dst = remaining[position % len(remaining)]
+
+                    def row_filter(
+                        row_id: int,
+                        share_rows: Dict[int, ShareRow],
+                        _lo: int = lo,
+                        _hi: int = hi,
+                    ) -> bool:
+                        value = self._partition_key(
+                            sharing, column, share_rows
+                        )
+                        return value is not None and _lo <= value < _hi
+
+                    def flip(_lo: int = lo, _dst: int = dst) -> None:
+                        shard_map.reassign(_lo, _dst)
+
+                    moved += self._migrate(
+                        name, group_index, dst, row_filter, flip, checkpoint
+                    )
+        self.groups[group_index].retired = True
+        return moved
+
+    def _check_destination(self, dst: int, src: int) -> None:
+        if not 0 <= dst < len(self.groups):
+            raise ConfigurationError(f"no group at index {dst}")
+        if self.groups[dst].retired:
+            raise ConfigurationError(f"group {dst} is retired")
+        if dst == src:
+            raise ConfigurationError(
+                f"migration source and destination are both group {src}"
+            )
+
+    # -------------------------------------------------------------- migration --
+
+    def _migrate(
+        self,
+        table: str,
+        src_index: int,
+        dst_index: int,
+        row_filter: Callable[[int, Dict[int, ShareRow]], bool],
+        flip: Callable[[], None],
+        checkpoint: Optional[Callable[[str], None]] = None,
+    ) -> int:
+        """Online share-level migration of the rows ``row_filter`` selects.
+
+        The staging protocol from the module docstring.  ``checkpoint``
+        (tests) is called at each phase boundary: ``scanned``, ``copied``,
+        ``recopied`` (only if a write raced the online copy), ``cutover``
+        (still under the write lock — must not query the router), and
+        ``done``.
+        """
+        notify = checkpoint if checkpoint is not None else (lambda phase: None)
+        src = self.groups[src_index].source
+        dst = self.groups[dst_index].source
+        sharing = src.sharing(table)
+        targets = list(range(sharing.n_providers))
+        staging = f"{table}{MIGRATION_STAGING_SUFFIX}"
+        # one redundant share lets the rebuild blame a tampering quorum
+        # member instead of extending a steered polynomial
+        extra = 1 if src.cluster.n_providers > self.threshold else 0
+
+        def rebuild() -> List[Tuple[int, Dict[int, ShareRow]]]:
+            aligned = src.scan_share_rows(table, extra=extra)
+            selected = {
+                row_id: share_rows
+                for row_id, share_rows in aligned.items()
+                if row_filter(row_id, share_rows)
+            }
+            return rebuild_rows_for_targets(sharing, selected, targets)
+
+        with telemetry.span(
+            "shard.migrate", table=table, src=src_index, dst=dst_index
+        ) as span:
+            epoch = src.table_epoch(table)
+            moved = rebuild()
+            notify("scanned")
+            dst.create_staging_table(table, staging)
+            dst.insert_share_rows(table, moved, into=staging)
+            notify("copied")
+            self._lock.acquire_write()
+            try:
+                if src.table_epoch(table) != epoch:
+                    # a write raced the online copy; redo it inside the
+                    # blocking window so the cutover sees a settled row set
+                    dst.drop_staging_table(staging)
+                    dst.create_staging_table(table, staging)
+                    moved = rebuild()
+                    dst.insert_share_rows(table, moved, into=staging)
+                    notify("recopied")
+                dst.merge_staging_table(table, staging)
+                flip()
+                src.delete_row_ids(table, [row_id for row_id, _ in moved])
+                notify("cutover")
+            finally:
+                self._lock.release_write()
+            span.set(rows=len(moved))
+            telemetry.count("shard.migrated_rows", len(moved), table=table)
+        self.migrations += 1
+        notify("done")
+        return len(moved)

@@ -20,6 +20,7 @@ EXPECTED_JOBS = {
     "tests",
     "bench-smoke",
     "chaos-smoke",
+    "chaos-long",
     "editable-install",
     "coverage",
 }
@@ -42,6 +43,28 @@ class TestWorkflowShape:
         triggers = workflow.get("on", workflow.get(True))
         assert "push" in triggers and "pull_request" in triggers
         assert triggers["push"]["branches"] == ["main"]
+
+    def test_long_matrix_triggers_present(self, workflow):
+        """chaos-long needs a weekly schedule and a manual trigger."""
+        triggers = workflow.get("on", workflow.get(True))
+        assert "workflow_dispatch" in triggers
+        crons = [entry["cron"] for entry in triggers["schedule"]]
+        assert crons and all(len(c.split()) == 5 for c in crons)
+
+    def test_setup_python_steps_cache_pip(self, jobs):
+        """Every job restores the pip cache keyed on pyproject.toml."""
+        for name, job in jobs.items():
+            setup = [
+                s for s in job["steps"]
+                if str(s.get("uses", "")).startswith("actions/setup-python")
+            ]
+            assert setup, f"job {name} never sets up python"
+            for step in setup:
+                assert step["with"].get("cache") == "pip", name
+                assert (
+                    step["with"].get("cache-dependency-path")
+                    == "pyproject.toml"
+                ), name
 
     def test_expected_jobs_present(self, jobs):
         assert set(jobs) == EXPECTED_JOBS
@@ -117,18 +140,48 @@ class TestTier1Gate:
         assert "bench_service.py --check" in runs
         assert "bench_provider.py --check" in runs
         assert "bench_resilience.py --check" in runs
+        assert "bench_sharding.py --check" in runs
         assert "repro.cli trace" in runs
         # the hot-path check gates the >=10x vectorized speedup, which
         # requires numpy in the bench-smoke environment
         assert "pip install numpy" in runs
+
+    def test_bench_smoke_uploads_regenerated_reports(self, jobs):
+        steps = jobs["bench-smoke"]["steps"]
+        runs = " ".join(s["run"] for s in steps if "run" in s)
+        # the sharding bench regenerates its JSON before the upload
+        assert "python benchmarks/bench_sharding.py\n" in (
+            "\n".join(s["run"] for s in steps if "run" in s) + "\n"
+        )
+        uploads = [
+            s for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_*.json"
+        assert "bench_sharding.py --check" in runs
 
     def test_chaos_smoke_runs_fault_matrix_and_gates(self, jobs):
         runs = " ".join(
             s["run"] for s in jobs["chaos-smoke"]["steps"] if "run" in s
         )
         assert "tests/integration/test_fault_matrix.py" in runs
+        assert "tests/sharding/test_shard_chaos.py" in runs
         assert "bench_resilience.py --check" in runs
         assert "repro.cli repair" in runs
+        assert "repro.cli shard-split" in runs
+
+    def test_chaos_long_is_gated_and_exhaustive(self, jobs):
+        job = jobs["chaos-long"]
+        condition = job["if"]
+        assert "schedule" in condition
+        assert "workflow_dispatch" in condition
+        matrix_steps = [
+            s for s in job["steps"]
+            if "run" in s and "test_chaos_long.py" in s["run"]
+        ]
+        assert matrix_steps, "chaos-long never runs the long matrix"
+        assert matrix_steps[0]["env"]["REPRO_CHAOS_LONG"] == "1"
+        assert matrix_steps[0]["env"]["PYTHONPATH"] == "src"
 
     def test_editable_install_exercises_package_metadata(self, jobs):
         runs = " ".join(

@@ -1,0 +1,122 @@
+"""Long chaos matrix: every (n−k)-crash pattern × sharded/unsharded.
+
+Exhaustive where the tier-1 fault matrix samples: all C(5, 2) = 10 ways
+to crash n−k = 2 of 5 providers, against both an unsharded deployment
+and a 2-group range-sharded one (same pattern injected in *both*
+groups), across the standard query shapes — results must stay exactly
+equal to the plaintext oracle in every cell.
+
+Too slow for every push: CI runs it from the weekly ``chaos-long`` job
+(schedule / workflow_dispatch), gated on ``REPRO_CHAOS_LONG=1``.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.client.datasource import DataSource
+from repro.core.secrets import generate_client_secrets
+from repro.providers.cluster import ProviderCluster
+from repro.providers.failures import Fault, FailureMode
+from repro.service.sharding import ShardRouter
+from repro.sqlengine.executor import rows_equal_unordered
+from repro.workloads.employees import employees_table, managers_table
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_CHAOS_LONG") != "1",
+    reason="long chaos matrix; set REPRO_CHAOS_LONG=1 (CI chaos-long job)",
+)
+
+N, K, ROWS, SEED = 5, 3, 30, 17
+CRASH_PATTERNS = list(itertools.combinations(range(N), N - K))
+
+QUERY_SHAPES = {
+    "point": "SELECT * FROM Employees WHERE eid = {eid}",
+    "ordered": (
+        "SELECT name, salary FROM Employees "
+        "WHERE salary BETWEEN 200000 AND 800000 ORDER BY eid"
+    ),
+    "sum": "SELECT SUM(salary) FROM Employees WHERE salary >= 300000",
+    "avg": "SELECT AVG(salary) FROM Employees GROUP BY department",
+    "join": (
+        "SELECT * FROM Employees JOIN Managers "
+        "ON Employees.eid = Managers.eid"
+    ),
+}
+
+
+def tables():
+    employees = employees_table(ROWS, seed=SEED)
+    return employees, managers_table(employees, 0.25, seed=SEED)
+
+
+def queries():
+    employees, _ = tables()
+    eid = sorted(row["eid"] for row in employees.rows())[ROWS // 2]
+    return {
+        label: sql.format(eid=eid) for label, sql in QUERY_SHAPES.items()
+    }
+
+
+def build_unsharded():
+    source = DataSource(ProviderCluster(N, K), seed=SEED)
+    employees, managers = tables()
+    source.outsource_table(employees)
+    source.outsource_table(managers)
+    return source
+
+
+def build_sharded():
+    secrets = generate_client_secrets(N, SEED)
+    sources = [
+        DataSource(
+            ProviderCluster(N, K, name_prefix=f"g{index}/"),
+            seed=SEED + 101 * index,
+            secrets=secrets,
+        )
+        for index in range(2)
+    ]
+    router = ShardRouter(sources, mode="range")
+    employees, managers = tables()
+    router.outsource_table(employees, partition_column="eid")
+    router.outsource_table(managers, partition_column="eid")
+    return router
+
+
+ORACLE = {}
+
+
+def oracle_results():
+    if not ORACLE:
+        source = build_unsharded()
+        ORACLE.update(
+            {label: source.sql(sql) for label, sql in queries().items()}
+        )
+    return ORACLE
+
+
+def assert_same(label, want, got):
+    if isinstance(want, list) and label != "ordered":
+        assert rows_equal_unordered(want, got), label
+    else:
+        assert got == want, label
+
+
+@pytest.mark.parametrize("crashed", CRASH_PATTERNS)
+def test_unsharded_rides_out_every_crash_pattern(crashed):
+    source = build_unsharded()
+    for index in crashed:
+        source.cluster.inject_fault(index, Fault(FailureMode.CRASH))
+    for label, sql in queries().items():
+        assert_same(label, oracle_results()[label], source.sql(sql))
+
+
+@pytest.mark.parametrize("crashed", CRASH_PATTERNS)
+def test_sharded_rides_out_every_crash_pattern(crashed):
+    with build_sharded() as router:
+        for group in router.groups:
+            for index in crashed:
+                group.cluster.inject_fault(index, Fault(FailureMode.CRASH))
+        for label, sql in queries().items():
+            assert_same(label, oracle_results()[label], router.sql(sql))

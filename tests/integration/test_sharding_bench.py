@@ -1,0 +1,42 @@
+"""Tier-1 wiring for ``benchmarks/bench_sharding.py --check``.
+
+The sharding benchmark's smoke mode asserts, on a small range-sharded
+deployment, that point and aggregate results equal the plaintext oracle
+at 1/2/4 groups, that telemetry byte accounting equals the groups'
+network counters exactly, that 4-group modelled throughput is at least
+2.5x single-group, and that an online split plus a hash rebalance both
+preserve every row.  Running it here keeps the bench honest in CI
+without paying full benchmark cost.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_sharding.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_sharding", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_check_mode_passes():
+    """run_check() raises AssertionError on any sharding regression."""
+    _load_bench().run_check()
+
+
+def test_cli_check_flag():
+    """The --check CLI entry point exits 0 and reports success."""
+    result = subprocess.run(
+        [sys.executable, str(BENCH_PATH), "--check"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "speedup >= 2.5x" in result.stdout

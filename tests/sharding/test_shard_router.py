@@ -1,0 +1,210 @@
+"""Query parity and routing for :class:`ShardRouter`.
+
+Every query shape the engine supports must return byte-identical results
+through a sharded deployment — hash or range — as through the plaintext
+oracle: fan-out partials (COUNT/SUM/AVG/MIN/MAX, grouped forms) merge
+exactly, MEDIAN falls back to a row fetch, joins hash-join across
+groups.  Range sharding additionally prunes: a point query on the
+partition column must touch only the owning group.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedQueryError
+from repro.providers.cluster import ProviderCluster
+from repro.client.datasource import DataSource
+from repro.core.secrets import generate_client_secrets
+from repro.service.sharding import ShardRouter
+from repro.sqlengine.executor import rows_equal_unordered
+from repro.sqlengine.sqlparser import parse_sql
+
+from tests.sharding.shardutil import (
+    SEED,
+    build_oracle,
+    build_router,
+    oracle_answer,
+    sorted_eids,
+)
+
+EIDS = sorted_eids()
+MID = EIDS[len(EIDS) // 2]
+
+QUERY_SHAPES = {
+    "point": f"SELECT * FROM Employees WHERE eid = {MID}",
+    "range_pred": (
+        "SELECT name, salary FROM Employees "
+        "WHERE salary BETWEEN 200000 AND 700000 ORDER BY eid"
+    ),
+    "projection": f"SELECT name FROM Employees WHERE eid = {MID}",
+    "partition_range": f"SELECT name FROM Employees WHERE eid <= {MID}",
+    "count_star": "SELECT COUNT(*) FROM Employees",
+    "count_where": "SELECT COUNT(*) FROM Employees WHERE salary >= 500000",
+    "sum": "SELECT SUM(salary) FROM Employees",
+    "avg": "SELECT AVG(salary) FROM Employees",
+    "min": "SELECT MIN(salary) FROM Employees",
+    "max": "SELECT MAX(salary) FROM Employees WHERE salary <= 900000",
+    "median": "SELECT MEDIAN(salary) FROM Employees",
+    "grouped_count": "SELECT COUNT(*) FROM Employees GROUP BY department",
+    "grouped_avg": "SELECT AVG(salary) FROM Employees GROUP BY department",
+    "grouped_median": (
+        "SELECT MEDIAN(salary) FROM Employees GROUP BY department"
+    ),
+    "order_limit": "SELECT eid, salary FROM Employees ORDER BY eid LIMIT 10",
+    "join": (
+        "SELECT * FROM Employees JOIN Managers "
+        "ON Employees.eid = Managers.eid"
+    ),
+}
+
+ORDERED_SHAPES = {"range_pred", "order_limit"}
+
+
+def assert_same(label, want, got):
+    if isinstance(want, list) and label not in ORDERED_SHAPES:
+        assert rows_equal_unordered(want, got), f"{label}: {got!r} != {want!r}"
+    else:
+        assert got == want, f"{label}: {got!r} != {want!r}"
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    @pytest.mark.parametrize("shape", sorted(QUERY_SHAPES))
+    def test_matches_oracle(self, mode, shape):
+        oracle = build_oracle()
+        with build_router(mode) as router:
+            sql = QUERY_SHAPES[shape]
+            assert_same(shape, oracle_answer(oracle, sql), router.sql(sql))
+
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    def test_four_groups_match_oracle_too(self, mode):
+        oracle = build_oracle()
+        with build_router(mode, n_groups=4) as router:
+            for shape in ("count_star", "avg", "grouped_avg", "join"):
+                sql = QUERY_SHAPES[shape]
+                assert_same(shape, oracle_answer(oracle, sql), router.sql(sql))
+
+    def test_execute_wave_matches_sequential(self):
+        statements = [
+            f"SELECT name, salary FROM Employees WHERE eid = {eid}"
+            for eid in EIDS[:8]
+        ] + ["SELECT COUNT(*) FROM Employees"]
+        with build_router("range") as router:
+            sequential = [router.sql(text) for text in statements]
+            assert router.execute_wave(statements) == sequential
+
+
+class TestPruning:
+    def test_point_query_touches_only_owning_group(self):
+        """Range pruning: the non-owning group sees zero messages."""
+        with build_router("range") as router:
+            shard_map = router.shard_map("Employees")
+            low_eid = EIDS[0]  # owned by group 0 (lowest range tile)
+            owner = shard_map.group_for_key(
+                router._encode_partition_key(
+                    router._sharing("Employees"), "eid", low_eid
+                )
+            )
+            other = 1 - owner
+            router.reset_accounting()
+            router.sql(f"SELECT name FROM Employees WHERE eid = {low_eid}")
+            assert router.groups[other].network.total_messages == 0
+            assert router.groups[owner].network.total_messages > 0
+
+    def test_full_scan_touches_every_group(self):
+        with build_router("range") as router:
+            router.reset_accounting()
+            router.sql("SELECT COUNT(*) FROM Employees")
+            for group in router.groups:
+                assert group.network.total_messages > 0
+
+    def test_byte_accounting_sums_over_groups(self):
+        with build_router("range") as router:
+            router.reset_accounting()
+            router.sql("SELECT SUM(salary) FROM Employees")
+            assert router.total_network_bytes() == sum(
+                group.network.total_bytes for group in router.groups
+            )
+            assert router.modelled_network_seconds() == max(
+                group.network.modelled_seconds for group in router.groups
+            )
+
+
+class TestWrites:
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    def test_insert_update_delete_match_oracle(self, mode):
+        oracle = build_oracle()
+        with build_router(mode) as router:
+            insert = (
+                "INSERT INTO Employees (eid, name, lastname, department, "
+                "salary) VALUES (999331, 'ZOE', 'QUINN', 'Sales', 123456)"
+            )
+            update = (
+                f"UPDATE Employees SET salary = 777000 WHERE eid = {MID}"
+            )
+            delete = f"DELETE FROM Employees WHERE eid = {EIDS[3]}"
+            for text in (insert, update, delete):
+                assert router.sql(text) == oracle_answer(oracle, text), text
+            probe = "SELECT eid, salary FROM Employees ORDER BY eid"
+            assert router.sql(probe) == oracle_answer(oracle, probe)
+
+    def test_update_of_range_partition_column_is_rejected(self):
+        with build_router("range") as router:
+            with pytest.raises(UnsupportedQueryError):
+                router.sql(
+                    f"UPDATE Employees SET eid = 999999 WHERE eid = {MID}"
+                )
+
+    def test_session_inserts_use_router_global_row_ids(self):
+        with build_router("hash") as router:
+            router.attach_services(max_in_flight=4, queue_limit=8)
+            session = router.open_session("writer")
+            try:
+                router.execute(
+                    parse_sql(
+                        "INSERT INTO Employees (eid, name, lastname, "
+                        "department, salary) VALUES "
+                        "(999332, 'ABE', 'LINC', 'Sales', 1000)"
+                    ),
+                    session=session,
+                )
+                got = router.sql(
+                    "SELECT name FROM Employees WHERE eid = 999332"
+                )
+                assert got == [{"name": "ABE"}]
+            finally:
+                router.close_session(session)
+
+
+class TestConstruction:
+    def test_mixed_secrets_rejected(self):
+        a = DataSource(ProviderCluster(3, 2), seed=1)
+        b = DataSource(ProviderCluster(3, 2), seed=2)
+        with pytest.raises(ConfigurationError):
+            ShardRouter([a, b])
+
+    def test_mixed_geometry_rejected(self):
+        secrets = generate_client_secrets(3, SEED)
+        a = DataSource(ProviderCluster(3, 2), seed=1, secrets=secrets)
+        b = DataSource(ProviderCluster(3, 3), seed=2, secrets=secrets)
+        with pytest.raises(ConfigurationError):
+            ShardRouter([a, b])
+
+    def test_split_on_hash_table_rejected(self):
+        with build_router("hash") as router:
+            with pytest.raises(ConfigurationError):
+                router.split_shard("Employees", MID)
+
+    def test_rebalance_on_range_table_rejected(self):
+        with build_router("range") as router:
+            with pytest.raises(ConfigurationError):
+                router.rebalance("Employees")
+
+    def test_report_shape(self):
+        with build_router("range") as router:
+            router.sql("SELECT COUNT(*) FROM Employees")
+            report = router.report()
+            assert len(report["groups"]) == 2
+            assert report["migrations"] == 0
+            assert all(
+                group["network_messages"] > 0 for group in report["groups"]
+            )
