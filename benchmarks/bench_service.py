@@ -175,6 +175,81 @@ def bench_concurrency_sweep(rows: int, providers: int, threshold: int):
     }
 
 
+def write_statements(table, count: int):
+    """Half fresh INSERTs, half salary UPDATEs over existing eids."""
+    eids = sorted(row["eid"] for row in table.rows())
+    top = max(eids) + 1
+    statements = []
+    for i in range(count):
+        if i % 2 == 0:
+            statements.append(
+                f"INSERT INTO Employees (eid, name, lastname, department, "
+                f"salary) VALUES ({top + i}, 'WAVE', 'WRITER', 'OPS', "
+                f"{40_000 + i})"
+            )
+        else:
+            statements.append(
+                f"UPDATE Employees SET salary = {50_000 + i} "
+                f"WHERE eid = {eids[i % len(eids)]}"
+            )
+    return statements
+
+
+def _table_state(source):
+    return sorted(
+        tuple(sorted(row.items()))
+        for row in source.sql("SELECT * FROM Employees")
+    )
+
+
+def bench_write_wave(rows: int, providers: int, threshold: int, wave: int):
+    """Per-statement transactional writes vs one coalesced write wave.
+
+    Both modes run the same statement list through the WAL'd write path;
+    the wave mode groups the whole list into one staged-then-flip
+    provider round via :meth:`QueryService.run_write_wave`, so its
+    per-transaction round cost amortises.  Final table states must be
+    identical.
+    """
+    solo_source, table = build_source(rows, providers, threshold)
+    statements = write_statements(table, wave)
+    solo_service = QueryService(
+        solo_source, max_in_flight=1, queue_limit=0, transactional=True
+    )
+    network = solo_source.cluster.network
+    solo_source.reset_accounting()
+    for text in statements:
+        solo_service.execute(text)
+    solo = {
+        "modelled_network_seconds": round(network.modelled_seconds, 6),
+        "network_messages": network.total_messages,
+        "txn": solo_service.report()["txn"],
+    }
+    solo_service.close()
+
+    wave_source, _ = build_source(rows, providers, threshold)
+    wave_service = QueryService(wave_source, max_in_flight=1, queue_limit=0)
+    network = wave_source.cluster.network
+    wave_source.reset_accounting()
+    wave_service.run_write_wave(statements)
+    grouped = {
+        "modelled_network_seconds": round(network.modelled_seconds, 6),
+        "network_messages": network.total_messages,
+        "txn": wave_service.report()["txn"],
+    }
+    wave_service.close()
+    return {
+        "wave": wave,
+        "per_statement": solo,
+        "grouped": grouped,
+        "message_saving": round(
+            1 - grouped["network_messages"] / solo["network_messages"], 3
+        ),
+        "states_identical": _table_state(solo_source)
+        == _table_state(wave_source),
+    }
+
+
 def bench_plan_cache(rows: int, providers: int, threshold: int, repeats: int):
     """Client-side wall time of a repeated shape, cold vs cached rewrite."""
     source, table = build_source(rows, providers, threshold)
@@ -235,6 +310,13 @@ def run_check() -> None:
     assert bat["batcher"]["max_batch"] == concurrency, (
         "the wave did not coalesce into a single combined round"
     )
+    writes = bench_write_wave(24, providers=4, threshold=2, wave=8)
+    assert writes["states_identical"], (
+        "coalesced write wave diverged from per-statement writes"
+    )
+    assert writes["message_saving"] > 0, (
+        "group commit did not reduce write-round messages"
+    )
 
 
 def run_full(args) -> dict:
@@ -243,6 +325,10 @@ def run_full(args) -> dict:
         "sweep": bench_concurrency_sweep(
             args.rows, args.providers, args.threshold
         ),
+        "write_waves": [
+            bench_write_wave(args.rows, args.providers, args.threshold, wave)
+            for wave in (4, 16, 64)
+        ],
         "plan_cache": bench_plan_cache(
             args.rows, args.providers, args.threshold, args.repeats
         ),

@@ -3,8 +3,26 @@
 The paper sketches lazy updates as a communication optimisation.  Sweep
 the number of UPDATE statements per batch and compare messages/bytes of
 per-statement eager application against one buffered flush.
+
+Run modes::
+
+    pytest benchmarks/bench_updates.py            # pytest-benchmark sweep
+    python benchmarks/bench_updates.py --check    # CI bench-smoke gate
+
+``--check`` asserts lazy batching reduces messages, and (via
+``bench_txn``) that the incremental-delta path beats eager re-share by
+>= 3x in wire bytes on an arithmetic-UPDATE workload with bit-identical
+reconstruction.
 """
 
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))
+if str(_HERE.parent / "src") not in sys.path:
+    sys.path.insert(0, str(_HERE.parent / "src"))
 
 from repro import DataSource, ProviderCluster, Update
 from repro.bench.reporting import record_experiment
@@ -104,3 +122,43 @@ def test_lazy_flush_latency(benchmark):
         return buffer.flush()
 
     benchmark(run)
+
+
+def run_check() -> None:
+    """CI bench-smoke gate for the update protocols."""
+    rows = _sweep()
+    assert rows[-1]["lazy msgs"] < rows[-1]["eager msgs"], (
+        "lazy batching did not reduce message count"
+    )
+    from bench_txn import DELTA_SPEEDUP_FLOOR, bench_delta_vs_eager
+
+    delta = bench_delta_vs_eager(200, 4, providers=4, threshold=2)
+    assert delta["bit_identical"], "delta path diverged from eager re-share"
+    assert delta["byte_speedup"] >= DELTA_SPEEDUP_FLOOR, (
+        f"incremental path only {delta['byte_speedup']}x cheaper than eager "
+        f"in wire bytes (need >= {DELTA_SPEEDUP_FLOOR}x)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI smoke mode: assert update-protocol invariants",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        run_check()
+        print(
+            "bench_updates --check: lazy batching reduces messages; "
+            "incremental delta >= 3x eager in wire bytes, bit-identical"
+        )
+        return 0
+    parser.error("run the sweep under pytest; --check is the CLI mode")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -270,6 +270,16 @@ def cmd_trace(args, out) -> int:
         print("\ncounters:", file=out)
         for name in sorted(counters):
             print(f"  {name} = {counters[name]}", file=out)
+    histograms = export["metrics"].get("histograms", {})
+    if histograms:
+        print("\nhistograms:", file=out)
+        for name in sorted(histograms):
+            hist = histograms[name]
+            print(
+                f"  {name}: count={hist['count']} mean={hist['mean']:.2f} "
+                f"sum={hist['sum']:g}",
+                file=out,
+            )
     print(
         f"\nnetwork: {network.total_messages} messages, "
         f"{network.total_bytes:,} bytes, "
@@ -299,6 +309,7 @@ def cmd_serve_sim(args, out) -> int:
             seed=args.seed,
             max_in_flight=args.max_in_flight,
             queue_limit=args.queue_limit,
+            transactional=args.transactional,
         )
     if args.json:
         json.dump(report, out, indent=2, sort_keys=True)
@@ -357,6 +368,16 @@ def cmd_serve_sim(args, out) -> int:
         f"{cache['invalidations']} invalidated",
         file=out,
     )
+    txn = report.get("txn")
+    if txn:
+        groups = txn["group_commit"]
+        print(
+            f"  txn: {txn['logged']} logged, {txn['committed']} committed "
+            f"in {groups['groups_flushed']} groups "
+            f"(mean size {groups['mean_group']:.1f}), "
+            f"{txn['wal_fsyncs']} WAL fsyncs",
+            file=out,
+        )
     print(
         f"  network: {report['network_messages']} messages, "
         f"{report['network_bytes']:,} bytes",
@@ -518,6 +539,195 @@ def cmd_shard_rebalance(args, out) -> int:
     return 0 if _shard_verify(router, employees, out) else 1
 
 
+def _accounts_schema():
+    from .sqlengine.schema import TableSchema, integer_column
+
+    # balance is randomly shared: the column the incremental-delta path
+    # exercises (order-preserving shares cannot be perturbed in place)
+    return TableSchema(
+        "Accounts",
+        (
+            integer_column("aid", 0, 1_000_000),
+            integer_column("balance", 0, 1_000_000_000, searchable=False),
+        ),
+        primary_key="aid",
+    )
+
+
+def _txn_script(rows: int) -> List[str]:
+    """A deterministic mutation mix covering every transactional op."""
+    half = max(rows // 2, 1)
+    return [
+        f"UPDATE Accounts SET balance = balance + 250 WHERE aid < {half}",
+        "UPDATE Accounts SET balance = 777 WHERE aid = 1",
+        f"DELETE FROM Accounts WHERE aid = {rows - 1}",
+        f"UPDATE Accounts SET balance = balance - 50 WHERE aid >= {half}",
+    ]
+
+
+def _txn_oracle(rows: int):
+    """Plaintext ground truth the recovered share state must equal."""
+    from .sqlengine.catalog import Catalog
+    from .sqlengine.executor import PlaintextExecutor
+    from .sqlengine.table import Table
+
+    catalog = Catalog()
+    table = Table(_accounts_schema())
+    for i in range(rows):
+        table.insert({"aid": i, "balance": 1000 + i})
+    catalog.add_table(table)
+    return catalog, PlaintextExecutor(catalog)
+
+
+def cmd_txn_replay(args, out) -> int:
+    """Kill-at-a-WAL-phase crash drill: crash, recover, compare to oracle.
+
+    A statement is committed iff its WAL record survived — so the oracle
+    includes the victim statement at every phase except ``pre-log``.
+    Exits non-zero if any phase recovers to anything but the exact
+    plaintext oracle state.
+    """
+    import tempfile as _tempfile
+
+    from .errors import SimulatedCrash
+    from .sqlengine.sqlparser import parse_sql
+    from .txn import KILL_PHASES, ShardedTransactionManager, TransactionManager
+
+    phases = list(KILL_PHASES) if args.kill == "all" else [args.kill]
+    victim = (
+        f"UPDATE Accounts SET balance = balance + 9999 WHERE aid < {args.rows}"
+    )
+    failures = 0
+    for phase in phases:
+        if args.sharded:
+            from .service.sharding import ShardRouter
+
+            router = ShardRouter.build(
+                n_groups=2,
+                providers_per_group=args.providers,
+                threshold=args.threshold,
+                seed=args.seed,
+            )
+            router.create_table(_accounts_schema())
+            reader = router
+            wal = _tempfile.mktemp(prefix="repro-replay-", suffix=".wal")
+            manager = ShardedTransactionManager(router, wal)
+        else:
+            cluster = ProviderCluster(args.providers, args.threshold)
+            reader = DataSource(cluster, seed=args.seed)
+            reader.create_table(_accounts_schema())
+            wal = _tempfile.mktemp(prefix="repro-replay-", suffix=".wal")
+            manager = TransactionManager(reader, wal)
+        catalog, oracle = _txn_oracle(args.rows)
+        for i in range(args.rows):
+            manager.execute(
+                f"INSERT INTO Accounts (aid, balance) VALUES ({i}, {1000 + i})"
+            )
+        for statement in _txn_script(args.rows):
+            manager.execute(statement)
+            oracle.execute(parse_sql(statement))
+        manager.kill_at = phase
+        crashed = False
+        try:
+            manager.execute(victim)
+        except SimulatedCrash:
+            crashed = True
+        if phase != "pre-log":
+            oracle.execute(parse_sql(victim))
+        manager.close()
+        if args.sharded:
+            recovering = ShardedTransactionManager(router, wal)
+        else:
+            recovering = TransactionManager(reader, wal)
+        report = recovering.recover()
+        live = sorted(
+            (row["aid"], row["balance"])
+            for row in reader.select(parse_sql("SELECT * FROM Accounts"))
+        )
+        expected = sorted(
+            (row["aid"], row["balance"])
+            for row in catalog.table("Accounts").rows()
+        )
+        exact = live == expected
+        failures += 0 if exact else 1
+        recovering.close()
+        print(
+            f"  {phase:10s}: crashed={str(crashed).lower():5s} "
+            f"replayed={report['replayed']} "
+            f"state={'exact' if exact else 'DIVERGED'}",
+            file=out,
+        )
+    deployment = "sharded (2 groups)" if args.sharded else "unsharded"
+    if failures:
+        print(
+            f"txn-replay: {failures}/{len(phases)} phases diverged "
+            f"({deployment})",
+            file=out,
+        )
+        return 1
+    print(
+        f"txn-replay: all {len(phases)} kill phases recovered exactly "
+        f"({deployment}, {args.rows} rows)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_time_travel(args, out) -> int:
+    """Replay a table's epochs through ``as_of_epoch`` reads."""
+    from .sqlengine.sqlparser import parse_sql
+    from .txn import TransactionManager
+
+    cluster = ProviderCluster(args.providers, args.threshold)
+    source = DataSource(cluster, seed=args.seed)
+    source.create_table(_accounts_schema())
+    manager = TransactionManager(source)
+    rows = [
+        {"aid": i, "balance": 1000 + i} for i in range(args.rows)
+    ]
+    source.insert_many("Accounts", rows)
+    for statement in _txn_script(args.rows):
+        manager.execute(statement)
+    manager.close()
+    select_all = parse_sql("SELECT * FROM Accounts")
+    current = source.table_epoch("Accounts")
+    epochs = (
+        [args.epoch]
+        if args.epoch is not None
+        else list(range(1, current + 1))
+    )
+    summary = []
+    for epoch in epochs:
+        past = source.select_asof(select_all, epoch)
+        summary.append(
+            {
+                "epoch": epoch,
+                "rows": len(past),
+                "sum(balance)": sum(r["balance"] for r in past),
+            }
+        )
+    print(format_table(summary), file=out)
+    live = sorted(
+        (r["aid"], r["balance"]) for r in source.select(select_all)
+    )
+    head = sorted(
+        (r["aid"], r["balance"])
+        for r in source.select_asof(select_all, current)
+    )
+    if live != head:
+        print(
+            f"error: as_of_epoch={current} disagrees with the live read",
+            file=out,
+        )
+        return 1
+    print(
+        f"time-travel: {len(epochs)} epochs readable; "
+        f"as_of_epoch={current} matches the live read exactly",
+        file=out,
+    )
+    return 0
+
+
 def cmd_figure1(args, out) -> int:
     from .core.shamir import figure1_shares, salaries_from_figure1
 
@@ -607,6 +817,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission bound on queries waiting for a slot",
     )
     serve.add_argument(
+        "--transactional", action="store_true",
+        help="route writes through the WAL + group-commit write path",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
 
@@ -656,6 +870,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fresh groups to register before rebalancing",
     )
 
+    replay = sub.add_parser(
+        "txn-replay",
+        help="crash the WAL write path at a kill phase, recover, verify",
+    )
+    common(replay)
+    replay.set_defaults(rows=40)
+    replay.add_argument(
+        "--kill",
+        choices=["all", "pre-log", "post-log", "mid-round", "pre-ack", "post-ack"],
+        default="all",
+        help="WAL phase to crash at (default: the whole matrix)",
+    )
+    replay.add_argument(
+        "--sharded", action="store_true",
+        help="run the drill over a 2-group sharded deployment",
+    )
+
+    travel = sub.add_parser(
+        "time-travel",
+        help="mutate a table over epochs, then read it as of each epoch",
+    )
+    common(travel)
+    travel.set_defaults(rows=40)
+    travel.add_argument(
+        "--epoch", type=int, default=None,
+        help="read as of one epoch instead of the whole history",
+    )
+
     sub.add_parser("figure1", help="print the paper's Figure 1 reproduction")
     return parser
 
@@ -678,6 +920,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_shard_split(args, out)
         if args.command == "shard-rebalance":
             return cmd_shard_rebalance(args, out)
+        if args.command == "txn-replay":
+            return cmd_txn_replay(args, out)
+        if args.command == "time-travel":
+            return cmd_time_travel(args, out)
         if args.command == "figure1":
             return cmd_figure1(args, out)
     except ReproError as exc:

@@ -44,6 +44,7 @@ from ..sqlengine.query import (
     JoinSelect,
     Select,
     Update,
+    resolve_assignments,
 )
 from ..sqlengine.schema import ColumnType, TableSchema
 from ..sqlengine.sqlparser import parse_sql
@@ -64,6 +65,25 @@ from .rewriter import (
 from .rowcache import RowCache
 
 Row = Dict[str, object]
+
+#: RPC methods that mutate provider row state.  ``DataSource._broadcast``
+#: refuses these unless the call came through :meth:`DataSource._mutate`
+#: (or the transaction layer, which uses the cluster directly and carries
+#: its own logged epochs) — the choke point that makes forgetting a
+#: plan-cache/row-cache invalidation structurally impossible (ISSUE-8).
+MUTATING_RPCS = frozenset(
+    {
+        "insert",
+        "insert_many",
+        "update_rows",
+        "delete_rows",
+        "increment_rows",
+        "merge_table",
+        "txn_prepare",
+        "txn_commit",
+        "txn_abort",
+    }
+)
 
 
 class DataSource:
@@ -161,6 +181,8 @@ class DataSource:
         #: always go to the wire
         self.row_cache = RowCache()
         self._row_id_lock = threading.Lock()
+        # thread-local guard proving a mutating RPC came through _mutate
+        self._mutation = threading.local()
         if audit is not None and getattr(audit, "namespace", "") == "":
             audit.namespace = namespace
 
@@ -183,6 +205,12 @@ class DataSource:
         return out
 
     def _broadcast(self, method: str, request_builder, **kwargs):
+        if method in MUTATING_RPCS and not getattr(self._mutation, "active", 0):
+            raise QueryError(
+                f"mutating RPC {method!r} must go through DataSource._mutate "
+                "(the epoch choke point) — direct broadcasts would leave the "
+                "plan cache and row cache holding entries for dead state"
+            )
         return self.cluster.broadcast(
             method, lambda i: self._qualify(request_builder(i)), **kwargs
         )
@@ -191,6 +219,51 @@ class DataSource:
         return self.cluster.call_one(
             provider_index, method, self._qualify(request)
         )
+
+    def _mutate(
+        self,
+        table_name: str,
+        method: str,
+        request_builder,
+        *,
+        provider_indexes: Optional[List[int]] = None,
+        epoch: Optional[int] = None,
+        **kwargs,
+    ):
+        """The single write choke point (ISSUE-8 satellite).
+
+        Every row-mutating RPC funnels through here: the payload is
+        stamped with the table's next mutation epoch (providers tag their
+        undo history with it, which is what makes ``as_of_epoch`` reads
+        possible), the round is broadcast to the live write targets, and
+        the epoch is bumped — invalidating the plan cache and row cache —
+        even when the round fails partway (some providers may have
+        applied, so cached state must be assumed dead).  ``_broadcast``
+        refuses mutating RPCs issued around this method, so no future
+        write path can forget cache invalidation.
+        """
+        if epoch is None:
+            epoch = self.table_epoch(table_name) + 1
+        stamped = epoch
+
+        def build(i: int) -> Dict:
+            payload = dict(request_builder(i))
+            payload.setdefault("epoch", stamped)
+            return payload
+
+        targets = (
+            provider_indexes
+            if provider_indexes is not None
+            else self.cluster.write_targets()
+        )
+        self._mutation.active = getattr(self._mutation, "active", 0) + 1
+        try:
+            return self._broadcast(
+                method, build, provider_indexes=targets, **kwargs
+            )
+        finally:
+            self._mutation.active -= 1
+            self.bump_table_epoch(table_name, to=stamped)
 
     # ------------------------------------------------------------------ DDL --
 
@@ -266,16 +339,20 @@ class DataSource:
         """The table's mutation epoch (bumped by every write path)."""
         return self._table_epochs.get(table_name, 0)
 
-    def bump_table_epoch(self, table_name: str) -> int:
+    def bump_table_epoch(self, table_name: str, to: Optional[int] = None) -> int:
         """Advance a table's epoch, invalidating cached plans and rows.
 
         Every write path funnels through here (insert/update/delete,
-        increments, lazy-flush, resync, rotation), so this is the single
-        point where *all* epoch-keyed caches — the service plan cache and
-        the reconstructed-row cache — learn that their entries for the
-        table are dead.
+        increments, lazy-flush, resync, rotation, and the transaction
+        layer's group-commit apply), so this is the single point where
+        *all* epoch-keyed caches — the service plan cache and the
+        reconstructed-row cache — learn that their entries for the table
+        are dead.  ``to`` sets an explicit target epoch (the transaction
+        layer applies WAL-logged epochs; recovery restores high-water
+        marks); epochs never move backwards.
         """
-        epoch = self._table_epochs.get(table_name, 0) + 1
+        current = self._table_epochs.get(table_name, 0)
+        epoch = current + 1 if to is None else max(to, current)
         self._table_epochs[table_name] = epoch
         cache = self.plan_cache
         if cache is not None:
@@ -328,12 +405,18 @@ class DataSource:
         with telemetry.span("insert", table=table_name, rows=len(rows)):
             return self._insert_many(table_name, rows, row_ids)
 
-    def _insert_many(
+    def prepare_insert_shares(
         self,
         table_name: str,
         rows: List[Row],
         explicit_ids: Optional[List[int]] = None,
-    ) -> List[int]:
+    ) -> List[Tuple[int, List[ShareRow]]]:
+        """Validate, assign row ids, and share a batch of plaintext rows.
+
+        Returns ``[(row_id, [share_row per provider])]`` — the resolved
+        payload material shared by the direct insert path and the
+        transaction layer (which logs it to the WAL before any RPC).
+        """
         sharing = self.sharing(table_name)
         if explicit_ids is not None and len(explicit_ids) != len(rows):
             raise QueryError(
@@ -343,32 +426,50 @@ class DataSource:
             start = self.reserve_row_ids(table_name, len(rows))
             explicit_ids = list(range(start, start + len(rows)))
         prepared: List[Tuple[int, List[ShareRow]]] = []
-        row_ids: List[int] = []
         for position, row in enumerate(rows):
             normalised = sharing.schema.validate_row(row)
-            row_id = explicit_ids[position]
             share_rows = sharing.share_row(normalised)
             self.cost.record(
                 "poly_eval", len(sharing.schema.columns) * self.cluster.n_providers
             )
-            prepared.append((row_id, share_rows))
-            row_ids.append(row_id)
-        if prepared:
-            targets = self.cluster.write_targets()
-            self._broadcast(
-                "insert_many",
-                lambda i: {
-                    "table": table_name,
-                    "rows": [[rid, shares[i]] for rid, shares in prepared],
-                },
-                provider_indexes=targets,
-            )
-            if self.audit is not None:
-                for rid, shares in prepared:
-                    for index in targets:
-                        self.audit.on_insert(table_name, index, rid, shares[index])
-            self.bump_table_epoch(table_name)
-        return row_ids
+            prepared.append((explicit_ids[position], share_rows))
+        return prepared
+
+    def apply_insert_shares(
+        self,
+        table_name: str,
+        prepared: List[Tuple[int, List[ShareRow]]],
+        epoch: Optional[int] = None,
+    ) -> List[int]:
+        """Upload pre-shared rows through the epoch choke point."""
+        if not prepared:
+            return []
+        targets = self.cluster.write_targets()
+        self._mutate(
+            table_name,
+            "insert_many",
+            lambda i: {
+                "table": table_name,
+                "rows": [[rid, shares[i]] for rid, shares in prepared],
+            },
+            provider_indexes=targets,
+            epoch=epoch,
+        )
+        if self.audit is not None:
+            for rid, shares in prepared:
+                for index in targets:
+                    self.audit.on_insert(table_name, index, rid, shares[index])
+        return [rid for rid, _ in prepared]
+
+    def _insert_many(
+        self,
+        table_name: str,
+        rows: List[Row],
+        explicit_ids: Optional[List[int]] = None,
+    ) -> List[int]:
+        prepared = self.prepare_insert_shares(table_name, rows, explicit_ids)
+        self.apply_insert_shares(table_name, prepared)
+        return [rid for rid, _ in prepared]
 
     def update(self, query: Update) -> int:
         """Eager update (Sec. V-C): fetch, reconstruct, re-share, write back."""
@@ -377,11 +478,18 @@ class DataSource:
             sp.set(rows_updated=updated)
             return updated
 
-    def _update(self, query: Update) -> int:
+    def prepare_update_shares(
+        self, query: Update, matches: List[Tuple[int, Row]]
+    ) -> List[List]:
+        """Re-share the assigned columns of matched rows, one list per
+        provider: ``updates_per_provider[i] == [[row_id, {col: share}]]``.
+
+        Delta assignments (``SET c = c + n``) are resolved against each
+        row's current value here — this is the *eager* path, the
+        correctness oracle the incremental share-delta path is checked
+        against.
+        """
         sharing = self.sharing(query.table)
-        matches = self._fetch_matching_rows(query)
-        if not matches:
-            return 0
         schema = sharing.schema
         for column in query.assignments:
             schema.column(column)
@@ -391,22 +499,28 @@ class DataSource:
         ]
         for row_id, row in matches:
             candidate = dict(row)
-            candidate.update(query.assignments)
+            candidate.update(resolve_assignments(row, query.assignments))
             normalised = schema.validate_row(candidate)
             if pk is not None and normalised[pk] != row[pk]:
                 raise SchemaError(
                     f"table {query.table}: primary key update not supported"
                 )
-            # re-share only the assigned columns; untouched shares stay valid
+            # re-share only the assigned columns; untouched shares stay
+            # valid.  share_value is called ONCE per column: for random
+            # (non-searchable) columns every call draws a fresh polynomial,
+            # so per-provider calls would hand each provider a share of a
+            # different secret — unreconstructable garbage.
+            shares_by_column = {
+                column: sharing.share_value(column, normalised[column])
+                for column in query.assignments
+            }
             for provider_index in range(self.cluster.n_providers):
                 updates_per_provider[provider_index].append(
                     [
                         row_id,
                         {
-                            column: sharing.share_value(
-                                column, normalised[column]
-                            )[provider_index]
-                            for column in query.assignments
+                            column: shares[provider_index]
+                            for column, shares in shares_by_column.items()
                         },
                     ]
                 )
@@ -414,17 +528,44 @@ class DataSource:
                 "poly_eval",
                 len(query.assignments) * self.cluster.n_providers,
             )
+        return updates_per_provider
+
+    def apply_share_updates(
+        self,
+        table_name: str,
+        updates_per_provider: List[List],
+        epoch: Optional[int] = None,
+    ) -> int:
+        """Write per-provider column-share updates through the choke point.
+
+        Shared by the eager update path, the lazy-update buffer flush
+        (:mod:`repro.client.updates`), and transaction recovery — the
+        callers that previously each built their own ``update_rows``
+        round (and one of which forgot the epoch bump, the ISSUE-8
+        satellite bug).
+        """
         targets = self.cluster.write_targets()
-        self._broadcast(
+        self._mutate(
+            table_name,
             "update_rows",
-            lambda i: {"table": query.table, "updates": updates_per_provider[i]},
+            lambda i: {"table": table_name, "updates": updates_per_provider[i]},
             provider_indexes=targets,
+            epoch=epoch,
         )
         if self.audit is not None:
             for index in targets:
                 for row_id, assignments in updates_per_provider[index]:
-                    self.audit.on_update(query.table, index, row_id, assignments)
-        self.bump_table_epoch(query.table)
+                    self.audit.on_update(table_name, index, row_id, assignments)
+        return max(
+            (len(updates) for updates in updates_per_provider), default=0
+        )
+
+    def _update(self, query: Update) -> int:
+        matches = self._fetch_matching_rows(query)
+        if not matches:
+            return 0
+        updates_per_provider = self.prepare_update_shares(query, matches)
+        self.apply_share_updates(query.table, updates_per_provider)
         return len(matches)
 
     def delete(self, query: Delete) -> int:
@@ -438,17 +579,7 @@ class DataSource:
         matches = self._fetch_matching_rows(query)
         if not matches:
             return 0
-        row_ids = [row_id for row_id, _ in matches]
-        self._broadcast(
-            "delete_rows",
-            lambda i: {"table": query.table, "row_ids": row_ids},
-            provider_indexes=self.cluster.write_targets(),
-        )
-        if self.audit is not None:
-            for row_id in row_ids:
-                self.audit.on_delete(query.table, row_id)
-        self.bump_table_epoch(query.table)
-        return len(row_ids)
+        return self.delete_row_ids(query.table, [rid for rid, _ in matches])
 
     def increment(
         self,
@@ -517,33 +648,61 @@ class DataSource:
         ]
         if not row_ids:
             return 0
+        delta_shares = self.prepare_increment_shares(
+            table_name, column, delta
+        )
+        return self.apply_share_increments(
+            table_name, row_ids, [{column: s} for s in delta_shares]
+        )
+
+    def prepare_increment_shares(
+        self,
+        table_name: str,
+        column: str,
+        delta: int,
+    ) -> List[int]:
+        """One fresh sharing of ``delta``, one share per provider.
+
+        A single polynomial serves every matched row: row share f_r(i)
+        plus delta share g(i) reconstructs to v_r + delta by linearity.
+        Sub-threshold coalitions learn nothing about delta (Shamir
+        perfect secrecy holds per polynomial), and the fact that one
+        uniform delta hits the whole row set is already explicit in the
+        RPC shape — so, unlike share *refresh* (which must re-randomize
+        each row independently), nothing is gained by paying O(rows)
+        polynomials here.
+        """
+        column_schema = self.sharing(table_name).schema.column(column)
         # domain check: the incremented values must stay in the column's
         # declared domain; without reading them we can only check bounds
         lo, hi = column_schema.lo, column_schema.hi
         if delta > 0 and hi is not None and delta > (hi - lo):
             raise QueryError(f"delta {delta} exceeds the column's domain span")
         field = self.random_field()
-        increments_per_provider: List[List] = [
-            [] for _ in range(self.cluster.n_providers)
-        ]
-        for row_id in row_ids:
-            delta_shares = self.random_scheme_for(table_name).split(
-                field.encode_signed(delta), self._rng
-            )
-            self.cost.record("poly_eval", self.cluster.n_providers)
-            for index in range(self.cluster.n_providers):
-                increments_per_provider[index].append(
-                    [row_id, {column: delta_shares[index]}]
-                )
-        targets = self.cluster.write_targets()
-        responses = self._broadcast(
+        delta_shares = self.random_scheme_for(table_name).split(
+            field.encode_signed(delta), self._rng
+        )
+        self.cost.record("poly_eval", self.cluster.n_providers)
+        return list(delta_shares)
+
+    def apply_share_increments(
+        self,
+        table_name: str,
+        row_ids: List[int],
+        deltas_per_provider: List[Dict[str, int]],
+        epoch: Optional[int] = None,
+    ) -> int:
+        """Ship per-provider delta shares through the epoch choke point."""
+        responses = self._mutate(
+            table_name,
             "increment_rows",
             lambda i: {
                 "table": table_name,
-                "increments": increments_per_provider[i],
+                "row_ids": row_ids,
+                "deltas": deltas_per_provider[i],
                 "modulus": self.secrets.field.modulus,
             },
-            provider_indexes=targets,
+            epoch=epoch,
         )
         counts = {response["incremented"] for response in responses.values()}
         if len(counts) != 1:
@@ -552,7 +711,6 @@ class DataSource:
             raise IntegrityError(
                 f"providers disagree on incremented row count: {sorted(counts)}"
             )
-        self.bump_table_epoch(table_name)
         return counts.pop()
 
     def random_field(self):
@@ -625,16 +783,15 @@ class DataSource:
                 increments_per_provider[index].append(
                     [row_id, deltas_by_provider[index]]
                 )
-        self._broadcast(
+        self._mutate(
+            table_name,
             "increment_rows",
             lambda i: {
                 "table": table_name,
                 "increments": increments_per_provider[i],
                 "modulus": self.secrets.field.modulus,
             },
-            provider_indexes=self.cluster.write_targets(),
         )
-        self.bump_table_epoch(table_name)
         return len(row_ids)
 
     def resync_table(self, table_name: str) -> int:
@@ -690,7 +847,8 @@ class DataSource:
             len(prepared) * len(sharing.schema.columns) * self.cluster.n_providers,
         )
         if prepared:
-            self._broadcast(
+            self._mutate(
+                table_name,
                 "insert_many",
                 lambda i: {
                     "table": table_name,
@@ -698,12 +856,15 @@ class DataSource:
                 },
                 provider_indexes=targets,
             )
+        else:
+            # no rows survived, but the table was dropped and recreated —
+            # cached plans and rows are dead regardless
+            self.bump_table_epoch(table_name)
         if self.audit is not None:
             self.audit.on_resync(table_name)
             for rid, shares in prepared:
                 for index in targets:
                     self.audit.on_insert(table_name, index, rid, shares[index])
-        self.bump_table_epoch(table_name)
         return len(prepared)
 
     # ------------------------------------------------- share-row migration --
@@ -771,16 +932,16 @@ class DataSource:
         if not rows:
             return 0
         target_table = into if into is not None else table_name
-        self._broadcast(
+        # staging uploads bump the *staging* name's epoch (harmless — the
+        # live table's caches stay warm until the merge makes rows visible)
+        self._mutate(
+            target_table,
             "insert_many",
             lambda i: {
                 "table": target_table,
                 "rows": [[rid, per_provider[i]] for rid, per_provider in rows],
             },
-            provider_indexes=self.cluster.write_targets(),
         )
-        if into is None:
-            self.bump_table_epoch(table_name)
         return len(rows)
 
     def merge_staging_table(self, table_name: str, staging: str) -> int:
@@ -790,27 +951,34 @@ class DataSource:
         missed the staging upload merges zero and is simply stale).
         """
         self.sharing(table_name)
-        responses = self._broadcast(
+        responses = self._mutate(
+            table_name,
             "merge_table",
             lambda i: {"table": staging, "into": table_name},
-            provider_indexes=self.cluster.write_targets(),
         )
-        self.bump_table_epoch(table_name)
         return max(
             (response["merged"] for response in responses.values()), default=0
         )
 
-    def delete_row_ids(self, table_name: str, row_ids: List[int]) -> int:
+    def delete_row_ids(
+        self,
+        table_name: str,
+        row_ids: List[int],
+        epoch: Optional[int] = None,
+    ) -> int:
         """Delete specific rows at every live provider (no predicate fetch)."""
         self.sharing(table_name)
         if not row_ids:
             return 0
-        self._broadcast(
+        self._mutate(
+            table_name,
             "delete_rows",
             lambda i: {"table": table_name, "row_ids": list(row_ids)},
-            provider_indexes=self.cluster.write_targets(),
+            epoch=epoch,
         )
-        self.bump_table_epoch(table_name)
+        if self.audit is not None:
+            for row_id in row_ids:
+                self.audit.on_delete(table_name, row_id)
         return len(row_ids)
 
     def _fetch_matching_rows(
@@ -1139,6 +1307,62 @@ class DataSource:
             rows = [{name: row[name] for name in query.columns} for row in rows]
         return rows
 
+    # --------------------------------------------------------- time travel --
+
+    def scan_asof(self, table_name: str, as_of_epoch: int) -> List[Tuple[int, Row]]:
+        """Reconstructed plaintext of a table as of a past mutation epoch.
+
+        Providers keep an epoch-tagged undo history per table (written by
+        every :meth:`_mutate` round and the transaction layer), so each
+        can serve its *share* state as of client epoch ``as_of_epoch``;
+        reconstructing across k of them yields the historical plaintext.
+        Raises :class:`QueryError` when the epoch predates the providers'
+        retention horizon.
+        """
+        sharing = self.sharing(table_name)
+        if as_of_epoch < 0:
+            raise QueryError(f"as_of_epoch must be >= 0, got {as_of_epoch}")
+        responses = self._broadcast(
+            "scan_asof",
+            lambda i: {"table": table_name, "epoch": as_of_epoch},
+            minimum=self.threshold,
+            provider_indexes=self.cluster.read_quorum(),
+            quorum="first_k",
+            failover=self.failover,
+        )
+        aligned = align_by_row_id(rows_from_responses(responses))
+        out: List[Tuple[int, Row]] = []
+        for row_id in sorted(aligned):
+            share_rows = aligned[row_id]
+            if len(share_rows) < self.threshold:
+                continue
+            out.append((row_id, sharing.reconstruct_row(share_rows)))
+            self.cost.record("interpolate", len(sharing.schema.columns))
+        return out
+
+    def select_asof(
+        self, query: Select, as_of_epoch: int
+    ) -> Union[List[Row], object]:
+        """Time-travel read: evaluate ``query`` against epoch ``as_of_epoch``.
+
+        Historical state cannot use the provider-pushable rewritten
+        conditions (order-preserving index slots reflect *current* rows),
+        so the whole historical table is reconstructed client-side and the
+        query is evaluated by the plaintext reference executor — time
+        travel trades bandwidth for the ability to read the past at all.
+        Joins are not supported (two tables' epochs are not comparable).
+        """
+        with telemetry.span(
+            "select_asof", table=query.table, epoch=as_of_epoch
+        ):
+            sharing = self.sharing(query.table)
+            rows = [row for _, row in self.scan_asof(query.table, as_of_epoch)]
+            catalog = Catalog()
+            catalog.add_table(Table(sharing.schema, rows))
+            from ..sqlengine.executor import PlaintextExecutor
+
+            return PlaintextExecutor(catalog).execute_select(query)
+
     def rotate_secrets(self, new_seed: int) -> Dict[str, int]:
         """Re-key the deployment (the concern of paper ref [24]).
 
@@ -1217,7 +1441,8 @@ class DataSource:
                 * self.cluster.n_providers,
             )
             if prepared:
-                self._broadcast(
+                self._mutate(
+                    name,
                     "insert_many",
                     lambda i: {
                         "table": name,

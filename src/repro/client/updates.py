@@ -22,7 +22,7 @@ from typing import Dict, List
 
 from ..errors import QueryError
 from ..sqlengine.expression import Predicate
-from ..sqlengine.query import Select, Update
+from ..sqlengine.query import Select, Update, resolve_assignments
 from .datasource import DataSource
 
 Row = Dict[str, object]
@@ -117,8 +117,9 @@ class LazyUpdateBuffer:
             assigned: Dict[str, object] = {}
             for pending in updates:
                 if pending.where.matches(current):
-                    current.update(pending.assignments)
-                    assigned.update(pending.assignments)
+                    resolved = resolve_assignments(current, pending.assignments)
+                    current.update(resolved)
+                    assigned.update(resolved)
             if assigned:
                 sharing.schema.validate_row(current)
                 changed[row_id] = {
@@ -130,35 +131,29 @@ class LazyUpdateBuffer:
             [] for _ in range(source.cluster.n_providers)
         ]
         for row_id, assignments in changed.items():
+            # one share_value call per column: random-column shares come
+            # from a fresh polynomial each call, so indexing repeated
+            # calls per provider would mix incompatible polynomials
+            shares_by_column = {
+                column: sharing.share_value(column, value)
+                for column, value in assignments.items()
+            }
             for provider_index in range(source.cluster.n_providers):
                 updates_per_provider[provider_index].append(
                     [
                         row_id,
                         {
-                            column: sharing.share_value(column, value)[
-                                provider_index
-                            ]
-                            for column, value in assignments.items()
+                            column: shares[provider_index]
+                            for column, shares in shares_by_column.items()
                         },
                     ]
                 )
             source.cost.record(
                 "poly_eval", len(assignments) * source.cluster.n_providers
             )
-        targets = source.cluster.write_targets()
-        source.cluster.broadcast(
-            "update_rows",
-            lambda i: {"table": table_name, "updates": updates_per_provider[i]},
-            provider_indexes=targets,
-        )
-        if source.audit is not None:
-            for index in targets:
-                for row_id, assignments in updates_per_provider[index]:
-                    source.audit.on_update(table_name, index, row_id, assignments)
-        # this write bypasses DataSource.update, so the plan-cache epoch
-        # must be bumped here — a cached plan is only valid for the epoch
-        # it was rewritten against
-        source.bump_table_epoch(table_name)
+        # the choke point broadcasts, mirrors the audit, and bumps the
+        # table epoch — the flush can no longer forget cache invalidation
+        source.apply_share_updates(table_name, updates_per_provider)
         return len(changed)
 
     # -- read path ----------------------------------------------------------------
@@ -189,7 +184,7 @@ class LazyUpdateBuffer:
             current = dict(row)
             for p in pending:
                 if p.where.matches(current):
-                    current.update(p.assignments)
+                    current.update(resolve_assignments(current, p.assignments))
             if bound.matches(current):
                 out.append(
                     {c: current[c] for c in query.columns}

@@ -98,3 +98,26 @@ class ServiceOverloadedError(ServiceError):
     growing threads without bound.  The message names both limits so the
     operator knows which knob to turn.
     """
+
+
+class TxnError(ReproError):
+    """The transactional write path could not process a statement or batch."""
+
+
+class WALError(TxnError):
+    """The write-ahead log is corrupt or could not be read/written.
+
+    Torn tails (a partially written final record, the expected artifact of
+    a crash mid-append) are *not* errors — replay truncates them.  This is
+    raised for corruption anywhere before the tail, which indicates real
+    damage rather than an interrupted append.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """Raised by fault-injection kill points to model a process crash.
+
+    Deliberately *not* a :class:`TxnError`: recovery tests must observe the
+    crash escape the transaction layer exactly like a SIGKILL would, not be
+    swallowed by a ``except TxnError`` handler.
+    """

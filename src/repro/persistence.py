@@ -104,7 +104,13 @@ def schema_from_dict(data: Dict) -> TableSchema:
 
 
 def provider_to_dict(provider: ShareProvider) -> Dict:
-    """Snapshot one provider's entire share store."""
+    """Snapshot one provider's entire share store.
+
+    Transactional state rides along (optional keys, same format
+    version): the epoch-tagged undo history that serves time-travel
+    reads, and the staged/applied transaction sets that make WAL replay
+    exactly-once across a provider restart.
+    """
     tables = {}
     for table_name in provider.store.table_names():
         table = provider.store.table(table_name)
@@ -115,8 +121,20 @@ def provider_to_dict(provider: ShareProvider) -> Dict:
                 str(row_id): table.get(row_id)
                 for row_id in table.all_row_ids()
             },
+            "epoch": table.epoch,
+            "history_floor": table.history_floor,
+            "history": [list(entry) for entry in table.history],
         }
-    return {"version": _FORMAT_VERSION, "name": provider.name, "tables": tables}
+    return {
+        "version": _FORMAT_VERSION,
+        "name": provider.name,
+        "tables": tables,
+        "applied_txns": sorted(provider.store.applied_txns),
+        "staged_txns": {
+            str(txn_id): ops
+            for txn_id, ops in provider.store.staged_txns.items()
+        },
+    }
 
 
 def provider_from_dict(data: Dict) -> ShareProvider:
@@ -136,6 +154,21 @@ def provider_from_dict(data: Dict) -> ShareProvider:
             (int(row_id_text), values)
             for row_id_text, values in table_data["rows"].items()
         )
+        # the bulk load above wrote synthetic epoch-0 history; the real
+        # undo log (if the snapshot carries one) replaces it wholesale
+        table.epoch = int(table_data.get("epoch", 0))
+        table.history_floor = int(
+            table_data.get("history_floor", table.epoch)
+        )
+        table.history = [
+            (int(epoch), op, int(row_id), data)
+            for epoch, op, row_id, data in table_data.get("history", [])
+        ]
+    provider.store.applied_txns = set(data.get("applied_txns", []))
+    provider.store.staged_txns = {
+        int(txn_id): ops
+        for txn_id, ops in data.get("staged_txns", {}).items()
+    }
     return provider
 
 
@@ -171,6 +204,13 @@ def client_to_dict(source: DataSource) -> Dict:
                 "next_row_id": source._next_row_id[name],
             }
             for name in source.table_names()
+        },
+        # mutation epochs must survive the restart: a restored client
+        # that restarted from epoch 0 would stamp already-used epochs
+        # onto new writes, corrupting provider undo history and
+        # re-serving stale plan/row-cache state
+        "table_epochs": {
+            name: source.table_epoch(name) for name in source.table_names()
         },
     }
 
@@ -212,6 +252,8 @@ def client_from_dict(data: Dict, cluster: ProviderCluster) -> DataSource:
         source.restore_table(
             schema_from_dict(table_data["schema"]), table_data["next_row_id"]
         )
+    for name, epoch in data.get("table_epochs", {}).items():
+        source.bump_table_epoch(name, to=int(epoch))
     return source
 
 

@@ -146,19 +146,21 @@ class ShareProvider:
 
     def _rpc_insert_many(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
-        inserted = table.insert_many(request["rows"])
+        inserted = table.insert_many(request["rows"], epoch=request.get("epoch"))
         return {"inserted": inserted}
 
     def _rpc_update_rows(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
+        epoch = request.get("epoch")
         for row_id, assignments in request["updates"]:
-            table.update(row_id, assignments)
+            table.update(row_id, assignments, epoch=epoch)
         return {"updated": len(request["updates"])}
 
     def _rpc_delete_rows(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
+        epoch = request.get("epoch")
         for row_id in request["row_ids"]:
-            table.delete(row_id)
+            table.delete(row_id, epoch=epoch)
         return {"deleted": len(request["row_ids"])}
 
     def _rpc_merge_table(self, request: Dict) -> Dict:
@@ -177,7 +179,8 @@ class ShareProvider:
         staging = self.store.table(request["table"])
         target = self.store.table(request["into"])
         merged = target.insert_many(
-            (row_id, staging.get(row_id)) for row_id in staging.all_row_ids()
+            ((row_id, staging.get(row_id)) for row_id in staging.all_row_ids()),
+            epoch=request.get("epoch"),
         )
         self.store.drop_table(request["table"])
         return {"merged": merged}
@@ -190,13 +193,29 @@ class ShareProvider:
         addition by linearity.  Order-preserving shares are deterministic
         per value, so in-place addition would corrupt them — rejected.
         NULL values stay NULL (SQL: NULL + x = NULL).
+
+        Two request shapes:
+
+        * ``{"increments": [[row_id, {col: share}], ...]}`` — a distinct
+          delta share per row (share refresh, which *must* land every row
+          on its own fresh polynomial);
+        * ``{"row_ids": [...], "deltas": {col: share}}`` — one delta
+          share applied to every listed row (arithmetic UPDATE: the
+          statement's single plaintext delta is shared once, so the wire
+          cost is O(rows) small ints instead of O(rows) field elements).
         """
         table = self.store.table(request["table"])
         # the share-field modulus is a public parameter; reducing keeps
         # share magnitudes bounded across repeated increments/refreshes
         modulus = request.get("modulus")
+        epoch = request.get("epoch")
+        if "increments" in request:
+            entries = request["increments"]
+        else:
+            shared_deltas = request["deltas"]
+            entries = [[row_id, shared_deltas] for row_id in request["row_ids"]]
         incremented = 0
-        for row_id, deltas in request["increments"]:
+        for row_id, deltas in entries:
             row = table.get(row_id)
             assignments = {}
             for column, delta_share in deltas.items():
@@ -214,9 +233,84 @@ class ShareProvider:
                     updated %= modulus
                 assignments[column] = updated
             if assignments:
-                table.update(row_id, assignments)
+                table.update(row_id, assignments, epoch=epoch)
                 incremented += 1
         return {"incremented": incremented}
+
+    # -- transactional apply (ISSUE-8) -------------------------------------------
+
+    _TXN_OPS = frozenset(
+        {"insert_many", "update_rows", "delete_rows", "increment_rows"}
+    )
+
+    def _rpc_txn_prepare(self, request: Dict) -> Dict:
+        """Stage one or more transactions' ops for a later atomic flip.
+
+        ``{"txns": [[txn_id, ops], ...]}`` where each op is ``[method,
+        payload]`` restricted to row-mutation methods.  A transaction this
+        provider already applied is skipped — the client is replaying its
+        WAL and the exactly-once guard must hold (increments are not
+        idempotent).  Nothing becomes visible until ``txn_commit``.
+        """
+        staged: List[int] = []
+        skipped: List[int] = []
+        for txn_id, ops in request["txns"]:
+            if txn_id in self.store.applied_txns:
+                skipped.append(txn_id)
+                continue
+            for method, payload in ops:
+                if method not in self._TXN_OPS:
+                    raise ProviderError(
+                        f"provider {self.name}: {method!r} is not a valid "
+                        "transactional op"
+                    )
+                if not self.store.has_table(payload.get("table", "")):
+                    raise ProviderError(
+                        f"provider {self.name}: transaction {txn_id} targets "
+                        f"unknown table {payload.get('table')!r}"
+                    )
+            self.store.staged_txns[txn_id] = ops
+            staged.append(txn_id)
+        return {"staged": staged, "skipped": skipped}
+
+    def _rpc_txn_commit(self, request: Dict) -> Dict:
+        """Apply staged transactions in the given (WAL log) order.
+
+        Each transaction applies all-or-nothing from the client's point of
+        view: ops were validated at prepare, and the id enters
+        ``applied_txns`` the moment its ops have run, so a replay after a
+        mid-round crash re-applies exactly the transactions this provider
+        missed and none it did not.
+        """
+        committed: List[int] = []
+        skipped: List[int] = []
+        for txn_id in request["ids"]:
+            if txn_id in self.store.applied_txns:
+                skipped.append(txn_id)
+                self.store.staged_txns.pop(txn_id, None)
+                continue
+            ops = self.store.staged_txns.get(txn_id)
+            if ops is None:
+                raise ProviderError(
+                    f"provider {self.name}: transaction {txn_id} was never "
+                    "prepared here — the client must re-prepare before commit"
+                )
+            for method, payload in ops:
+                getattr(self, f"_rpc_{method}")(payload)
+            self.store.applied_txns.add(txn_id)
+            del self.store.staged_txns[txn_id]
+            committed.append(txn_id)
+            telemetry.count("txn.provider_commits", provider=self.name)
+        return {"committed": committed, "skipped": skipped}
+
+    def _rpc_txn_abort(self, request: Dict) -> Dict:
+        """Drop staged (never-committed) transactions."""
+        dropped = [
+            txn_id
+            for txn_id in request["ids"]
+            if self.store.staged_txns.pop(txn_id, None) is not None
+        ]
+        return {"aborted": dropped}
 
     # -- reads ----------------------------------------------------------------------
 
@@ -269,6 +363,20 @@ class ShareProvider:
         rows = self._project_many(
             table, table.all_row_ids(), request.get("projection")
         )
+        rows = self._apply_result_faults(rows)
+        return {"rows": rows}
+
+    def _rpc_scan_asof(self, request: Dict) -> Dict:
+        """Full share-row scan as of a past client mutation epoch.
+
+        Served from the epoch-tagged undo history — no index support, so
+        the client reconstructs and filters the historical rows itself
+        (time travel trades bandwidth for reading the past at all).
+        """
+        table = self.store.table(request["table"])
+        historical = table.rows_asof(request["epoch"])
+        self.cost.record("compare", len(table.history))
+        rows = [[rid, historical[rid]] for rid in sorted(historical)]
         rows = self._apply_result_faults(rows)
         return {"rows": rows}
 

@@ -181,6 +181,7 @@ class ShareTable:
         name: str,
         columns: List[str],
         searchable: Iterable[str],
+        history_retention: int = 64,
     ) -> None:
         searchable = set(searchable)
         unknown = searchable - set(columns)
@@ -225,6 +226,22 @@ class ShareTable:
         #: regression hooks mirroring ``derived_rebuilds``
         self.agg_cache_hits = 0
         self.agg_cache_misses = 0
+        # -- time travel (ISSUE-8) -----------------------------------------
+        #: latest client mutation epoch this table has seen; mutation RPCs
+        #: carry the epoch the client's choke point stamped on them
+        self.epoch = 0
+        #: epoch-tagged undo log, ascending epoch: ``(epoch, op, row_id,
+        #: data)`` where undoing an "insert" removes the row, a "delete"
+        #: restores ``data`` (the full old share row), and an "update"
+        #: restores ``data`` (the old shares of the assigned columns).
+        #: Increments record plain "update" undos — in share space an
+        #: in-place addition is just an update with a known old value.
+        self.history: List[Tuple[int, str, int, Optional[ShareRow]]] = []
+        #: oldest epoch :meth:`rows_asof` can still serve; advanced by
+        #: pruning (bounded retention) and by wholesale rebuilds
+        self.history_floor = 0
+        #: epochs of undo history kept; ``None`` disables pruning
+        self.history_retention: Optional[int] = history_retention
 
     def __len__(self) -> int:
         return len(self._row_ids)
@@ -247,15 +264,44 @@ class ShareTable:
             self._column_data[column].append(values.get(column))
         return slot
 
-    def insert(self, row_id: int, values: ShareRow) -> None:
+    def _note_epoch(self, epoch: Optional[int]) -> int:
+        """Advance the table's epoch high-water mark and prune old undo
+        history past the retention horizon.  Unstamped mutations (direct
+        storage use, staging uploads) attach to the current epoch."""
+        if epoch is not None and epoch > self.epoch:
+            # a fresh table whose first stamped mutation arrives at an
+            # epoch beyond 1 was rebuilt (resync/rotation drop+recreate)
+            # or restored — the pre-rebuild past is gone, and the old
+            # share generation would not reconstruct with the new one
+            # anyway, so the readable horizon starts here
+            if self.epoch == 0 and not self.history and epoch > 1:
+                self.history_floor = max(self.history_floor, epoch)
+            self.epoch = epoch
+        if self.history_retention is not None:
+            floor = self.epoch - self.history_retention
+            if floor > self.history_floor:
+                self.history_floor = floor
+                cut = 0
+                while cut < len(self.history) and self.history[cut][0] <= floor:
+                    cut += 1
+                if cut:
+                    del self.history[:cut]
+        return self.epoch
+
+    def insert(
+        self, row_id: int, values: ShareRow, epoch: Optional[int] = None
+    ) -> None:
         slot = self._append_row(row_id, values)
         for column, index in self.indexes.items():
             share = self._column_data[column][slot]
             if share is not None:
                 index.insert(share, row_id)
         self.version += 1
+        self.history.append((self._note_epoch(epoch), "insert", row_id, None))
 
-    def insert_many(self, rows: Iterable[Tuple[int, ShareRow]]) -> int:
+    def insert_many(
+        self, rows: Iterable[Tuple[int, ShareRow]], epoch: Optional[int] = None
+    ) -> int:
         """Bulk insert with deferred, batch-built index maintenance.
 
         Happy path: validate the whole batch with set operations, grow
@@ -282,7 +328,7 @@ class ShareTable:
             # error surfaces at the same row, with the same message, and
             # the same partially-inserted state, as n single inserts
             for row_id, values in batch:
-                self.insert(row_id, values)
+                self.insert(row_id, values, epoch=epoch)
             return len(batch)
         base = len(self._row_ids)
         self._row_ids.extend(ids)
@@ -303,18 +349,24 @@ class ShareTable:
                 ]
             )
         self.version += len(batch)
+        stamped = self._note_epoch(epoch)
+        self.history.extend((stamped, "insert", row_id, None) for row_id in ids)
         return len(batch)
 
-    def update(self, row_id: int, assignments: ShareRow) -> None:
+    def update(
+        self, row_id: int, assignments: ShareRow, epoch: Optional[int] = None
+    ) -> None:
         slot = self._slot(row_id)
         unknown = set(assignments) - self._column_set
         if unknown:
             raise ProviderError(
                 f"table {self.name}: unknown columns {sorted(unknown)}"
             )
+        undo: ShareRow = {}
         for column, new_share in assignments.items():
             array = self._column_data[column]
             old_share = array[slot]
+            undo[column] = old_share
             if column in self.indexes:
                 if old_share is not None:
                     self.indexes[column].remove(old_share, row_id)
@@ -322,9 +374,13 @@ class ShareTable:
                     self.indexes[column].insert(new_share, row_id)
             array[slot] = new_share
         self.version += 1
+        self.history.append((self._note_epoch(epoch), "update", row_id, undo))
 
-    def delete(self, row_id: int) -> None:
+    def delete(self, row_id: int, epoch: Optional[int] = None) -> None:
         slot = self._slot(row_id)
+        undo = {
+            column: self._column_data[column][slot] for column in self.columns
+        }
         for column, index in self.indexes.items():
             share = self._column_data[column][slot]
             if share is not None:
@@ -343,6 +399,46 @@ class ShareTable:
             array.pop()
         del self._slots[row_id]
         self.version += 1
+        self.history.append((self._note_epoch(epoch), "delete", row_id, undo))
+
+    # -- time travel ---------------------------------------------------------
+
+    def rows_asof(self, epoch: int) -> Dict[int, ShareRow]:
+        """Share rows as of client mutation epoch ``epoch``.
+
+        Walks the undo history newest-first, rolling back every entry
+        stamped *after* the requested epoch.  Raises when the epoch
+        predates the retention horizon (the undo entries needed to get
+        there were pruned) — a loud bound, never a silently wrong past.
+        """
+        if epoch < self.history_floor:
+            raise ProviderError(
+                f"table {self.name}: epoch {epoch} predates the history "
+                f"horizon (oldest readable epoch is {self.history_floor})"
+            )
+        rows = {rid: dict(row) for rid, row in self.rows.items()}
+        for entry_epoch, op, row_id, data in reversed(self.history):
+            if entry_epoch <= epoch:
+                break
+            if op == "insert":
+                rows.pop(row_id, None)
+            elif op == "delete":
+                rows[row_id] = dict(data or {})
+            else:  # update: restore the old shares of the assigned columns
+                row = rows.get(row_id)
+                if row is not None:
+                    row.update(data or {})
+        return rows
+
+    def reset_history(self) -> None:
+        """Forget the undo history (wholesale rebuilds: resync, rotation).
+
+        The new share generation is not linearly related to the old one,
+        so undo entries recorded under it would reconstruct garbage; the
+        floor moves up to the current epoch instead.
+        """
+        self.history = []
+        self.history_floor = self.epoch
 
     # -- access --------------------------------------------------------------
 
@@ -515,15 +611,25 @@ class ShareTable:
 class ShareStore:
     """All tables held by one provider."""
 
-    def __init__(self) -> None:
+    def __init__(self, history_retention: int = 64) -> None:
         self._tables: Dict[str, ShareTable] = {}
+        #: undo-history retention (epochs) for newly created tables
+        self.history_retention = history_retention
+        # -- transactional apply state (ISSUE-8) ---------------------------
+        #: txn_id → staged per-provider ops awaiting ``txn_commit``
+        self.staged_txns: Dict[int, List] = {}
+        #: txn ids already applied — the exactly-once guard that makes
+        #: WAL replay idempotent even for non-idempotent ops (increments)
+        self.applied_txns: Set[int] = set()
 
     def create_table(
         self, name: str, columns: List[str], searchable: Iterable[str]
     ) -> ShareTable:
         if name in self._tables:
             raise ProviderError(f"table {name!r} already exists")
-        table = ShareTable(name, columns, searchable)
+        table = ShareTable(
+            name, columns, searchable, history_retention=self.history_retention
+        )
         self._tables[name] = table
         return table
 

@@ -108,6 +108,7 @@ def run_simulation(
     max_retries: int = 50,
     service: Optional[QueryService] = None,
     workload: Optional[List[List[str]]] = None,
+    transactional: bool = False,
 ) -> Dict[str, object]:
     """Replay a generated workload through concurrent sessions; report.
 
@@ -125,7 +126,10 @@ def run_simulation(
     own_service = service is None
     if service is None:
         service = QueryService(
-            source, max_in_flight=max_in_flight, queue_limit=queue_limit
+            source,
+            max_in_flight=max_in_flight,
+            queue_limit=queue_limit,
+            transactional=transactional,
         )
     network = source.cluster.network
     start_modelled = network.modelled_seconds

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional
 from .. import telemetry
 from ..client.datasource import DataSource
 from ..errors import ServiceError, ServiceOverloadedError
-from ..sqlengine.query import Insert, JoinSelect, Select
+from ..sqlengine.query import Delete, Insert, JoinSelect, Select, Update
 from .admission import AdmissionController
 from .plancache import PlanCache
 from .scheduler import BatchingCluster, FanoutBatcher
@@ -108,9 +108,14 @@ class QueryService:
         queue_limit: int = 32,
         plan_cache_capacity: int = 256,
         batching: bool = True,
+        transactional: bool = False,
     ) -> None:
         self.source = source
         self.batching = batching
+        #: route session writes through the shared transaction manager
+        #: (client WAL + staged provider apply) instead of the direct
+        #: eager path; reads are unaffected
+        self.transactional = transactional
         self._inner_cluster = source.cluster
         self.batcher = FanoutBatcher(self._inner_cluster)
         if batching:
@@ -123,6 +128,7 @@ class QueryService:
         self.stats = ServiceStats()
         self._table_lock = TableLock()
         self._stats_lock = threading.Lock()
+        self._txn_manager = None
         self._closed = False
 
     # ------------------------------------------------------------- sessions --
@@ -195,6 +201,13 @@ class QueryService:
         return result
 
     def _run(self, statement, session: Optional[Session]):
+        if self.transactional and isinstance(
+            statement, (Insert, Update, Delete)
+        ):
+            # WAL-logged write under the exclusive table lock; INSERT's
+            # row id is an allocation detail, not a written-rows count
+            result = self.transaction_manager().execute(statement)
+            return 1 if isinstance(statement, Insert) else result
         if isinstance(statement, Insert) and session is not None:
             # route the insert through the session's private id block so
             # concurrent sessions can never collide on a row id
@@ -270,17 +283,83 @@ class QueryService:
             )
         return results
 
+    # ---------------------------------------------------------------- writes --
+
+    def transaction_manager(self, wal_path: Optional[str] = None):
+        """The service's shared transactional write path, created lazily.
+
+        One manager (one WAL, one group-commit engine) serves every
+        session: group commit only batches writers that share an engine.
+        """
+        self._check_open()
+        if self._txn_manager is None:
+            from ..txn import TransactionManager
+
+            self._txn_manager = TransactionManager(
+                self.source, wal_path=wal_path
+            )
+        return self._txn_manager
+
+    def run_write_wave(self, statements: List[str]) -> List[object]:
+        """Write counterpart of :meth:`run_wave` (ISSUE-8 satellite).
+
+        Every statement in the wave is resolved and logged to the client
+        WAL, then the whole wave is applied as **one** staged-then-flipped
+        ``txn_prepare``/``txn_commit`` round per provider — deterministic
+        group formation, so the benchmark's group sizes don't depend on
+        thread timing.  Results are in statement order (row id for
+        INSERT, affected count for UPDATE/DELETE).
+        """
+        self._check_open()
+        if not statements:
+            return []
+        parsed = [self.plan_cache.parse(text) for text in statements]
+        for text, statement in zip(statements, parsed):
+            if isinstance(statement, (Select, JoinSelect)):
+                raise ServiceError(
+                    f"run_write_wave() is write-only; got a "
+                    f"{type(statement).__name__}: {text!r}"
+                )
+        manager = self.transaction_manager()
+        self.admission.acquire()
+        try:
+            self._table_lock.acquire_write()
+            try:
+                self.batcher.register()
+                try:
+                    with telemetry.span(
+                        "service.write_wave", statements=len(parsed)
+                    ):
+                        results = manager.apply_batch(parsed)
+                finally:
+                    self.batcher.finish()
+            finally:
+                self._table_lock.release_write()
+        finally:
+            self.admission.release()
+        with self._stats_lock:
+            self.stats.completed += len(parsed)
+            self.stats.rows_written += sum(
+                result if not isinstance(stmt, Insert) else 1
+                for result, stmt in zip(results, parsed)
+                if isinstance(result, int)
+            )
+        return results
+
     # ------------------------------------------------------------ reporting --
 
     def report(self) -> Dict[str, object]:
         """One dict with every layer's counters (the serve-sim report body)."""
-        return {
+        out = {
             "service": self.stats.snapshot(),
             "admission": self.admission.snapshot(),
             "batcher": self.batcher.snapshot(),
             "plan_cache": self.plan_cache.stats(),
             "sessions": self.sessions.snapshot(),
         }
+        if self._txn_manager is not None:
+            out["txn"] = self._txn_manager.stats()
+        return out
 
     # ------------------------------------------------------------- lifecycle --
 
@@ -289,6 +368,8 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._txn_manager is not None:
+            self._txn_manager.close()
         self.source.cluster = self._inner_cluster
         self.source.plan_cache = self._previous_plan_cache
 

@@ -130,8 +130,61 @@ class Insert:
 
 
 @dataclass(frozen=True)
+class Delta:
+    """Relative assignment value: ``SET col = col + amount`` (or ``-``).
+
+    Appears as an assignment *value* inside :class:`Update`.  Unlike an
+    absolute assignment, a delta does not need the old value to produce
+    the new one — which is exactly what makes it applicable to Shamir
+    shares in place (share addition is value addition), skipping the
+    retrieve→reconstruct→re-share round entirely (paper §V-C / §6).
+    """
+
+    amount: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.amount, int) or isinstance(self.amount, bool):
+            raise QueryError(
+                f"delta amount must be an integer, got {self.amount!r}"
+            )
+
+
+def resolve_assignments(
+    row: Dict[str, object], assignments: Dict[str, object]
+) -> Dict[str, object]:
+    """Absolute values for ``assignments`` applied to ``row``.
+
+    Deltas are resolved against the row's current value; ``NULL + delta``
+    stays NULL (SQL ternary-logic arithmetic).  Absolute assignments pass
+    through unchanged.  This is the single definition of delta semantics —
+    the plaintext oracle and the eager share path both call it, so the
+    incremental path is checked against exactly these semantics.
+    """
+    resolved: Dict[str, object] = {}
+    for column, value in assignments.items():
+        if isinstance(value, Delta):
+            old = row.get(column)
+            if old is None:
+                resolved[column] = None
+            elif isinstance(old, int) and not isinstance(old, bool):
+                resolved[column] = old + value.amount
+            else:
+                raise QueryError(
+                    f"column {column}: delta update requires an integer "
+                    f"value, row has {old!r}"
+                )
+        else:
+            resolved[column] = value
+    return resolved
+
+
+@dataclass(frozen=True)
 class Update:
-    """``UPDATE table SET assignments WHERE predicate`` (Sec. V-C)."""
+    """``UPDATE table SET assignments WHERE predicate`` (Sec. V-C).
+
+    Assignment values are either literals (absolute) or :class:`Delta`
+    (relative, ``SET col = col + n``).
+    """
 
     table: str
     assignments: Dict[str, object]
@@ -140,6 +193,11 @@ class Update:
     def __post_init__(self) -> None:
         if not self.assignments:
             raise QueryError("UPDATE requires at least one assignment")
+
+    @property
+    def is_pure_delta(self) -> bool:
+        """True when every assignment is relative (incremental-eligible)."""
+        return all(isinstance(v, Delta) for v in self.assignments.values())
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,9 @@ Grammar (case-insensitive keywords)::
     join     := JOIN ident ON colref '=' colref
     insert   := INSERT INTO ident '(' ident (',' ident)* ')'
                 VALUES '(' literal (',' literal)* ')'
-    update   := UPDATE ident SET ident '=' literal (',' ...)* [WHERE pred]
+    update   := UPDATE ident SET assign (',' assign)* [WHERE pred]
+    assign   := ident '=' literal
+              | ident '=' ident ('+'|'-') integer   -- relative (delta)
     delete   := DELETE FROM ident [WHERE pred]
     pred     := or_term
     or_term  := and_term (OR and_term)*
@@ -53,6 +55,7 @@ from .query import (
     Aggregate,
     AggregateFunc,
     Delete,
+    Delta,
     Insert,
     JoinSelect,
     Select,
@@ -91,7 +94,7 @@ _TOKEN_RE = re.compile(
   | (?P<number>\d+(?:\.\d+)?)
   | (?P<string>'(?:[^']|'')*')
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
-  | (?P<symbol><=|>=|!=|<>|[=<>*(),.\-])
+  | (?P<symbol><=|>=|!=|<>|[=<>*(),.+\-])
     """,
     re.VERBOSE,
 )
@@ -445,7 +448,7 @@ class _Parser:
         while True:
             name = self.expect_ident()
             self.expect_symbol("=")
-            assignments[name] = self.parse_literal()
+            assignments[name] = self._parse_assignment_value(name)
             if not self.accept_symbol(","):
                 break
         where: Predicate = TruePredicate()
@@ -453,6 +456,41 @@ class _Parser:
             where = self.parse_predicate()
         self._expect_end()
         return Update(table, assignments, where)
+
+    def _parse_assignment_value(self, column: str):
+        """Right-hand side of ``SET column = ...``.
+
+        ``SET c = c + 3`` / ``SET c = c - 3`` become :class:`Delta`; the
+        self-reference must name the assigned column (``SET a = b + 1`` is
+        rejected — general expressions are outside the paper's surface).
+        Anything else is an absolute literal.
+        """
+        token = self.peek()
+        if token.ttype is TokenType.IDENT:
+            ref = self.expect_ident()
+            if ref != column:
+                raise ParseError(
+                    f"relative assignment must reference the assigned "
+                    f"column: SET {column} = {ref} ... at position "
+                    f"{token.position}"
+                )
+            sign_token = self.advance()
+            if sign_token.ttype is not TokenType.SYMBOL or sign_token.value not in (
+                "+",
+                "-",
+            ):
+                raise ParseError(
+                    f"expected '+' or '-' after {column!r} at position "
+                    f"{sign_token.position}, got {sign_token.value!r}"
+                )
+            amount = self.parse_literal()
+            if not isinstance(amount, int) or isinstance(amount, bool):
+                raise ParseError(
+                    f"delta amount must be an integer literal at position "
+                    f"{sign_token.position}"
+                )
+            return Delta(amount if sign_token.value == "+" else -amount)
+        return self.parse_literal()
 
     def _parse_delete(self) -> Delete:
         self.expect_keyword("DELETE")

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import SchemaError
 from .expression import Predicate
+from .query import resolve_assignments
 from .schema import TableSchema, python_value_sort_key
 
 
@@ -77,7 +78,7 @@ class Table:
         for row in self._rows:
             if predicate.matches(row):
                 candidate = dict(row)
-                candidate.update(assignments)
+                candidate.update(resolve_assignments(row, assignments))
                 normalised = self.schema.validate_row(candidate)
                 pk = self.schema.primary_key
                 if pk is not None and normalised[pk] != row[pk]:

@@ -1,0 +1,903 @@
+"""Transactional write path (ISSUE-8 tentpole).
+
+The paper's update protocols (Sec. V-C) are fire-and-forget: the
+client re-shares and broadcasts, and a crash between "acknowledged to
+the application" and "received by the providers" silently loses the
+write.  :class:`TransactionManager` closes that window:
+
+1. every mutating statement is **resolved** — predicate evaluated,
+   share material computed — into self-contained per-provider ops;
+2. the ops are **logged** to a client-side :class:`~repro.txn.wal.
+   WriteAheadLog` (the durability point: a statement is committed iff
+   its record reached the log);
+3. the ops are **applied** through a two-phase ``txn_prepare`` /
+   ``txn_commit`` round per provider, batched across concurrent
+   writers by :class:`~repro.txn.groupcommit.GroupCommitEngine`;
+4. the WAL entry is **acked** and eventually checkpointed away.
+
+Replay after a crash (:meth:`TransactionManager.recover`) re-sends
+every unacked transaction; providers keep an ``applied_txns`` set, so
+replay is exactly-once even though share increments are not
+idempotent.  A kill at *any* phase leaves the system recoverable to
+exactly the oracle state: statements whose log record survived are
+applied, all others are not.
+
+Pure-delta updates (``SET c = c + n`` on randomly-shared INTEGER
+columns with a fully-pushable predicate) take the **incremental
+share-delta path**: by sharing linearity the client ships one fresh
+delta share per row instead of re-sharing whole rows — no reconstruct,
+half the round trips.  The eager path stays available as the
+correctness oracle the property tests compare against.
+
+Every op carries the client mutation epoch it was assigned at resolve
+time; providers tag their undo history with it, which is what makes
+``as_of_epoch`` time-travel reads (:meth:`DataSource.select_asof`)
+line up exactly with transaction boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from .. import telemetry
+from ..errors import SimulatedCrash, TxnError
+from ..sqlengine.query import (
+    Delete,
+    Insert,
+    Select,
+    Update,
+    resolve_assignments,
+)
+from ..sqlengine.schema import ColumnType
+from ..sqlengine.sqlparser import parse_sql
+from .groupcommit import GroupCommitEngine
+from .wal import WriteAheadLog
+
+Row = Dict[str, object]
+Statement = Union[Insert, Update, Delete]
+
+#: WAL phases a fault-injection harness can kill at (see ``kill_at``)
+KILL_PHASES = ("pre-log", "post-log", "mid-round", "pre-ack", "post-ack")
+
+
+@dataclass
+class PendingTxn:
+    """A logged transaction awaiting (or undergoing) provider apply."""
+
+    txn_id: int
+    ops: List[Dict]
+    tables: Set[str]
+    results: List[object]
+    applied: bool = False
+
+
+@dataclass
+class _BatchOverlay:
+    """Plaintext view of one table as seen *inside* an atomic batch.
+
+    Statements in a batch must observe earlier statements' effects
+    before anything reaches a provider, so the batch carries a
+    client-side overlay: the committed rows snapshotted once, plus
+    in-batch inserts/updates/deletes applied in order.
+    """
+
+    rows: Dict[int, Row] = field(default_factory=dict)
+
+
+class TransactionManager:
+    """WAL-backed, group-committed writes over one :class:`DataSource`.
+
+    ``wal_path=None`` creates a throwaway log file under the system
+    temp directory — convenient for benchmarks; crash tests pass an
+    explicit path so a second manager can recover from it.
+
+    ``autocommit`` (per-call) controls the outbox: ``False`` queues the
+    logged transaction for a later :meth:`flush`, coalescing many
+    statements into one provider round — the "incremental-delta
+    outbox" of ISSUE-8.  Reads and read-dependent writes on a table
+    with queued transactions flush first (the read barrier), so no
+    statement ever resolves against state it cannot see.
+    """
+
+    def __init__(
+        self,
+        source,
+        wal_path: Optional[str] = None,
+        max_group: int = 128,
+        checkpoint_after: int = 256,
+    ) -> None:
+        if getattr(source, "audit", None) is not None:
+            raise TxnError(
+                "the transactional write path does not maintain an audit "
+                "registry; detach it or use the direct DataSource paths"
+            )
+        self.source = source
+        if wal_path is None:
+            handle, wal_path = tempfile.mkstemp(
+                prefix="repro-wal-", suffix=".log"
+            )
+            os.close(handle)
+        self.wal = WriteAheadLog(wal_path)
+        self.group_commit = GroupCommitEngine(self._flush_batch, max_group)
+        self.checkpoint_after = checkpoint_after
+        #: one-shot kill switch: set to a phase from :data:`KILL_PHASES`
+        #: and the next transaction to reach that phase raises
+        #: :class:`~repro.errors.SimulatedCrash` (and clears the switch)
+        self.kill_at: Optional[str] = None
+        self._resolve_lock = threading.RLock()
+        self._apply_lock = threading.Lock()
+        self._pending: List[PendingTxn] = []
+        self._next_txn_id = 1
+        self._epoch_high: Dict[Tuple[int, str], int] = {}
+        self.txns_logged = 0
+        self.txns_committed = 0
+        self.txns_replayed = 0
+
+    # -- backend hooks (overridden by the sharded manager) -----------------------
+
+    def _group_source(self, group: int):
+        if group != 0:
+            raise TxnError(f"unsharded manager has no group {group}")
+        return self.source
+
+    def _groups_of(self, ops: Sequence[Dict]) -> List[int]:
+        return sorted({op.get("group", 0) for op in ops})
+
+    # -- kill points --------------------------------------------------------------
+
+    def _kill(self, phase: str) -> None:
+        if self.kill_at == phase:
+            self.kill_at = None
+            telemetry.count("txn.simulated_crashes", phase=phase)
+            raise SimulatedCrash(f"simulated crash at WAL phase {phase!r}")
+
+    # -- epoch assignment ----------------------------------------------------------
+
+    def _next_epoch(self, group: int, table: str) -> int:
+        source = self._group_source(group)
+        current = max(
+            source.table_epoch(table), self._epoch_high.get((group, table), 0)
+        )
+        epoch = current + 1
+        self._epoch_high[(group, table)] = epoch
+        return epoch
+
+    # -- statement resolution ------------------------------------------------------
+
+    def _op(
+        self,
+        method: str,
+        table: str,
+        epoch: int,
+        requests: List[Dict],
+        group: int = 0,
+    ) -> Dict:
+        return {
+            "method": method,
+            "table": table,
+            "epoch": epoch,
+            "group": group,
+            "requests": requests,
+        }
+
+    def _resolve_insert(self, stmt: Insert) -> Tuple[List[Dict], object]:
+        source = self.source
+        prepared = source.prepare_insert_shares(stmt.table, [stmt.row])
+        epoch = self._next_epoch(0, stmt.table)
+        requests = [
+            {
+                "table": stmt.table,
+                "rows": [[rid, shares[i]] for rid, shares in prepared],
+                "epoch": epoch,
+            }
+            for i in range(source.cluster.n_providers)
+        ]
+        op = self._op("insert_many", stmt.table, epoch, requests)
+        return [op], prepared[0][0]
+
+    def _delta_columns(self, stmt: Update) -> Optional[Dict[str, int]]:
+        """The per-column delta amounts, or None if ineligible.
+
+        Eligibility mirrors :meth:`DataSource.increment`: every
+        assignment a :class:`Delta`, every column randomly shared and
+        INTEGER, and the predicate fully provider-pushable.
+        """
+        if not stmt.is_pure_delta:
+            return None
+        sharing = self.source.sharing(stmt.table)
+        for column in stmt.assignments:
+            column_schema = sharing.schema.column(column)
+            if column_schema.searchable:
+                return None
+            if column_schema.ctype is not ColumnType.INTEGER:
+                return None
+        rewritten = self.source._rewrite(
+            stmt.where.bind(sharing.schema), sharing
+        )
+        if rewritten.has_residual:
+            return None
+        return {
+            column: delta.amount for column, delta in stmt.assignments.items()
+        }
+
+    def _resolve_update(self, stmt: Update) -> Tuple[List[Dict], object]:
+        source = self.source
+        deltas = self._delta_columns(stmt)
+        if deltas is not None:
+            return self._resolve_delta_update(stmt, deltas)
+        matches = source._fetch_matching_rows(stmt)
+        if not matches:
+            return [], 0
+        updates_per_provider = source.prepare_update_shares(stmt, matches)
+        epoch = self._next_epoch(0, stmt.table)
+        requests = [
+            {
+                "table": stmt.table,
+                "updates": updates_per_provider[i],
+                "epoch": epoch,
+            }
+            for i in range(source.cluster.n_providers)
+        ]
+        op = self._op("update_rows", stmt.table, epoch, requests)
+        return [op], len(matches)
+
+    def _resolve_delta_update(
+        self, stmt: Update, deltas: Dict[str, int]
+    ) -> Tuple[List[Dict], object]:
+        """Incremental share-delta resolution: ids only, no row payload."""
+        source = self.source
+        sharing = source.sharing(stmt.table)
+        rewritten = source._rewrite(stmt.where.bind(sharing.schema), sharing)
+        if rewritten.provably_empty:
+            return [], 0
+        responses = source._select_rpc(stmt.table, rewritten, projection=[])
+        from ..client.reconstruct import align_by_row_id, rows_from_responses
+
+        aligned = align_by_row_id(rows_from_responses(responses))
+        row_ids = [
+            rid
+            for rid, per_provider in aligned.items()
+            if len(per_provider) >= source.threshold
+        ]
+        if not row_ids:
+            return [], 0
+        epoch = self._next_epoch(0, stmt.table)
+        modulus = source.secrets.field.modulus
+        ops: List[Dict] = []
+        for column, amount in deltas.items():
+            delta_shares = source.prepare_increment_shares(
+                stmt.table, column, amount
+            )
+            requests = [
+                {
+                    "table": stmt.table,
+                    "row_ids": row_ids,
+                    "deltas": {column: delta_shares[i]},
+                    "modulus": modulus,
+                    "epoch": epoch,
+                }
+                for i in range(source.cluster.n_providers)
+            ]
+            ops.append(
+                self._op("increment_rows", stmt.table, epoch, requests)
+            )
+        telemetry.count("txn.delta_statements", table=stmt.table)
+        return ops, len(row_ids)
+
+    def _resolve_delete(self, stmt: Delete) -> Tuple[List[Dict], object]:
+        source = self.source
+        matches = source._fetch_matching_rows(stmt)
+        if not matches:
+            return [], 0
+        epoch = self._next_epoch(0, stmt.table)
+        row_ids = [rid for rid, _ in matches]
+        requests = [
+            {"table": stmt.table, "row_ids": row_ids, "epoch": epoch}
+            for _ in range(source.cluster.n_providers)
+        ]
+        op = self._op("delete_rows", stmt.table, epoch, requests)
+        return [op], len(matches)
+
+    def _resolve_statement(self, stmt: Statement) -> Tuple[List[Dict], object]:
+        if isinstance(stmt, Insert):
+            return self._resolve_insert(stmt)
+        if isinstance(stmt, Update):
+            return self._resolve_update(stmt)
+        if isinstance(stmt, Delete):
+            return self._resolve_delete(stmt)
+        raise TxnError(
+            f"{type(stmt).__name__} is not a transactional statement"
+        )
+
+    # -- atomic batches ----------------------------------------------------------
+
+    def _resolve_batch(
+        self, statements: Sequence[Statement]
+    ) -> Tuple[List[Dict], List[object]]:
+        """Resolve a multi-statement batch against a plaintext overlay.
+
+        Later statements see earlier ones' effects *before* anything is
+        sent: the committed rows of each touched table are snapshotted
+        once, then mutated client-side in statement order.  Deltas are
+        resolved eagerly against the overlay (inside a batch the rows
+        are in hand anyway, so the incremental path would only add a
+        second code path to get atomicity wrong in).
+
+        All of a table's ops share one epoch, so time travel can never
+        observe a half-applied batch.
+        """
+        source = self.source
+        overlays: Dict[str, _BatchOverlay] = {}
+        epochs: Dict[str, int] = {}
+        inserted: Dict[str, List[Tuple[int, Row]]] = {}
+
+        def overlay(table: str) -> _BatchOverlay:
+            if table not in overlays:
+                snapshot = source.select_with_ids(Select(table))
+                overlays[table] = _BatchOverlay(
+                    rows={rid: dict(row) for rid, row in snapshot}
+                )
+                epochs[table] = self._next_epoch(0, table)
+            return overlays[table]
+
+        ops: List[Dict] = []
+        results: List[object] = []
+        n = source.cluster.n_providers
+        for stmt in statements:
+            if isinstance(stmt, Insert):
+                view = overlay(stmt.table)
+                prepared = source.prepare_insert_shares(stmt.table, [stmt.row])
+                rid = prepared[0][0]
+                sharing = source.sharing(stmt.table)
+                view.rows[rid] = sharing.schema.validate_row(stmt.row)
+                inserted.setdefault(stmt.table, [])
+                requests = [
+                    {
+                        "table": stmt.table,
+                        "rows": [[r, shares[i]] for r, shares in prepared],
+                        "epoch": epochs[stmt.table],
+                    }
+                    for i in range(n)
+                ]
+                ops.append(
+                    self._op(
+                        "insert_many", stmt.table, epochs[stmt.table], requests
+                    )
+                )
+                results.append(rid)
+            elif isinstance(stmt, Update):
+                view = overlay(stmt.table)
+                sharing = source.sharing(stmt.table)
+                bound = stmt.where.bind(sharing.schema)
+                matches = [
+                    (rid, row)
+                    for rid, row in sorted(view.rows.items())
+                    if bound.matches(row)
+                ]
+                if not matches:
+                    results.append(0)
+                    continue
+                # eager resolution against the overlay, then re-share via
+                # the same primitive the direct path uses
+                absolute = Update(
+                    stmt.table,
+                    stmt.assignments,
+                    stmt.where,
+                )
+                updates_per_provider = source.prepare_update_shares(
+                    absolute, matches
+                )
+                for rid, row in matches:
+                    view.rows[rid] = dict(row)
+                    view.rows[rid].update(
+                        resolve_assignments(row, stmt.assignments)
+                    )
+                requests = [
+                    {
+                        "table": stmt.table,
+                        "updates": updates_per_provider[i],
+                        "epoch": epochs[stmt.table],
+                    }
+                    for i in range(n)
+                ]
+                ops.append(
+                    self._op(
+                        "update_rows", stmt.table, epochs[stmt.table], requests
+                    )
+                )
+                results.append(len(matches))
+            elif isinstance(stmt, Delete):
+                view = overlay(stmt.table)
+                sharing = source.sharing(stmt.table)
+                bound = stmt.where.bind(sharing.schema)
+                row_ids = [
+                    rid
+                    for rid, row in sorted(view.rows.items())
+                    if bound.matches(row)
+                ]
+                if not row_ids:
+                    results.append(0)
+                    continue
+                for rid in row_ids:
+                    del view.rows[rid]
+                requests = [
+                    {
+                        "table": stmt.table,
+                        "row_ids": row_ids,
+                        "epoch": epochs[stmt.table],
+                    }
+                    for _ in range(n)
+                ]
+                ops.append(
+                    self._op(
+                        "delete_rows", stmt.table, epochs[stmt.table], requests
+                    )
+                )
+                results.append(len(row_ids))
+            else:
+                raise TxnError(
+                    f"{type(stmt).__name__} cannot appear in an atomic batch"
+                )
+        return ops, results
+
+    # -- the write path ------------------------------------------------------------
+
+    def _pending_tables(self) -> Set[str]:
+        with self._resolve_lock:
+            tables: Set[str] = set()
+            for txn in self._pending:
+                if not txn.applied:
+                    tables |= txn.tables
+            return tables
+
+    def _barrier(self, table: str) -> None:
+        """Flush queued transactions touching ``table`` before reading it.
+
+        Inserts never pass through here — they depend on no current
+        state — so an insert-heavy outbox keeps coalescing while
+        read-dependent statements stay correct.
+        """
+        if table in self._pending_tables():
+            telemetry.count("txn.read_barriers", table=table)
+            self.flush()
+
+    def _log(
+        self, ops: List[Dict], results: List[object]
+    ) -> Optional[PendingTxn]:
+        """Assign an id and make the transaction durable (the commit point)."""
+        if not ops:
+            return None
+        self._kill("pre-log")
+        with self._resolve_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            self.wal.log_txn(txn_id, ops)
+            txn = PendingTxn(
+                txn_id,
+                ops,
+                {op["table"] for op in ops},
+                results,
+            )
+            self._pending.append(txn)
+            self.txns_logged += 1
+        telemetry.count("txn.logged")
+        self._kill("post-log")
+        return txn
+
+    def execute(self, statement, autocommit: bool = True):
+        """Run one statement through the transactional path.
+
+        Returns the row id for INSERT, the affected-row count for
+        UPDATE/DELETE, and rows for SELECT (reads barrier-flush the
+        outbox for their table, then delegate to the source).  Accepts
+        an AST node or a SQL string.
+        """
+        if isinstance(statement, str):
+            statement = parse_sql(statement)
+        if isinstance(statement, Select):
+            self._barrier(statement.table)
+            return self.source.select(statement)
+        with telemetry.span("txn.execute", kind=type(statement).__name__):
+            if isinstance(statement, (Update, Delete)):
+                self._barrier(statement.table)
+            with self._resolve_lock:
+                ops, result = self._resolve_statement(statement)
+                txn = self._log(ops, [result])
+            if txn is not None and autocommit:
+                self.group_commit.submit(txn.txn_id)
+            return result
+
+    def atomic(self, statements: Sequence[Statement]) -> List[object]:
+        """Log and apply a multi-statement batch as one transaction.
+
+        All statements become durable together (one WAL record) and
+        visible together (one staged-then-flipped provider txn, one
+        epoch per table).
+        """
+        parsed = [
+            parse_sql(s) if isinstance(s, str) else s for s in statements
+        ]
+        for stmt in parsed:
+            if isinstance(stmt, (Update, Delete, Select)):
+                self._barrier(stmt.table)
+        with self._resolve_lock:
+            ops, results = self._resolve_batch(parsed)
+            txn = self._log(ops, results)
+        if txn is not None:
+            self.group_commit.submit(txn.txn_id)
+        return results
+
+    def apply_batch(
+        self, statements: Sequence[Statement]
+    ) -> List[object]:
+        """Queue every statement, then flush once — deterministic group
+        formation for benchmarks and tests that want group commit's
+        batching without racing real threads."""
+        results = [self.execute(s, autocommit=False) for s in statements]
+        self.flush()
+        return results
+
+    def flush(self) -> int:
+        """Apply every queued transaction; returns how many were applied."""
+        with self._apply_lock:
+            return self._apply_pending()
+
+    # -- provider rounds -----------------------------------------------------------
+
+    def _flush_batch(self, txn_ids: List[int]) -> None:
+        # the group-commit leader applies *all* queued transactions in
+        # log order — a superset of its batch — so provider apply order
+        # always equals WAL order regardless of submission races
+        with self._apply_lock:
+            self._apply_pending()
+
+    def _txn_round(
+        self, source, method: str, request_builder, targets: List[int]
+    ):
+        """One transaction-control round, bypassing any fan-out batcher.
+
+        Group commit is itself a round-combining mechanism; letting its
+        flush park inside a :class:`~repro.service.scheduler.
+        FanoutBatcher` barrier that may be waiting on a *follower* of
+        this very group would deadlock, so the round goes to the inner
+        cluster under the batcher's dispatch lock.
+        """
+        cluster = source.cluster
+        inner = getattr(cluster, "_cluster", None)
+        mutation = source._mutation
+        mutation.active = getattr(mutation, "active", 0) + 1
+        try:
+            if inner is not None:
+                with cluster.batcher.dispatch_lock:
+                    return inner.broadcast(
+                        method,
+                        lambda i: source._qualify(request_builder(i)),
+                        provider_indexes=targets,
+                    )
+            return source._broadcast(
+                method, request_builder, provider_indexes=targets
+            )
+        finally:
+            mutation.active -= 1
+
+    def _apply_pending(self) -> int:
+        with self._resolve_lock:
+            batch = [txn for txn in self._pending if not txn.applied]
+        if not batch:
+            return 0
+        telemetry.observe("txn.group_size", len(batch))
+        groups = sorted(
+            {op.get("group", 0) for txn in batch for op in txn.ops}
+        )
+        per_group: Dict[int, List[PendingTxn]] = {
+            g: [
+                txn
+                for txn in batch
+                if any(op.get("group", 0) == g for op in txn.ops)
+            ]
+            for g in groups
+        }
+        group_targets: Dict[int, List[int]] = {}
+        # phase 1: stage everywhere
+        for g in groups:
+            source = self._group_source(g)
+            targets = source.cluster.write_targets()
+            group_targets[g] = targets
+
+            def prepare_request(i: int, g=g) -> Dict:
+                return {
+                    "txns": [
+                        [
+                            txn.txn_id,
+                            [
+                                [
+                                    op["method"],
+                                    self._group_source(g)._qualify(
+                                        dict(op["requests"][i])
+                                    ),
+                                ]
+                                for op in txn.ops
+                                if op.get("group", 0) == g
+                            ],
+                        ]
+                        for txn in per_group[g]
+                    ]
+                }
+
+            # _qualify is applied per-op above; the outer request has no
+            # table key, so pass it through unqualified
+            self._txn_round(source, "txn_prepare", prepare_request, targets)
+        # phase 2: flip — this is where a mid-round kill leaves a strict
+        # subset of providers committed
+        for g in groups:
+            source = self._group_source(g)
+            targets = group_targets[g]
+            ids = [txn.txn_id for txn in per_group[g]]
+            if self.kill_at == "mid-round":
+                self.kill_at = None
+                source.cluster.call_one(
+                    targets[0], "txn_commit", {"ids": ids}
+                )
+                telemetry.count("txn.simulated_crashes", phase="mid-round")
+                raise SimulatedCrash(
+                    "simulated crash mid-round: txn_commit reached "
+                    f"provider {targets[0]} only"
+                )
+            self._txn_round(
+                source,
+                "txn_commit",
+                lambda i, ids=ids: {"ids": ids},
+                targets,
+            )
+        # client-side epoch bumps (cache invalidation + as-of watermark)
+        for txn in batch:
+            for op in txn.ops:
+                self._group_source(op.get("group", 0)).bump_table_epoch(
+                    op["table"], to=op["epoch"]
+                )
+        self._kill("pre-ack")
+        # phase 3: ack — one fsync for the whole group of transactions
+        with self._resolve_lock:
+            for txn in batch:
+                self.wal.log_ack(txn.txn_id, sync=False)
+                txn.applied = True
+                self.txns_committed += 1
+            self.wal.sync()
+            telemetry.count("txn.committed", len(batch))
+            self._kill("post-ack")
+            self._maybe_checkpoint()
+        return len(batch)
+
+    def _maybe_checkpoint(self) -> None:
+        # the checkpoint must remember the id high-water: provider
+        # applied_txns sets survive the log truncation, so a recycled id
+        # would be silently skipped — i.e. silently lost
+        self._pending = [t for t in self._pending if not t.applied]
+        self.wal.checkpoint(
+            [{"kind": "ckpt", "next_id": self._next_txn_id}]
+            + [
+                {"kind": "txn", "id": t.txn_id, "ops": t.ops}
+                for t in self._pending
+            ]
+        )
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Replay the WAL: re-apply every logged-but-unacked transaction.
+
+        Idempotent at both ends — providers skip transactions in their
+        ``applied_txns`` set, and replayed ids are acked and
+        checkpointed so a second recovery is a no-op.  Returns counts
+        for the caller (and the ``txn-replay`` CLI) to report.
+        """
+        records = WriteAheadLog.read_records(self.wal.path)
+        logged: Dict[int, List[Dict]] = {}
+        closed: Set[int] = set()
+        next_id = self._next_txn_id
+        for record in records:
+            kind = record.get("kind")
+            if kind == "txn":
+                logged[record["id"]] = record["ops"]
+                next_id = max(next_id, record["id"] + 1)
+            elif kind in ("ack", "abort"):
+                closed.add(record["id"])
+            elif kind == "ckpt":
+                next_id = max(next_id, record["next_id"])
+        with self._resolve_lock:
+            self._next_txn_id = max(self._next_txn_id, next_id)
+            replay_ids = [
+                tid
+                for tid in logged
+                if tid not in closed
+                and all(t.txn_id != tid for t in self._pending)
+            ]
+            for tid in sorted(replay_ids):
+                ops = logged[tid]
+                txn = PendingTxn(
+                    tid, ops, {op["table"] for op in ops}, results=[]
+                )
+                self._pending.append(txn)
+                for op in ops:
+                    key = (op.get("group", 0), op["table"])
+                    self._epoch_high[key] = max(
+                        self._epoch_high.get(key, 0), op["epoch"]
+                    )
+            self._pending.sort(key=lambda t: t.txn_id)
+        replayed = 0
+        if replay_ids:
+            replayed = self.flush()
+            self.txns_replayed += replayed
+            telemetry.count("txn.replayed", replayed)
+        else:
+            with self._resolve_lock:
+                self._maybe_checkpoint()
+        return {
+            "records": len(records),
+            "logged": len(logged),
+            "acked": len(closed),
+            "replayed": replayed,
+        }
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def discard_pending(self) -> int:
+        """Abandon queued (never-prepared) transactions.
+
+        An ``abort`` record per transaction keeps recovery from
+        resurrecting them.
+        """
+        with self._resolve_lock:
+            doomed = [t for t in self._pending if not t.applied]
+            for txn in doomed:
+                self.wal.append(
+                    {"kind": "abort", "id": txn.txn_id}, sync=False
+                )
+            if doomed:
+                self.wal.sync()
+                telemetry.count("txn.aborted", len(doomed))
+            self._pending = [t for t in self._pending if t.applied]
+            return len(doomed)
+
+    def stats(self) -> Dict[str, object]:
+        with self._resolve_lock:
+            pending = sum(1 for t in self._pending if not t.applied)
+        return {
+            "logged": self.txns_logged,
+            "committed": self.txns_committed,
+            "replayed": self.txns_replayed,
+            "pending": pending,
+            "wal_appends": self.wal.appends,
+            "wal_fsyncs": self.wal.fsyncs,
+            "wal_bytes": self.wal.bytes_written,
+            "group_commit": self.group_commit.stats(),
+        }
+
+    def close(self) -> None:
+        self.wal.close()
+
+
+class ShardedTransactionManager(TransactionManager):
+    """One coordinator WAL over a :class:`~repro.service.sharding.
+    ShardRouter`'s groups.
+
+    Resolution routes each statement to its owning group(s) and tags
+    every op with the group index; apply runs one prepare+commit round
+    per touched group, and replay re-routes from the tags — the
+    coordinator log is the single source of recovery truth for the
+    whole sharded deployment.
+
+    Pure-delta updates take the eager path here: a delta's predicate
+    must be re-evaluated per group anyway, so the id-only saving
+    mostly evaporates and the single code path is worth more than the
+    half-round.
+    """
+
+    def __init__(
+        self,
+        router,
+        wal_path: Optional[str] = None,
+        max_group: int = 128,
+        checkpoint_after: int = 256,
+    ) -> None:
+        super().__init__(
+            router.groups[0].source,
+            wal_path=wal_path,
+            max_group=max_group,
+            checkpoint_after=checkpoint_after,
+        )
+        self.router = router
+
+    def _group_source(self, group: int):
+        return self.router.groups[group].source
+
+    def _resolve_insert(self, stmt: Insert) -> Tuple[List[Dict], object]:
+        router = self.router
+        table = stmt.table
+        shard_map = router.shard_map(table)
+        start = router.reserve_row_ids(table, 1)
+        owner = router._owner_for_row(shard_map, table, start, stmt.row)
+        source = self._group_source(owner)
+        prepared = source.prepare_insert_shares(table, [stmt.row], [start])
+        epoch = self._next_epoch(owner, table)
+        requests = [
+            {
+                "table": table,
+                "rows": [[rid, shares[i]] for rid, shares in prepared],
+                "epoch": epoch,
+            }
+            for i in range(source.cluster.n_providers)
+        ]
+        return [
+            self._op("insert_many", table, epoch, requests, group=owner)
+        ], start
+
+    def _resolve_update(self, stmt: Update) -> Tuple[List[Dict], object]:
+        ops: List[Dict] = []
+        total = 0
+        for owner in self._owners_for(stmt):
+            source = self._group_source(owner)
+            matches = source._fetch_matching_rows(stmt)
+            if not matches:
+                continue
+            updates_per_provider = source.prepare_update_shares(stmt, matches)
+            epoch = self._next_epoch(owner, stmt.table)
+            requests = [
+                {
+                    "table": stmt.table,
+                    "updates": updates_per_provider[i],
+                    "epoch": epoch,
+                }
+                for i in range(source.cluster.n_providers)
+            ]
+            ops.append(
+                self._op(
+                    "update_rows", stmt.table, epoch, requests, group=owner
+                )
+            )
+            total += len(matches)
+        return ops, total
+
+    def _resolve_delete(self, stmt: Delete) -> Tuple[List[Dict], object]:
+        ops: List[Dict] = []
+        total = 0
+        for owner in self._owners_for(stmt):
+            source = self._group_source(owner)
+            matches = source._fetch_matching_rows(stmt)
+            if not matches:
+                continue
+            epoch = self._next_epoch(owner, stmt.table)
+            row_ids = [rid for rid, _ in matches]
+            requests = [
+                {"table": stmt.table, "row_ids": row_ids, "epoch": epoch}
+                for _ in range(source.cluster.n_providers)
+            ]
+            ops.append(
+                self._op(
+                    "delete_rows", stmt.table, epoch, requests, group=owner
+                )
+            )
+            total += len(matches)
+        return ops, total
+
+    def _owners_for(self, stmt: Union[Update, Delete]) -> List[int]:
+        from ..service.sharding import rewrite_predicate
+
+        router = self.router
+        shard_map = router.shard_map(stmt.table)
+        sharing = router._sharing(stmt.table)
+        rewritten = rewrite_predicate(
+            stmt.where.bind(sharing.schema), sharing
+        )
+        return router._read_owners(shard_map, rewritten)
+
+    def _resolve_batch(self, statements):
+        raise TxnError(
+            "atomic batches are not supported on the sharded manager; "
+            "issue per-statement transactions (each still crash-safe via "
+            "the coordinator WAL)"
+        )

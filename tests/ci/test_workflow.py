@@ -141,6 +141,8 @@ class TestTier1Gate:
         assert "bench_provider.py --check" in runs
         assert "bench_resilience.py --check" in runs
         assert "bench_sharding.py --check" in runs
+        assert "bench_txn.py --check" in runs
+        assert "bench_updates.py --check" in runs
         assert "repro.cli trace" in runs
         # the hot-path check gates the >=10x vectorized speedup, which
         # requires numpy in the bench-smoke environment
@@ -149,10 +151,10 @@ class TestTier1Gate:
     def test_bench_smoke_uploads_regenerated_reports(self, jobs):
         steps = jobs["bench-smoke"]["steps"]
         runs = " ".join(s["run"] for s in steps if "run" in s)
-        # the sharding bench regenerates its JSON before the upload
-        assert "python benchmarks/bench_sharding.py\n" in (
-            "\n".join(s["run"] for s in steps if "run" in s) + "\n"
-        )
+        # the sharding and txn benches regenerate their JSON before upload
+        run_lines = "\n".join(s["run"] for s in steps if "run" in s) + "\n"
+        assert "python benchmarks/bench_sharding.py\n" in run_lines
+        assert "python benchmarks/bench_txn.py\n" in run_lines
         uploads = [
             s for s in steps
             if str(s.get("uses", "")).startswith("actions/upload-artifact")
@@ -166,9 +168,20 @@ class TestTier1Gate:
         )
         assert "tests/integration/test_fault_matrix.py" in runs
         assert "tests/sharding/test_shard_chaos.py" in runs
+        assert "tests/txn/test_recovery.py" in runs
         assert "bench_resilience.py --check" in runs
         assert "repro.cli repair" in runs
         assert "repro.cli shard-split" in runs
+
+    def test_chaos_smoke_runs_crash_replay_drills(self, jobs):
+        """The WAL kill-at-every-phase drill runs through the CLI both
+        unsharded and sharded — the command exits nonzero on divergence."""
+        runs = [
+            s["run"] for s in jobs["chaos-smoke"]["steps"] if "run" in s
+        ]
+        drills = [r for r in runs if "repro.cli txn-replay" in r]
+        assert len(drills) == 2
+        assert any("--sharded" in r for r in drills)
 
     def test_chaos_long_is_gated_and_exhaustive(self, jobs):
         job = jobs["chaos-long"]

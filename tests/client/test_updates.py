@@ -126,3 +126,81 @@ class TestReadThrough:
             buffer.read_through(
                 Select("Employees", aggregate=Aggregate(AggregateFunc.COUNT, None))
             )
+
+
+class TestEpochChokePoint:
+    """ISSUE-8 satellite: no write path may bypass bump_table_epoch."""
+
+    def test_direct_mutating_rpc_is_refused(self, source):
+        # a write that skips the choke point would leave stale entries in
+        # the epoch-keyed plan/row caches; the source refuses it outright
+        with pytest.raises(QueryError):
+            source._broadcast(
+                "delete_rows",
+                lambda i: {"table": "Employees", "row_ids": [0]},
+            )
+
+    def test_lazy_flush_bumps_the_epoch(self, source, buffer):
+        before = source.table_epoch("Employees")
+        buffer.enqueue(
+            Update("Employees", {"salary": 12345},
+                   Between("salary", 0, 200_000))
+        )
+        buffer.flush()
+        assert source.table_epoch("Employees") > before
+
+    def test_lazy_flush_poisons_neither_cache(self, source, buffer):
+        # warm the row cache, write through the lazy buffer, read again:
+        # a stale cache would resurrect the old salary
+        query = "SELECT salary FROM Employees WHERE eid >= 0"
+        first = source.sql(query)
+        buffer.enqueue(
+            Update("Employees", {"salary": 54321},
+                   Between("salary", 0, 200_000))
+        )
+        buffer.flush()
+        after = source.sql(query)
+        assert all(r["salary"] == 54321 for r in after)
+        assert first != after
+
+
+class TestRandomShareUpdates:
+    """Regression: updating a randomly-shared column must re-share it
+    with ONE polynomial per (row, column).
+
+    The old per-provider loop called share_value once per provider,
+    handing each provider a share of a *different* fresh polynomial —
+    unreconstructable garbage.  Only non-searchable columns are
+    affected (order-preserving shares are deterministic), which is why
+    salary-only tests never caught it.
+    """
+
+    @staticmethod
+    def _managers_source():
+        from repro.workloads.employees import managers_table
+
+        source = DataSource(ProviderCluster(4, 2), seed=3)
+        employees = employees_table(40, seed=3)
+        managers = managers_table(employees, fraction=0.2, seed=3)
+        source.outsource_table(managers)
+        eid = sorted(row["eid"] for row in managers.rows())[0]
+        return source, eid
+
+    def test_eager_update_of_random_column(self):
+        source, eid = self._managers_source()
+        source.sql(
+            f"UPDATE Managers SET password = 'SECRETPW' WHERE eid = {eid}"
+        )
+        rows = source.sql(f"SELECT * FROM Managers WHERE eid = {eid}")
+        assert rows[0]["password"] == "SECRETPW"
+
+    def test_lazy_update_of_random_column(self):
+        source, eid = self._managers_source()
+        buffer = LazyUpdateBuffer(source, auto_flush_threshold=100)
+        buffer.enqueue(
+            Update("Managers", {"password": "SWORDFISH"},
+                   Comparison("eid", ComparisonOp.EQ, eid))
+        )
+        buffer.flush()
+        rows = source.sql(f"SELECT * FROM Managers WHERE eid = {eid}")
+        assert rows[0]["password"] == "SWORDFISH"

@@ -1,0 +1,114 @@
+"""Write-ahead log framing, torn-tail repair, and checkpointing."""
+
+import os
+
+import pytest
+
+from repro.errors import WALError
+from repro.txn.wal import HEADER_SIZE, MAGIC, WriteAheadLog
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "client.wal")
+
+
+class TestFraming:
+    def test_roundtrip(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.log_txn(1, [{"method": "insert_many", "table": "T"}])
+            wal.log_ack(1)
+        records = WriteAheadLog.read_records(wal_path)
+        assert records == [
+            {"kind": "txn", "id": 1, "ops": [
+                {"method": "insert_many", "table": "T"}]},
+            {"kind": "ack", "id": 1},
+        ]
+
+    def test_append_returns_monotonic_offsets(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            offsets = [wal.append({"kind": "ack", "id": i}) for i in range(5)]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 5
+
+    def test_missing_file_reads_empty(self, wal_path):
+        assert WriteAheadLog.read_records(wal_path) == []
+
+    def test_counters(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.log_txn(1, [])
+            wal.log_ack(1)
+            assert wal.appends == 2
+            assert wal.fsyncs >= 2
+            assert wal.bytes_written == wal.size_bytes()
+
+
+class TestTornTail:
+    def _write_then_truncate(self, wal_path, keep_extra: int):
+        with WriteAheadLog(wal_path) as wal:
+            wal.log_txn(1, [{"method": "delete_rows", "table": "T"}])
+            good_end = wal.size_bytes()
+            wal.log_txn(2, [{"method": "delete_rows", "table": "T"}])
+        # tear the tail record: keep the good prefix plus a partial frame
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(good_end + keep_extra)
+        return good_end
+
+    def test_torn_tail_is_discarded(self, wal_path):
+        good_end = self._write_then_truncate(wal_path, keep_extra=HEADER_SIZE)
+        records = WriteAheadLog.read_records(wal_path)
+        assert [r["id"] for r in records] == [1]
+        # repair truncates the file back to the last whole frame
+        assert os.path.getsize(wal_path) == good_end
+
+    def test_torn_tail_without_repair_raises(self, wal_path):
+        self._write_then_truncate(wal_path, keep_extra=4)
+        with pytest.raises(WALError):
+            WriteAheadLog.read_records(wal_path, repair=False)
+
+    def test_corrupt_crc_stops_the_scan(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.log_txn(1, [])
+            middle = wal.size_bytes()
+            wal.log_txn(2, [])
+        with open(wal_path, "r+b") as handle:
+            # flip a payload byte of the second frame: CRC must catch it
+            handle.seek(middle + HEADER_SIZE + 2)
+            byte = handle.read(1)
+            handle.seek(middle + HEADER_SIZE + 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        records = WriteAheadLog.read_records(wal_path)
+        assert [r["id"] for r in records] == [1]
+
+    def test_foreign_magic_rejected(self, wal_path):
+        with open(wal_path, "wb") as handle:
+            handle.write(b"XX" + b"\x00" * (HEADER_SIZE - 2) + b"junk")
+        assert MAGIC != b"XX"
+        with pytest.raises(WALError):
+            WriteAheadLog.read_records(wal_path, repair=False)
+        # repair mode treats it as an (empty) torn tail and truncates
+        assert WriteAheadLog.read_records(wal_path) == []
+        assert os.path.getsize(wal_path) == 0
+
+
+class TestCheckpoint:
+    def test_checkpoint_keeps_only_given_records(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(1, 6):
+                wal.log_txn(i, [])
+                wal.log_ack(i)
+            wal.checkpoint([{"kind": "ckpt", "next_id": 6}])
+            # the log stays appendable after the swap
+            wal.log_txn(6, [])
+        records = WriteAheadLog.read_records(wal_path)
+        assert records[0] == {"kind": "ckpt", "next_id": 6}
+        assert [r.get("id") for r in records[1:]] == [6]
+
+    def test_checkpoint_shrinks_the_file(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(1, 50):
+                wal.log_txn(i, [{"method": "insert_many", "table": "T"}])
+                wal.log_ack(i)
+            before = wal.size_bytes()
+            wal.checkpoint([{"kind": "ckpt", "next_id": 50}])
+            assert wal.size_bytes() < before
