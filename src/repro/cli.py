@@ -39,7 +39,7 @@ from typing import List, Optional, Sequence
 from . import __version__, telemetry
 from .bench.reporting import format_table
 from .client.datasource import DataSource
-from .core.kernels import kernel_stats, reset_kernel_stats
+from .core.kernels import active_backend, kernel_stats, reset_kernel_stats
 from .errors import ReproError
 from .persistence import load_deployment, save_deployment
 from .providers.cluster import ProviderCluster
@@ -233,6 +233,7 @@ def cmd_trace(args, out) -> int:
         trace = hub.tracer.last_trace()
         export = hub.export()
     export["kernels"] = kernel_stats().snapshot()
+    export["kernel_backend"] = active_backend()
     export["network"] = {
         "messages": network.total_messages,
         "bytes": network.total_bytes,
@@ -265,6 +266,7 @@ def cmd_trace(args, out) -> int:
     print("trace (modelled clock):", file=out)
     for line in format_span(trace):
         print(f"  {line}", file=out)
+    print(f"\nkernel backend: {export['kernel_backend']}", file=out)
     counters = export["metrics"]["counters"]
     if counters:
         print("\ncounters:", file=out)

@@ -623,3 +623,103 @@ def split_kernel(
     kernel = SplitKernel(points, width, modulus)
     _SPLIT_KERNELS[key] = kernel
     return kernel
+
+
+# ---------------------------------------------------------------------------
+# provider column primitives (vectorized provider execution engine)
+# ---------------------------------------------------------------------------
+#
+# The provider storage engine mirrors its per-column share lists into
+# contiguous residue arrays and runs scans/aggregates over them.  These
+# primitives are the numeric core of that path: column conversion with
+# NULL masking, exact big-int sums via 32-bit limb splitting (a raw
+# uint64 ``.sum()`` would wrap — provider partial sums are *unreduced*
+# Python-int sums of shares and must stay bit-identical to the scalar
+# engine), and the batched ``(shares + deltas) mod p`` delta kernel.
+
+_U32_MASK = 0xFFFFFFFF
+
+
+def numpy_module():
+    """The numpy module when the vector backend is active, else None.
+
+    Provider code gates every vectorized path on this single call so the
+    backend-selection API (``REPRO_KERNEL_BACKEND`` /
+    :func:`set_kernel_backend`) governs the provider engine exactly like
+    the client kernels.
+    """
+    return _np if _use_numpy() else None
+
+
+def share_column_vector(values: Sequence[Optional[int]]):
+    """A share column → ``(uint64 array, null mask or None)``, or None.
+
+    NULLs become 0 under the mask.  Returns None whenever any value
+    cannot round-trip through uint64 (negative or ≥ 2^64 — e.g. the
+    exact-integer order-preserving shares of wide columns, or tampered
+    residues): the column is then unvectorizable and every consumer must
+    stay on the scalar oracle, keeping dispatch bit-exact on all inputs.
+    """
+    if _np is None:
+        return None
+    try:
+        arr = _np.array(values, dtype=_np.uint64)
+        if arr.ndim != 1:
+            return None
+        return arr, None
+    except (OverflowError, TypeError, ValueError):
+        pass
+    # the direct conversion refuses None entries; patch NULLs to 0 under
+    # a mask and retry — any remaining failure is a genuine out-of-range
+    # value and the column stays scalar
+    try:
+        patched = _np.array(
+            [0 if v is None else v for v in values], dtype=_np.uint64
+        )
+    except (OverflowError, TypeError, ValueError):
+        return None
+    if patched.ndim != 1:
+        return None
+    mask = _np.array([v is None for v in values], dtype=bool)
+    return patched, (mask if mask.any() else None)
+
+
+def exact_sum_u64(arr) -> int:
+    """Σ arr as an exact Python int (no uint64 wraparound).
+
+    Splits each element into 32-bit limbs and sums the limbs separately:
+    each limb sum stays below 2^64 for up to 2^32 elements, so the
+    recombined total equals the scalar big-int sum bit-for-bit.
+    """
+    u = _np.uint64
+    lo = int((arr & u(_U32_MASK)).sum(dtype=u))
+    hi = int((arr >> u(32)).sum(dtype=u))
+    return (hi << 32) + lo
+
+
+def exact_segment_sums_u64(arr, starts) -> List[int]:
+    """Per-segment exact sums (``reduceat`` on 32-bit limbs).
+
+    ``starts`` are the segment start offsets into ``arr`` (ascending,
+    non-empty); segment i covers ``arr[starts[i]:starts[i+1]]``.  Used by
+    grouped aggregation: one pass yields every group's raw partial sum.
+    """
+    u = _np.uint64
+    lo = _np.add.reduceat(arr & u(_U32_MASK), starts)
+    hi = _np.add.reduceat(arr >> u(32), starts)
+    return [
+        (int(h) << 32) + int(low)
+        for h, low in zip(hi.tolist(), lo.tolist())
+    ]
+
+
+def add_mod_vector(shares, deltas, modulus: int):
+    """Element-wise ``(shares + deltas) mod modulus`` on uint64 arrays.
+
+    Requires canonical inputs (both operands < modulus ≤ 2^62) so the sum
+    fits uint64 and a single conditional subtraction completes the
+    reduction exactly — callers guard and fall back to scalar otherwise.
+    """
+    p = _np.uint64(modulus)
+    total = shares + deltas
+    return _np.where(total >= p, total - p, total)

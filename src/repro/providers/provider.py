@@ -20,6 +20,19 @@ Cost accounting for aggregates records the **actual share reads** — one
 nothing (or whose aggregate column the table does not store) charges
 nothing beyond its index probes.
 
+When the vectorized kernel backend is active (ISSUE-9), the hot read
+RPCs — ``select``/``scan`` matching, ordering, SUM/COUNT, grouped
+partials — and the compact ``increment_rows`` delta shape execute over
+the storage engine's numpy residue mirrors: ``searchsorted`` index
+probes, boolean-mask predicates, limb-split exact reductions.  Every
+vectorized path **pre-validates** its whole request against the mirrors
+before recording any cost, then records byte-identical ``compare``
+counts (including multi-condition early exit) and returns byte-identical
+payloads; anything the mirrors cannot take bit-exactly falls back to the
+scalar engine, which stays the always-on correctness oracle.  Dispatch
+decisions are observable via the ``provider.kernel.*`` telemetry
+counters.
+
 Conditions arrive as dicts::
 
     {"column": str, "op": "eq|lt|le|gt|ge|range", "low": int, "high": int?}
@@ -33,6 +46,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry
+from ..core import kernels
 from ..errors import (
     ProviderError,
     ProviderUnavailableError,
@@ -42,6 +56,11 @@ from ..errors import (
 from ..sim.costmodel import CostRecorder
 from .failures import Fault
 from .storage import ShareRow, ShareStore, ShareTable
+
+#: increment deltas vectorize only while share + delta fits uint64;
+#: the default Mersenne-61 modulus sits far inside this bound
+_MAX_VECTOR_MODULUS = 1 << 62
+_U64_MAX = (1 << 64) - 1
 
 _CONDITION_OPS = {"eq", "lt", "le", "gt", "ge", "range"}
 
@@ -203,8 +222,17 @@ class ShareProvider:
           share applied to every listed row (arithmetic UPDATE: the
           statement's single plaintext delta is shared once, so the wire
           cost is O(rows) small ints instead of O(rows) field elements).
+
+        The compact shape takes the vectorized path when the mirrors
+        allow: one ``(shares + deltas) mod p`` array kernel per column,
+        then a batched writeback producing storage state (values,
+        history, version, epoch) bit-identical to the scalar loop.
         """
         table = self.store.table(request["table"])
+        result = self._increment_vector(table, request)
+        self._note_dispatch("increment_rows", result is not None)
+        if result is not None:
+            return result
         # the share-field modulus is a public parameter; reducing keeps
         # share magnitudes bounded across repeated increments/refreshes
         modulus = request.get("modulus")
@@ -316,6 +344,17 @@ class ShareProvider:
 
     def _rpc_select(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
+        rows = self._select_vector(table, request)
+        self._note_dispatch("select", rows is not None)
+        if rows is None:
+            rows = self._select_scalar(table, request)
+        rows = self._apply_result_faults(rows)
+        return {"rows": rows}
+
+    def _select_scalar(
+        self, table: ShareTable, request: Dict
+    ) -> List[Tuple[int, ShareRow]]:
+        """The scalar select engine — the always-on correctness oracle."""
         row_ids = self._matching_row_ids(table, request.get("conditions") or [])
         order_by = request.get("order_by")
         if order_by is not None:
@@ -347,9 +386,7 @@ class ShareProvider:
         limit = request.get("limit")
         if limit is not None:
             row_ids = row_ids[:limit]
-        rows = self._project_many(table, row_ids, request.get("projection"))
-        rows = self._apply_result_faults(rows)
-        return {"rows": rows}
+        return self._project_many(table, row_ids, request.get("projection"))
 
     def _rpc_get_rows(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
@@ -360,9 +397,12 @@ class ShareProvider:
 
     def _rpc_scan(self, request: Dict) -> Dict:
         table = self.store.table(request["table"])
-        rows = self._project_many(
-            table, table.all_row_ids(), request.get("projection")
-        )
+        rows = self._scan_vector(table, request)
+        self._note_dispatch("scan", rows is not None)
+        if rows is None:
+            rows = self._project_many(
+                table, table.all_row_ids(), request.get("projection")
+            )
         rows = self._apply_result_faults(rows)
         return {"rows": rows}
 
@@ -422,9 +462,12 @@ class ShareProvider:
                 telemetry.count(
                     "provider.aggcache.misses", provider=self.name, method=func
                 )
-                payload = self._compute_scalar_aggregate(
-                    table, func, column, conditions
-                )
+                payload = self._aggregate_vector(table, func, column, conditions)
+                self._note_dispatch("aggregate", payload is not None)
+                if payload is None:
+                    payload = self._compute_scalar_aggregate(
+                        table, func, column, conditions
+                    )
                 table.store_aggregate(cache_key, dict(payload))
             else:
                 telemetry.count(
@@ -443,6 +486,10 @@ class ShareProvider:
         # order).  Uncached: the payload embeds a projected row, and
         # result-fault filtering applies to it — not worth the copy
         # discipline for a nomination that is already O(1) per request.
+        payload = self._aggregate_order_vector(table, func, column, conditions)
+        self._note_dispatch("aggregate", payload is not None)
+        if payload is not None:
+            return payload
         row_ids = self._matching_row_ids_unordered(table, conditions)
         ordered = self._order_by_share(table, row_ids, column)
         if not ordered:
@@ -497,6 +544,17 @@ class ShareProvider:
             telemetry.count(
                 "provider.aggcache.misses", provider=self.name, method=func
             )
+        out = self._aggregate_group_vector(
+            table, func, column, group_column, conditions
+        )
+        self._note_dispatch("aggregate_group", out is not None)
+        if out is not None:
+            if cacheable:
+                table.store_aggregate(
+                    cache_key,
+                    [[share, dict(payload)] for share, payload in out],
+                )
+            return self._finish_group_payloads(out)
         row_ids = self._matching_row_ids_unordered(table, conditions)
         group_array = table.column_array(group_column)
         groups: Dict[int, List[int]] = {}
@@ -674,6 +732,490 @@ class ShareProvider:
             "row": [row_id, values],
             "proof": [[side, sibling] for side, sibling in tree.proof(index)],
         }
+
+    # -- vectorized execution (numpy backend) -------------------------------------------
+    #
+    # Every ``_*_vector`` method returns None to decline a request, and
+    # declines *before* recording any cost or touching any state — the
+    # scalar engine then replays the request from scratch, so results,
+    # errors, and accounting are identical whichever engine answers.
+
+    def _note_dispatch(self, method: str, vectorized: bool) -> None:
+        """Count one vector-eligible RPC's engine choice (telemetry)."""
+        backend = kernels.active_backend()
+        telemetry.count(
+            "provider.kernel.backend", provider=self.name, backend=backend
+        )
+        telemetry.count(
+            "provider.kernel.dispatch",
+            provider=self.name,
+            method=method,
+            backend="numpy" if vectorized else "scalar",
+        )
+
+    def _vector_condition_plan(self, table: ShareTable, conditions: List[Dict]):
+        """Specs ``(index, column_vector, low, high, low_inc, high_inc)``
+        or None.
+
+        Declines on anything the scalar path would reject (unknown op,
+        non-searchable column, missing bound keys), any non-integer
+        bound, or anything it cannot mirror, so the scalar engine raises
+        the canonical error itself.
+        """
+        plan = []
+        for condition in conditions:
+            op = condition.get("op")
+            if op not in _CONDITION_OPS:
+                return None
+            if "low" not in condition or (
+                op == "range" and "high" not in condition
+            ):
+                return None
+            column = condition.get("column")
+            index = table.indexes.get(column)
+            if index is None or index.vector_entries() is None:
+                return None
+            vector = table.column_vector(column)
+            if vector is None:
+                return None
+            low = condition["low"]
+            if op == "eq":
+                spec = (low, low, True, True)
+            elif op == "range":
+                spec = (low, condition["high"], True, True)
+            elif op == "lt":
+                spec = (None, low, True, False)
+            elif op == "le":
+                spec = (None, low, True, True)
+            elif op == "gt":
+                spec = (low, None, False, True)
+            else:  # ge
+                spec = (low, None, True, True)
+            for bound in spec[:2]:
+                # exact-integer comparisons only: a float bound would be
+                # compared inexactly against uint64 shares
+                if bound is not None and not isinstance(bound, int):
+                    return None
+            plan.append((index, vector) + spec)
+        return plan
+
+    def _vector_match_mask(self, np, table, plan):
+        """Combined boolean match mask over the table's slots.
+
+        Cost recording mirrors the scalar path exactly: one range probe
+        per condition, stopping at the first empty intersection.  Each
+        condition's interval is first sized with the index mirror's two
+        ``searchsorted`` bound probes (the bisect replacement), so an
+        empty interval short-circuits before any O(rows) mask work;
+        otherwise the predicate is evaluated straight over the condition
+        column's share vector — NULL cells never match, exactly like the
+        index the scalar engine probes.
+        """
+        mask = None
+        for index, vector, low, high, low_inc, high_inc in plan:
+            self.cost.record("compare", index.comparisons_for_range())
+            shares, null_mask = vector
+            probed = index.vector_count(
+                low, high, low_inclusive=low_inc, high_inclusive=high_inc
+            )
+            if probed == 0:
+                return np.zeros(shares.shape[0], dtype=np.bool_)
+            if null_mask is None:
+                cond = np.ones(shares.shape[0], dtype=np.bool_)
+            else:
+                cond = ~null_mask
+            if low is not None:
+                if low_inc:
+                    if low > _U64_MAX:
+                        cond[:] = False
+                    elif low > 0:
+                        cond &= shares >= np.uint64(low)
+                else:
+                    if low >= _U64_MAX:
+                        cond[:] = False
+                    elif low >= 0:
+                        cond &= shares > np.uint64(low)
+            if high is not None:
+                if high_inc:
+                    if high < 0:
+                        cond[:] = False
+                    elif high <= _U64_MAX:
+                        cond &= shares <= np.uint64(high)
+                else:
+                    if high <= 0:
+                        cond[:] = False
+                    elif high <= _U64_MAX:
+                        cond &= shares < np.uint64(high)
+            mask = cond if mask is None else mask & cond
+            if not mask.any():
+                return mask
+        return mask
+
+    def _masked_rid_slots(self, table: ShareTable, mask):
+        """Matched ``(row_ids, slots)`` in ascending-row-id order."""
+        sorted_rids, sorted_slots = table.ordered_rid_slots()
+        keep = mask[sorted_slots]
+        return sorted_rids[keep], sorted_slots[keep]
+
+    def _select_vector(self, table: ShareTable, request: Dict):
+        """Vectorized select: searchsorted probes, lexsort ordering."""
+        np = kernels.numpy_module()
+        if np is None:
+            return None
+        conditions = request.get("conditions") or []
+        plan = self._vector_condition_plan(table, conditions)
+        if plan is None:
+            return None
+        order_by = request.get("order_by")
+        order_vector = None
+        if order_by is not None:
+            if order_by not in table.indexes:
+                return None  # scalar raises via index_for
+            order_vector = table.column_vector(order_by)
+            if order_vector is None:
+                return None
+        projection = request.get("projection")
+        if projection is not None and set(projection) - set(table.columns):
+            return None  # scalar validates (or returns [] on empty match)
+        pair = table.ordered_rid_slots()
+        if pair is None:
+            return None
+        # -- match (per-condition costs recorded from here on)
+        if not conditions:
+            rids, slots = pair
+        else:
+            mask = self._vector_match_mask(np, table, plan)
+            rids, slots = self._masked_rid_slots(table, mask)
+        if order_by is not None:
+            shares, null_mask = order_vector
+            keys = shares[slots]
+            if null_mask is not None:
+                non_null = ~null_mask[slots]
+                keyed_rids = rids[non_null]
+                keyed_slots = slots[non_null]
+                keys = keys[non_null]
+                null_rids = rids[~non_null]
+                null_slots = slots[~non_null]
+            else:
+                keyed_rids, keyed_slots = rids, slots
+                null_rids = rids[:0]
+                null_slots = slots[:0]
+            m = int(keyed_rids.shape[0])
+            self.cost.record("compare", m * max(1, m.bit_length()))
+            if request.get("descending"):
+                # bitwise complement reverses uint64 share order while the
+                # secondary row-id key keeps ties ascending — exactly the
+                # scalar (-share, rid) sort; NULLs go last
+                order = np.lexsort((keyed_rids, ~keys))
+                rids = np.concatenate((keyed_rids[order], null_rids))
+                slots = np.concatenate((keyed_slots[order], null_slots))
+            else:
+                order = np.lexsort((keyed_rids, keys))
+                rids = np.concatenate((null_rids, keyed_rids[order]))
+                slots = np.concatenate((null_slots, keyed_slots[order]))
+        limit = request.get("limit")
+        if limit is not None:
+            rids = rids[:limit]
+            slots = slots[:limit]
+        if rids.shape[0] == 0:
+            return []
+        columns = None if projection is None else list(projection)
+        rows = table.materialize_rows(slots.tolist(), columns)
+        return list(zip(rids.tolist(), rows))
+
+    def _scan_vector(self, table: ShareTable, request: Dict):
+        """Vectorized full scan (the migration `scan_share_rows` path)."""
+        np = kernels.numpy_module()
+        if np is None:
+            return None
+        projection = request.get("projection")
+        if projection is not None and set(projection) - set(table.columns):
+            return None
+        pair = table.ordered_rid_slots()
+        if pair is None:
+            return None
+        rids, slots = pair
+        if rids.shape[0] == 0:
+            return []
+        columns = None if projection is None else list(projection)
+        rows = table.materialize_rows(slots.tolist(), columns)
+        return list(zip(rids.tolist(), rows))
+
+    def _aggregate_vector(
+        self, table: ShareTable, func: str, column, conditions: List[Dict]
+    ) -> Optional[Dict]:
+        """Vectorized COUNT/SUM partial (the cacheable aggregate shapes).
+
+        Replays the scalar access-path accounting number for number: one
+        range probe per condition (early exit included) plus one
+        ``compare`` per share read — the wide-scan and index-probe scalar
+        paths read the same multiset, so one mask-based evaluation covers
+        both.
+        """
+        np = kernels.numpy_module()
+        if np is None:
+            return None
+        plan = self._vector_condition_plan(table, conditions)
+        if plan is None:
+            return None
+        if func == "count" and column is None:
+            if not conditions:
+                return {"count": len(table)}
+            mask = self._vector_match_mask(np, table, plan)
+            return {"count": int(mask.sum())}
+        has_column = table.has_column(column)
+        column_vector = None
+        if has_column:
+            column_vector = table.column_vector(column)
+            if column_vector is None:
+                return None
+        # -- the filtered share multiset (costs recorded from here on)
+        if not conditions:
+            if not has_column:
+                selected = None
+                values_len = 0
+            else:
+                selected, null_mask = column_vector
+                values_len = int(selected.shape[0])
+        else:
+            mask = self._vector_match_mask(np, table, plan)
+            if not has_column:
+                selected = None
+                values_len = 0
+            else:
+                shares, nulls_vec = column_vector
+                selected = shares[mask]
+                null_mask = None if nulls_vec is None else nulls_vec[mask]
+                values_len = int(selected.shape[0])
+        self.cost.record("compare", values_len)
+        if selected is None:
+            if func == "count":
+                return {"count": 0}
+            return {"partial_sum": 0, "count": 0}
+        nulls = 0 if null_mask is None else int(null_mask.sum())
+        if func == "count":
+            return {"count": values_len - nulls}
+        # NULL cells read 0 under the mask, so the limb-split exact sum
+        # equals the scalar sum over the non-null shares bit-for-bit
+        return {
+            "partial_sum": kernels.exact_sum_u64(selected),
+            "count": values_len - nulls,
+        }
+
+    def _aggregate_order_vector(
+        self, table: ShareTable, func: str, column: str, conditions: List[Dict]
+    ) -> Optional[Dict]:
+        """Vectorized MIN/MAX/MEDIAN nomination by share order."""
+        np = kernels.numpy_module()
+        if np is None:
+            return None
+        plan = self._vector_condition_plan(table, conditions)
+        if plan is None:
+            return None
+        if column not in table.indexes:
+            return None  # scalar raises via index_for
+        column_vector = table.column_vector(column)
+        if column_vector is None or table.ordered_rid_slots() is None:
+            return None
+        if not conditions:
+            rids, slots = table.ordered_rid_slots()
+        else:
+            mask = self._vector_match_mask(np, table, plan)
+            rids, slots = self._masked_rid_slots(table, mask)
+        shares, null_mask = column_vector
+        keys = shares[slots]
+        if null_mask is not None:
+            non_null = ~null_mask[slots]
+            rids = rids[non_null]
+            keys = keys[non_null]
+        m = int(rids.shape[0])
+        self.cost.record("compare", m * max(1, m.bit_length()))
+        if m == 0:
+            return {"row": None, "count": 0}
+        order = np.lexsort((rids, keys))
+        if func == "min":
+            chosen = int(rids[order[0]])
+        elif func == "max":
+            chosen = int(rids[order[m - 1]])
+        else:  # median (lower-median convention, matches the executor)
+            chosen = int(rids[order[(m - 1) // 2]])
+        row = (chosen, self._project(table, chosen, None))
+        row = self._apply_result_faults([row])
+        return {"row": row[0] if row else None, "count": m}
+
+    def _aggregate_group_vector(
+        self,
+        table: ShareTable,
+        func: str,
+        column,
+        group_column: str,
+        conditions: List[Dict],
+    ) -> Optional[List]:
+        """Vectorized grouped COUNT/SUM: stable argsort + reduceat.
+
+        Groups are segment boundaries in the group-share sort; per-group
+        raw partial sums come from one limb-split ``reduceat`` pass.
+        Order-based funcs (min/max/median) decline — they embed projected
+        rows per group and stay scalar.
+        """
+        np = kernels.numpy_module()
+        if np is None or func not in ("count", "sum"):
+            return None
+        plan = self._vector_condition_plan(table, conditions)
+        if plan is None:
+            return None
+        group_vector = table.column_vector(group_column)
+        if group_vector is None or table.ordered_rid_slots() is None:
+            return None
+        agg_vector = None
+        agg_present = column is not None and table.has_column(column)
+        if agg_present:
+            agg_vector = table.column_vector(column)
+            if agg_vector is None:
+                return None
+        if not conditions:
+            rids, slots = table.ordered_rid_slots()
+        else:
+            mask = self._vector_match_mask(np, table, plan)
+            rids, slots = self._masked_rid_slots(table, mask)
+        self.cost.record("compare", int(rids.shape[0]))
+        group_shares, group_mask = group_vector
+        keys = group_shares[slots]
+        if group_mask is not None:
+            non_null = ~group_mask[slots]
+            keys = keys[non_null]
+            slots = slots[non_null]
+        if keys.shape[0] == 0:
+            return []
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        slots = slots[order]
+        starts = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                np.nonzero(keys[1:] != keys[:-1])[0] + 1,
+            )
+        )
+        group_values = keys[starts].tolist()
+        member_counts = np.diff(
+            np.concatenate((starts, np.array([keys.shape[0]], dtype=np.int64)))
+        )
+        agg_reads = 0
+        if func == "count" and column is None:
+            payloads = [{"count": int(c)} for c in member_counts.tolist()]
+        elif not agg_present:
+            # the aggregate column is absent here: zero reads, zero partials
+            if func == "count":
+                payloads = [{"count": 0} for _ in group_values]
+            else:
+                payloads = [
+                    {"partial_sum": 0, "count": 0} for _ in group_values
+                ]
+        else:
+            agg_reads = int(keys.shape[0])
+            agg_shares, agg_mask = agg_vector
+            values = agg_shares[slots]
+            if agg_mask is None:
+                non_null_counts = member_counts.tolist()
+            else:
+                non_null_counts = np.add.reduceat(
+                    (~agg_mask[slots]).astype(np.int64), starts
+                ).tolist()
+            if func == "count":
+                payloads = [{"count": int(c)} for c in non_null_counts]
+            else:
+                sums = kernels.exact_segment_sums_u64(values, starts)
+                payloads = [
+                    {"partial_sum": total, "count": int(c)}
+                    for total, c in zip(sums, non_null_counts)
+                ]
+        if agg_reads:
+            self.cost.record("compare", agg_reads)
+        return [
+            [int(share), payload]
+            for share, payload in zip(group_values, payloads)
+        ]
+
+    def _increment_vector(
+        self, table: ShareTable, request: Dict
+    ) -> Optional[Dict]:
+        """Vectorized compact-shape increment: batched (x + Δ) mod p.
+
+        Declines (to the scalar loop) on the per-row ``increments``
+        shape, duplicate row ids (the scalar loop reads its own earlier
+        writes), missing rows, absent mirrors, or any modulus/delta/share
+        outside the uint64-exact window.
+        """
+        np = kernels.numpy_module()
+        if np is None or "increments" in request:
+            return None
+        row_ids = request["row_ids"]
+        if not row_ids or len(set(row_ids)) != len(row_ids):
+            return None
+        modulus = request.get("modulus")
+        if (
+            not isinstance(modulus, int)
+            or isinstance(modulus, bool)
+            or not 0 < modulus <= _MAX_VECTOR_MODULUS
+        ):
+            return None
+        try:
+            rid_array = np.array(row_ids, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        slots = table.vector_slots_for(rid_array)
+        if slots is None:
+            return None  # a missing row: the scalar loop raises canonically
+        deltas = request["deltas"]
+        # every row exists, so the scalar loop's first iteration would hit
+        # the order-preserving guard before mutating anything — raise the
+        # identical error at the identical point
+        for column in deltas:
+            if column in table.searchable:
+                raise QueryError(
+                    f"column {column!r} is order-preserving; incremental "
+                    "share addition is only sound for randomly-shared "
+                    "columns"
+                )
+        staged = []
+        for column, delta_share in deltas.items():
+            if not table.has_column(column):
+                continue  # unknown columns read as NULL and are skipped
+            if (
+                not isinstance(delta_share, int)
+                or isinstance(delta_share, bool)
+                or not 0 <= delta_share < modulus
+            ):
+                return None
+            vector = table.column_vector(column)
+            if vector is None:
+                return None
+            shares, mask = vector
+            current = shares[slots]
+            if int(current.max()) >= modulus:
+                return None  # non-canonical residues: scalar reduces exactly
+            updated = kernels.add_mod_vector(
+                current, np.uint64(delta_share), modulus
+            )
+            non_null = None if mask is None else (~mask[slots]).tolist()
+            staged.append(
+                (column, current.tolist(), updated.tolist(), non_null)
+            )
+        if not staged:
+            return {"incremented": 0}
+        updates = []
+        for position, row_id in enumerate(row_ids):
+            assignments: ShareRow = {}
+            undo: ShareRow = {}
+            for column, old, new, non_null in staged:
+                if non_null is None or non_null[position]:
+                    assignments[column] = new[position]
+                    undo[column] = old[position]
+            if assignments:
+                updates.append((row_id, assignments, undo))
+        if updates:
+            table.apply_column_updates(updates, epoch=request.get("epoch"))
+        return {"incremented": len(updates)}
 
     # -- filtering internals ------------------------------------------------------------
 

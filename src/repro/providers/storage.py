@@ -35,6 +35,20 @@ position in it (the Merkle leaf order) — is cached and keyed on the
 table's ``version`` counter, which every mutation bumps; readers get the
 cached structures instead of re-sorting per call.
 
+**Vector mirrors** (numpy backend, ISSUE-9).  When the vectorized kernel
+backend is active, each column lazily maintains a contiguous ``uint64``
+residue array (plus a NULL mask) mirroring its Python list, each sorted
+index mirrors its ``(share, row_id)`` entries into parallel share/row-id
+arrays probed with ``searchsorted``, and the row-id↔slot map gains a
+sorted-array form so batches of row ids translate to slots in one
+``searchsorted`` instead of n dict lookups.  Mirrors are keyed on the
+same ``version``/mutation counters as the derived state, so any DML
+invalidates them; a column whose shares cannot round-trip through uint64
+(the exact-integer order-preserving shares of wide columns can exceed
+2^64, and tampered residues can be negative) is marked unvectorizable at
+that version and every consumer stays on the scalar oracle — dispatch is
+bit-identical on every input.
+
 NULLs are stored as ``None`` and never indexed; comparisons against NULL
 are false, matching SQL WHERE semantics on the plaintext side.
 """
@@ -46,11 +60,19 @@ from heapq import merge as _sorted_merge
 from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core import kernels
 from ..errors import ProviderError
 
 ShareRow = Dict[str, Optional[int]]
 
 _ROW_ID_OF = itemgetter(1)
+
+#: Shares live in canonical residue form; anything outside uint64 cannot
+#: take the vectorized path bit-exactly.
+_U64_MAX = (1 << 64) - 1
+
+#: cache sentinel distinguishing "never built" from "built, unvectorizable"
+_UNSET = object()
 
 
 def _compile_materializer(columns: Tuple[str, ...]):
@@ -78,6 +100,29 @@ def _compile_materializer(columns: Tuple[str, ...]):
     return namespace["_materialize"]
 
 
+#: Compiled materializers keyed by column tuple, shared across every
+#: table of every provider in the process: the generated code reads only
+#: from the positional array arguments, so it is schema-shaped, not
+#: table-bound — n providers serving the same schema compile it once.
+_MATERIALIZERS: Dict[Tuple[str, ...], object] = {}
+
+
+def materializer_for(columns: Tuple[str, ...]):
+    """The (cached) compiled batch materializer for one column tuple."""
+    materialize = _MATERIALIZERS.get(columns)
+    if materialize is None:
+        if len(_MATERIALIZERS) >= 128:
+            _MATERIALIZERS.clear()
+        materialize = _compile_materializer(columns)
+        _MATERIALIZERS[columns] = materialize
+    return materialize
+
+
+def materializer_cache_size() -> int:
+    """Number of compiled materializers alive (test/inspection hook)."""
+    return len(_MATERIALIZERS)
+
+
 class SortedShareIndex:
     """A sorted (share, row_id) index supporting range scans.
 
@@ -89,12 +134,17 @@ class SortedShareIndex:
     def __init__(self, column: str) -> None:
         self.column = column
         self._entries: List[Tuple[int, int]] = []  # (share, row_id), sorted
+        #: bumped on every index mutation; keys the vector mirror below
+        self._mutations = 0
+        self._vector_version = -1
+        self._vector = None  # (share uint64 array, row-id int64 array)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def insert(self, share: int, row_id: int) -> None:
         bisect.insort(self._entries, (share, row_id))
+        self._mutations += 1
 
     def bulk_load(self, pairs: Iterable[Tuple[int, int]]) -> None:
         """Fold a batch of (share, row_id) pairs in with one sort-and-merge.
@@ -103,6 +153,7 @@ class SortedShareIndex:
         versus O(m·n) for m repeated :meth:`insert` splices — the
         difference between loading a table in seconds and in linear time.
         """
+        self._mutations += 1
         staged = sorted(pairs)
         if not staged:
             return
@@ -121,6 +172,7 @@ class SortedShareIndex:
                 f"index {self.column}: entry (share, row {row_id}) missing"
             )
         del self._entries[index]
+        self._mutations += 1
 
     def range_row_ids(
         self,
@@ -172,6 +224,115 @@ class SortedShareIndex:
         n = len(self._entries)
         return 2 * max(1, n.bit_length())
 
+    # -- vector mirror (numpy backend) --------------------------------------
+
+    def vector_entries(self):
+        """``(share array, row-id array)`` mirroring ``_entries``, or None.
+
+        Lazily (re)built after any mutation, keyed on the mutation
+        counter; None when the backend is scalar, numpy is absent, or any
+        share/row id falls outside uint64/int64 (exact-integer OP shares
+        of wide columns) — consumers then take the bisect path.
+        """
+        np = kernels.numpy_module()
+        if np is None:
+            return None
+        if self._vector_version == self._mutations:
+            return self._vector
+        self._vector_version = self._mutations
+        self._vector = None
+        if self._entries:
+            shares, row_ids = zip(*self._entries)
+            try:
+                self._vector = (
+                    np.array(shares, dtype=np.uint64),
+                    np.array(row_ids, dtype=np.int64),
+                )
+            except (OverflowError, TypeError, ValueError):
+                self._vector = None  # unvectorizable at this version
+        else:
+            self._vector = (
+                np.zeros(0, dtype=np.uint64),
+                np.zeros(0, dtype=np.int64),
+            )
+        return self._vector
+
+    def _lower_offset(self, np, shares, low, inclusive: bool) -> int:
+        """First mirror offset inside the lower bound (bisect-equivalent)."""
+        if low is None:
+            return 0
+        if inclusive:
+            if low <= 0:
+                return 0
+            if low > _U64_MAX:
+                return int(shares.shape[0])
+            return int(np.searchsorted(shares, low, side="left"))
+        if low < 0:
+            return 0
+        if low >= _U64_MAX:
+            return int(shares.shape[0])
+        return int(np.searchsorted(shares, low, side="right"))
+
+    def _upper_offset(self, np, shares, high, inclusive: bool) -> int:
+        """First mirror offset past the upper bound (bisect-equivalent)."""
+        if high is None:
+            return int(shares.shape[0])
+        if inclusive:
+            if high < 0:
+                return 0
+            if high > _U64_MAX:
+                return int(shares.shape[0])
+            return int(np.searchsorted(shares, high, side="right"))
+        if high <= 0:
+            return 0
+        if high > _U64_MAX:
+            return int(shares.shape[0])
+        return int(np.searchsorted(shares, high, side="left"))
+
+    def vector_range(
+        self,
+        low: Optional[int],
+        high: Optional[int],
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ):
+        """Row ids in the interval as an int64 array (ascending share
+        order — the same order :meth:`range_row_ids` returns), or None
+        when no mirror is available.  Bounds outside uint64 clamp to the
+        matching end before ``searchsorted``, preserving the bisect
+        semantics exactly (stored shares are canonical residues, so
+        nothing can sort beyond the clamp)."""
+        vector = self.vector_entries()
+        if vector is None:
+            return None
+        np = kernels.numpy_module()
+        shares, row_ids = vector
+        start = self._lower_offset(np, shares, low, low_inclusive)
+        stop = self._upper_offset(np, shares, high, high_inclusive)
+        if stop <= start:
+            return row_ids[:0]
+        return row_ids[start:stop]
+
+    def vector_count(
+        self,
+        low: Optional[int],
+        high: Optional[int],
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Optional[int]:
+        """Matched-entry count from the two ``searchsorted`` bound
+        probes alone (no slice), or None when no mirror is available."""
+        vector = self.vector_entries()
+        if vector is None:
+            return None
+        np = kernels.numpy_module()
+        shares, _ = vector
+        start = self._lower_offset(np, shares, low, low_inclusive)
+        stop = self._upper_offset(np, shares, high, high_inclusive)
+        return max(0, stop - start)
+
 
 class ShareTable:
     """One table's shares at one provider (columnar layout)."""
@@ -213,9 +374,19 @@ class ShareTable:
         #: number of derived-state rebuilds (regression hook: stays O(1)
         #: per mutation batch, never O(1) per read)
         self.derived_rebuilds = 0
-        # compiled batch materializers, keyed by column tuple (full rows
-        # plus whatever projections this table actually serves)
-        self._materializers: Dict[Tuple[str, ...], object] = {}
+        # vectorized mirrors (numpy backend), keyed on ``version`` like
+        # the derived state: per-column uint64 residue arrays (+ NULL
+        # masks), the slot→row-id array, and the sorted row-id / slot
+        # pair that turns batched row-id→slot translation into one
+        # ``searchsorted``
+        self._vec_version = -1
+        self._vec_columns: Dict[str, object] = {}
+        self._vec_slot_rids = _UNSET  # slot→row id, int64
+        self._vec_sorted_rids = _UNSET  # ascending row ids, int64
+        self._vec_sorted_slots = _UNSET  # their slots, aligned
+        #: number of column-mirror builds (regression hook: stays O(1)
+        #: per (column, mutation batch), never O(1) per read)
+        self.vector_rebuilds = 0
         # materialized aggregate payloads (SUM/COUNT partials), version-keyed
         # like the derived state above: entries are valid only while
         # ``version`` stands still, so the first lookup after any mutation
@@ -401,6 +572,35 @@ class ShareTable:
         self.version += 1
         self.history.append((self._note_epoch(epoch), "delete", row_id, undo))
 
+    def apply_column_updates(
+        self,
+        updates: List[Tuple[int, ShareRow, ShareRow]],
+        epoch: Optional[int] = None,
+    ) -> int:
+        """Apply precomputed non-indexed per-row updates in one batch.
+
+        ``updates`` holds ``(row_id, assignments, undo)`` triples whose
+        assignments touch only **non-searchable** columns of existing
+        rows, with ``undo`` carrying the exact old shares — the batched
+        tail of the vectorized ``increment_rows`` path, which computes
+        new/old values as one array kernel and only needs the writeback.
+        Produces state bit-identical to n :meth:`update` calls: one
+        history entry and one version bump per row, stamped at the same
+        epoch (``_note_epoch`` is idempotent within a request, so calling
+        it once up front equals calling it per row).
+        """
+        stamped = self._note_epoch(epoch)
+        history_append = self.history.append
+        slots = self._slots
+        column_data = self._column_data
+        for row_id, assignments, undo in updates:
+            slot = slots[row_id]
+            for column, value in assignments.items():
+                column_data[column][slot] = value
+            history_append((stamped, "update", row_id, undo))
+        self.version += len(updates)
+        return len(updates)
+
     # -- time travel ---------------------------------------------------------
 
     def rows_asof(self, epoch: int) -> Dict[int, ShareRow]:
@@ -528,6 +728,101 @@ class ShareTable:
         self._refresh_derived()
         return self._ordered_ids
 
+    # -- vector mirrors (numpy backend) --------------------------------------
+
+    def _vector_state(self):
+        """The numpy module when vector mirrors may be used, else None.
+
+        Also invalidates every mirror the first time it is consulted
+        after a mutation — the same version-keyed discipline as
+        :meth:`_refresh_derived`, so no read can ever see a stale array.
+        """
+        np = kernels.numpy_module()
+        if np is None:
+            return None
+        if self._vec_version != self.version:
+            self._vec_columns = {}
+            self._vec_slot_rids = _UNSET
+            self._vec_sorted_rids = _UNSET
+            self._vec_sorted_slots = _UNSET
+            self._vec_version = self.version
+        return np
+
+    def column_vector(self, column: str):
+        """``(uint64 share array by slot, NULL mask or None)`` or None.
+
+        None means the column is absent, the backend is scalar, or the
+        column cannot round-trip through uint64 at this version (OP
+        shares beyond 2^64, tampered negatives) — the consumer must stay
+        on the scalar path.  NULL cells read 0 under the mask.
+        """
+        np = self._vector_state()
+        if np is None or column not in self._column_set:
+            return None
+        cached = self._vec_columns.get(column, _UNSET)
+        if cached is not _UNSET:
+            return cached
+        vector = kernels.share_column_vector(self._column_data[column])
+        self._vec_columns[column] = vector
+        self.vector_rebuilds += 1
+        return vector
+
+    def _vector_slot_map(self, np):
+        """(sorted row ids, their slots) int64 arrays, or None."""
+        if self._vec_sorted_rids is _UNSET:
+            try:
+                slot_rids = np.array(self._row_ids, dtype=np.int64)
+            except (OverflowError, TypeError, ValueError):
+                slot_rids = None
+            if slot_rids is None:
+                self._vec_slot_rids = None
+                self._vec_sorted_rids = None
+                self._vec_sorted_slots = None
+            else:
+                order = np.argsort(slot_rids)
+                self._vec_slot_rids = slot_rids
+                self._vec_sorted_rids = slot_rids[order]
+                self._vec_sorted_slots = order
+        if self._vec_sorted_rids is None:
+            return None
+        return self._vec_sorted_rids, self._vec_sorted_slots
+
+    def ordered_rid_slots(self):
+        """``(ascending row-id array, their slot array)`` or None.
+
+        The vectorized analogue of :meth:`all_row_ids` plus
+        :meth:`slots_for` — full scans gather columns through the slot
+        array without touching the Python dict.
+        """
+        np = self._vector_state()
+        if np is None:
+            return None
+        return self._vector_slot_map(np)
+
+    def vector_slots_for(self, rid_array):
+        """Slots (int64 array) aligned with ``rid_array``, or None.
+
+        None when any requested row id is absent (or no slot map is
+        available): callers fall back to the scalar path, which raises
+        the canonical per-row error with identical partial-state
+        semantics.
+        """
+        np = self._vector_state()
+        if np is None:
+            return None
+        pair = self._vector_slot_map(np)
+        if pair is None:
+            return None
+        sorted_rids, sorted_slots = pair
+        if rid_array.shape[0] == 0:
+            return rid_array[:0]
+        positions = np.searchsorted(sorted_rids, rid_array)
+        if int(positions.max()) >= sorted_rids.shape[0]:
+            return None
+        if not np.array_equal(sorted_rids[positions], rid_array):
+            return None
+        return sorted_slots[positions]
+
     def row_position(self, row_id: int) -> int:
         """Position of a row id in ascending row-id order (= Merkle leaf
         index), via the version-cached position map — O(1) per lookup
@@ -566,22 +861,23 @@ class ShareTable:
             self._agg_cache.clear()
         self._agg_cache[key] = payload
 
+    def clear_aggregate_cache(self) -> None:
+        """Drop all materialized aggregates (benchmarks measure cold paths)."""
+        self._agg_cache.clear()
+
     def materialize_rows(
         self, slots: List[int], columns: Optional[List[str]] = None
     ) -> List[ShareRow]:
         """Row dicts for the given slots, via the compiled materializer.
 
         ``columns`` (default: the full schema) must name existing columns
-        — callers validate projections.  One materializer is compiled per
-        distinct column tuple and cached on the table.
+        — callers validate projections.  Materializers are compiled once
+        per distinct column tuple in the process-wide module cache
+        (:func:`materializer_for`) and shared across tables and provider
+        instances.
         """
         key = tuple(self.columns if columns is None else columns)
-        materialize = self._materializers.get(key)
-        if materialize is None:
-            if len(self._materializers) >= 32:
-                self._materializers.clear()
-            materialize = _compile_materializer(key)
-            self._materializers[key] = materialize
+        materialize = materializer_for(key)
         if not key:
             return materialize(slots)
         return materialize(slots, *(self._column_data[column] for column in key))

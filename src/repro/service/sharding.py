@@ -54,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
 from ..client.datasource import DataSource, _project_qualified
+from ..core import kernels
 from ..client.repair import rebuild_rows_for_targets
 from ..client.rewriter import (
     RewrittenPredicate,
@@ -116,6 +117,19 @@ class HashShardMap:
 
     def group_for_row_id(self, row_id: int) -> int:
         return self.buckets[row_id % len(self.buckets)]
+
+    def groups_for_row_ids(self, row_ids: Sequence[int]) -> List[int]:
+        """Batch :meth:`group_for_row_id` (vectorized when numpy is on)."""
+        np = kernels.numpy_module()
+        if np is not None:
+            try:
+                rids = np.asarray(row_ids, dtype=np.int64)
+            except (OverflowError, TypeError, ValueError):
+                rids = None
+            if rids is not None and (rids.shape[0] == 0 or int(rids.min()) >= 0):
+                buckets = np.asarray(self.buckets, dtype=np.int64)
+                return buckets[rids % len(self.buckets)].tolist()
+        return [self.group_for_row_id(rid) for rid in row_ids]
 
     def owning_groups(self) -> List[int]:
         return sorted(set(self.buckets))
@@ -805,8 +819,15 @@ class ShardRouter:
                 f"{len(rows)} rows but {len(row_ids)} row ids"
             )
         per_group: Dict[int, Tuple[List[Row], List[int]]] = {}
-        for row_id, row in zip(row_ids, rows):
-            owner = self._owner_for_row(shard_map, table, row_id, row)
+        if isinstance(shard_map, HashShardMap):
+            # one batched ring lookup instead of a per-row owner probe
+            owners = shard_map.groups_for_row_ids(row_ids)
+        else:
+            owners = [
+                self._owner_for_row(shard_map, table, row_id, row)
+                for row_id, row in zip(row_ids, rows)
+            ]
+        for row_id, row, owner in zip(row_ids, rows, owners):
             bucket = per_group.setdefault(owner, ([], []))
             bucket[0].append(row)
             bucket[1].append(row_id)

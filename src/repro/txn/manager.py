@@ -267,24 +267,30 @@ class TransactionManager:
             return [], 0
         epoch = self._next_epoch(0, stmt.table)
         modulus = source.secrets.field.modulus
-        ops: List[Dict] = []
+        # one combined increment op carries every delta column: the row-id
+        # list is shipped once instead of once per column, and the
+        # provider applies the whole statement as one batched
+        # (shares + deltas) mod p pass
+        per_provider_deltas: List[Dict[str, int]] = [
+            {} for _ in range(source.cluster.n_providers)
+        ]
         for column, amount in deltas.items():
             delta_shares = source.prepare_increment_shares(
                 stmt.table, column, amount
             )
-            requests = [
-                {
-                    "table": stmt.table,
-                    "row_ids": row_ids,
-                    "deltas": {column: delta_shares[i]},
-                    "modulus": modulus,
-                    "epoch": epoch,
-                }
-                for i in range(source.cluster.n_providers)
-            ]
-            ops.append(
-                self._op("increment_rows", stmt.table, epoch, requests)
-            )
+            for i, share in enumerate(delta_shares):
+                per_provider_deltas[i][column] = share
+        requests = [
+            {
+                "table": stmt.table,
+                "row_ids": row_ids,
+                "deltas": per_provider_deltas[i],
+                "modulus": modulus,
+                "epoch": epoch,
+            }
+            for i in range(source.cluster.n_providers)
+        ]
+        ops = [self._op("increment_rows", stmt.table, epoch, requests)]
         telemetry.count("txn.delta_statements", table=stmt.table)
         return ops, len(row_ids)
 

@@ -148,6 +148,22 @@ class TestTier1Gate:
         # requires numpy in the bench-smoke environment
         assert "pip install numpy" in runs
 
+    def test_provider_gates_run_on_both_backends(self, jobs):
+        """The provider engine check must pass on the vectorized backend
+        (speedup gates) AND with the backend forced to the scalar oracle
+        (equivalence + relaxed gates) in the same numpy-equipped env."""
+        steps = jobs["bench-smoke"]["steps"]
+        checks = [
+            s for s in steps
+            if "run" in s and "bench_provider.py --check" in s["run"]
+        ]
+        assert len(checks) == 2
+        forced = [
+            s for s in checks
+            if s.get("env", {}).get("REPRO_KERNEL_BACKEND") == "scalar"
+        ]
+        assert len(forced) == 1
+
     def test_bench_smoke_uploads_regenerated_reports(self, jobs):
         steps = jobs["bench-smoke"]["steps"]
         runs = " ".join(s["run"] for s in steps if "run" in s)
@@ -155,6 +171,7 @@ class TestTier1Gate:
         run_lines = "\n".join(s["run"] for s in steps if "run" in s) + "\n"
         assert "python benchmarks/bench_sharding.py\n" in run_lines
         assert "python benchmarks/bench_txn.py\n" in run_lines
+        assert "python benchmarks/bench_provider.py\n" in run_lines
         uploads = [
             s for s in steps
             if str(s.get("uses", "")).startswith("actions/upload-artifact")

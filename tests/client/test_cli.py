@@ -152,8 +152,10 @@ class TestTrace:
         assert code == 0
         export = json.loads(text)
         assert sorted(export) == [
-            "dropped_traces", "kernels", "metrics", "network", "traces"
+            "dropped_traces", "kernel_backend", "kernels", "metrics",
+            "network", "traces",
         ]
+        assert export["kernel_backend"] in ("scalar", "numpy")
         counters = export["metrics"]["counters"]
         telemetry_bytes = sum(
             value for key, value in counters.items()

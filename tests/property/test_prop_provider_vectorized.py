@@ -1,0 +1,327 @@
+"""Property tests: the vectorized provider engine == the scalar oracle.
+
+ISSUE-9 rebuilt the provider execution path (select, scan, aggregates,
+grouped aggregates, compact increment deltas) on numpy residue arrays.
+The invariant is total: for any table and any request battery, a
+provider forced onto the numpy backend must be **bit-identical** to one
+forced onto the scalar backend — same responses, same raised errors,
+same cost counters, same storage state (rows, history, version, epoch),
+same Merkle roots and proofs — including under CRASH/TAMPER/OMIT fault
+injection (same provider name ⇒ same fault RNG stream) and across the
+``applied_txns`` exactly-once replay path.
+
+Wide shares (beyond uint64) must make the engine *decline*, never
+diverge, so a mixed-width table exercises the per-column fallback.
+
+Without numpy the whole module skips — the scalar oracle cannot
+diverge from itself; the CI matrix runs the suite both ways.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kernels
+from repro.core.field import MERSENNE_61
+from repro.errors import ReproError
+from repro.providers.failures import FailureMode, Fault
+from repro.providers.provider import ShareProvider
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in kernels.available_backends(),
+    reason="numpy backend not installed (repro[fast])",
+)
+
+COLUMNS = ["k", "g", "v", "w"]
+SEARCHABLE = ["k", "g"]
+#: shares one bit past uint64 — every mirror for this column must decline
+WIDE = 1 << 70
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+sizes = st.integers(min_value=0, max_value=50)
+
+
+def make_rows(rng, n, wide_column=None):
+    """n share rows; ``wide_column`` (if set) gets >uint64 shares."""
+    rows = []
+    for rid in range(n):
+        values = {
+            "k": rng.randrange(max(n // 3, 1)) * 5
+            if rng.random() >= 0.1
+            else None,
+            "g": rng.randrange(4) * 1_000,
+            "v": rng.randrange(MERSENNE_61) if rng.random() >= 0.15 else None,
+            "w": rng.randrange(MERSENNE_61),
+        }
+        if wide_column is not None and values[wide_column] is not None:
+            values[wide_column] += WIDE
+        rows.append((rid, values))
+    return rows
+
+
+def build_provider(rows, fault=None):
+    # identical name on both twins ⇒ identical fault RNG streams
+    provider = ShareProvider("P")
+    provider.handle(
+        "create_table",
+        {"table": "T", "columns": COLUMNS, "searchable": SEARCHABLE},
+    )
+    if rows:
+        provider.handle("insert_many", {"table": "T", "rows": rows})
+    if fault is not None:
+        provider.inject_fault(fault)
+    return provider
+
+
+def request_battery(rng, rows):
+    """A deterministic mixed battery derived from the row population."""
+    ks = sorted(
+        {v["k"] for _, v in rows if v["k"] is not None} or {0, 10}
+    )
+    mid = ks[len(ks) // 2]
+    cond_range = [{"column": "k", "op": "range", "low": ks[0], "high": mid}]
+    cond_eq = [{"column": "k", "op": "eq", "low": rng.choice(ks)}]
+    cond_pair = [
+        {"column": "k", "op": "ge", "low": mid},
+        {"column": "g", "op": "le", "low": 2_000},
+    ]
+    cond_empty = [{"column": "g", "op": "gt", "low": 10_000}]
+    battery = [
+        ("select", {"table": "T", "conditions": []}),
+        ("select", {"table": "T", "conditions": cond_range,
+                    "projection": ["v", "w"]}),
+        ("select", {"table": "T", "conditions": cond_eq, "order_by": "k"}),
+        ("select", {"table": "T", "conditions": cond_pair, "order_by": "g",
+                    "descending": True, "limit": 7}),
+        ("select", {"table": "T", "conditions": cond_empty}),
+        ("select", {"table": "T", "conditions": [], "order_by": "k",
+                    "limit": 5}),
+        ("scan", {"table": "T", "projection": ["k", "v"]}),
+        ("scan", {"table": "T"}),
+        ("aggregate", {"table": "T", "func": "count", "column": None,
+                       "conditions": []}),
+        ("aggregate", {"table": "T", "func": "count", "column": "v",
+                       "conditions": cond_range}),
+        ("aggregate", {"table": "T", "func": "sum", "column": "v",
+                       "conditions": []}),
+        ("aggregate", {"table": "T", "func": "sum", "column": "v",
+                       "conditions": cond_pair}),
+        ("aggregate", {"table": "T", "func": "sum", "column": "w",
+                       "conditions": cond_empty}),
+        ("aggregate", {"table": "T", "func": "min", "column": "k",
+                       "conditions": []}),
+        ("aggregate", {"table": "T", "func": "max", "column": "k",
+                       "conditions": cond_range}),
+        ("aggregate", {"table": "T", "func": "median", "column": "k",
+                       "conditions": cond_range}),
+        ("aggregate_group", {"table": "T", "group_column": "g",
+                             "func": "sum", "column": "v",
+                             "conditions": []}),
+        ("aggregate_group", {"table": "T", "group_column": "g",
+                             "func": "count", "column": None,
+                             "conditions": cond_range}),
+        ("aggregate_group", {"table": "T", "group_column": "g",
+                             "func": "median", "column": "w",
+                             "conditions": []}),
+        ("merkle_root", {"table": "T"}),
+    ]
+    if rows:
+        sample = [rid for rid, _ in rows][:: max(len(rows) // 7, 1)]
+        battery.append(("get_rows", {"table": "T", "row_ids": sample}))
+        for rid in sample[:3]:
+            battery.append(("merkle_proof", {"table": "T", "row_id": rid}))
+    return battery
+
+
+def run_battery(provider, battery):
+    """Execute every request, capturing results and raised errors alike."""
+    out = []
+    for method, request in battery:
+        try:
+            out.append(provider.handle(method, dict(request)))
+        except ReproError as exc:
+            out.append(("err", type(exc).__name__, str(exc)))
+    return out
+
+
+def state_snapshot(provider):
+    table = provider.store.table("T")
+    return (
+        table.rows,
+        table.version,
+        list(table.history),
+        table.epoch,
+        set(provider.store.applied_txns),
+    )
+
+
+def twin_run(fn):
+    """Run ``fn()`` under forced scalar and forced numpy; return both."""
+    results = {}
+    for backend in ("scalar", "numpy"):
+        previous = kernels.set_kernel_backend(backend)
+        try:
+            results[backend] = fn()
+        finally:
+            kernels.set_kernel_backend(previous)
+    return results["scalar"], results["numpy"]
+
+
+@given(seed=seeds, n=sizes)
+@settings(max_examples=40, deadline=None)
+def test_read_battery_backends_identical(seed, n):
+    """Every read RPC: same responses, same cost counters."""
+    rows = make_rows(random.Random(seed), n)
+    battery = request_battery(random.Random(seed + 1), rows)
+
+    def run():
+        provider = build_provider(rows)
+        responses = run_battery(provider, battery)
+        return responses, provider.cost.snapshot()
+
+    scalar, vector = twin_run(run)
+    assert scalar == vector
+
+
+@given(seed=seeds, n=st.integers(min_value=1, max_value=50))
+@settings(max_examples=40, deadline=None)
+def test_increment_backends_identical(seed, n):
+    """Compact increment deltas: same results/errors, same storage state."""
+    rng = random.Random(seed)
+    rows = make_rows(rng, n)
+    all_ids = [rid for rid, _ in rows]
+    batches = [
+        # plain batch over payload columns (NULL v cells must stay NULL)
+        {"table": "T", "row_ids": all_ids[: max(n // 2, 1)],
+         "deltas": {"v": rng.randrange(MERSENNE_61),
+                    "w": rng.randrange(MERSENNE_61)},
+         "modulus": MERSENNE_61, "epoch": 1},
+        # unknown column rides along and is skipped
+        {"table": "T", "row_ids": all_ids[:1],
+         "deltas": {"w": 3, "zz": 9}, "modulus": MERSENNE_61},
+        # missing row id: both engines must raise the same error pre-write
+        {"table": "T", "row_ids": [n + 50],
+         "deltas": {"w": 1}, "modulus": MERSENNE_61},
+        # searchable column: both engines must refuse identically
+        {"table": "T", "row_ids": all_ids[:1],
+         "deltas": {"k": 2}, "modulus": MERSENNE_61},
+        # per-row legacy shape (always scalar; must still match)
+        {"table": "T",
+         "increments": [[all_ids[-1], {"w": rng.randrange(1_000)}]],
+         "modulus": MERSENNE_61},
+    ]
+
+    def run():
+        provider = build_provider(rows)
+        out = []
+        for request in batches:
+            try:
+                out.append(provider.handle("increment_rows", dict(request)))
+            except ReproError as exc:
+                out.append(("err", str(exc)))
+        return out, state_snapshot(provider), provider.cost.snapshot()
+
+    scalar, vector = twin_run(run)
+    assert scalar == vector
+
+
+@given(
+    seed=seeds,
+    n=sizes,
+    mode=st.sampled_from(
+        [FailureMode.CRASH, FailureMode.TAMPER, FailureMode.OMIT]
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_faulty_battery_backends_identical(seed, n, mode):
+    """Fault injection operates on per-request copies: with the same
+    provider name (⇒ same fault RNG stream), a tampering/omitting/crashed
+    provider misbehaves identically on both backends."""
+    rows = make_rows(random.Random(seed), n)
+    battery = request_battery(random.Random(seed + 1), rows)
+    rate = 0.4 if mode is not FailureMode.CRASH else 1.0
+    after = 5 if mode is FailureMode.CRASH else 0
+
+    def run():
+        provider = build_provider(
+            rows,
+            fault=Fault(mode, rate=rate, seed=seed, after_requests=after),
+        )
+        responses = run_battery(provider, battery)
+        return responses, state_snapshot(provider)
+
+    scalar, vector = twin_run(run)
+    assert scalar == vector
+
+
+@given(seed=seeds, n=st.integers(min_value=2, max_value=40))
+@settings(max_examples=30, deadline=None)
+def test_txn_replay_backends_identical(seed, n):
+    """The exactly-once replay path: a re-prepared committed transaction
+    is skipped, and increments are applied exactly once per backend."""
+    rng = random.Random(seed)
+    rows = make_rows(rng, n)
+    ids = [rid for rid, _ in rows][: max(n // 2, 1)]
+    inc = {"table": "T", "row_ids": ids,
+           "deltas": {"w": rng.randrange(MERSENNE_61)},
+           "modulus": MERSENNE_61, "epoch": 2}
+    ops = [["increment_rows", inc]]
+
+    def run():
+        provider = build_provider(rows)
+        out = [provider.handle("txn_prepare", {"txns": [[7, ops]]})]
+        out.append(provider.handle("txn_commit", {"ids": [7]}))
+        # WAL replay after a simulated client crash: same txn again
+        out.append(provider.handle("txn_prepare", {"txns": [[7, ops]]}))
+        out.append(provider.handle("txn_commit", {"ids": [7]}))
+        out.append(provider.handle("select", {"table": "T", "conditions": []}))
+        return out, state_snapshot(provider)
+
+    scalar, vector = twin_run(run)
+    assert scalar == vector
+
+
+@given(seed=seeds, n=st.integers(min_value=1, max_value=30))
+@settings(max_examples=25, deadline=None)
+def test_wide_share_fallback_identical(seed, n):
+    """Shares past uint64 force the per-column scalar fallback — the
+    engines must still agree on everything, including mixed-width
+    batteries where only some columns decline."""
+    rng = random.Random(seed)
+    rows = make_rows(rng, n, wide_column=rng.choice(COLUMNS))
+    battery = request_battery(random.Random(seed + 1), rows)
+
+    def run():
+        provider = build_provider(rows)
+        responses = run_battery(provider, battery)
+        return responses, provider.cost.snapshot()
+
+    scalar, vector = twin_run(run)
+    assert scalar == vector
+
+
+@given(seed=seeds, n=st.integers(min_value=1, max_value=30))
+@settings(max_examples=25, deadline=None)
+def test_merkle_after_increments_identical(seed, n):
+    """Roots and proofs over post-increment storage match: the batched
+    writeback feeds the same bytes into the Merkle tree."""
+    rng = random.Random(seed)
+    rows = make_rows(rng, n)
+    ids = [rid for rid, _ in rows]
+    inc = {"table": "T", "row_ids": ids,
+           "deltas": {"v": rng.randrange(MERSENNE_61)},
+           "modulus": MERSENNE_61}
+
+    def run():
+        provider = build_provider(rows)
+        provider.handle("increment_rows", dict(inc))
+        root = provider.handle("merkle_root", {"table": "T"})
+        proofs = [
+            provider.handle("merkle_proof", {"table": "T", "row_id": rid})
+            for rid in ids
+        ]
+        return root, proofs, state_snapshot(provider)
+
+    scalar, vector = twin_run(run)
+    assert scalar == vector

@@ -1,0 +1,262 @@
+"""Unit tests for the vectorized provider engine's machinery (ISSUE-9).
+
+Targeted coverage the property suite doesn't pin down explicitly: mirror
+fallback sentinels, the module-level materializer cache, dispatch
+telemetry counters, searchsorted probe clamping, and the increment fast
+path's decline edges.  numpy-only tests skip without ``repro[fast]``.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.core import kernels
+from repro.core.field import MERSENNE_61
+from repro.errors import ProviderError, QueryError
+from repro.providers import storage
+from repro.providers.provider import ShareProvider
+from repro.providers.storage import ShareTable, SortedShareIndex
+
+needs_numpy = pytest.mark.skipif(
+    "numpy" not in kernels.available_backends(),
+    reason="numpy backend not installed (repro[fast])",
+)
+
+
+@pytest.fixture(autouse=True)
+def force_numpy_backend():
+    """Pin the numpy backend when installed, whatever the env default.
+
+    These tests exercise the vectorized machinery itself, so a forced
+    ``REPRO_KERNEL_BACKEND=scalar`` run must not hollow them out — the
+    no-numpy CI leg skips them via :data:`needs_numpy` instead.
+    """
+    if "numpy" in kernels.available_backends():
+        previous = kernels.set_kernel_backend("numpy")
+        try:
+            yield
+        finally:
+            kernels.set_kernel_backend(previous)
+    else:
+        yield
+
+
+def small_table(values_by_row):
+    table = ShareTable("T", ["a", "b"], ["a"])
+    table.insert_many(
+        [(rid, dict(values)) for rid, values in values_by_row.items()]
+    )
+    return table
+
+
+def build_provider(rows, searchable=("k",)):
+    provider = ShareProvider("U")
+    provider.handle(
+        "create_table",
+        {"table": "T", "columns": ["k", "v"], "searchable": list(searchable)},
+    )
+    provider.handle("insert_many", {"table": "T", "rows": rows})
+    return provider
+
+
+class TestMaterializerCache:
+    def test_shared_across_tables_and_instances(self):
+        before = storage.materializer_cache_size()
+        t1 = ShareTable("A", ["x", "y"], [])
+        t2 = ShareTable("B", ["x", "y"], [])
+        t1.insert(1, {"x": 5, "y": 6})
+        t2.insert(2, {"x": 7, "y": 8})
+        assert t1.materialize_rows([0], ["x", "y"]) == [{"x": 5, "y": 6}]
+        assert t2.materialize_rows([0], ["x", "y"]) == [{"x": 7, "y": 8}]
+        # both tables compile the same (x, y) key exactly once
+        assert storage.materializer_cache_size() >= before
+        assert storage.materializer_for(("x", "y")) is storage.materializer_for(
+            ("x", "y")
+        )
+
+    def test_distinct_keys_get_distinct_materializers(self):
+        assert storage.materializer_for(("x",)) is not storage.materializer_for(
+            ("y",)
+        )
+
+
+@needs_numpy
+class TestColumnMirrors:
+    def test_wide_share_column_declines(self):
+        table = small_table({1: {"a": 1 << 70, "b": 2}})
+        assert table.column_vector("a") is None
+        assert table.column_vector("b") is not None
+
+    def test_negative_share_column_declines(self):
+        table = small_table({1: {"a": -3, "b": 2}})
+        assert table.column_vector("a") is None
+
+    def test_null_cells_masked(self):
+        table = small_table({1: {"a": 4, "b": None}, 2: {"a": 5, "b": 9}})
+        shares, mask = table.column_vector("b")
+        assert mask.tolist() == [True, False]
+        assert shares[1] == 9
+
+    def test_mirror_invalidated_by_version(self):
+        table = small_table({1: {"a": 4, "b": 7}})
+        first, _ = table.column_vector("b")
+        table.update(1, {"b": 8})
+        second, _ = table.column_vector("b")
+        assert first.tolist() == [7] and second.tolist() == [8]
+
+
+@needs_numpy
+class TestIndexMirrorProbes:
+    def probes(self):
+        index = SortedShareIndex("a")
+        index.bulk_load([(10, 1), (20, 2), (20, 3), (30, 4)])
+        return index
+
+    def test_vector_range_matches_bisect(self):
+        index = self.probes()
+        for low, high, kw in [
+            (10, 30, {}),
+            (None, 20, {"high_inclusive": False}),
+            (20, None, {"low_inclusive": False}),
+            (11, 19, {}),
+        ]:
+            assert index.vector_range(low, high, **kw).tolist() == (
+                index.range_row_ids(
+                    low,
+                    high,
+                    low_inclusive=kw.get("low_inclusive", True),
+                    high_inclusive=kw.get("high_inclusive", True),
+                )
+            )
+
+    def test_bounds_past_uint64_clamp(self):
+        index = self.probes()
+        assert index.vector_range(-(1 << 80), 1 << 80).tolist() == [1, 2, 3, 4]
+        assert index.vector_count(1 << 70, None) == 0
+        assert index.vector_count(None, -5) == 0
+
+    def test_wide_entry_poisons_mirror(self):
+        index = self.probes()
+        index.insert(1 << 77, 9)
+        assert index.vector_entries() is None
+        index.remove(1 << 77, 9)
+        assert index.vector_entries() is not None
+
+
+@needs_numpy
+class TestDispatchTelemetry:
+    def test_vector_and_scalar_dispatch_counted(self):
+        rows = [(i, {"k": i * 3, "v": i}) for i in range(8)]
+        with telemetry.session():
+            provider = build_provider(rows)
+            provider.handle(
+                "select",
+                {"table": "T",
+                 "conditions": [
+                     {"column": "k", "op": "range", "low": 0, "high": 12}
+                 ]},
+            )
+            export = telemetry.hub().export()
+        counters = export["metrics"]["counters"]
+        assert counters["provider.kernel.backend{backend=numpy,provider=U}"] >= 1
+        assert (
+            counters["provider.kernel.dispatch"
+                     "{backend=numpy,method=select,provider=U}"] == 1
+        )
+
+    def test_fallback_counts_as_scalar_dispatch(self):
+        rows = [(i, {"k": (i * 3) + (1 << 70), "v": i}) for i in range(4)]
+        with telemetry.session():
+            provider = build_provider(rows)
+            provider.handle(
+                "select",
+                {"table": "T",
+                 "conditions": [
+                     {"column": "k", "op": "ge", "low": 1 << 70}
+                 ]},
+            )
+            export = telemetry.hub().export()
+        counters = export["metrics"]["counters"]
+        assert (
+            counters["provider.kernel.dispatch"
+                     "{backend=scalar,method=select,provider=U}"] == 1
+        )
+
+
+@needs_numpy
+class TestIncrementFastPath:
+    def rows(self):
+        return [
+            (0, {"k": 3, "v": 10}),
+            (1, {"k": 6, "v": None}),
+            (2, {"k": 9, "v": MERSENNE_61 - 1}),
+        ]
+
+    def test_batch_apply_wraps_and_skips_nulls(self):
+        provider = build_provider(self.rows())
+        out = provider.handle(
+            "increment_rows",
+            {"table": "T", "row_ids": [0, 1, 2], "deltas": {"v": 5},
+             "modulus": MERSENNE_61},
+        )
+        # the NULL cell takes no assignment, so only two rows count —
+        # the same convention the scalar loop reports
+        assert out == {"incremented": 2}
+        table = provider.store.table("T")
+        assert table.value(0, "v") == 15
+        assert table.value(1, "v") is None  # NULL stays NULL
+        assert table.value(2, "v") == 4  # wrapped mod p
+
+    def test_missing_row_declines_to_scalar_semantics(self):
+        # the scalar loop applies row 0 and then raises on the missing
+        # id; the vector path must decline (not batch-apply) so both
+        # backends leave the identical partial state
+        provider = build_provider(self.rows())
+        with pytest.raises(ProviderError):
+            provider.handle(
+                "increment_rows",
+                {"table": "T", "row_ids": [0, 99], "deltas": {"v": 5},
+                 "modulus": MERSENNE_61},
+            )
+        assert provider.store.table("T").value(0, "v") == 15
+
+    def test_searchable_column_refused(self):
+        provider = build_provider(self.rows())
+        with pytest.raises(QueryError):
+            provider.handle(
+                "increment_rows",
+                {"table": "T", "row_ids": [0], "deltas": {"k": 5},
+                 "modulus": MERSENNE_61},
+            )
+
+    def test_huge_modulus_falls_back_to_scalar(self):
+        provider = build_provider(self.rows())
+        out = provider.handle(
+            "increment_rows",
+            {"table": "T", "row_ids": [0], "deltas": {"v": 5},
+             "modulus": 1 << 89},
+        )
+        assert out == {"incremented": 1}
+        assert provider.store.table("T").value(0, "v") == 15
+
+
+@needs_numpy
+class TestOrderedSelect:
+    def test_descending_ties_break_by_ascending_row_id(self):
+        rows = [
+            (0, {"k": 5, "v": 1}),
+            (1, {"k": 9, "v": 2}),
+            (2, {"k": 5, "v": 3}),
+            (3, {"k": None, "v": 4}),
+        ]
+        provider = build_provider(rows)
+        out = provider.handle(
+            "select",
+            {"table": "T", "conditions": [], "order_by": "k",
+             "descending": True},
+        )
+        assert [rid for rid, _ in out["rows"]] == [1, 0, 2, 3]
+        out = provider.handle(
+            "select",
+            {"table": "T", "conditions": [], "order_by": "k"},
+        )
+        assert [rid for rid, _ in out["rows"]] == [3, 0, 2, 1]
