@@ -298,6 +298,8 @@ def _fmt_ms(seconds: float) -> str:
 def cmd_serve_sim(args, out) -> int:
     from .service import run_simulation
 
+    if args.open_loop:
+        return _serve_sim_open_loop(args, out)
     source = build_source(
         "employees", args.rows, args.providers, args.threshold, args.seed
     )
@@ -383,6 +385,104 @@ def cmd_serve_sim(args, out) -> int:
     print(
         f"  network: {report['network_messages']} messages, "
         f"{report['network_bytes']:,} bytes",
+        file=out,
+    )
+    return 0
+
+
+def _serve_sim_open_loop(args, out) -> int:
+    """Open-loop overload mode: flood the service at a capacity multiple."""
+    from .client.datasource import DataSource
+    from .providers.cluster import ProviderCluster
+    from .service import estimate_capacity, run_open_loop
+    from .workloads.employees import employees_table
+    from .workloads.traffic import TrafficProfile, generate_traffic
+
+    table = employees_table(args.rows, seed=args.seed)
+    source = DataSource(
+        ProviderCluster(args.providers, args.threshold),
+        seed=args.seed,
+        verified_reads=True,  # gives the degradation ladder a premium tier
+    )
+    source.outsource_table(table)
+    if args.breakers:
+        source.cluster.install_breakers()
+    eids = sorted(row["eid"] for row in table.rows())
+    network = source.cluster.network
+    # calibrate outside the telemetry session so probe traffic never
+    # pollutes the SLO counters; the flood starts from a clean network
+    capacity = estimate_capacity(
+        source, eids, max_in_flight=args.max_in_flight, seed=args.seed + 1
+    )
+    network.reset()
+    profile = TrafficProfile(
+        mean_interarrival=1.0 / (capacity["capacity_qps"] * args.load)
+    )
+    events = generate_traffic(
+        eids, args.queries, seed=args.seed, profile=profile
+    )
+    with telemetry.session(clock=lambda: network.modelled_seconds):
+        report = run_open_loop(
+            source,
+            events,
+            max_in_flight=args.max_in_flight,
+            queue_limit=args.queue_limit,
+        )
+    report["capacity"] = capacity
+    report["load_factor"] = args.load
+    if args.json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        print(file=out)
+        return 0
+    print(
+        f"serve-sim --open-loop: {args.queries} queries at "
+        f"{args.load:g}x capacity ({capacity['capacity_qps']:.1f} q/s) over "
+        f"Employees({args.rows}), {args.providers} providers "
+        f"(threshold {args.threshold})",
+        file=out,
+    )
+    print(
+        f"  outcome: {report['completed']} completed, {report['shed']} shed, "
+        f"{report['failed']} failed, {report['incorrect']} incorrect, "
+        f"{report['degraded_served']} served degraded "
+        f"({report['degrade_spans']} degraded spans)",
+        file=out,
+    )
+    print(
+        f"  goodput: {report['goodput_qps']:.1f} q/s of "
+        f"{report['offered_qps']:.1f} q/s offered "
+        f"(utilization {report['utilization']:.0%})",
+        file=out,
+    )
+    slo = report.get("slo")
+    if slo:
+        print(
+            f"  slo: availability {slo['availability']:.4f} vs target "
+            f"{slo['availability_target']} "
+            f"(error budget consumed {slo['budget_consumed']:.2f}x)",
+            file=out,
+        )
+        for priority, stats in slo["by_priority"].items():
+            latency = stats["latency_modelled_seconds"]
+            print(
+                f"    {priority}: {stats['completed']}/{stats['offered']} "
+                f"completed, {stats['shed']} shed, "
+                f"{stats['degraded']} degraded | "
+                f"p50 {_fmt_ms(latency['p50'])}, "
+                f"p99 {_fmt_ms(latency['p99'])}, "
+                f"p999 {_fmt_ms(latency['p999'])}",
+                file=out,
+            )
+    breakers = report.get("breakers")
+    if breakers:
+        summary = ", ".join(
+            f"{name}={stats['state']}" for name, stats in breakers.items()
+        )
+        print(f"  breakers: {summary}", file=out)
+    print(
+        f"  network: {report['network_messages']} messages, "
+        f"{report['network_bytes']:,} bytes, "
+        f"{report['modelled_network_seconds']:.3f}s modelled",
         file=out,
     )
     return 0
@@ -821,6 +921,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--transactional", action="store_true",
         help="route writes through the WAL + group-commit write path",
+    )
+    serve.add_argument(
+        "--open-loop", action="store_true",
+        help="open-loop overload mode: flood at a multiple of measured "
+        "capacity instead of replaying a closed-loop script",
+    )
+    serve.add_argument(
+        "--load", type=float, default=1.0,
+        help="open-loop offered load as a multiple of calibrated capacity",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=400,
+        help="open-loop arrivals to generate",
+    )
+    serve.add_argument(
+        "--breakers", action="store_true",
+        help="install per-provider circuit breakers (open-loop mode)",
     )
     serve.add_argument(
         "--json", action="store_true", help="emit the report as JSON"

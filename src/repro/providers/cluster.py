@@ -59,9 +59,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
-from ..errors import ConfigurationError, ProviderUnavailableError, QuorumError
+from ..errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ProviderUnavailableError,
+    QuorumError,
+)
 from ..sim.costmodel import CostRecorder
 from ..sim.network import SimulatedNetwork
+from .breakers import BreakerBoard
 from .failures import Fault
 from .health import HealthTracker
 from .provider import ShareProvider
@@ -176,6 +182,7 @@ class ProviderCluster:
         executor: Optional[ThreadPoolExecutor] = None,
         retry: Optional[RetryPolicy] = None,
         health: Optional[HealthTracker] = None,
+        breakers: Optional[BreakerBoard] = None,
         name_prefix: str = "",
     ) -> None:
         # constructor misuse is a configuration bug, not a runtime quorum
@@ -209,6 +216,27 @@ class ProviderCluster:
             clock=lambda: self.network.modelled_seconds,
             names=[p.name for p in self.providers],
         )
+        # Opt-in: clusters without a board keep the exact historical
+        # accounting (every RPC dispatched, full timeout charged on
+        # unavailability).  Overload-facing callers install one.
+        self.breakers = breakers
+
+    def install_breakers(self, **kwargs: object) -> BreakerBoard:
+        """Create and attach a :class:`BreakerBoard` over this cluster.
+
+        The board reads the cluster's modelled clock, so breaker
+        open/half-open trajectories are deterministic per seed.  Keyword
+        arguments are forwarded (``bulkhead_limit``, ``window``,
+        ``failure_threshold``, ``min_calls``, ``open_seconds``,
+        ``half_open_probes``).
+        """
+        self.breakers = BreakerBoard(
+            self.n_providers,
+            clock=lambda: self.network.modelled_seconds,
+            names=[p.name for p in self.providers],
+            **kwargs,
+        )
+        return self.breakers
 
     @property
     def n_providers(self) -> int:
@@ -263,6 +291,10 @@ class ProviderCluster:
         for attempt in range(1, attempts + 1):
             try:
                 return self._call_one_attempt(provider_index, method, request)
+            except CircuitOpenError:
+                # a client-side fast fail spent nothing; the breaker will
+                # not admit another attempt either — retrying is pointless
+                raise
             except ProviderUnavailableError:
                 if attempt >= attempts:
                     raise
@@ -272,10 +304,48 @@ class ProviderCluster:
                 self.network.advance_clock(policy.backoff_for(attempt))
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _fast_fail_check(self, provider_index: int) -> None:
+        """Raise :class:`CircuitOpenError` if the breaker refuses the RPC.
+
+        The refusal is entirely client-side: no bytes leave, no modelled
+        timeout is charged, and the health tracker is not told (nothing
+        new was learned about the provider).
+        """
+        board = self.breakers
+        if board is not None and not board.allow(provider_index):
+            provider = self.providers[provider_index]
+            telemetry.count("breaker.fast_fail", provider=provider.name)
+            raise CircuitOpenError(
+                f"circuit open for provider {provider.name}: fast fail"
+            )
+
+    def _guarded_handle(
+        self, provider_index: int, method: str, request: Dict
+    ) -> Dict:
+        """``provider.handle`` behind the provider's bulkhead (if any).
+
+        A full bulkhead rejects immediately and counts as unavailability
+        — the caller's failure paths (timeout charge, health, breaker)
+        then apply exactly as for a crashed provider.
+        """
+        board = self.breakers
+        if board is None:
+            return self.providers[provider_index].handle(method, request)
+        if not board.try_enter(provider_index):
+            raise ProviderUnavailableError(
+                f"provider {self.providers[provider_index].name}: "
+                f"bulkhead full (concurrency cap reached)"
+            )
+        try:
+            return self.providers[provider_index].handle(method, request)
+        finally:
+            board.exit(provider_index)
+
     def _call_one_attempt(
         self, provider_index: int, method: str, request: Dict
     ) -> Dict:
         """One attempt: request bytes, handler, response bytes or timeout."""
+        self._fast_fail_check(provider_index)
         provider = self.providers[provider_index]
         with telemetry.span("rpc", provider=provider.name, method=method) as sp:
             request_bytes = self.network.send(
@@ -283,7 +353,7 @@ class ProviderCluster:
             )
             _record_link(CLIENT_NAME, provider.name, request_bytes)
             try:
-                response = provider.handle(method, request)
+                response = self._guarded_handle(provider_index, method, request)
             except ProviderUnavailableError:
                 telemetry.count("fanout.unavailable", provider=provider.name)
                 sp.set(outcome="unavailable", request_bytes=request_bytes)
@@ -291,6 +361,8 @@ class ProviderCluster:
                 # never came; charge it on the modelled clock
                 self.network.advance_clock(self.retry.timeout_seconds)
                 self.health.record_failure(provider_index)
+                if self.breakers is not None:
+                    self.breakers.record_failure(provider_index)
                 raise
             response_bytes = self.network.send(provider.name, CLIENT_NAME, response)
             _record_link(provider.name, CLIENT_NAME, response_bytes)
@@ -300,6 +372,8 @@ class ProviderCluster:
                 response_bytes=response_bytes,
             )
         self.health.record_success(provider_index)
+        if self.breakers is not None:
+            self.breakers.record_success(provider_index)
         return response
 
     def call_all(
@@ -421,6 +495,27 @@ class ProviderCluster:
         for attempt in range(1, policy.max_attempts + 1):
             if not pending:
                 break
+            if self.breakers is not None:
+                # open breakers fail fast client-side: no bytes, no
+                # timeout contribution, no retry waves for them — the
+                # whole point is that a black-holed provider stops
+                # costing modelled clock under overload
+                admitted: List[Tuple[int, Dict]] = []
+                for index, request in pending:
+                    if self.breakers.allow(index):
+                        admitted.append((index, request))
+                    else:
+                        provider = self.providers[index]
+                        telemetry.count(
+                            "breaker.fast_fail", provider=provider.name
+                        )
+                        failures[index] = (
+                            f"circuit open for provider {provider.name}: "
+                            f"fast fail"
+                        )
+                pending = admitted
+                if not pending:
+                    break
             if attempt > 1:
                 backoff = policy.backoff_for(attempt - 1)
                 elapsed_total += backoff
@@ -440,7 +535,7 @@ class ProviderCluster:
                 request_bytes[index] = size
             pool = self.executor
             futures: Dict[int, Future] = {
-                index: pool.submit(self.providers[index].handle, method, request)
+                index: pool.submit(self._guarded_handle, index, method, request)
                 for index, request in pending
             }
             round_trips: Dict[int, float] = {}
@@ -461,6 +556,8 @@ class ProviderCluster:
                         )
                         sp.set(outcome="unavailable")
                         self.health.record_failure(index)
+                        if self.breakers is not None:
+                            self.breakers.record_failure(index)
                         continue
                     except Exception as exc:  # surface after drain
                         if error is None:
@@ -480,6 +577,8 @@ class ProviderCluster:
                         rtt_seconds=round_trips[index],
                     )
                     self.health.record_success(index)
+                    if self.breakers is not None:
+                        self.breakers.record_success(index)
             all_round_trips.update(round_trips)
             # the first wave waits per the caller's quorum shape; retry
             # waves wait on everyone they re-addressed
@@ -619,9 +718,7 @@ class ProviderCluster:
             # turns out to be down fails its RPC and the next wave moves on
             spares = [
                 index
-                for index in self.health.preferred_order(
-                    list(range(self.n_providers))
-                )
+                for index in self._preferred(list(range(self.n_providers)))
                 if index not in addressed
             ]
             if not spares:
@@ -651,6 +748,24 @@ class ProviderCluster:
 
     # -- quorum helpers ------------------------------------------------------------------
 
+    def _preferred(self, candidates: Sequence[int]) -> List[int]:
+        """Health-preferred order, refined by breaker admission.
+
+        Within the health tracker's ordering (healthy first, quarantined
+        last), providers whose breaker would admit an RPC right now sort
+        before providers whose breaker is open — an open breaker means
+        the next dispatch fails fast, so it should be the last resort,
+        but it stays selectable (half-open probes and robust decoding
+        both want that).  Uses the non-consuming :meth:`admits` view so
+        ordering never burns half-open probe budget.
+        """
+        ordered = self.health.preferred_order(list(candidates))
+        if self.breakers is None:
+            return ordered
+        admitting = [i for i in ordered if self.breakers.admits(i)]
+        refusing = [i for i in ordered if not self.breakers.admits(i)]
+        return admitting + refusing
+
     def read_quorum(
         self, extra: int = 0, exclude: Sequence[int] = ()
     ) -> List[int]:
@@ -678,7 +793,7 @@ class ProviderCluster:
                 f"only {len(candidates)} providers addressable after "
                 f"exclusions, need k={self.threshold}"
             )
-        ordered = self.health.preferred_order(candidates)
+        ordered = self._preferred(candidates)
         want = min(len(ordered), self.threshold + max(0, extra))
         return sorted(ordered[:want])
 

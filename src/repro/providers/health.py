@@ -137,9 +137,21 @@ class HealthTracker:
 
         Both groups keep ascending index order so selection stays
         deterministic; quarantined providers trail as a last resort.
+
+        :meth:`is_quarantined` is evaluated exactly **once** per index:
+        it mutates state on lazy cooldown expiry, so calling it twice
+        per index (as this method once did) let a provider whose
+        cooldown expired between the two partition scans land in both
+        partitions — or, with a clock that advanced between calls, in
+        neither.  One evaluation makes the partition a true partition.
         """
-        healthy = [i for i in indexes if not self.is_quarantined(i)]
-        quarantined = [i for i in indexes if self.is_quarantined(i)]
+        healthy: List[int] = []
+        quarantined: List[int] = []
+        for index in indexes:
+            if self.is_quarantined(index):
+                quarantined.append(index)
+            else:
+                healthy.append(index)
         return healthy + quarantined
 
     # -- introspection ---------------------------------------------------------

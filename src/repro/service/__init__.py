@@ -8,12 +8,22 @@ cross-query share-RPC batching, and a plan cache.  See DESIGN.md §8.
 """
 
 from ..errors import ServiceError, ServiceOverloadedError
-from .admission import AdmissionController
+from .admission import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_NAMES,
+    AdmissionController,
+    priority_level,
+    priority_name,
+)
+from .overload import PlaintextMirror, estimate_capacity, run_open_loop
 from .plancache import CachedPlan, PlanCache, normalise_sql
 from .replay import generate_workload, run_simulation
 from .scheduler import BatchingCluster, FanoutBatcher
 from .service import QueryService, ServiceStats, TableLock
 from .session import Session, SessionManager, SessionStats
+from .slo import FINE_BUCKETS, histogram_quantile, observe_latency, slo_report
 from .sharding import (
     HashShardMap,
     RangeShardMap,
@@ -27,8 +37,14 @@ __all__ = [
     "AdmissionController",
     "BatchingCluster",
     "CachedPlan",
+    "FINE_BUCKETS",
     "FanoutBatcher",
     "HashShardMap",
+    "PRIORITY_BACKGROUND",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_NAMES",
+    "PlaintextMirror",
     "PlanCache",
     "QueryService",
     "RangeShardMap",
@@ -41,9 +57,16 @@ __all__ = [
     "ShardGroup",
     "ShardRouter",
     "TableLock",
+    "estimate_capacity",
     "generate_workload",
+    "histogram_quantile",
     "normalise_sql",
+    "observe_latency",
+    "priority_level",
+    "priority_name",
     "rebalance_plan",
+    "run_open_loop",
     "run_simulation",
     "shard_map_from_dict",
+    "slo_report",
 ]

@@ -1,4 +1,4 @@
-"""Admission control: bounded concurrency with explicit backpressure.
+"""Admission control: bounded concurrency, priority queueing, shedding.
 
 A DBSP serves many tenants from shared providers (paper Sec. I); without
 admission control a traffic spike turns into unbounded thread growth and
@@ -8,26 +8,114 @@ bounds:
 * ``max_in_flight`` — queries executing concurrently;
 * ``queue_limit`` — queries allowed to *wait* for an execution slot.
 
-A query arriving with both full is **rejected loudly** with
-:class:`~repro.errors.ServiceOverloadedError` — the classical
-load-shedding contract: tell the client to back off instead of degrading
-everyone.  Queue depth is exported as a telemetry gauge and every
-admit/reject as a counter, so the serve-sim report can show saturation.
+The queue is the load-leveling buffer between an open-loop arrival
+stream and a fixed-capacity service: bursts are absorbed up to the
+bound, and beyond it work is **shed loudly** with
+:class:`~repro.errors.ServiceOverloadedError` — tell the client to back
+off instead of degrading everyone.
+
+Priority classes (``interactive`` > ``batch`` > ``background``) shape
+*which* work is shed first.  Each class may only occupy a shrinking
+share of the queue (:meth:`queue_limit_for`), so as the queue fills the
+lowest class is rejected first while interactive traffic still finds
+room, and a freed slot is always handed to the highest-priority,
+longest-waiting query.
+
+Slot handoff is **direct**: :meth:`release` pops the best waiting
+ticket, admits it on the waiter's behalf, and notifies only that
+ticket's condition.  Two latent timing bugs in the previous
+notify-one-and-recheck loop are structurally impossible here:
+
+* **deadline drift** — the old loop passed the *full* timeout to every
+  ``Condition.wait`` call, so each wakeup restarted the clock and a
+  frequently-notified waiter could wait unboundedly past its deadline.
+  Waits now compute one absolute deadline and pass only the remaining
+  time to each wait.
+* **lost wakeup** — a waiter that consumed a ``notify()`` but then
+  timed out (or was interrupted) exited without re-notifying, stranding
+  a free slot while other queued queries slept.  Now a grant transfers
+  the slot with the notification; a granted waiter that is already
+  unwinding releases the slot again, which re-grants to the next ticket.
+
+Queue depth is exported as a telemetry gauge and every
+admit/reject/shed as a labelled counter, so the serve-sim and overload
+reports can show saturation per priority class.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
-from typing import Dict, Optional
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 from .. import telemetry
 from ..errors import ConfigurationError, ServiceOverloadedError
 
+#: Priority levels, highest first.  Lower number = more important =
+#: served first and shed last.
+PRIORITY_INTERACTIVE = 0
+PRIORITY_BATCH = 1
+PRIORITY_BACKGROUND = 2
+
+PRIORITY_NAMES: Tuple[str, ...] = ("interactive", "batch", "background")
+_LEVEL_BY_NAME = {name: level for level, name in enumerate(PRIORITY_NAMES)}
+
+
+def priority_level(priority: Union[int, str, None]) -> int:
+    """Normalise a priority given as level int, class name, or None."""
+    if priority is None:
+        return PRIORITY_INTERACTIVE
+    if isinstance(priority, str):
+        try:
+            return _LEVEL_BY_NAME[priority]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown priority {priority!r}; expected one of "
+                f"{PRIORITY_NAMES}"
+            ) from None
+    if not 0 <= priority < len(PRIORITY_NAMES):
+        raise ConfigurationError(
+            f"priority level must be in [0, {len(PRIORITY_NAMES)}), "
+            f"got {priority}"
+        )
+    return priority
+
+
+def priority_name(level: int) -> str:
+    """The class name of a priority level (for telemetry labels)."""
+    return PRIORITY_NAMES[priority_level(level)]
+
+
+class _Ticket:
+    """One queued acquire: its own condition on the shared lock.
+
+    Each waiter sleeps on a private condition so a grant can wake
+    exactly the chosen waiter — no thundering herd, no notify stealing.
+    ``granted`` means the slot has already been transferred to this
+    ticket (``_in_flight`` incremented on its behalf); ``abandoned``
+    marks a ticket whose waiter gave up, skipped lazily when popped.
+    """
+
+    __slots__ = ("priority", "seq", "granted", "abandoned", "cond")
+
+    def __init__(self, priority: int, seq: int, lock: threading.Lock) -> None:
+        self.priority = priority
+        self.seq = seq
+        self.granted = False
+        self.abandoned = False
+        self.cond = threading.Condition(lock)
+
 
 class AdmissionController:
-    """Counting-semaphore-with-a-bounded-queue, instrumented."""
+    """Counting-semaphore with a bounded priority queue, instrumented."""
 
-    def __init__(self, max_in_flight: int, queue_limit: int) -> None:
+    def __init__(
+        self,
+        max_in_flight: int,
+        queue_limit: int,
+        priority_levels: int = len(PRIORITY_NAMES),
+    ) -> None:
         if max_in_flight < 1:
             raise ConfigurationError(
                 f"max_in_flight must be >= 1, got {max_in_flight}"
@@ -36,91 +124,241 @@ class AdmissionController:
             raise ConfigurationError(
                 f"queue_limit must be >= 0, got {queue_limit}"
             )
+        if not 1 <= priority_levels <= len(PRIORITY_NAMES):
+            raise ConfigurationError(
+                f"priority_levels must be in [1, {len(PRIORITY_NAMES)}], "
+                f"got {priority_levels}"
+            )
         self.max_in_flight = max_in_flight
         self.queue_limit = queue_limit
-        self._cond = threading.Condition()
+        self.priority_levels = priority_levels
+        self._lock = threading.Lock()
+        self._heap: List[Tuple[int, int, _Ticket]] = []
+        self._seq = 0
         self._in_flight = 0
         self._queued = 0
         self.admitted_total = 0
         self.rejected_total = 0
+        self.timed_out_total = 0
         self.queued_peak = 0
+        self.admitted_by_priority = [0] * priority_levels
+        self.rejected_by_priority = [0] * priority_levels
+
+    # ------------------------------------------------------------- policy --
+
+    def queue_limit_for(self, priority: int) -> int:
+        """Queue occupancy allowed for a class: shrinks with priority.
+
+        With P levels and queue limit Q, class p may only enter the
+        queue while fewer than ``Q * (P - p) / P`` queries wait — the
+        head of the queue is reserved for more important work, so under
+        pressure background queries are shed first, then batch, and
+        interactive last (the full Q).
+        """
+        level = priority_level(priority)
+        return (self.queue_limit * (self.priority_levels - level)) // (
+            self.priority_levels
+        )
+
+    def pressure(self) -> float:
+        """Queue occupancy in [0, 1] — the degradation-ladder signal.
+
+        With no queue configured, in-flight occupancy stands in (the
+        only pressure signal a queueless controller has).
+        """
+        with self._lock:
+            if self.queue_limit > 0:
+                return self._queued / self.queue_limit
+            return self._in_flight / self.max_in_flight
 
     # ------------------------------------------------------------- lifecycle --
 
-    def acquire(self, timeout: Optional[float] = None) -> None:
+    def acquire(
+        self,
+        timeout: Optional[float] = None,
+        priority: Union[int, str, None] = None,
+    ) -> None:
         """Take an execution slot, queueing if necessary.
 
-        Raises :class:`ServiceOverloadedError` immediately when both the
-        in-flight and queue bounds are full (no blocking — rejection is
-        the backpressure signal), or :class:`ServiceOverloadedError` on
-        queue-wait timeout when ``timeout`` is given.
+        Raises :class:`ServiceOverloadedError` immediately when the
+        priority class's queue allowance is exhausted (rejection is the
+        backpressure signal), with ``timeout=0`` when no slot is free
+        (non-blocking probe semantics), or on queue-wait timeout when a
+        positive ``timeout`` is given.  The timeout is an **absolute
+        deadline** computed once — wakeups wait only the remaining time.
         """
-        with self._cond:
-            if self._in_flight < self.max_in_flight:
-                self._admit_locked()
+        level = priority_level(priority)
+        with self._lock:
+            if self._in_flight < self.max_in_flight and self._queued == 0:
+                self._admit_locked(level)
                 return
-            if self._queued >= self.queue_limit:
-                self.rejected_total += 1
-                telemetry.count("service.rejected")
-                raise ServiceOverloadedError(
+            allowance = self.queue_limit_for(level)
+            if self._queued >= allowance:
+                self._reject_locked(
+                    level,
                     f"service overloaded: {self._in_flight} queries in flight "
                     f"(max {self.max_in_flight}) and {self._queued} queued "
-                    f"(limit {self.queue_limit}); retry later"
+                    f"(limit {self.queue_limit}, "
+                    f"{PRIORITY_NAMES[level]} allowance {allowance}); "
+                    f"retry later",
                 )
+            if timeout is not None and timeout <= 0:
+                self._reject_locked(
+                    level,
+                    f"service overloaded: no free slot and timeout={timeout} "
+                    f"forbids queueing (max_in_flight={self.max_in_flight})",
+                )
+            deadline = None if timeout is None else time.monotonic() + timeout
+            ticket = _Ticket(level, self._seq, self._lock)
+            self._seq += 1
+            heapq.heappush(self._heap, (level, ticket.seq, ticket))
             self._queued += 1
             self.queued_peak = max(self.queued_peak, self._queued)
             telemetry.set_gauge("service.queue_depth", self._queued)
+            # a slot may have freed between the fast-path check and the
+            # push (or the queue was momentarily non-empty); granting here
+            # admits this ticket immediately if it is the best waiter
+            self._grant_next_locked()
             try:
-                while self._in_flight >= self.max_in_flight:
-                    if not self._cond.wait(timeout):
-                        self.rejected_total += 1
-                        telemetry.count("service.rejected")
-                        raise ServiceOverloadedError(
-                            f"service overloaded: no slot freed within "
-                            f"{timeout}s (max_in_flight={self.max_in_flight})"
+                while not ticket.granted:
+                    if deadline is None:
+                        ticket.cond.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not ticket.cond.wait(remaining):
+                        if ticket.granted:
+                            break  # grant raced the timeout: slot is ours
+                        ticket.abandoned = True
+                        self._queued -= 1
+                        telemetry.set_gauge(
+                            "service.queue_depth", self._queued
                         )
-            finally:
-                self._queued -= 1
-                telemetry.set_gauge("service.queue_depth", self._queued)
-            self._admit_locked()
+                        self.timed_out_total += 1
+                        self._reject_locked(
+                            level,
+                            f"service overloaded: no slot freed within "
+                            f"{timeout}s "
+                            f"(max_in_flight={self.max_in_flight})",
+                            shed_reason="timeout",
+                        )
+            except BaseException:
+                if ticket.granted:
+                    # interrupted after the grant: hand the slot straight
+                    # on so it is never stranded (the lost-wakeup fix)
+                    self._queued -= 1
+                    telemetry.set_gauge("service.queue_depth", self._queued)
+                    self._release_locked()
+                elif not ticket.abandoned:
+                    ticket.abandoned = True
+                    self._queued -= 1
+                    telemetry.set_gauge("service.queue_depth", self._queued)
+                raise
+            self._queued -= 1
+            telemetry.set_gauge("service.queue_depth", self._queued)
 
-    def _admit_locked(self) -> None:
+    def try_acquire(self, priority: Union[int, str, None] = None) -> bool:
+        """Non-blocking: admit if a slot is free and nobody waits.
+
+        Returns ``False`` (caller should queue or shed) instead of
+        blocking; never raises for a full queue.  Used by the modelled
+        open-loop executor, which manages virtual-time queueing itself.
+        """
+        level = priority_level(priority)
+        with self._lock:
+            if self._in_flight < self.max_in_flight and self._queued == 0:
+                self._admit_locked(level)
+                return True
+            return False
+
+    def record_shed(
+        self, priority: Union[int, str, None], reason: str = "queue_full"
+    ) -> None:
+        """Count one shed query (modelled executors shed out-of-band)."""
+        level = priority_level(priority)
+        with self._lock:
+            self._count_rejected_locked(level, reason)
+
+    def note_queue_depth(self, depth: int) -> None:
+        """Report an external (virtual-time) queue's depth for gauges."""
+        with self._lock:
+            self.queued_peak = max(self.queued_peak, depth)
+            telemetry.set_gauge("service.queue_depth", depth)
+
+    def _admit_locked(self, level: int) -> None:
         self._in_flight += 1
         self.admitted_total += 1
-        telemetry.count("service.admitted")
+        self.admitted_by_priority[level] += 1
+        telemetry.count("service.admitted", priority=PRIORITY_NAMES[level])
         telemetry.set_gauge("service.in_flight", self._in_flight)
 
+    def _count_rejected_locked(self, level: int, reason: str) -> None:
+        self.rejected_total += 1
+        self.rejected_by_priority[level] += 1
+        telemetry.count(
+            "service.rejected",
+            priority=PRIORITY_NAMES[level],
+            reason=reason,
+        )
+
+    def _reject_locked(
+        self, level: int, message: str, shed_reason: str = "queue_full"
+    ) -> None:
+        self._count_rejected_locked(level, shed_reason)
+        raise ServiceOverloadedError(message)
+
+    def _grant_next_locked(self) -> None:
+        """Hand free slots to the best waiting tickets (direct handoff)."""
+        while self._in_flight < self.max_in_flight and self._heap:
+            _, _, ticket = heapq.heappop(self._heap)
+            if ticket.abandoned:
+                continue
+            ticket.granted = True
+            self._admit_locked(ticket.priority)
+            ticket.cond.notify()
+
+    def _release_locked(self) -> None:
+        self._in_flight -= 1
+        telemetry.set_gauge("service.in_flight", self._in_flight)
+        self._grant_next_locked()
+
     def release(self) -> None:
-        """Return an execution slot, waking one queued query."""
-        with self._cond:
+        """Return an execution slot, granting it to the best queued query."""
+        with self._lock:
             if self._in_flight < 1:
                 raise ConfigurationError(
                     "release() without a matching acquire()"
                 )
-            self._in_flight -= 1
-            telemetry.set_gauge("service.in_flight", self._in_flight)
-            self._cond.notify()
+            self._release_locked()
 
     # ------------------------------------------------------------ inspection --
 
     @property
     def in_flight(self) -> int:
-        with self._cond:
+        with self._lock:
             return self._in_flight
 
     @property
     def queued(self) -> int:
-        with self._cond:
+        with self._lock:
             return self._queued
 
-    def snapshot(self) -> Dict[str, int]:
-        with self._cond:
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
             return {
                 "in_flight": self._in_flight,
                 "queued": self._queued,
                 "admitted_total": self.admitted_total,
                 "rejected_total": self.rejected_total,
+                "timed_out_total": self.timed_out_total,
                 "queued_peak": self.queued_peak,
                 "max_in_flight": self.max_in_flight,
                 "queue_limit": self.queue_limit,
+                "admitted_by_priority": {
+                    PRIORITY_NAMES[level]: count
+                    for level, count in enumerate(self.admitted_by_priority)
+                },
+                "rejected_by_priority": {
+                    PRIORITY_NAMES[level]: count
+                    for level, count in enumerate(self.rejected_by_priority)
+                },
             }

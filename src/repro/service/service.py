@@ -33,7 +33,7 @@ from .. import telemetry
 from ..client.datasource import DataSource
 from ..errors import ServiceError, ServiceOverloadedError
 from ..sqlengine.query import Delete, Insert, JoinSelect, Select, Update
-from .admission import AdmissionController
+from .admission import AdmissionController, priority_level, priority_name
 from .plancache import PlanCache
 from .scheduler import BatchingCluster, FanoutBatcher
 from .session import Session, SessionManager
@@ -86,13 +86,20 @@ class TableLock:
 class ServiceStats:
     """Service-wide outcome counters (admission keeps its own)."""
 
-    __slots__ = ("completed", "failed", "rows_returned", "rows_written")
+    __slots__ = (
+        "completed",
+        "failed",
+        "rows_returned",
+        "rows_written",
+        "degraded_served",
+    )
 
     def __init__(self) -> None:
         self.completed = 0
         self.failed = 0
         self.rows_returned = 0
         self.rows_written = 0
+        self.degraded_served = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -109,7 +116,14 @@ class QueryService:
         plan_cache_capacity: int = 256,
         batching: bool = True,
         transactional: bool = False,
+        degrade_at: float = 0.5,
+        restore_at: float = 0.2,
     ) -> None:
+        if not 0.0 <= restore_at <= degrade_at <= 1.0:
+            raise ServiceError(
+                f"need 0 <= restore_at <= degrade_at <= 1, got "
+                f"restore_at={restore_at}, degrade_at={degrade_at}"
+            )
         self.source = source
         self.batching = batching
         #: route session writes through the shared transaction manager
@@ -130,6 +144,15 @@ class QueryService:
         self._stats_lock = threading.Lock()
         self._txn_manager = None
         self._closed = False
+        # degradation ladder: under queue pressure, verified reads are
+        # transparently downgraded to plain quorum reads (same values,
+        # cheaper rounds) before any work is rejected — restored with
+        # hysteresis so the mode doesn't flap at the threshold
+        self.degrade_at = degrade_at
+        self.restore_at = restore_at
+        self._premium_reads = bool(getattr(source, "verified_reads", False))
+        self._degraded = False
+        self._degrade_lock = threading.Lock()
 
     # ------------------------------------------------------------- sessions --
 
@@ -144,21 +167,32 @@ class QueryService:
 
     # ------------------------------------------------------------ execution --
 
-    def execute(self, text: str, session: Optional[Session] = None):
+    def execute(
+        self,
+        text: str,
+        session: Optional[Session] = None,
+        priority=None,
+        timeout: Optional[float] = None,
+    ):
         """Admit, lock, register, run one SQL statement.
 
-        Raises :class:`ServiceOverloadedError` when admission rejects —
-        callers are expected to back off and retry.
+        ``priority`` (a level or class name; defaults to interactive)
+        shapes queue admission — under pressure low-priority work is
+        shed first.  ``timeout`` bounds the queue wait with an absolute
+        deadline.  Raises :class:`ServiceOverloadedError` when admission
+        rejects — callers are expected to back off and retry.
         """
         self._check_open()
         statement = self.plan_cache.parse(text)
         is_read = isinstance(statement, (Select, JoinSelect))
+        self._update_degraded_mode()
         try:
-            self.admission.acquire()
+            self.admission.acquire(timeout=timeout, priority=priority)
         except ServiceOverloadedError:
             if session is not None:
                 session.record(error=True, rejected=True)
             raise
+        served_degraded = is_read and self._note_degraded_read(priority)
         try:
             # lock BEFORE register: a registered query must never block on
             # another query's resources (scheduler invariant)
@@ -198,7 +232,40 @@ class QueryService:
             self.stats.completed += 1
             self.stats.rows_returned += returned
             self.stats.rows_written += written
+            if served_degraded:
+                self.stats.degraded_served += 1
         return result
+
+    def _update_degraded_mode(self) -> None:
+        """Move the degradation ladder from the admission pressure signal."""
+        if not self._premium_reads:
+            return
+        pressure = self.admission.pressure()
+        with self._degrade_lock:
+            if not self._degraded and pressure >= self.degrade_at:
+                self._degraded = True
+                self.source.verified_reads = False
+                telemetry.count("service.degrade_enter")
+            elif self._degraded and pressure <= self.restore_at:
+                self._degraded = False
+                self.source.verified_reads = True
+                telemetry.count("service.degrade_exit")
+
+    def _note_degraded_read(self, priority) -> bool:
+        """Whether this read runs degraded; counts it if so."""
+        if not (self._premium_reads and self._degraded):
+            return False
+        from .slo import DEGRADED_METRIC
+
+        telemetry.count(
+            DEGRADED_METRIC, priority=priority_name(priority_level(priority))
+        )
+        return True
+
+    @property
+    def degraded(self) -> bool:
+        """Whether reads currently run in degraded (plain-quorum) mode."""
+        return self._degraded
 
     def _run(self, statement, session: Optional[Session]):
         if self.transactional and isinstance(
@@ -352,6 +419,7 @@ class QueryService:
         """One dict with every layer's counters (the serve-sim report body)."""
         out = {
             "service": self.stats.snapshot(),
+            "degraded": self._degraded,
             "admission": self.admission.snapshot(),
             "batcher": self.batcher.snapshot(),
             "plan_cache": self.plan_cache.stats(),
@@ -372,6 +440,8 @@ class QueryService:
             self._txn_manager.close()
         self.source.cluster = self._inner_cluster
         self.source.plan_cache = self._previous_plan_cache
+        # un-degrade: the source leaves with the read mode it came with
+        self.source.verified_reads = self._premium_reads
 
     def __enter__(self) -> "QueryService":
         return self

@@ -54,6 +54,7 @@ class Session:
         session_id: int,
         client_id: str,
         id_block_size: int = DEFAULT_ID_BLOCK_SIZE,
+        priority=None,
     ) -> None:
         if id_block_size < 1:
             raise ServiceError(
@@ -63,6 +64,9 @@ class Session:
         self.session_id = session_id
         self.client_id = client_id
         self.id_block_size = id_block_size
+        #: default admission priority for this client's statements
+        #: (level int or class name; None = interactive)
+        self.priority = priority
         self.stats = SessionStats()
         self.closed = False
         self._lock = threading.Lock()
@@ -71,13 +75,22 @@ class Session:
 
     # ------------------------------------------------------------ execution --
 
-    def execute(self, text: str):
-        """Run one SQL statement through the service under this session."""
+    def execute(self, text: str, priority=None, timeout=None):
+        """Run one SQL statement through the service under this session.
+
+        ``priority`` overrides the session's default class for this one
+        statement; ``timeout`` bounds the admission queue wait.
+        """
         if self.closed:
             raise ServiceError(
                 f"session {self.session_id} ({self.client_id}) is closed"
             )
-        return self.service.execute(text, session=self)
+        return self.service.execute(
+            text,
+            session=self,
+            priority=self.priority if priority is None else priority,
+            timeout=timeout,
+        )
 
     # ---------------------------------------------------- row id allocation --
 
@@ -137,6 +150,7 @@ class SessionManager:
         self,
         client_id: Optional[str] = None,
         id_block_size: int = DEFAULT_ID_BLOCK_SIZE,
+        priority=None,
     ) -> Session:
         with self._lock:
             session_id = self._next_id
@@ -146,6 +160,7 @@ class SessionManager:
                 session_id,
                 client_id if client_id is not None else f"client-{session_id}",
                 id_block_size,
+                priority=priority,
             )
             self._sessions[session_id] = session
         return session

@@ -143,6 +143,7 @@ class TestTier1Gate:
         assert "bench_sharding.py --check" in runs
         assert "bench_txn.py --check" in runs
         assert "bench_updates.py --check" in runs
+        assert "bench_overload.py --check" in runs
         assert "repro.cli trace" in runs
         # the hot-path check gates the >=10x vectorized speedup, which
         # requires numpy in the bench-smoke environment
@@ -172,6 +173,7 @@ class TestTier1Gate:
         assert "python benchmarks/bench_sharding.py\n" in run_lines
         assert "python benchmarks/bench_txn.py\n" in run_lines
         assert "python benchmarks/bench_provider.py\n" in run_lines
+        assert "python benchmarks/bench_overload.py\n" in run_lines
         uploads = [
             s for s in steps
             if str(s.get("uses", "")).startswith("actions/upload-artifact")
@@ -189,6 +191,17 @@ class TestTier1Gate:
         assert "bench_resilience.py --check" in runs
         assert "repro.cli repair" in runs
         assert "repro.cli shard-split" in runs
+
+    def test_chaos_smoke_runs_overload_drills(self, jobs):
+        """The overload gates run in chaos-smoke too (the --check mode
+        includes the combined 4x flood + (n-k) crash + breakers drill),
+        plus an open-loop flood through the CLI with breakers armed."""
+        runs = [
+            s["run"] for s in jobs["chaos-smoke"]["steps"] if "run" in s
+        ]
+        assert any("bench_overload.py --check" in r for r in runs)
+        floods = [r for r in runs if "serve-sim --open-loop" in r]
+        assert floods and all("--breakers" in r for r in floods)
 
     def test_chaos_smoke_runs_crash_replay_drills(self, jobs):
         """The WAL kill-at-every-phase drill runs through the CLI both

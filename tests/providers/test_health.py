@@ -92,6 +92,45 @@ class TestPreferredOrder:
         tracker.quarantine(1)
         assert tracker.preferred_order([1, 3]) == [3, 1]
 
+    def test_order_at_exact_cooldown_expiry(self, tracker, clock):
+        """At exactly ``quarantined_until`` the provider is readmitted:
+        it sorts with the healthy group, in index order, clean slate."""
+        tracker.quarantine(1)
+        clock.now = 30.0  # the boundary tick, not one past it
+        assert tracker.preferred_order([0, 1, 2]) == [0, 1, 2]
+        assert tracker.snapshot()["DAS2"]["quarantined"] is False
+        assert tracker.snapshot()["DAS2"]["consecutive_failures"] == 0
+
+    def test_expiry_mid_scan_keeps_partition_exact(self, clock):
+        """Regression for the double-evaluation bug: ``is_quarantined``
+        mutates state on lazy expiry, so the old two-scan partition
+        could drop (or duplicate) a provider whose cooldown expired
+        between the scans.  A clock that advances on every read makes
+        the expiry land mid-scan; the result must still be a
+        permutation of the candidates, every time."""
+
+        class TickingClock:
+            def __init__(self):
+                self.now = 0.0
+
+            def __call__(self):
+                self.now += 1.0  # each read crosses another second
+                return self.now
+
+        ticking = TickingClock()
+        tracker = HealthTracker(
+            5, quarantine_after=2, cooldown_seconds=4.0, clock=ticking
+        )
+        for index in range(5):
+            tracker.quarantine(index)
+        # expiries now sit a few ticks apart; repeated calls sweep the
+        # boundary through every position of the scan
+        for _ in range(10):
+            order = tracker.preferred_order([0, 1, 2, 3, 4])
+            assert sorted(order) == [0, 1, 2, 3, 4], (
+                f"partition lost or duplicated providers: {order}"
+            )
+
 
 class TestIntrospection:
     def test_snapshot_fields(self, tracker, clock):

@@ -1,12 +1,20 @@
 """Admission control: bounds, backpressure, and the reject counter."""
 
 import threading
+import time
 
 import pytest
 
 from repro import telemetry
 from repro.errors import ConfigurationError, ServiceOverloadedError
-from repro.service import AdmissionController
+from repro.service import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    AdmissionController,
+    priority_level,
+    priority_name,
+)
 
 
 def fill_queue(controller, count):
@@ -111,3 +119,255 @@ class TestRejection:
         assert snap["queue_limit"] == 4
         assert snap["admitted_total"] == 1
         assert snap["rejected_total"] == 0
+
+
+class TestPriorityHelpers:
+    def test_levels_and_names_round_trip(self):
+        assert priority_level(None) == PRIORITY_INTERACTIVE
+        assert priority_level("interactive") == PRIORITY_INTERACTIVE
+        assert priority_level("batch") == PRIORITY_BATCH
+        assert priority_level("background") == PRIORITY_BACKGROUND
+        assert priority_level(1) == 1
+        assert priority_name(PRIORITY_BATCH) == "batch"
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ConfigurationError):
+            priority_level("urgent")
+        with pytest.raises(ConfigurationError):
+            priority_level(3)
+        with pytest.raises(ConfigurationError):
+            priority_level(-1)
+
+    def test_queue_allowance_shrinks_with_priority(self):
+        controller = AdmissionController(1, queue_limit=12)
+        assert controller.queue_limit_for(PRIORITY_INTERACTIVE) == 12
+        assert controller.queue_limit_for(PRIORITY_BATCH) == 8
+        assert controller.queue_limit_for(PRIORITY_BACKGROUND) == 4
+
+    def test_background_shed_first(self):
+        """Once the queue passes the background allowance, background
+        arrivals are rejected while interactive ones still queue."""
+        controller = AdmissionController(max_in_flight=1, queue_limit=6)
+        controller.acquire()
+        threads = fill_queue(controller, 2)  # interactive waiters
+        with pytest.raises(ServiceOverloadedError):
+            controller.acquire(priority="background")  # allowance 2 full
+        # interactive still has room: a short-timeout wait times out
+        # rather than being rejected outright at enqueue time
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.acquire(priority="interactive", timeout=0.02)
+        assert "no slot freed" in str(excinfo.value)
+        for _ in range(3):
+            controller.release()
+        for thread in threads:
+            thread.join(timeout=2.0)
+
+    def test_release_grants_highest_priority_first(self):
+        controller = AdmissionController(max_in_flight=1, queue_limit=6)
+        controller.acquire()
+        admitted = []
+        order = ["background", "batch", "interactive"]
+        threads = []
+        for name in order:  # worst priority enqueues first
+            thread = threading.Thread(
+                target=lambda n=name: (
+                    controller.acquire(priority=n),
+                    admitted.append(n),
+                )
+            )
+            thread.start()
+            threads.append(thread)
+            for _ in range(500):
+                if controller.queued == len(threads):
+                    break
+                time.sleep(0.002)
+        for _ in range(3):
+            controller.release()
+            time.sleep(0.02)
+        for thread in threads:
+            thread.join(timeout=2.0)
+        assert admitted == ["interactive", "batch", "background"]
+        # each release handed its slot straight on; one remains held
+        assert controller.in_flight == 1
+        controller.release()
+
+
+class TestTimeoutSemantics:
+    def test_timeout_zero_admits_when_free(self):
+        controller = AdmissionController(max_in_flight=1, queue_limit=4)
+        controller.acquire(timeout=0)  # free slot: no queueing needed
+        assert controller.in_flight == 1
+        controller.release()
+
+    def test_timeout_zero_rejects_without_queueing(self):
+        """timeout=0 is a non-blocking probe: saturated means an
+        immediate rejection, never a queue entry."""
+        controller = AdmissionController(max_in_flight=1, queue_limit=4)
+        controller.acquire()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.acquire(timeout=0)
+        assert "timeout=0" in str(excinfo.value)
+        assert controller.queued == 0
+        assert controller.rejected_total == 1
+        controller.release()
+
+    def test_spurious_wakeups_do_not_extend_deadline(self):
+        """Regression for the deadline-drift bug: the old loop passed
+        the *full* timeout to every ``Condition.wait``, so a waiter
+        woken repeatedly (without being granted) restarted its clock
+        each time and could over-wait without bound.  Here a pounder
+        thread notifies the waiter's condition every 20ms — far more
+        often than the 250ms timeout — and the waiter must still time
+        out on schedule.  On the pre-fix code path this provably hangs:
+        every wakeup re-arms a fresh 250ms wait, so the waiter never
+        reaches its deadline while the pounder runs (>= 2s here).
+        """
+        controller = AdmissionController(max_in_flight=1, queue_limit=1)
+        controller.acquire()
+        stop = threading.Event()
+
+        def pound():
+            # wake the queued ticket's condition without granting it
+            while not stop.is_set():
+                with controller._lock:
+                    for _, _, ticket in controller._heap:
+                        if not ticket.granted and not ticket.abandoned:
+                            ticket.cond.notify()
+                time.sleep(0.02)
+
+        pounder = threading.Thread(target=pound)
+        pounder.start()
+        try:
+            start = time.monotonic()
+            with pytest.raises(ServiceOverloadedError):
+                controller.acquire(timeout=0.25)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            pounder.join(timeout=2.0)
+        assert elapsed < 2.0, (
+            f"waiter over-waited its 0.25s deadline by {elapsed - 0.25:.2f}s "
+            f"— full-timeout restart per wakeup (deadline drift)"
+        )
+        assert controller.timed_out_total == 1
+        assert controller.queued == 0
+        controller.release()
+
+    def test_grant_racing_timeout_keeps_the_slot(self):
+        """Regression for the lost-wakeup hazard: a grant that lands
+        while the waiter is timing out must not be dropped.  The waiter
+        is forced past its deadline while the lock is held, then the
+        slot is granted to it before it can re-check; pre-fix the waiter
+        raised overload anyway and the granted slot was stranded."""
+        controller = AdmissionController(max_in_flight=1, queue_limit=1)
+        controller.acquire()
+        outcome = {}
+
+        def wait_briefly():
+            try:
+                controller.acquire(timeout=0.05)
+                outcome["admitted"] = True
+            except ServiceOverloadedError:
+                outcome["admitted"] = False
+
+        waiter = threading.Thread(target=wait_briefly)
+        waiter.start()
+        for _ in range(500):
+            if controller.queued == 1:
+                break
+            time.sleep(0.002)
+        assert controller.queued == 1
+        with controller._lock:
+            # hold the lock past the waiter's deadline so its timed-out
+            # wait() blocks re-acquiring, then grant it the freed slot
+            time.sleep(0.1)
+            controller._release_locked()
+        waiter.join(timeout=2.0)
+        assert outcome == {"admitted": True}, (
+            "grant racing the timeout was discarded (lost wakeup)"
+        )
+        assert controller.in_flight == 1  # the waiter holds the slot
+        controller.release()
+        assert controller.in_flight == 0
+        # nothing stranded: the slot is immediately acquirable
+        controller.acquire(timeout=0)
+        controller.release()
+
+
+class TestConcurrentAccounting:
+    def test_counters_balance_under_barrier_storm(self):
+        """queued_peak / admitted / rejected stay consistent when many
+        threads hit acquire() simultaneously from a barrier."""
+        M, Q, N = 2, 4, 12
+        controller = AdmissionController(max_in_flight=M, queue_limit=Q)
+        barrier = threading.Barrier(N)
+        results = []
+        results_lock = threading.Lock()
+
+        def storm():
+            barrier.wait()
+            try:
+                controller.acquire(timeout=2.0)
+            except ServiceOverloadedError:
+                with results_lock:
+                    results.append("rejected")
+                return
+            time.sleep(0.01)
+            controller.release()
+            with results_lock:
+                results.append("admitted")
+
+        threads = [threading.Thread(target=storm) for _ in range(N)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(results) == N
+        snap = controller.snapshot()
+        admitted = results.count("admitted")
+        rejected = results.count("rejected")
+        assert snap["admitted_total"] == admitted
+        assert snap["rejected_total"] == rejected
+        assert admitted + rejected == N
+        # more arrivals than M+Q guarantees queueing and some shedding
+        assert admitted >= M + Q
+        assert 0 < snap["queued_peak"] <= Q
+        assert snap["in_flight"] == 0
+        assert snap["queued"] == 0
+
+    def test_release_vs_timeout_races_never_strand_slots(self):
+        """Repeatedly race release() against a short queue-wait timeout;
+        whatever the interleaving, the slot must end up either with the
+        waiter or back in the free pool — never stranded."""
+        controller = AdmissionController(max_in_flight=1, queue_limit=1)
+        for round_no in range(50):
+            controller.acquire()
+            outcome = {}
+
+            def wait_briefly():
+                try:
+                    controller.acquire(timeout=0.005)
+                    outcome["admitted"] = True
+                except ServiceOverloadedError:
+                    outcome["admitted"] = False
+
+            waiter = threading.Thread(target=wait_briefly)
+            waiter.start()
+            for _ in range(500):
+                if controller.queued == 1 or not waiter.is_alive():
+                    break
+                time.sleep(0.0005)
+            # jitter the release around the waiter's deadline
+            time.sleep(0.005 * (round_no % 3) / 2)
+            controller.release()
+            waiter.join(timeout=2.0)
+            assert not waiter.is_alive()
+            if outcome["admitted"]:
+                controller.release()
+            # the invariant: a fresh non-blocking acquire always works
+            controller.acquire(timeout=0)
+            controller.release()
+        snap = controller.snapshot()
+        assert snap["in_flight"] == 0
+        assert snap["queued"] == 0
+        assert snap["timed_out_total"] == snap["rejected_total"]

@@ -1,0 +1,168 @@
+"""Open-loop overload runner: oracle, shedding order, degradation."""
+
+import pytest
+
+from repro import telemetry
+from repro.client.datasource import DataSource
+from repro.errors import ConfigurationError
+from repro.providers.cluster import ProviderCluster
+from repro.service import PlaintextMirror, estimate_capacity, run_open_loop
+from repro.workloads.employees import employees_table
+from repro.workloads.traffic import (
+    TrafficEvent,
+    TrafficProfile,
+    generate_traffic,
+)
+
+SEED = 2009
+
+
+def build_source(rows=40, providers=4, threshold=2):
+    table = employees_table(rows, seed=SEED)
+    source = DataSource(
+        ProviderCluster(providers, threshold), seed=SEED, verified_reads=True
+    )
+    source.outsource_table(table)
+    eids = sorted(row["eid"] for row in table.rows())
+    return source, eids
+
+
+def flood_events(source, eids, load, queries=200, max_in_flight=4):
+    """Traffic calibrated to ``load`` x the deployment's capacity."""
+    capacity = estimate_capacity(
+        source, eids, max_in_flight=max_in_flight, seed=SEED + 1
+    )
+    source.cluster.network.reset()
+    profile = TrafficProfile(
+        mean_interarrival=1.0 / (capacity["capacity_qps"] * load)
+    )
+    return generate_traffic(eids, queries, seed=SEED, profile=profile)
+
+
+class TestMirror:
+    def rows(self):
+        return [
+            {"eid": 1, "name": "A", "salary": 50_000},
+            {"eid": 2, "name": "B", "salary": 60_000},
+        ]
+
+    def event(self, kind, params):
+        return TrafficEvent(
+            arrival=0.0, session_id="s", sql="", kind=kind,
+            priority=0, params=params,
+        )
+
+    def test_point_hit_and_miss(self):
+        mirror = PlaintextMirror(self.rows())
+        assert mirror.check_and_apply(
+            self.event("point", (1,)), [{"name": "A", "salary": 50_000}]
+        )
+        assert mirror.check_and_apply(self.event("point", (99,)), [])
+        assert not mirror.check_and_apply(
+            self.event("point", (1,)), [{"name": "A", "salary": 1}]
+        )
+
+    def test_range_compares_eids(self):
+        mirror = PlaintextMirror(self.rows())
+        event = self.event("range", (55_000, 65_000))
+        assert mirror.check_and_apply(event, [{"eid": 2}])
+        assert not mirror.check_and_apply(event, [{"eid": 1}])
+        assert not mirror.check_and_apply(event, "not a list")
+
+    def test_aggregate_counts(self):
+        mirror = PlaintextMirror(self.rows())
+        event = self.event("aggregate", (40_000, 70_000))
+        assert mirror.check_and_apply(event, 2)
+        assert not mirror.check_and_apply(event, 3)
+
+    def test_update_applies_at_check_time(self):
+        mirror = PlaintextMirror(self.rows())
+        assert mirror.check_and_apply(self.event("update", (1, 99_000)), 1)
+        # the write landed: later reads expect the new salary
+        assert mirror.check_and_apply(
+            self.event("point", (1,)), [{"name": "A", "salary": 99_000}]
+        )
+        assert mirror.check_and_apply(self.event("update", (99, 1)), 0)
+
+    def test_insert_applies(self):
+        mirror = PlaintextMirror(self.rows())
+        event = self.event("insert", (3, "C", "FLOOD", "OPS", 70_000))
+        assert mirror.check_and_apply(event, 1)
+        assert mirror.check_and_apply(
+            self.event("point", (3,)), [{"name": "C", "salary": 70_000}]
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlaintextMirror([]).check_and_apply(
+                self.event("mystery", ()), None
+            )
+
+
+class TestCapacity:
+    def test_capacity_positive_and_deterministic(self):
+        source, eids = build_source()
+        first = estimate_capacity(source, eids, max_in_flight=4)
+        assert first["capacity_qps"] > 0
+        assert first["mean_service_seconds"] > 0
+        source2, eids2 = build_source()
+        assert estimate_capacity(source2, eids2, max_in_flight=4) == first
+
+
+class TestRunOpenLoop:
+    def test_validation(self):
+        source, _ = build_source(rows=10, providers=3, threshold=2)
+        with pytest.raises(ConfigurationError):
+            run_open_loop(source, [], degrade_at=0.3, restore_at=0.5)
+        with pytest.raises(ConfigurationError):
+            run_open_loop(source, [], degrade_at=1.5)
+
+    def test_light_load_all_complete_zero_incorrect(self):
+        source, eids = build_source()
+        events = flood_events(source, eids, load=0.2, queries=120)
+        report = run_open_loop(source, events, max_in_flight=4,
+                               queue_limit=16)
+        assert report["completed"] == 120
+        assert report["shed"] == 0
+        assert report["failed"] == 0
+        assert report["incorrect"] == 0
+
+    def test_overload_sheds_by_priority_and_degrades(self):
+        source, eids = build_source()
+        events = flood_events(source, eids, load=4.0, queries=240)
+        with telemetry.session(
+            clock=lambda: source.cluster.network.modelled_seconds
+        ):
+            report = run_open_loop(
+                source, events, max_in_flight=4, queue_limit=16
+            )
+        assert report["incorrect"] == 0
+        assert report["shed"] > 0
+        assert report["degraded_served"] > 0
+        assert report["degrade_spans"] >= 1
+        rates = {
+            name: stats["completion_rate"]
+            for name, stats in report["slo"]["by_priority"].items()
+            if stats["offered"]
+        }
+        assert rates["interactive"] >= rates["background"]
+        # SLO rollup agrees with the runner's own counts
+        assert report["slo"]["offered"] == report["offered"]
+
+    def test_verified_reads_restored_after_run(self):
+        source, eids = build_source()
+        events = flood_events(source, eids, load=4.0, queries=150)
+        assert source.verified_reads
+        run_open_loop(source, events, max_in_flight=2, queue_limit=8)
+        assert source.verified_reads  # ladder toggles are transient
+
+    def test_deterministic_reports(self):
+        reports = []
+        for _ in range(2):
+            source, eids = build_source()
+            events = flood_events(source, eids, load=4.0, queries=150)
+            reports.append(
+                run_open_loop(source, events, max_in_flight=4,
+                              queue_limit=16)
+            )
+        assert reports[0] == reports[1]

@@ -1,0 +1,127 @@
+"""SLO rollup: quantile math, error budget, per-priority accounting."""
+
+import pytest
+
+from repro import telemetry
+from repro.service import FINE_BUCKETS, histogram_quantile, slo_report
+from repro.service.slo import (
+    COMPLETED_METRIC,
+    DEGRADED_METRIC,
+    SHED_METRIC,
+    observe_latency,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestQuantiles:
+    def make_hist(self, values, buckets=(1.0, 2.0, 4.0)):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=buckets)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile(self.make_hist([]), 0.5) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        hist = self.make_hist([1.0])
+        with pytest.raises(ValueError):
+            histogram_quantile(hist, -0.1)
+        with pytest.raises(ValueError):
+            histogram_quantile(hist, 1.1)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in the (1, 2] bucket: p50 lands midway
+        hist = self.make_hist([1.5] * 10)
+        p50 = histogram_quantile(hist, 0.50)
+        assert 1.0 < p50 <= 2.0
+        # p100 reaches the bucket's upper bound
+        assert histogram_quantile(hist, 1.0) == pytest.approx(2.0)
+
+    def test_quantiles_monotone(self):
+        hist = self.make_hist([0.5, 0.7, 1.5, 1.6, 3.0, 3.5])
+        quantiles = [
+            histogram_quantile(hist, q)
+            for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+        ]
+        assert quantiles == sorted(quantiles)
+
+    def test_overflow_clamps_to_top_bound(self):
+        hist = self.make_hist([100.0] * 5)  # all beyond the last bound
+        assert histogram_quantile(hist, 0.99) == 4.0
+
+    def test_fine_buckets_resolve_sub_millisecond(self):
+        assert FINE_BUCKETS[0] == pytest.approx(0.0001)
+        assert len(FINE_BUCKETS) == 64
+        # geometric ladder: strictly increasing, ~25% steps
+        assert all(
+            b > a for a, b in zip(FINE_BUCKETS, FINE_BUCKETS[1:])
+        )
+
+
+class TestObserveLatency:
+    def test_noop_without_telemetry(self):
+        observe_latency(0.5, "interactive")  # must not raise
+
+    def test_lands_in_fine_buckets(self):
+        with telemetry.session() as hub:
+            observe_latency(0.0005, "interactive")
+            hist = hub.registry.histogram(
+                "slo.latency", buckets=FINE_BUCKETS, priority="interactive"
+            )
+            assert hist.count == 1
+            # fine resolution: p99 within a bucket step of the truth
+            assert histogram_quantile(hist, 0.99) < 0.001
+
+
+class TestReport:
+    def test_requires_registry_when_disabled(self):
+        with pytest.raises(ValueError):
+            slo_report()
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            slo_report(MetricsRegistry(), availability_target=1.0)
+
+    def test_empty_registry_is_fully_available(self):
+        report = slo_report(MetricsRegistry())
+        assert report["availability"] == 1.0
+        assert report["budget_consumed"] == 0.0
+        assert report["offered"] == 0
+        assert set(report["by_priority"]) == {
+            "interactive", "batch", "background",
+        }
+
+    def test_budget_counts_shed_but_not_degraded(self):
+        with telemetry.session():
+            for _ in range(90):
+                telemetry.count(COMPLETED_METRIC, priority="interactive")
+                observe_latency(0.01, "interactive")
+            telemetry.count(
+                SHED_METRIC, 10, priority="interactive", reason="queue_full"
+            )
+            telemetry.count(DEGRADED_METRIC, 50, priority="interactive")
+            report = slo_report(availability_target=0.9)
+        assert report["offered"] == 100
+        assert report["availability"] == pytest.approx(0.9)
+        # exactly at target: the whole budget is burned, no more
+        assert report["budget_consumed"] == pytest.approx(1.0)
+        interactive = report["by_priority"]["interactive"]
+        assert interactive["completed"] == 90
+        assert interactive["shed"] == 10
+        assert interactive["shed_queue_full"] == 10
+        assert interactive["shed_timeout"] == 0
+        assert interactive["degraded"] == 50
+        assert interactive["completion_rate"] == pytest.approx(0.9)
+        assert interactive["latency_modelled_seconds"]["count"] == 90
+
+    def test_shed_timeout_reason_counted(self):
+        with telemetry.session():
+            telemetry.count(
+                SHED_METRIC, priority="batch", reason="timeout"
+            )
+            report = slo_report()
+        batch = report["by_priority"]["batch"]
+        assert batch["shed"] == 1
+        assert batch["shed_timeout"] == 1

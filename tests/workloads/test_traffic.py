@@ -1,0 +1,166 @@
+"""Open-loop traffic generation: determinism, tails, skew, churn."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.employees import EID_HI, employees_table
+from repro.workloads.traffic import (
+    KIND_AGGREGATE,
+    KIND_INSERT,
+    KIND_POINT,
+    KIND_RANGE,
+    KIND_UPDATE,
+    TrafficProfile,
+    generate_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def eids():
+    table = employees_table(50, seed=3)
+    return sorted(row["eid"] for row in table.rows())
+
+
+class TestProfileValidation:
+    def test_defaults_are_valid(self):
+        TrafficProfile()
+
+    def test_alpha_must_have_finite_mean(self):
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(pareto_alpha=1.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(mean_interarrival=0)
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(mix=(1.0, 0.0, 0.0, 0.0))  # 4 weights
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(mix=(0.0, 0.0, 0.0, 0.0, 0.0))  # zero sum
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(zipf_skew=-0.1)
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(session_mean_queries=0.5)
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(priority_weights=(0.0, 0.0, 0.0))
+
+    def test_scaled_multiplies_rate_only(self):
+        profile = TrafficProfile(mean_interarrival=0.2)
+        flooded = profile.scaled(4.0)
+        assert flooded.mean_interarrival == pytest.approx(0.05)
+        assert flooded.mix == profile.mix
+        with pytest.raises(ConfigurationError):
+            profile.scaled(0)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_events(self, eids):
+        a = generate_traffic(eids, 200, seed=42)
+        b = generate_traffic(eids, 200, seed=42)
+        assert a == b
+
+    def test_different_seed_differs(self, eids):
+        a = generate_traffic(eids, 200, seed=42)
+        b = generate_traffic(eids, 200, seed=43)
+        assert a != b
+
+    def test_prefix_stability(self, eids):
+        """A longer run begins with exactly the shorter run's events."""
+        short = generate_traffic(eids, 50, seed=9)
+        long = generate_traffic(eids, 200, seed=9)
+        assert long[:50] == short
+
+
+class TestArrivalProcess:
+    def test_arrivals_strictly_increase(self, eids):
+        events = generate_traffic(eids, 300, seed=5)
+        arrivals = [e.arrival for e in events]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mean_rate_near_target(self, eids):
+        profile = TrafficProfile(mean_interarrival=0.1, pareto_alpha=2.5)
+        events = generate_traffic(eids, 2000, seed=5, profile=profile)
+        mean_gap = events[-1].arrival / len(events)
+        assert mean_gap == pytest.approx(0.1, rel=0.25)
+
+    def test_heavy_tail_bursts(self, eids):
+        """Pareto gaps are heavy-tailed: most gaps sit near the scale
+        x_m (bursts), financed by rare gaps many times the mean."""
+        profile = TrafficProfile(mean_interarrival=0.1, pareto_alpha=1.3)
+        events = generate_traffic(eids, 1000, seed=5, profile=profile)
+        gaps = [
+            b.arrival - a.arrival for a, b in zip(events, events[1:])
+        ]
+        mean_gap = sum(gaps) / len(gaps)
+        assert max(gaps) > 5 * mean_gap
+        below_mean = sum(1 for g in gaps if g < mean_gap)
+        assert below_mean / len(gaps) > 0.7
+
+
+class TestStatementShape:
+    def test_kinds_follow_mix(self, eids):
+        events = generate_traffic(eids, 2000, seed=11)
+        counts = {}
+        for event in events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        # default mix (0.50, 0.15, 0.10, 0.15, 0.10): loose bounds
+        assert counts[KIND_POINT] > counts[KIND_RANGE]
+        assert counts[KIND_POINT] > counts[KIND_UPDATE]
+        assert set(counts) == {
+            KIND_POINT, KIND_RANGE, KIND_AGGREGATE, KIND_UPDATE, KIND_INSERT,
+        }
+
+    def test_zipf_concentrates_point_keys(self, eids):
+        """The hottest key absorbs far more than a uniform share."""
+        events = generate_traffic(eids, 2000, seed=11)
+        hits = {}
+        for event in events:
+            if event.kind == KIND_POINT:
+                (eid,) = event.params
+                hits[eid] = hits.get(eid, 0) + 1
+        total = sum(hits.values())
+        assert max(hits.values()) / total > 3.0 / len(eids)
+
+    def test_params_match_sql(self, eids):
+        for event in generate_traffic(eids, 300, seed=13):
+            for param in event.params:
+                assert str(param) in event.sql
+            assert event.is_write == (
+                event.kind in (KIND_UPDATE, KIND_INSERT)
+            )
+
+    def test_insert_eids_fresh_and_descending(self, eids):
+        events = generate_traffic(eids, 500, seed=17)
+        inserted = [
+            e.params[0] for e in events if e.kind == KIND_INSERT
+        ]
+        assert inserted  # the default mix produces inserts
+        assert inserted == list(
+            range(EID_HI, EID_HI - len(inserted), -1)
+        )
+        assert not set(inserted) & set(eids)
+
+    def test_priorities_cover_all_classes(self, eids):
+        events = generate_traffic(eids, 1000, seed=19)
+        levels = {e.priority for e in events}
+        assert levels == {0, 1, 2}
+        counts = [0, 0, 0]
+        for event in events:
+            counts[event.priority] += 1
+        # default weights (0.6, 0.25, 0.15) are strictly ordered
+        assert counts[0] > counts[1] > counts[2]
+
+
+class TestSessionChurn:
+    def test_sessions_churn_through_the_pool(self, eids):
+        events = generate_traffic(eids, 1000, seed=23)
+        distinct = {e.session_id for e in events}
+        # 8 initial sessions plus geometric retirements: far more than
+        # the pool, far fewer than one per query
+        assert 8 < len(distinct) < len(events)
+
+    def test_generator_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_traffic([], 10)
+        with pytest.raises(ConfigurationError):
+            generate_traffic([1], -1)
+        assert generate_traffic([1], 0) == []
